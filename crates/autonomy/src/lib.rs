@@ -1,0 +1,36 @@
+//! Outer-loop autonomy applications (paper Table 1: "LiDAR Mapping",
+//! "Planning", "Obstacle Detection" — the computations the paper assigns
+//! strictly to the outer loop and forbids from sharing the inner loop's
+//! core).
+//!
+//! * [`lidar`] — a simulated planar LiDAR scanning a world of box
+//!   obstacles.
+//! * [`grid`] — a 2-D occupancy grid with Bresenham ray-carving and
+//!   obstacle inflation.
+//! * [`planner`] — A* over the grid with path simplification, and
+//!   mission synthesis so a planned path flies on the stock firmware.
+//!
+//! # Example
+//!
+//! ```
+//! use drone_autonomy::grid::OccupancyGrid;
+//! use drone_autonomy::planner::plan_path;
+//!
+//! let mut grid = OccupancyGrid::new(40, 40, 0.5, -10.0, -10.0);
+//! // A wall with a gap.
+//! for y in 0..40 {
+//!     if !(18..22).contains(&y) {
+//!         grid.set_occupied(20, y);
+//!     }
+//! }
+//! let path = plan_path(&grid, (2, 20), (38, 20)).expect("a route exists");
+//! assert!(path.len() >= 2);
+//! ```
+
+pub mod grid;
+pub mod lidar;
+pub mod planner;
+
+pub use grid::{CellState, OccupancyGrid};
+pub use lidar::{Lidar, ObstacleWorld};
+pub use planner::{plan_mission, plan_path, simplify_path};

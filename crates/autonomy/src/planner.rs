@@ -1,0 +1,320 @@
+//! A* path planning over the occupancy grid, with path simplification
+//! and mission synthesis — the paper's "Planning" / "Navigation &
+//! trajectory" outer-loop box (Table 1).
+
+use crate::grid::{CellState, OccupancyGrid};
+use drone_firmware::{Mission, MissionItem};
+use drone_math::Vec3;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A grid cell on a path.
+pub type Cell = (usize, usize);
+
+#[derive(Debug, PartialEq)]
+struct Node {
+    cell: Cell,
+    f: f64,
+}
+
+impl Eq for Node {}
+
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on f.
+        other.f.partial_cmp(&self.f).expect("finite costs")
+    }
+}
+
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Whether the planner may traverse a cell: free or unknown (optimistic
+/// planning, like real exploration stacks), never occupied.
+fn traversable(grid: &OccupancyGrid, cell: Cell) -> bool {
+    grid.state(cell.0, cell.1) != CellState::Occupied
+}
+
+fn heuristic(a: Cell, b: Cell) -> f64 {
+    let dx = a.0 as f64 - b.0 as f64;
+    let dy = a.1 as f64 - b.1 as f64;
+    (dx * dx + dy * dy).sqrt()
+}
+
+/// A* with 8-connectivity. Returns the cell path including both
+/// endpoints, or `None` when no route exists.
+///
+/// # Panics
+///
+/// Panics if `start` or `goal` are outside the grid.
+pub fn plan_path(grid: &OccupancyGrid, start: Cell, goal: Cell) -> Option<Vec<Cell>> {
+    assert!(start.0 < grid.width() && start.1 < grid.height(), "start outside grid");
+    assert!(goal.0 < grid.width() && goal.1 < grid.height(), "goal outside grid");
+    if !traversable(grid, start) || !traversable(grid, goal) {
+        return None;
+    }
+    let w = grid.width();
+    let h = grid.height();
+    let idx = |c: Cell| c.1 * w + c.0;
+    let mut g_cost = vec![f64::INFINITY; w * h];
+    let mut parent: Vec<Option<Cell>> = vec![None; w * h];
+    let mut open = BinaryHeap::new();
+    g_cost[idx(start)] = 0.0;
+    open.push(Node { cell: start, f: heuristic(start, goal) });
+
+    while let Some(Node { cell, .. }) = open.pop() {
+        if cell == goal {
+            // Reconstruct.
+            let mut path = vec![goal];
+            let mut cur = goal;
+            while let Some(p) = parent[idx(cur)] {
+                path.push(p);
+                cur = p;
+            }
+            path.reverse();
+            return Some(path);
+        }
+        let base = g_cost[idx(cell)];
+        for dy in -1isize..=1 {
+            for dx in -1isize..=1 {
+                if dx == 0 && dy == 0 {
+                    continue;
+                }
+                let nx = cell.0 as isize + dx;
+                let ny = cell.1 as isize + dy;
+                if nx < 0 || ny < 0 || nx as usize >= w || ny as usize >= h {
+                    continue;
+                }
+                let next = (nx as usize, ny as usize);
+                if !traversable(grid, next) {
+                    continue;
+                }
+                // No corner-cutting between diagonal obstacles.
+                if dx != 0 && dy != 0 {
+                    let side_a = ((cell.0 as isize + dx) as usize, cell.1);
+                    let side_b = (cell.0, (cell.1 as isize + dy) as usize);
+                    if !traversable(grid, side_a) || !traversable(grid, side_b) {
+                        continue;
+                    }
+                }
+                let step = if dx != 0 && dy != 0 { std::f64::consts::SQRT_2 } else { 1.0 };
+                let tentative = base + step;
+                if tentative < g_cost[idx(next)] {
+                    g_cost[idx(next)] = tentative;
+                    parent[idx(next)] = Some(cell);
+                    open.push(Node { cell: next, f: tentative + heuristic(next, goal) });
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Line-of-sight check on the grid (all cells on the segment
+/// traversable).
+fn line_of_sight(grid: &OccupancyGrid, a: Cell, b: Cell) -> bool {
+    let (mut x, mut y) = (a.0 as isize, a.1 as isize);
+    let (x1, y1) = (b.0 as isize, b.1 as isize);
+    let dx = (x1 - x).abs();
+    let dy = -(y1 - y).abs();
+    let sx = if x < x1 { 1 } else { -1 };
+    let sy = if y < y1 { 1 } else { -1 };
+    let mut err = dx + dy;
+    loop {
+        if !traversable(grid, (x as usize, y as usize)) {
+            return false;
+        }
+        if x == x1 && y == y1 {
+            return true;
+        }
+        let e2 = 2 * err;
+        if e2 >= dy {
+            err += dy;
+            x += sx;
+        }
+        if e2 <= dx {
+            err += dx;
+            y += sy;
+        }
+    }
+}
+
+/// Greedy string-pulling: keeps only the waypoints needed to preserve
+/// line-of-sight, turning a staircase of cells into a handful of legs.
+pub fn simplify_path(grid: &OccupancyGrid, path: &[Cell]) -> Vec<Cell> {
+    if path.len() <= 2 {
+        return path.to_vec();
+    }
+    let mut out = vec![path[0]];
+    let mut anchor = 0;
+    let mut i = 1;
+    while i < path.len() {
+        if !line_of_sight(grid, path[anchor], path[i]) {
+            out.push(path[i - 1]);
+            anchor = i - 1;
+        }
+        i += 1;
+    }
+    out.push(*path.last().expect("non-empty path"));
+    out
+}
+
+/// Plans a route and wraps it into a flyable [`Mission`]: take-off to
+/// `altitude`, the simplified waypoints, land at the goal.
+///
+/// Returns `None` when no route exists.
+pub fn plan_mission(
+    grid: &OccupancyGrid,
+    start_world: (f64, f64),
+    goal_world: (f64, f64),
+    altitude: f64,
+    acceptance_radius: f64,
+) -> Option<Mission> {
+    let start = grid.world_to_cell(start_world.0, start_world.1)?;
+    let goal = grid.world_to_cell(goal_world.0, goal_world.1)?;
+    let path = plan_path(grid, start, goal)?;
+    let simplified = simplify_path(grid, &path);
+    let mut items = vec![MissionItem::Takeoff { altitude }];
+    for &cell in simplified.iter().skip(1) {
+        let (wx, wy) = grid.cell_center(cell.0, cell.1);
+        items.push(MissionItem::Waypoint {
+            position: Vec3::new(wx, wy, altitude),
+            acceptance_radius,
+            yaw: 0.0,
+        });
+    }
+    items.push(MissionItem::Land);
+    Mission::new(items).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 40×40 grid with a vertical wall at x=20, gap at y∈[18,22).
+    fn walled_grid() -> OccupancyGrid {
+        let mut g = OccupancyGrid::new(40, 40, 0.5, -10.0, -10.0);
+        for y in 0..40 {
+            for x in 0..40 {
+                g.set_free(x, y);
+            }
+        }
+        for y in 0..40 {
+            if !(18..22).contains(&y) {
+                g.set_occupied(20, y);
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn straight_line_in_open_space() {
+        let mut g = OccupancyGrid::new(20, 20, 1.0, 0.0, 0.0);
+        for y in 0..20 {
+            for x in 0..20 {
+                g.set_free(x, y);
+            }
+        }
+        let path = plan_path(&g, (0, 0), (19, 0)).expect("route");
+        assert_eq!(path.len(), 20);
+        let simplified = simplify_path(&g, &path);
+        assert_eq!(simplified.len(), 2, "straight line needs only endpoints");
+    }
+
+    #[test]
+    fn routes_through_the_gap() {
+        let g = walled_grid();
+        let path = plan_path(&g, (5, 5), (35, 5)).expect("route via the gap");
+        // The path must pass through the gap column at gap rows.
+        let through_gap = path.iter().any(|&(x, y)| x == 20 && (18..22).contains(&y));
+        assert!(through_gap, "path avoided the gap: {path:?}");
+        // And never touch an occupied cell.
+        for &(x, y) in &path {
+            assert_ne!(g.state(x, y), CellState::Occupied);
+        }
+    }
+
+    #[test]
+    fn no_route_through_a_sealed_wall() {
+        let mut g = walled_grid();
+        for y in 18..22 {
+            g.set_occupied(20, y);
+        }
+        assert!(plan_path(&g, (5, 5), (35, 5)).is_none());
+    }
+
+    #[test]
+    fn occupied_endpoints_fail() {
+        let g = walled_grid();
+        assert!(plan_path(&g, (20, 0), (35, 5)).is_none());
+        assert!(plan_path(&g, (5, 5), (20, 0)).is_none());
+    }
+
+    #[test]
+    fn no_corner_cutting() {
+        let mut g = OccupancyGrid::new(5, 5, 1.0, 0.0, 0.0);
+        for y in 0..5 {
+            for x in 0..5 {
+                g.set_free(x, y);
+            }
+        }
+        // Two diagonal blockers forming a pinch.
+        g.set_occupied(2, 1);
+        g.set_occupied(1, 2);
+        let path = plan_path(&g, (1, 1), (3, 3)).expect("route around");
+        // The direct diagonal (1,1)→(2,2) squeezes between the blockers —
+        // forbidden; path must detour.
+        for pair in path.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            let dx = b.0 as isize - a.0 as isize;
+            let dy = b.1 as isize - a.1 as isize;
+            if dx != 0 && dy != 0 {
+                let sa = ((a.0 as isize + dx) as usize, a.1);
+                let sb = (a.0, (a.1 as isize + dy) as usize);
+                assert_ne!(g.state(sa.0, sa.1), CellState::Occupied, "cut corner at {a:?}");
+                assert_ne!(g.state(sb.0, sb.1), CellState::Occupied, "cut corner at {a:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn simplified_path_keeps_line_of_sight() {
+        let g = walled_grid();
+        let path = plan_path(&g, (5, 5), (35, 35)).expect("route");
+        let s = simplify_path(&g, &path);
+        assert!(s.len() <= path.len());
+        for pair in s.windows(2) {
+            assert!(line_of_sight(&g, pair[0], pair[1]));
+        }
+        assert_eq!(s.first(), path.first());
+        assert_eq!(s.last(), path.last());
+    }
+
+    #[test]
+    fn mission_synthesis_produces_valid_mission() {
+        let g = walled_grid();
+        let mission =
+            plan_mission(&g, (-7.5, -7.5), (7.5, -7.5), 8.0, 0.8).expect("mission planned");
+        assert!(matches!(mission.items()[0], MissionItem::Takeoff { altitude } if altitude == 8.0));
+        assert!(matches!(mission.items().last(), Some(MissionItem::Land)));
+        // At least one intermediate waypoint steers through the gap
+        // (gap rows 18..22 map to world y ∈ [-1, 1]).
+        let through = mission.items().iter().any(|i| {
+            matches!(i, MissionItem::Waypoint { position, .. }
+                if position.y.abs() < 2.0 && (position.x - 0.25).abs() < 2.0)
+        });
+        assert!(through, "mission skips the gap: {:?}", mission.items());
+    }
+
+    #[test]
+    fn unreachable_goal_gives_no_mission() {
+        let mut g = walled_grid();
+        for y in 18..22 {
+            g.set_occupied(20, y);
+        }
+        assert!(plan_mission(&g, (-7.5, -7.5), (7.5, -7.5), 8.0, 0.8).is_none());
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests on the mapping/planning invariants.
+
+use drone_autonomy::grid::{CellState, OccupancyGrid};
+use drone_autonomy::lidar::ObstacleWorld;
+use drone_autonomy::planner::{plan_path, simplify_path};
+use drone_math::{Pcg32, Vec3};
+use proptest::prelude::*;
+
+/// A random grid with scattered obstacles, plus free start/goal.
+fn random_grid(seed: u64, obstacle_count: usize) -> OccupancyGrid {
+    let mut rng = Pcg32::seed_from(seed);
+    let mut g = OccupancyGrid::new(30, 30, 1.0, 0.0, 0.0);
+    for y in 0..30 {
+        for x in 0..30 {
+            g.set_free(x, y);
+        }
+    }
+    for _ in 0..obstacle_count {
+        let x = rng.below(28) as usize + 1;
+        let y = rng.below(28) as usize + 1;
+        // Keep the corners open.
+        if (x < 4 && y < 4) || (x > 25 && y > 25) {
+            continue;
+        }
+        g.set_occupied(x, y);
+    }
+    g
+}
+
+proptest! {
+    #[test]
+    fn path_length_at_least_euclidean(seed in 0u64..500, obstacles in 0usize..80) {
+        let g = random_grid(seed, obstacles);
+        let start = (1usize, 1usize);
+        let goal = (28usize, 28usize);
+        if let Some(path) = plan_path(&g, start, goal) {
+            prop_assert_eq!(*path.first().unwrap(), start);
+            prop_assert_eq!(*path.last().unwrap(), goal);
+            // Total length ≥ straight-line distance (A* admissibility).
+            let mut length = 0.0;
+            for pair in path.windows(2) {
+                let dx = pair[1].0 as f64 - pair[0].0 as f64;
+                let dy = pair[1].1 as f64 - pair[0].1 as f64;
+                // 8-connected: steps are unit or diagonal.
+                prop_assert!(dx.abs() <= 1.0 && dy.abs() <= 1.0);
+                length += (dx * dx + dy * dy).sqrt();
+            }
+            let euclid = ((28.0f64 - 1.0).powi(2) * 2.0).sqrt();
+            prop_assert!(length >= euclid - 1e-9, "length {length} < {euclid}");
+            // Never stands on an obstacle.
+            for &(x, y) in &path {
+                prop_assert!(g.state(x, y) != CellState::Occupied);
+            }
+        }
+    }
+
+    #[test]
+    fn simplification_preserves_endpoints_and_shrinks(seed in 0u64..500, obstacles in 0usize..80) {
+        let g = random_grid(seed, obstacles);
+        if let Some(path) = plan_path(&g, (1, 1), (28, 28)) {
+            let s = simplify_path(&g, &path);
+            prop_assert!(s.len() <= path.len());
+            prop_assert_eq!(s.first(), path.first());
+            prop_assert_eq!(s.last(), path.last());
+        }
+    }
+
+    #[test]
+    fn empty_grid_always_has_a_route(sx in 0usize..30, sy in 0usize..30, gx in 0usize..30, gy in 0usize..30) {
+        let g = random_grid(0, 0);
+        let path = plan_path(&g, (sx, sy), (gx, gy));
+        prop_assert!(path.is_some());
+    }
+
+    #[test]
+    fn raycast_hit_is_on_the_box_surface(ox in -8.0f64..-1.0, oy in -8.0f64..8.0, az in 0.0f64..6.2) {
+        let mut world = ObstacleWorld::new();
+        world.add_box(Vec3::new(2.0, -3.0, 0.0), Vec3::new(4.0, 3.0, 10.0));
+        let origin = Vec3::new(ox, oy, 5.0);
+        let dir = Vec3::new(az.cos(), az.sin(), 0.0);
+        if let Some(d) = world.raycast(origin, dir, 50.0) {
+            let hit = origin + dir * d;
+            // The hit point must lie on (within ε of) the box boundary.
+            let eps = 1e-9;
+            let inside_loose = hit.x >= 2.0 - eps && hit.x <= 4.0 + eps
+                && hit.y >= -3.0 - eps && hit.y <= 3.0 + eps;
+            prop_assert!(inside_loose, "hit {hit} off the box");
+            let on_face = (hit.x - 2.0).abs() < 1e-6
+                || (hit.x - 4.0).abs() < 1e-6
+                || (hit.y + 3.0).abs() < 1e-6
+                || (hit.y - 3.0).abs() < 1e-6;
+            prop_assert!(on_face, "hit {hit} not on a face");
+        }
+    }
+
+    #[test]
+    fn grid_roundtrip_world_coordinates(x in 0usize..40, y in 0usize..40) {
+        let g = OccupancyGrid::new(40, 40, 0.5, -10.0, -10.0);
+        let (wx, wy) = g.cell_center(x.min(39), y.min(39));
+        prop_assert_eq!(g.world_to_cell(wx, wy), Some((x.min(39), y.min(39))));
+    }
+}

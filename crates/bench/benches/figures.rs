@@ -1,0 +1,192 @@
+//! Criterion benches of the experiment regeneration paths — one bench
+//! per paper table/figure family plus the DESIGN.md ablations
+//! (catalog-size sensitivity, EKF vs complementary filter, hierarchical
+//! vs flat control).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+/// Figure 7/8: catalog synthesis + least-squares refits.
+fn bench_catalog_figures(c: &mut Criterion) {
+    use drone_components::battery::CellCount;
+    use drone_components::catalog::{Catalog, CatalogSize};
+    let mut g = c.benchmark_group("fig7_fig8");
+    g.bench_function("synthesize_and_fit_paper_sizes", |b| {
+        b.iter(|| {
+            let catalog = Catalog::synthesize_default(black_box(42));
+            let mut acc = 0.0;
+            for cells in CellCount::ALL {
+                if let Some(fit) = catalog.battery_fit(cells) {
+                    acc += fit.slope;
+                }
+            }
+            acc
+        })
+    });
+    // Ablation: regression stability vs survey size.
+    for batteries in [25usize, 250, 2500] {
+        g.bench_function(format!("catalog_size_{batteries}"), |b| {
+            b.iter(|| {
+                let catalog = Catalog::synthesize(
+                    7,
+                    CatalogSize { batteries, escs: 40, frames: 25 },
+                );
+                catalog.battery_fit(CellCount::S3)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Figure 9/10: sizing fixed point and the wheelbase sweep.
+fn bench_design_space(c: &mut Criterion) {
+    use drone_components::battery::CellCount;
+    use drone_components::units::MilliampHours;
+    use drone_dse::design::DesignSpec;
+    use drone_dse::sweep::WheelbaseSweep;
+    let mut g = c.benchmark_group("fig9_fig10");
+    g.bench_function("size_single_design", |b| {
+        b.iter(|| {
+            DesignSpec::new(450.0, CellCount::S3, MilliampHours(black_box(4000.0)))
+                .size()
+                .expect("feasible")
+        })
+    });
+    g.bench_function("sweep_450mm", |b| {
+        b.iter(|| WheelbaseSweep::run(450.0, &[CellCount::S1, CellCount::S3, CellCount::S6], 8))
+    });
+    g.finish();
+}
+
+/// Figure 15: the interference experiment at reduced scale.
+fn bench_figure15(c: &mut Criterion) {
+    use drone_platform::uarch::system::figure15_experiment;
+    let mut g = c.benchmark_group("fig15");
+    g.sample_size(10);
+    g.bench_function("interference_100k", |b| {
+        b.iter(|| figure15_experiment(black_box(100_000), 1))
+    });
+    g.finish();
+}
+
+/// Figure 17: the SLAM pipeline per stage.
+fn bench_figure17(c: &mut Criterion) {
+    use drone_slam::euroc::Sequence;
+    use drone_slam::{Pipeline, PipelineConfig};
+    let mut g = c.benchmark_group("fig17");
+    g.sample_size(10);
+    let dataset = Sequence::V101.generate_with_frames(40);
+    g.bench_function("slam_pipeline_40_frames", |b| {
+        b.iter_batched(
+            || Pipeline::new(PipelineConfig::default()),
+            |mut p| p.run(black_box(&dataset)),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+/// Ablation: EKF + complementary estimator vs raw gyro integration cost.
+fn bench_estimator_ablation(c: &mut Criterion) {
+    use drone_estimation::{ComplementaryFilter, NavigationEkf};
+    use drone_math::Vec3;
+    let mut g = c.benchmark_group("ablation_estimator");
+    g.bench_function("complementary_update", |b| {
+        let mut f = ComplementaryFilter::default();
+        b.iter(|| f.update(black_box(Vec3::new(0.1, 0.0, 0.0)), Some(Vec3::Z * 9.81), None, 5e-3))
+    });
+    g.bench_function("ekf_predict_update", |b| {
+        let mut ekf = NavigationEkf::new();
+        b.iter(|| {
+            ekf.predict(black_box(Vec3::X), 5e-3);
+            ekf.update_gps(Vec3::ZERO);
+        })
+    });
+    g.finish();
+}
+
+/// Ablation: hierarchical cascade vs a flat (attitude-only) controller.
+fn bench_control_ablation(c: &mut Criterion) {
+    use drone_control::{AttitudeController, CascadeController, Setpoint};
+    use drone_math::{Quat, Vec3};
+    use drone_sim::{Quadcopter, QuadcopterParams};
+    let mut g = c.benchmark_group("ablation_control");
+    let params = QuadcopterParams::default_450mm();
+    let quad = Quadcopter::hovering_at(params.clone(), 10.0);
+    g.bench_function("hierarchical_tick", |b| {
+        let mut ctrl = CascadeController::new(&params);
+        let sp = Setpoint::position(Vec3::new(0.0, 0.0, 10.0), 0.0);
+        b.iter(|| ctrl.update(black_box(quad.state()), &sp, 1e-3))
+    });
+    g.bench_function("flat_attitude_tick", |b| {
+        let mut ctrl = AttitudeController::new(&params);
+        let target = Quat::from_euler(0.1, 0.0, 0.0);
+        b.iter(|| {
+            ctrl.update(
+                black_box(quad.state().attitude),
+                quad.state().angular_velocity,
+                target,
+                1e-3,
+            )
+        })
+    });
+    g.finish();
+}
+
+/// Outer-loop planning: A* over a mapped arena.
+fn bench_planning(c: &mut Criterion) {
+    use drone_autonomy::grid::OccupancyGrid;
+    use drone_autonomy::planner::plan_path;
+    let mut g = OccupancyGrid::new(100, 100, 0.5, 0.0, 0.0);
+    for y in 0..100 {
+        for x in 0..100 {
+            g.set_free(x, y);
+        }
+    }
+    // A few walls with gaps.
+    for y in 0..100 {
+        if !(45..55).contains(&y) {
+            g.set_occupied(30, y);
+        }
+        if !(10..20).contains(&y) {
+            g.set_occupied(60, y);
+        }
+    }
+    let mut group = c.benchmark_group("planning");
+    group.bench_function("astar_100x100_two_walls", |b| {
+        b.iter(|| plan_path(black_box(&g), (2, 2), (97, 97)).expect("route"))
+    });
+    group.finish();
+}
+
+/// §5.1 scheduler experiment.
+fn bench_scheduler(c: &mut Criterion) {
+    use drone_firmware::scheduler::{autopilot_task_set, slam_task};
+    use drone_firmware::RateScheduler;
+    let mut g = c.benchmark_group("deadlines");
+    g.bench_function("schedule_30s_with_slam", |b| {
+        b.iter_batched(
+            || {
+                let mut tasks = autopilot_task_set();
+                tasks.push(slam_task());
+                RateScheduler::new(tasks)
+            },
+            |mut s| s.simulate(30.0, black_box(1.0 / 1.7)),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_catalog_figures,
+    bench_design_space,
+    bench_figure15,
+    bench_figure17,
+    bench_estimator_ablation,
+    bench_control_ablation,
+    bench_planning,
+    bench_scheduler
+);
+criterion_main!(benches);

@@ -1,0 +1,138 @@
+//! Criterion micro-benchmarks of the performance-critical kernels:
+//! the hot loops behind every experiment.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn bench_math(c: &mut Criterion) {
+    use drone_math::{Matrix, Pcg32, Quat, Vec3};
+    let mut g = c.benchmark_group("math");
+    let q = Quat::from_euler(0.2, -0.4, 1.0);
+    let v = Vec3::new(1.0, 2.0, 3.0);
+    g.bench_function("quat_rotate", |b| b.iter(|| black_box(q).rotate(black_box(v))));
+    g.bench_function("quat_integrate", |b| {
+        b.iter(|| black_box(q).integrate(black_box(v), black_box(1e-3)))
+    });
+
+    let mut rng = Pcg32::seed_from(1);
+    let mut a = Matrix::zeros(24, 24);
+    for r in 0..24 {
+        for col in 0..24 {
+            a[(r, col)] = rng.uniform(-1.0, 1.0);
+        }
+    }
+    let spd = a.matmul(&a.transpose()).add_diagonal(1.0);
+    let rhs = Matrix::column(&[1.0; 24]);
+    g.bench_function("matmul_24x24", |b| b.iter(|| black_box(&a).matmul(black_box(&a))));
+    g.bench_function("cholesky_solve_24", |b| {
+        b.iter(|| black_box(&spd).solve_spd(black_box(&rhs)))
+    });
+    g.finish();
+}
+
+fn bench_uarch(c: &mut Criterion) {
+    use drone_platform::uarch::cache::{Cache, CacheConfig};
+    use drone_platform::{CoreConfig, CoreSystem, SyntheticWorkload};
+    let mut g = c.benchmark_group("uarch");
+    g.bench_function("cache_access_stream", |b| {
+        b.iter_batched(
+            || Cache::new(CacheConfig::l1d()),
+            |mut cache| {
+                for i in 0..4096u64 {
+                    cache.access(black_box(i * 64));
+                }
+                cache
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("core_100k_autopilot_instructions", |b| {
+        b.iter_batched(
+            || (CoreSystem::new(CoreConfig::default()), SyntheticWorkload::autopilot(1)),
+            |(mut core, mut wl)| core.run_alone(&mut wl, 100_000),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_slam_kernels(c: &mut Criterion) {
+    use drone_math::Pcg32;
+    use drone_slam::descriptor::{match_descriptor, Descriptor};
+    let mut g = c.benchmark_group("slam");
+    let mut rng = Pcg32::seed_from(2);
+    let set: Vec<Descriptor> = (0..1000).map(|_| Descriptor::random(&mut rng)).collect();
+    let query = set[123].corrupted(0.02, &mut rng);
+    g.bench_function("hamming_match_1k", |b| {
+        b.iter(|| match_descriptor(black_box(&query), black_box(&set), 64, 0.8))
+    });
+    g.finish();
+}
+
+fn bench_control(c: &mut Criterion) {
+    use drone_control::{CascadeController, Setpoint};
+    use drone_math::Vec3;
+    use drone_sim::{Quadcopter, QuadcopterParams};
+    let mut g = c.benchmark_group("control");
+    let params = QuadcopterParams::default_450mm();
+    g.bench_function("cascade_update_1khz_tick", |b| {
+        let mut ctrl = CascadeController::new(&params);
+        let quad = Quadcopter::hovering_at(params.clone(), 10.0);
+        let sp = Setpoint::position(Vec3::new(0.0, 0.0, 10.0), 0.0);
+        b.iter(|| ctrl.update(black_box(quad.state()), black_box(&sp), 1e-3))
+    });
+    g.bench_function("physics_step", |b| {
+        let mut quad = Quadcopter::hovering_at(params.clone(), 10.0);
+        let hover = quad.hover_throttle();
+        b.iter(|| quad.step(black_box([hover; 4]), Vec3::ZERO, 1e-3))
+    });
+    g.finish();
+}
+
+fn bench_estimation(c: &mut Criterion) {
+    use drone_estimation::{SensorSuite, StateEstimator};
+    use drone_math::Vec3;
+    use drone_sim::RigidBodyState;
+    let mut g = c.benchmark_group("estimation");
+    g.bench_function("estimator_ingest_tick", |b| {
+        let mut sensors = SensorSuite::with_defaults(3);
+        let mut est = StateEstimator::new();
+        let truth = RigidBodyState::at_altitude(10.0);
+        b.iter(|| {
+            let readings = sensors.sample(black_box(&truth), Vec3::ZERO, 1e-3);
+            est.ingest(&readings, 1e-3);
+        })
+    });
+    g.finish();
+}
+
+fn bench_mavlink(c: &mut Criterion) {
+    use drone_firmware::{Message, StreamParser};
+    let mut g = c.benchmark_group("mavlink");
+    let msg = Message::Position {
+        time_ms: 1234,
+        position: [1.0, 2.0, 3.0],
+        velocity: [0.1, 0.2, 0.3],
+    };
+    g.bench_function("encode_position", |b| b.iter(|| black_box(&msg).encode(0, 1, 1)));
+    let wire = msg.encode(0, 1, 1);
+    g.bench_function("decode_position", |b| {
+        b.iter_batched(
+            StreamParser::new,
+            |mut p| p.push(black_box(&wire)),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_math,
+    bench_uarch,
+    bench_slam_kernels,
+    bench_control,
+    bench_estimation,
+    bench_mavlink
+);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro list            # show available experiments
+//! repro fig7            # one experiment
+//! repro fig10_power fig17
+//! repro all             # everything, in paper order
+//! ```
+
+use drone_bench::all_experiments;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let experiments = all_experiments();
+    if args.is_empty() || args[0] == "list" || args[0] == "--help" {
+        println!("usage: repro <experiment>... | all | list\n\navailable experiments:");
+        for (name, _) in &experiments {
+            println!("  {name}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let selected: Vec<&str> = if args.iter().any(|a| a == "all") {
+        experiments.iter().map(|(n, _)| *n).collect()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for name in selected {
+        match experiments.iter().find(|(n, _)| *n == name) {
+            Some((_, run)) => {
+                println!("{:=^78}", format!(" {name} "));
+                println!("{}", run());
+            }
+            None => {
+                eprintln!("unknown experiment '{name}' (try `repro list`)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,146 @@
+//! Figures 15 and 16: the micro-architecture interference study and the
+//! power traces.
+
+use crate::table::{f, pct, Table};
+use drone_components::units::Watts;
+use drone_estimation::SensorSuite;
+use drone_firmware::{Autopilot, Mission};
+use drone_math::Vec3;
+use drone_platform::uarch::system::figure15_experiment;
+use drone_platform::{BoardPowerModel, ComputePhase};
+use drone_sim::{PowerMeter, Quadcopter, QuadcopterParams, WindModel};
+
+/// Figure 15: `perf`-style counters for the autopilot and SLAM, alone
+/// and co-scheduled on one core.
+pub fn figure15() -> String {
+    let (ap_alone, slam_alone, ap_shared, slam_shared) = figure15_experiment(2_000_000, 42);
+    let mut t = Table::new(vec!["workload", "IPC", "LLC miss", "branch miss", "TLB MPKI"]);
+    for s in [&ap_alone, &slam_alone, &ap_shared, &slam_shared] {
+        let label = match (s.name.as_str(), std::ptr::eq(s, &ap_shared) || std::ptr::eq(s, &slam_shared)) {
+            (n, true) => format!("{n} (w/ co-run)"),
+            (n, false) => n.to_owned(),
+        };
+        t.row(vec![
+            label,
+            f(s.ipc(), 3),
+            pct(s.llc_miss_rate()),
+            pct(s.branch_miss_rate()),
+            f(s.tlb_mpki(), 2),
+        ]);
+    }
+    let ipc_drop = ap_alone.ipc() / ap_shared.ipc();
+    // Normalize by instruction volume: the background SLAM retires far
+    // more instructions than the autopilot subject in the shared run.
+    let shared_instr = ap_shared.instructions + slam_shared.instructions;
+    let system_mpki =
+        (ap_shared.tlb_misses + slam_shared.tlb_misses) as f64 * 1000.0 / shared_instr as f64;
+    let tlb_system = system_mpki / ap_alone.tlb_mpki().max(1e-9);
+    format!(
+        "Figure 15 — autopilot/SLAM perf counters (trace-driven core)\n{}\n\
+         autopilot IPC drop with SLAM co-located: {ipc_drop:.2}x (paper: 1.7x)\n\
+         system TLB miss rate with SLAM vs autopilot alone: {tlb_system:.1}x (paper: 4.5x as many misses)\n",
+        t.render()
+    )
+}
+
+/// Figure 16: power traces — (a) the companion computer through its
+/// phases, (b) the whole drone through a flight, driven by the actual
+/// simulation + firmware stack.
+pub fn figure16() -> String {
+    // --- (a) RPi power phases (BoardPowerModel). ---
+    let rpi = BoardPowerModel::rpi_figure16();
+    let segments = [
+        (ComputePhase::Off, 10.0),
+        (ComputePhase::Autopilot, 120.0),
+        (ComputePhase::AutopilotSlamIdle, 60.0),
+        (ComputePhase::AutopilotSlamActive, 240.0),
+        (ComputePhase::Off, 10.0),
+    ];
+    let trace = rpi.trace(&segments, 2.0, 9);
+    let mut phase_stats: Vec<(ComputePhase, f64, usize)> = Vec::new();
+    for (_, w, phase) in &trace {
+        match phase_stats.iter_mut().find(|(p, _, _)| p == phase) {
+            Some(e) => {
+                e.1 += w.0;
+                e.2 += 1;
+            }
+            None => phase_stats.push((*phase, w.0, 1)),
+        }
+    }
+    let mut a = Table::new(vec!["phase", "avg power (W)", "paper (W)"]);
+    for (phase, sum, n) in &phase_stats {
+        let paper_val = match phase {
+            ComputePhase::Autopilot => "3.39",
+            ComputePhase::AutopilotSlamIdle => "4.05",
+            ComputePhase::AutopilotSlamActive => "4.56",
+            _ => "-",
+        };
+        a.row(vec![phase.to_string(), f(sum / *n as f64, 2), paper_val.to_owned()]);
+    }
+
+    // --- (b) whole-drone flight power from the simulator. ---
+    let params = QuadcopterParams::default_450mm();
+    let mut quad = Quadcopter::new(params.clone());
+    let mut sensors = SensorSuite::with_defaults(16);
+    let mut autopilot = Autopilot::new(&params);
+    autopilot.align(quad.state());
+    autopilot.upload_mission(Mission::hover_test(10.0, 20.0)).expect("valid mission");
+    autopilot.arm().expect("armed");
+    let mut wind = WindModel::gusty(Vec3::new(1.0, 0.0, 0.0), 0.5, 4);
+    let mut meter = PowerMeter::new(0.02); // the paper's 50 Hz oscilloscope
+    meter.set_phase("ground");
+    let dt = 1e-3;
+    let mut prev_vel = quad.state().velocity;
+    for step in 0..60_000 {
+        let accel = (quad.state().velocity - prev_vel) / dt;
+        prev_vel = quad.state().velocity;
+        let readings = sensors.sample(quad.state(), accel, dt);
+        let throttle = autopilot.update(&readings, quad.battery().remaining_fraction(), dt);
+        let out = quad.step(throttle, wind.sample(dt), dt);
+        let phase = if !out.on_ground && quad.state().position.z > 8.0 {
+            "hover"
+        } else if !out.on_ground {
+            "climb/descend"
+        } else {
+            "ground"
+        };
+        meter.set_phase(phase);
+        meter.record(step as f64 * dt, out.total_power);
+        if autopilot.mode() == drone_firmware::FlightMode::Disarmed && step > 5000 {
+            break;
+        }
+    }
+    let mut b = Table::new(vec!["flight phase", "avg power (W)"]);
+    for (phase, avg) in meter.phase_averages() {
+        b.row(vec![phase, f(avg.0, 0)]);
+    }
+    let peak = meter.peak().unwrap_or(Watts(0.0));
+    format!(
+        "Figure 16a — companion computer power by phase\n{}\n\
+         Figure 16b — whole-drone power during a hover mission\n{}\n\
+         peak {} (paper: ~130 W average, 250 W peaks on the 450 mm build)\n",
+        a.render(),
+        b.render(),
+        peak
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure15_report_shows_degradation() {
+        let r = figure15();
+        assert!(r.contains("IPC drop"), "{r}");
+        assert!(r.contains("autopilot (w/ co-run)"), "{r}");
+    }
+
+    #[test]
+    fn figure16_report_has_both_panels() {
+        let r = figure16();
+        assert!(r.contains("Figure 16a"));
+        assert!(r.contains("Figure 16b"));
+        assert!(r.contains("hover"));
+    }
+}

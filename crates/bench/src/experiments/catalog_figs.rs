@@ -1,0 +1,167 @@
+//! Figures 7, 8a, 8b and 9: the component-catalog regressions and the
+//! motor-sizing landscape.
+
+use crate::table::{f, Table};
+use drone_components::battery::CellCount;
+use drone_components::catalog::Catalog;
+use drone_components::esc::{Esc, EscClass};
+use drone_components::frame::Frame;
+use drone_components::motor::Motor;
+use drone_components::paper;
+use drone_components::propeller::Propeller;
+use drone_components::units::{Grams, Millimeters};
+
+const CATALOG_SEED: u64 = 42;
+
+/// Figure 7: battery capacity→weight fits per cell configuration,
+/// re-derived from the synthetic 250-battery catalog and compared to the
+/// published coefficients.
+pub fn figure7() -> String {
+    let catalog = Catalog::synthesize_default(CATALOG_SEED);
+    let mut t = Table::new(vec![
+        "config",
+        "fitted slope",
+        "paper slope",
+        "fitted intercept",
+        "paper intercept",
+        "R^2",
+        "n",
+    ]);
+    for cells in CellCount::ALL {
+        let Some(fit) = catalog.battery_fit(cells) else { continue };
+        let reference = paper::battery_weight_fit(cells);
+        t.row(vec![
+            cells.to_string(),
+            f(fit.slope, 4),
+            f(reference.slope, 4),
+            f(fit.intercept, 1),
+            f(reference.intercept, 1),
+            f(fit.r_squared, 3),
+            fit.n.to_string(),
+        ]);
+    }
+    format!(
+        "Figure 7 — LiPo capacity vs weight per configuration (250 synthetic batteries)\n{}",
+        t.render()
+    )
+}
+
+/// Figure 8a: ESC max continuous current → weight of four ESCs, by
+/// thermal class.
+pub fn figure8a() -> String {
+    let catalog = Catalog::synthesize_default(CATALOG_SEED);
+    let mut t = Table::new(vec!["class", "fitted slope", "paper slope", "fitted intercept", "paper intercept", "n"]);
+    for (class, reference) in [
+        (EscClass::LongFlight, paper::esc_long_flight_fit()),
+        (EscClass::ShortFlight, paper::esc_short_flight_fit()),
+    ] {
+        let Some(fit) = catalog.esc_fit(class) else { continue };
+        t.row(vec![
+            class.to_string(),
+            f(fit.slope, 4),
+            f(reference.slope, 4),
+            f(fit.intercept, 1),
+            f(reference.intercept, 1),
+            fit.n.to_string(),
+        ]);
+    }
+    format!("Figure 8a — ESC current vs weight of 4x ESCs (40 synthetic ESCs)\n{}", t.render())
+}
+
+/// Figure 8b: frame wheelbase → weight fit above 200 mm.
+pub fn figure8b() -> String {
+    let catalog = Catalog::synthesize_default(CATALOG_SEED);
+    let mut out = String::from("Figure 8b — frame wheelbase vs weight (25 synthetic frames)\n");
+    if let Some(fit) = catalog.frame_fit() {
+        let reference = paper::frame_weight_fit();
+        let mut t = Table::new(vec!["", "slope", "intercept", "R^2"]);
+        t.row(vec!["fitted".into(), f(fit.slope, 4), f(fit.intercept, 1), f(fit.r_squared, 3)]);
+        t.row(vec!["paper".into(), f(reference.slope, 4), f(reference.intercept, 1), "".into()]);
+        out.push_str(&t.render());
+    }
+    out.push_str("small frames (<200 mm): 50-200 g scatter band, no linear trend (paper note)\n");
+    out
+}
+
+/// Figure 9: minimum per-motor max current draw vs basic weight, grouped
+/// by wheelbase (propeller) and supply voltage, at TWR 2 — with the Kv
+/// ratings the designs demand.
+pub fn figure9() -> String {
+    let mut out = String::from(
+        "Figure 9 — per-motor max current vs basic weight @ TWR 2 (Kv in brackets)\n",
+    );
+    let configs = [(100.0, 200.0, 600.0), (200.0, 200.0, 1100.0), (450.0, 300.0, 1800.0), (800.0, 500.0, 2700.0)];
+    for (wheelbase, w_min, w_max) in configs {
+        let frame = Frame::from_model(Millimeters(wheelbase));
+        let prop = Propeller::standard(frame.max_propeller_inches());
+        out.push_str(&format!(
+            "\n{wheelbase:.0} mm wheelbase, {:.0}\" props:\n",
+            prop.diameter_in
+        ));
+        let mut t = Table::new(vec!["basic weight (g)", "1S", "3S", "6S"]);
+        let steps = 5;
+        for i in 0..=steps {
+            let basic = w_min + (w_max - w_min) * i as f64 / steps as f64;
+            let mut cells_out = Vec::new();
+            for cells in [CellCount::S1, CellCount::S3, CellCount::S6] {
+                let voltage = cells.nominal_voltage();
+                // Fixed point: motors+ESCs lift themselves on top of the
+                // basic weight (battery excluded, as in the figure).
+                let mut extra = Grams(0.0);
+                let mut chosen = None;
+                for _ in 0..16 {
+                    let total = Grams(basic) + extra;
+                    let thrust = total.weight_newtons() * paper::PAPER_TWR / 4.0;
+                    let m = Motor::size_for(&prop, voltage, thrust);
+                    let e = Esc::from_model(EscClass::LongFlight, m.max_current);
+                    let new_extra = (m.weight + e.weight + prop.weight) * 4.0;
+                    let done = (new_extra - extra).0.abs() < 0.01;
+                    extra = new_extra;
+                    chosen = Some(m);
+                    if done {
+                        break;
+                    }
+                }
+                let m = chosen.expect("sizing ran");
+                cells_out.push(format!("{:.1} A [{:.0}Kv]", m.max_current.0, m.kv_rpm_per_volt));
+            }
+            let mut row = vec![format!("{basic:.0}")];
+            row.extend(cells_out);
+            t.row(row);
+        }
+        out.push_str(&t.render());
+    }
+    out.push_str(
+        "\ntrends: current grows with weight; more cells -> less current & lower Kv;\n\
+         larger props -> lower Kv, heavier motors (paper Figure 9 discussion)\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure7_report_contains_all_configs() {
+        let r = figure7();
+        for c in ["1S", "2S", "3S", "4S", "5S", "6S"] {
+            assert!(r.contains(c), "missing {c}:\n{r}");
+        }
+    }
+
+    #[test]
+    fn figure8_reports_render() {
+        assert!(figure8a().contains("long-flight"));
+        assert!(figure8b().contains("1.2767"));
+    }
+
+    #[test]
+    fn figure9_report_covers_wheelbases() {
+        let r = figure9();
+        for wb in ["100 mm", "200 mm", "450 mm", "800 mm"] {
+            assert!(r.contains(wb), "missing {wb}");
+        }
+        assert!(r.contains("Kv"));
+    }
+}

@@ -1,0 +1,44 @@
+//! One module per group of paper artifacts.
+
+mod arch_figs;
+mod catalog_figs;
+mod control_figs;
+mod extension_figs;
+mod slam_figs;
+mod space_figs;
+
+pub use arch_figs::{figure15, figure16};
+pub use catalog_figs::{figure7, figure8a, figure8b, figure9};
+pub use control_figs::{deadlines, gust_rejection, inner_loop, roll_overshoot, roll_rise_time, table2};
+pub use extension_figs::{fixed_point, lidar_payload, twr_sweep};
+pub use slam_figs::{figure17, profile_sequence, table5};
+pub use space_figs::{claims, figure10_footprint, figure10_power, figure11, figure14};
+
+/// An experiment entry: `(name, runner)`.
+pub type Experiment = (&'static str, fn() -> String);
+
+/// Every experiment in paper order.
+pub fn all_experiments() -> Vec<Experiment> {
+    vec![
+        ("fig7", figure7 as fn() -> String),
+        ("fig8a", figure8a),
+        ("fig8b", figure8b),
+        ("fig9", figure9),
+        ("fig10_power", figure10_power),
+        ("fig10_footprint", figure10_footprint),
+        ("fig11", figure11),
+        ("fig14", figure14),
+        ("fig15", figure15),
+        ("fig16", figure16),
+        ("fig17", figure17),
+        ("table2", table2),
+        ("table5", table5),
+        ("claims", claims),
+        ("inner_loop", inner_loop),
+        ("deadlines", deadlines),
+        ("gust_rejection", gust_rejection),
+        ("twr_sweep", twr_sweep),
+        ("lidar", lidar_payload),
+        ("fixed_point", fixed_point),
+    ]
+}

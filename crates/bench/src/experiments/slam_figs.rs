@@ -1,0 +1,115 @@
+//! Figure 17 and Table 5: the SLAM offload landscape.
+
+use crate::table::{f, Table};
+use drone_dse::offload;
+use drone_math::stats::geometric_mean;
+use drone_platform::model::Platform;
+use drone_slam::euroc::Sequence;
+use drone_slam::{Pipeline, PipelineConfig, StageProfile};
+
+/// Frames per sequence for the figure runs (full EuRoC sequences are
+/// thousands of frames; 150 keeps the repro run under a minute while
+/// preserving the stage profile).
+const FRAMES: usize = 150;
+
+/// Runs the pipeline on one sequence and returns its stage profile.
+pub fn profile_sequence(seq: Sequence, frames: usize) -> StageProfile {
+    let dataset = seq.generate_with_frames(frames);
+    Pipeline::new(PipelineConfig::default()).run(&dataset).profile
+}
+
+/// Figure 17: per-sequence speedup of TX2 and FPGA over the RPi, by
+/// stage composition, with the GMean the paper reports (2.16× / 30.7×).
+pub fn figure17() -> String {
+    let tx2 = Platform::jetson_tx2();
+    let fpga = Platform::zynq_fpga();
+    let mut t = Table::new(vec!["sequence", "BA share", "TX2 speedup", "FPGA speedup", "ATE (m)"]);
+    let mut tx2_speedups = Vec::new();
+    let mut fpga_speedups = Vec::new();
+    for seq in Sequence::ALL {
+        let dataset = seq.generate_with_frames(FRAMES);
+        let result = Pipeline::new(PipelineConfig::default()).run(&dataset);
+        let s_tx2 = offload::platform_speedup(&tx2, &result.profile);
+        let s_fpga = offload::platform_speedup(&fpga, &result.profile);
+        tx2_speedups.push(s_tx2);
+        fpga_speedups.push(s_fpga);
+        t.row(vec![
+            seq.to_string(),
+            crate::table::pct(result.profile.ba_fraction()),
+            f(s_tx2, 2),
+            f(s_fpga, 1),
+            f(result.ate_meters, 2),
+        ]);
+    }
+    let g_tx2 = geometric_mean(&tx2_speedups).unwrap_or(f64::NAN);
+    let g_fpga = geometric_mean(&fpga_speedups).unwrap_or(f64::NAN);
+    format!(
+        "Figure 17 — ORB-SLAM speedup over RPi per EuRoC sequence\n{}\n\
+         GMean: TX2 {g_tx2:.2}x (paper 2.16x), FPGA {g_fpga:.1}x (paper 30.7x)\n",
+        t.render()
+    )
+}
+
+/// Table 5: platform comparison for SLAM, computed from a measured
+/// pipeline profile.
+pub fn table5() -> String {
+    let profile = profile_sequence(Sequence::MH01, FRAMES);
+    let rows = offload::table5(&profile);
+    let mut t = Table::new(vec![
+        "platform",
+        "speedup",
+        "power ovh (W)",
+        "weight ovh (g)",
+        "gain small (min)",
+        "gain large (min)",
+        "integration",
+        "fabrication",
+    ]);
+    let lineup = Platform::table5_lineup();
+    for row in &rows {
+        let p = lineup.iter().find(|p| p.name == row.platform).expect("platform known");
+        t.row(vec![
+            row.platform.clone(),
+            f(row.slam_speedup, 2),
+            f(row.power_overhead_w, 3),
+            f(row.weight_overhead_g, 0),
+            f(row.gained_minutes_small, 1),
+            f(row.gained_minutes_large, 1),
+            p.integration_cost.to_string(),
+            p.fabrication_cost.to_string(),
+        ]);
+    }
+    let winner = offload::most_cost_effective(&rows).map(|r| r.platform.clone());
+    format!(
+        "Table 5 — platform cost comparison for SLAM (15 min baseline)\n{}\n\
+         measured profile: {profile}\n\
+         most cost-effective (excluding fabrication): {}\n\
+         paper: FPGA wins — TX2 loses flight time, ASIC gains only seconds over FPGA\n",
+        t.render(),
+        winner.as_deref().unwrap_or("n/a"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure17_gmeans_near_paper() {
+        let r = figure17();
+        assert!(r.contains("GMean"), "{r}");
+        // All 11 sequences present.
+        for seq in Sequence::ALL {
+            assert!(r.contains(seq.name()), "missing {seq}");
+        }
+    }
+
+    #[test]
+    fn table5_report_has_all_platforms() {
+        let r = table5();
+        for p in ["RPi", "TX2", "FPGA", "ASIC"] {
+            assert!(r.contains(p), "missing {p}");
+        }
+        assert!(r.contains("FPGA wins"));
+    }
+}

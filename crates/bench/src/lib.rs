@@ -1,0 +1,11 @@
+//! Experiment-reproduction library behind the `repro` binary.
+//!
+//! One function per paper artifact (table or figure); each returns a
+//! plain-text report so the binary, the integration tests and the
+//! documentation all share the same code path. See DESIGN.md for the
+//! experiment index and EXPERIMENTS.md for paper-vs-measured results.
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::*;

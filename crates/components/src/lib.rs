@@ -1,0 +1,45 @@
+//! Component models for autonomous quadcopter drones.
+//!
+//! This crate is the workspace's substitute for the paper's survey of
+//! **250 commercial batteries, 40 ESCs, 25 frames, and motor data from 150
+//! manufacturers** (Hadidi et al., ASPLOS '21, §3.1). It provides:
+//!
+//! * Physical models of every fundamental subsystem component: LiPo
+//!   [batteries](battery), [ESCs](esc), [frames](frame),
+//!   [propellers](propeller), [BLDC motors](motor), and
+//!   [compute boards & sensors](compute) (paper Table 4).
+//! * A [synthetic commercial catalog](catalog) sampled around the paper's
+//!   published regression lines with realistic scatter, from which the same
+//!   linear relationships are **re-derived by least squares** — exercising
+//!   the paper's extraction methodology end to end (Figures 7, 8a, 8b, 9).
+//! * The paper's published constants and validation data in [`paper`].
+//!
+//! # Example
+//!
+//! ```
+//! use drone_components::battery::CellCount;
+//! use drone_components::catalog::Catalog;
+//!
+//! let catalog = Catalog::synthesize_default(42);
+//! let fit = catalog.battery_fit(CellCount::S3).expect("enough 3S batteries");
+//! // The paper's Figure 7 reports w = 0.074·mAh + 16.9 for 3S packs.
+//! assert!((fit.slope - 0.074).abs() < 0.01);
+//! ```
+
+pub mod battery;
+pub mod catalog;
+pub mod compute;
+pub mod esc;
+pub mod frame;
+pub mod motor;
+pub mod paper;
+pub mod propeller;
+pub mod units;
+
+pub use battery::{Battery, CellCount};
+pub use catalog::Catalog;
+pub use compute::{ComputeBoard, ComputeClass, ExternalSensor, SensorKind};
+pub use esc::{Esc, EscClass};
+pub use frame::Frame;
+pub use motor::Motor;
+pub use propeller::Propeller;

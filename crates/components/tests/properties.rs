@@ -1,0 +1,78 @@
+//! Property-based tests on the component models' physical invariants.
+
+use drone_components::battery::{Battery, CellCount};
+use drone_components::esc::{Esc, EscClass};
+use drone_components::frame::Frame;
+use drone_components::motor::Motor;
+use drone_components::propeller::Propeller;
+use drone_components::units::{MilliampHours, Millimeters, Volts};
+use proptest::prelude::*;
+
+fn cells() -> impl Strategy<Value = CellCount> {
+    prop::sample::select(CellCount::ALL.to_vec())
+}
+
+proptest! {
+    #[test]
+    fn battery_weight_monotonic_in_capacity(c in cells(), a in 300.0f64..9000.0, delta in 10.0f64..1000.0) {
+        let small = Battery::from_model(c, MilliampHours(a), 30.0);
+        let large = Battery::from_model(c, MilliampHours(a + delta), 30.0);
+        prop_assert!(large.weight.0 > small.weight.0);
+        prop_assert!(large.stored_energy().0 > small.stored_energy().0);
+    }
+
+    #[test]
+    fn battery_energy_density_bounded(c in cells(), a in 300.0f64..9000.0) {
+        let b = Battery::from_model(c, MilliampHours(a), 30.0);
+        let d = b.energy_density_wh_per_kg();
+        prop_assert!((20.0..450.0).contains(&d), "density {d}");
+    }
+
+    #[test]
+    fn esc_weight_monotonic_in_current(amps in 5.0f64..85.0, delta in 1.0f64..20.0) {
+        for class in [EscClass::LongFlight, EscClass::ShortFlight] {
+            let small = Esc::from_model(class, drone_components::units::Amps(amps));
+            let large = Esc::from_model(class, drone_components::units::Amps(amps + delta));
+            prop_assert!(large.weight.0 >= small.weight.0);
+        }
+    }
+
+    #[test]
+    fn frame_weight_positive_and_monotonic(wb in 40.0f64..1000.0, delta in 1.0f64..200.0) {
+        let a = Frame::from_model(Millimeters(wb));
+        let b = Frame::from_model(Millimeters(wb + delta));
+        prop_assert!(a.weight.0 > 0.0);
+        prop_assert!(b.weight.0 >= a.weight.0);
+        prop_assert!(b.max_propeller_inches() > a.max_propeller_inches());
+    }
+
+    #[test]
+    fn motor_sizing_monotonic_in_thrust(thrust in 0.5f64..40.0, delta in 0.1f64..10.0, volts in 3.7f64..22.2) {
+        let prop10 = Propeller::standard(10.0);
+        let small = Motor::size_for(&prop10, Volts(volts), thrust);
+        let large = Motor::size_for(&prop10, Volts(volts), thrust + delta);
+        prop_assert!(large.max_current.0 > small.max_current.0);
+        prop_assert!(large.weight.0 >= small.weight.0);
+        prop_assert!(large.kv_rpm_per_volt > small.kv_rpm_per_volt);
+    }
+
+    #[test]
+    fn operating_point_never_exceeds_rating(thrust in 1.0f64..20.0, frac in 0.05f64..1.0) {
+        let prop10 = Propeller::standard(10.0);
+        let motor = Motor::size_for(&prop10, Volts(11.1), thrust);
+        if let Some(op) = motor.operating_point(&prop10, Volts(11.1), thrust * frac) {
+            prop_assert!(op.current.0 <= motor.max_current.0 * (1.0 + 1e-9));
+            prop_assert!(op.electrical_power.0 >= op.shaft_power.0);
+        }
+    }
+
+    #[test]
+    fn propeller_power_thrust_consistency(d in 2.0f64..20.0, n in 10.0f64..400.0) {
+        let p = Propeller::standard(d);
+        // Both monotonic in n, and torque × ω == shaft power.
+        prop_assert!(p.thrust_newtons(n) > 0.0);
+        let q = p.torque_nm(n);
+        let w = 2.0 * std::f64::consts::PI * n;
+        prop_assert!((q * w - p.shaft_power_watts(n)).abs() < 1e-9 * (1.0 + p.shaft_power_watts(n)));
+    }
+}

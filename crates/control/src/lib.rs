@@ -1,0 +1,52 @@
+//! Inner-loop flight control (paper §2.1.3).
+//!
+//! The paper's central control finding: the inner loop is a **hierarchy of
+//! PID controllers separated by time scale** (Table 2b) — a high-level
+//! position/trajectory controller at ~40 Hz, a mid-level attitude
+//! controller at ~200 Hz and a low-level thrust/rate controller at ~1 kHz
+//! — and its achievable update rate is bounded by the *physical response*
+//! of the vehicle, not by compute. This crate implements that cascade:
+//!
+//! * [`pid`] — the PID primitive with integral clamping and derivative
+//!   filtering.
+//! * [`mixer`] — allocation of collective thrust + body torques onto the
+//!   four rotors.
+//! * [`attitude`] — mid-level attitude + low-level body-rate control.
+//! * [`indi`] — the incremental nonlinear dynamic inversion rate loop
+//!   the paper cites for gust rejection (an architecture ablation).
+//! * [`position`] — high-level position/velocity control producing
+//!   attitude and thrust targets.
+//! * [`cascade`] — the rate-scheduled combination with Table 2b
+//!   frequencies, consuming outer-loop [`Setpoint`]s.
+//!
+//! # Example
+//!
+//! ```
+//! use drone_control::{CascadeController, Setpoint};
+//! use drone_sim::{Quadcopter, QuadcopterParams};
+//! use drone_math::Vec3;
+//!
+//! let params = QuadcopterParams::default_450mm();
+//! let mut quad = Quadcopter::hovering_at(params.clone(), 10.0);
+//! let mut ctrl = CascadeController::new(&params);
+//! let target = Setpoint::position(Vec3::new(0.0, 0.0, 10.0), 0.0);
+//! for _ in 0..1000 {
+//!     let throttle = ctrl.update(quad.state(), &target, 1e-3);
+//!     quad.step(throttle, Vec3::ZERO, 1e-3);
+//! }
+//! assert!((quad.state().position.z - 10.0).abs() < 0.5);
+//! ```
+
+pub mod attitude;
+pub mod cascade;
+pub mod indi;
+pub mod mixer;
+pub mod pid;
+pub mod position;
+
+pub use attitude::AttitudeController;
+pub use cascade::{CascadeController, ControlRates, Setpoint};
+pub use indi::IndiRateController;
+pub use mixer::Mixer;
+pub use pid::Pid;
+pub use position::PositionController;

@@ -1,0 +1,285 @@
+//! Position/velocity Kalman filter.
+//!
+//! Six states `[p, v]` propagated with the attitude-resolved accelerometer
+//! as control input (the nonlinear attitude path is what makes the
+//! composite pipeline an *extended* KF), corrected by GPS position and
+//! barometric altitude at their Table 2a rates. Implemented with the
+//! workspace's own dense-matrix kernels.
+
+use drone_math::{Matrix, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// Navigation filter state and covariance.
+///
+/// # Example
+///
+/// ```
+/// use drone_estimation::NavigationEkf;
+/// use drone_math::Vec3;
+/// let mut ekf = NavigationEkf::new();
+/// ekf.predict(Vec3::ZERO, 0.005);
+/// ekf.update_gps(Vec3::new(1.0, 0.0, 5.0));
+/// assert!(ekf.position().x > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NavigationEkf {
+    /// State `[px, py, pz, vx, vy, vz]`.
+    x: Matrix,
+    /// Covariance, 6×6.
+    p: Matrix,
+    /// Process noise on acceleration, (m/s²)².
+    accel_var: f64,
+    /// GPS horizontal measurement variance, m².
+    gps_var_xy: f64,
+    /// GPS vertical measurement variance, m².
+    gps_var_z: f64,
+    /// Barometer variance, m².
+    baro_var: f64,
+}
+
+impl NavigationEkf {
+    /// Creates a filter at the origin with broad initial uncertainty.
+    pub fn new() -> NavigationEkf {
+        NavigationEkf {
+            x: Matrix::zeros(6, 1),
+            p: Matrix::from_diagonal(&[25.0, 25.0, 25.0, 4.0, 4.0, 4.0]),
+            // The dominant "process noise" is not IMU white noise but the
+            // attitude-estimate error leaking gravity into the resolved
+            // acceleration (±g·sinθ̃, easily ~2 m/s² during maneuvers).
+            // Underestimating it makes the filter overconfident: GPS
+            // innovations get discounted and the position estimate lags
+            // badly at speed.
+            accel_var: 2.0,
+            gps_var_xy: 0.5,
+            gps_var_z: 2.0,
+            baro_var: 0.05,
+        }
+    }
+
+    /// Position estimate.
+    pub fn position(&self) -> Vec3 {
+        Vec3::new(self.x[(0, 0)], self.x[(1, 0)], self.x[(2, 0)])
+    }
+
+    /// Velocity estimate.
+    pub fn velocity(&self) -> Vec3 {
+        Vec3::new(self.x[(3, 0)], self.x[(4, 0)], self.x[(5, 0)])
+    }
+
+    /// Position variance trace (uncertainty scalar for diagnostics).
+    pub fn position_uncertainty(&self) -> f64 {
+        self.p[(0, 0)] + self.p[(1, 1)] + self.p[(2, 2)]
+    }
+
+    /// Forces the state (initialization) and collapses the covariance to
+    /// a confident prior — a known starting pose should not be dragged
+    /// around by the first noisy fix.
+    pub fn set_state(&mut self, position: Vec3, velocity: Vec3) {
+        for (i, v) in position.to_array().into_iter().enumerate() {
+            self.x[(i, 0)] = v;
+        }
+        for (i, v) in velocity.to_array().into_iter().enumerate() {
+            self.x[(i + 3, 0)] = v;
+        }
+        self.p = Matrix::from_diagonal(&[0.1, 0.1, 0.1, 0.05, 0.05, 0.05]);
+    }
+
+    /// Propagates the state with the world-frame acceleration input
+    /// (gravity already removed) over `dt` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not positive.
+    pub fn predict(&mut self, accel_world: Vec3, dt: f64) {
+        assert!(dt > 0.0, "dt must be positive");
+        // x ← F x + B a with F = [I, dt·I; 0, I].
+        for i in 0..3 {
+            let a = accel_world[i];
+            let v = self.x[(i + 3, 0)];
+            self.x[(i, 0)] += v * dt + 0.5 * a * dt * dt;
+            self.x[(i + 3, 0)] += a * dt;
+        }
+        // P ← F P Fᵀ + Q with white-acceleration process noise.
+        let mut f = Matrix::identity(6);
+        for i in 0..3 {
+            f[(i, i + 3)] = dt;
+        }
+        let mut q = Matrix::zeros(6, 6);
+        let q_pp = 0.25 * dt.powi(4) * self.accel_var;
+        let q_pv = 0.5 * dt.powi(3) * self.accel_var;
+        let q_vv = dt * dt * self.accel_var;
+        for i in 0..3 {
+            q[(i, i)] = q_pp;
+            q[(i, i + 3)] = q_pv;
+            q[(i + 3, i)] = q_pv;
+            q[(i + 3, i + 3)] = q_vv;
+        }
+        self.p = &f.matmul(&self.p).matmul(&f.transpose()) + &q;
+        self.p.symmetrize();
+    }
+
+    /// Generic linear measurement update.
+    fn update(&mut self, h: &Matrix, z: &Matrix, r: &Matrix) {
+        let ht = h.transpose();
+        let s = &h.matmul(&self.p).matmul(&ht) + r;
+        let Some(s_inv) = s.inverse() else {
+            return; // numerically degenerate innovation; skip the update
+        };
+        let k = self.p.matmul(&ht).matmul(&s_inv);
+        let innovation = z - &h.matmul(&self.x);
+        self.x = &self.x + &k.matmul(&innovation);
+        // Joseph-free form: P ← (I − K H) P, re-symmetrized.
+        let ikh = &Matrix::identity(6) - &k.matmul(h);
+        self.p = ikh.matmul(&self.p);
+        self.p.symmetrize();
+    }
+
+    /// Fuses a GPS position fix.
+    pub fn update_gps(&mut self, position: Vec3) {
+        let mut h = Matrix::zeros(3, 6);
+        h[(0, 0)] = 1.0;
+        h[(1, 1)] = 1.0;
+        h[(2, 2)] = 1.0;
+        let z = Matrix::column(&position.to_array());
+        let r = Matrix::from_diagonal(&[self.gps_var_xy, self.gps_var_xy, self.gps_var_z]);
+        self.update(&h, &z, &r);
+    }
+
+    /// Fuses a GPS Doppler velocity measurement.
+    pub fn update_gps_velocity(&mut self, velocity: Vec3) {
+        let mut h = Matrix::zeros(3, 6);
+        h[(0, 3)] = 1.0;
+        h[(1, 4)] = 1.0;
+        h[(2, 5)] = 1.0;
+        let z = Matrix::column(&velocity.to_array());
+        let r = Matrix::from_diagonal(&[0.05, 0.05, 0.05]);
+        self.update(&h, &z, &r);
+    }
+
+    /// Fuses a barometric altitude.
+    pub fn update_baro(&mut self, altitude: f64) {
+        let mut h = Matrix::zeros(1, 6);
+        h[(0, 2)] = 1.0;
+        let z = Matrix::column(&[altitude]);
+        let r = Matrix::from_diagonal(&[self.baro_var]);
+        self.update(&h, &z, &r);
+    }
+}
+
+impl Default for NavigationEkf {
+    fn default() -> Self {
+        NavigationEkf::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drone_math::Pcg32;
+
+    #[test]
+    fn converges_on_static_target() {
+        let mut ekf = NavigationEkf::new();
+        let truth = Vec3::new(10.0, -5.0, 30.0);
+        let mut rng = Pcg32::seed_from(1);
+        for i in 0..2000 {
+            ekf.predict(Vec3::ZERO, 0.005);
+            if i % 20 == 0 {
+                let noisy = truth
+                    + Vec3::new(
+                        rng.normal_with(0.0, 0.5),
+                        rng.normal_with(0.0, 0.5),
+                        rng.normal_with(0.0, 1.0),
+                    );
+                ekf.update_gps(noisy);
+            }
+            if i % 10 == 0 {
+                ekf.update_baro(truth.z + rng.normal_with(0.0, 0.15));
+            }
+        }
+        let err = (ekf.position() - truth).norm();
+        assert!(err < 0.5, "position error {err}");
+        assert!(ekf.velocity().norm() < 0.3, "phantom velocity {}", ekf.velocity());
+    }
+
+    #[test]
+    fn uncertainty_shrinks_with_measurements() {
+        let mut ekf = NavigationEkf::new();
+        let u0 = ekf.position_uncertainty();
+        for _ in 0..20 {
+            ekf.predict(Vec3::ZERO, 0.01);
+            ekf.update_gps(Vec3::ZERO);
+        }
+        assert!(ekf.position_uncertainty() < u0 / 10.0);
+    }
+
+    #[test]
+    fn uncertainty_grows_during_dead_reckoning() {
+        let mut ekf = NavigationEkf::new();
+        for _ in 0..50 {
+            ekf.predict(Vec3::ZERO, 0.01);
+            ekf.update_gps(Vec3::ZERO);
+        }
+        let settled = ekf.position_uncertainty();
+        for _ in 0..1000 {
+            ekf.predict(Vec3::ZERO, 0.01);
+        }
+        assert!(ekf.position_uncertainty() > settled * 1.5);
+    }
+
+    #[test]
+    fn tracks_constant_velocity_motion() {
+        let mut ekf = NavigationEkf::new();
+        let vel = Vec3::new(2.0, 0.0, 0.5);
+        let mut rng = Pcg32::seed_from(2);
+        let dt = 0.005;
+        for i in 0..4000 {
+            ekf.predict(Vec3::ZERO, dt);
+            let t = (i + 1) as f64 * dt;
+            let truth = vel * t;
+            if i % 20 == 0 {
+                ekf.update_gps(truth + Vec3::new(rng.normal_with(0.0, 0.5), 0.0, 0.0));
+            }
+        }
+        let v_err = (ekf.velocity() - vel).norm();
+        assert!(v_err < 0.3, "velocity error {v_err}");
+    }
+
+    #[test]
+    fn accel_input_is_integrated() {
+        let mut ekf = NavigationEkf::new();
+        // 1 m/s² along X for 2 s → v = 2 m/s, p = 2 m.
+        for _ in 0..400 {
+            ekf.predict(Vec3::X, 0.005);
+        }
+        assert!((ekf.velocity().x - 2.0).abs() < 1e-9);
+        assert!((ekf.position().x - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn baro_only_fixes_altitude() {
+        let mut ekf = NavigationEkf::new();
+        ekf.set_state(Vec3::new(3.0, 3.0, 0.0), Vec3::ZERO);
+        for _ in 0..200 {
+            ekf.predict(Vec3::ZERO, 0.01);
+            ekf.update_baro(10.0);
+        }
+        assert!((ekf.position().z - 10.0).abs() < 0.2);
+        // Horizontal state untouched by baro.
+        assert!((ekf.position().x - 3.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn set_state_roundtrip() {
+        let mut ekf = NavigationEkf::new();
+        ekf.set_state(Vec3::new(1.0, 2.0, 3.0), Vec3::new(-1.0, 0.0, 0.5));
+        assert_eq!(ekf.position(), Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(ekf.velocity(), Vec3::new(-1.0, 0.0, 0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "dt must be positive")]
+    fn zero_dt_predict_panics() {
+        NavigationEkf::new().predict(Vec3::ZERO, 0.0);
+    }
+}

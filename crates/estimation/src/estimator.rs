@@ -1,0 +1,188 @@
+//! The combined state estimator: complementary attitude filter + position
+//! EKF, producing the full `(ζ, ζ̇, Ω, R)` state the control cascade
+//! consumes (paper §2.1.3-D).
+
+use crate::complementary::ComplementaryFilter;
+use crate::ekf::NavigationEkf;
+use crate::sensors::SensorReadings;
+use drone_components::units::STANDARD_GRAVITY;
+use drone_math::Vec3;
+use drone_sim::RigidBodyState;
+use serde::{Deserialize, Serialize};
+
+/// Full-state estimator over the on-board sensor suite.
+///
+/// # Example
+///
+/// ```
+/// use drone_estimation::{StateEstimator, SensorReadings};
+/// use drone_math::Vec3;
+/// let mut est = StateEstimator::new();
+/// let readings = SensorReadings {
+///     accelerometer: Some(Vec3::Z * 9.81),
+///     gyroscope: Some(Vec3::ZERO),
+///     gps: Some(Vec3::new(0.0, 0.0, 5.0)),
+///     ..Default::default()
+/// };
+/// est.ingest(&readings, 0.005);
+/// assert!(est.state().position.z > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StateEstimator {
+    attitude: ComplementaryFilter,
+    navigation: NavigationEkf,
+    last_gyro: Vec3,
+    last_accel_world: Vec3,
+}
+
+impl StateEstimator {
+    /// Creates an estimator with default filter tuning.
+    pub fn new() -> StateEstimator {
+        StateEstimator {
+            attitude: ComplementaryFilter::default(),
+            navigation: NavigationEkf::new(),
+            last_gyro: Vec3::ZERO,
+            last_accel_world: Vec3::ZERO,
+        }
+    }
+
+    /// Seeds the estimator from a known initial state (pre-flight
+    /// alignment).
+    pub fn initialize_from(&mut self, state: &RigidBodyState) {
+        self.attitude.set_attitude(state.attitude);
+        self.navigation.set_state(state.position, state.velocity);
+    }
+
+    /// Ingests one tick of sensor readings spanning `dt` seconds.
+    pub fn ingest(&mut self, readings: &SensorReadings, dt: f64) {
+        let gyro = readings.gyroscope.unwrap_or(self.last_gyro);
+        self.last_gyro = gyro;
+        self.attitude.update(gyro, readings.accelerometer, readings.magnetometer, dt);
+
+        // Rotate specific force to the world frame and strip gravity.
+        // Between accelerometer samples (the IMU publishes slower than
+        // the estimator ticks) the last acceleration is held — feeding
+        // zero instead would dilute the propagated velocity.
+        let accel_world = match readings.accelerometer {
+            Some(f_body) => {
+                let a = self.attitude.attitude().rotate(f_body) - Vec3::Z * STANDARD_GRAVITY;
+                self.last_accel_world = a;
+                a
+            }
+            None => self.last_accel_world,
+        };
+        self.navigation.predict(accel_world, dt);
+        if let Some(gps) = readings.gps {
+            self.navigation.update_gps(gps);
+        }
+        if let Some(vel) = readings.gps_velocity {
+            self.navigation.update_gps_velocity(vel);
+        }
+        if let Some(alt) = readings.barometer {
+            self.navigation.update_baro(alt);
+        }
+    }
+
+    /// Current full-state estimate.
+    pub fn state(&self) -> RigidBodyState {
+        RigidBodyState {
+            position: self.navigation.position(),
+            velocity: self.navigation.velocity(),
+            attitude: self.attitude.attitude(),
+            angular_velocity: self.last_gyro,
+        }
+    }
+
+    /// Scalar position-uncertainty diagnostic.
+    pub fn position_uncertainty(&self) -> f64 {
+        self.navigation.position_uncertainty()
+    }
+}
+
+impl Default for StateEstimator {
+    fn default() -> Self {
+        StateEstimator::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sensors::SensorSuite;
+    use drone_math::Quat;
+
+    /// Feed the estimator from a static truth state and return the final
+    /// estimate error in metres / radians.
+    fn static_errors(truth: RigidBodyState, seconds: f64) -> (f64, f64) {
+        let mut suite = SensorSuite::with_defaults(4);
+        let mut est = StateEstimator::new();
+        let dt = 1e-3;
+        for _ in 0..(seconds / dt) as usize {
+            let readings = suite.sample(&truth, Vec3::ZERO, dt);
+            est.ingest(&readings, dt);
+        }
+        let s = est.state();
+        ((s.position - truth.position).norm(), s.attitude.angle_to(truth.attitude))
+    }
+
+    #[test]
+    fn estimates_static_pose_from_noisy_sensors() {
+        let mut truth = RigidBodyState::at_altitude(12.0);
+        truth.position.x = 4.0;
+        truth.attitude = Quat::from_euler(0.0, 0.0, 0.7);
+        let (pos_err, att_err) = static_errors(truth, 20.0);
+        assert!(pos_err < 0.6, "position error {pos_err}");
+        assert!(att_err < 0.08, "attitude error {att_err}");
+    }
+
+    #[test]
+    fn initialization_shortcuts_convergence() {
+        let truth = RigidBodyState::at_altitude(50.0);
+        let mut suite = SensorSuite::with_defaults(8);
+        let mut est = StateEstimator::new();
+        est.initialize_from(&truth);
+        let readings = suite.sample(&truth, Vec3::ZERO, 1e-3);
+        est.ingest(&readings, 1e-3);
+        assert!((est.state().position - truth.position).norm() < 0.5);
+    }
+
+    #[test]
+    fn tracks_a_flying_quadcopter() {
+        // Closed truth loop: quadcopter under hover throttle with the
+        // estimator running alongside on its sensor outputs.
+        let params = drone_sim::QuadcopterParams::default_450mm();
+        let mut quad = drone_sim::Quadcopter::hovering_at(params, 10.0);
+        let mut suite = SensorSuite::with_defaults(6);
+        let mut est = StateEstimator::new();
+        est.initialize_from(quad.state());
+        let hover = quad.hover_throttle();
+        let dt = 1e-3;
+        let mut prev_vel = quad.state().velocity;
+        for _ in 0..10_000 {
+            quad.step([hover; 4], Vec3::ZERO, dt);
+            let accel = (quad.state().velocity - prev_vel) / dt;
+            prev_vel = quad.state().velocity;
+            let readings = suite.sample(quad.state(), accel, dt);
+            est.ingest(&readings, dt);
+        }
+        let err = (est.state().position - quad.state().position).norm();
+        assert!(err < 1.0, "tracking error {err}");
+    }
+
+    #[test]
+    fn gyro_holds_between_samples() {
+        let mut est = StateEstimator::new();
+        let spin = SensorReadings { gyroscope: Some(Vec3::Z * 0.5), ..Default::default() };
+        est.ingest(&spin, 0.005);
+        // Next tick without a gyro sample: last rate is held.
+        let empty = SensorReadings::default();
+        est.ingest(&empty, 0.005);
+        assert_eq!(est.state().angular_velocity, Vec3::Z * 0.5);
+    }
+
+    #[test]
+    fn uncertainty_reported() {
+        let est = StateEstimator::new();
+        assert!(est.position_uncertainty() > 0.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! State estimation for the inner loop (paper §2.1.3-B "shared libraries
+//! layer": sensor-fusion algorithms such as the Extended Kalman Filter).
+//!
+//! The paper's Table 2a fixes the sensor data rates an estimator can rely
+//! on: accelerometer and gyroscope at 100–200 Hz, magnetometer at 10 Hz,
+//! barometer at 10–20 Hz and GPS at 1–40 Hz. This crate provides:
+//!
+//! * [`sensors`] — noisy, biased, rate-limited sensor models fed from the
+//!   simulation truth.
+//! * [`complementary`] — the attitude complementary filter (gyro
+//!   integration corrected by gravity and magnetometer heading).
+//! * [`ekf`] — a position/velocity Kalman filter driven by the
+//!   attitude-resolved accelerometer and corrected by GPS and barometer.
+//! * [`estimator`] — the combined [`StateEstimator`] producing the
+//!   `(ζ, ζ̇, Ω, R)` state the control cascade consumes.
+//!
+//! # Example
+//!
+//! ```
+//! use drone_estimation::{SensorSuite, StateEstimator};
+//! use drone_sim::RigidBodyState;
+//! use drone_math::Vec3;
+//!
+//! let mut sensors = SensorSuite::with_defaults(1);
+//! let mut est = StateEstimator::new();
+//! let truth = RigidBodyState::at_altitude(5.0);
+//! for _ in 0..500 {
+//!     let readings = sensors.sample(&truth, Vec3::ZERO, 1e-3);
+//!     est.ingest(&readings, 1e-3);
+//! }
+//! let err = (est.state().position - truth.position).norm();
+//! assert!(err < 1.0, "estimate error {err}");
+//! ```
+
+pub mod complementary;
+pub mod ekf;
+pub mod estimator;
+pub mod sensors;
+
+pub use complementary::ComplementaryFilter;
+pub use ekf::NavigationEkf;
+pub use estimator::StateEstimator;
+pub use sensors::{SensorReadings, SensorSuite};

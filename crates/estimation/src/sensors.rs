@@ -1,0 +1,308 @@
+//! On-board sensor models at the paper's Table 2a data rates.
+//!
+//! Each sensor publishes at its own frequency with Gaussian noise and a
+//! constant bias, fed from simulation truth. The IMU measures *specific
+//! force* (acceleration minus gravity, in the body frame) and body rates;
+//! GPS measures position (and is deliberately poor vertically); the
+//! barometer measures altitude; the magnetometer measures heading.
+
+use drone_components::units::STANDARD_GRAVITY;
+use drone_math::{Pcg32, Vec3};
+use drone_sim::RigidBodyState;
+use serde::{Deserialize, Serialize};
+
+/// Rates from paper Table 2a, Hz (midpoints of the quoted ranges).
+pub mod rates {
+    /// Accelerometer: 100–200 Hz.
+    pub const ACCELEROMETER_HZ: f64 = 200.0;
+    /// Gyroscope: 100–200 Hz.
+    pub const GYROSCOPE_HZ: f64 = 200.0;
+    /// Magnetometer: 10 Hz.
+    pub const MAGNETOMETER_HZ: f64 = 10.0;
+    /// Barometer: 10–20 Hz.
+    pub const BAROMETER_HZ: f64 = 20.0;
+    /// GPS: 1–40 Hz.
+    pub const GPS_HZ: f64 = 10.0;
+}
+
+/// Noise/bias description of one vector sensor channel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChannelSpec {
+    /// Publish rate, Hz.
+    pub rate_hz: f64,
+    /// White-noise standard deviation per axis.
+    pub noise_std: f64,
+    /// Constant bias magnitude drawn at startup.
+    pub bias_scale: f64,
+}
+
+/// One batch of sensor outputs; `None` means the sensor did not publish
+/// this tick (rate decimation).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SensorReadings {
+    /// Body-frame specific force, m/s² (gravity-reactive: reads +g·ẑ at
+    /// rest).
+    pub accelerometer: Option<Vec3>,
+    /// Body-frame angular rate, rad/s.
+    pub gyroscope: Option<Vec3>,
+    /// World-frame magnetic field direction measured in the body frame.
+    pub magnetometer: Option<Vec3>,
+    /// Barometric altitude, m.
+    pub barometer: Option<f64>,
+    /// GPS position, world frame, m.
+    pub gps: Option<Vec3>,
+    /// GPS Doppler velocity, world frame, m/s (same schedule as the
+    /// position fix — real receivers report both).
+    pub gps_velocity: Option<Vec3>,
+}
+
+/// The full on-board suite with per-sensor schedules.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SensorSuite {
+    accel_spec: ChannelSpec,
+    gyro_spec: ChannelSpec,
+    mag_spec: ChannelSpec,
+    baro_spec: ChannelSpec,
+    gps_spec: ChannelSpec,
+    accel_bias: Vec3,
+    gyro_bias: Vec3,
+    baro_bias: f64,
+    clock: f64,
+    next_due: [f64; 5],
+    rng: Pcg32,
+}
+
+impl SensorSuite {
+    /// Creates a suite with consumer-grade noise at Table 2a rates.
+    pub fn with_defaults(seed: u64) -> SensorSuite {
+        SensorSuite::new(
+            ChannelSpec { rate_hz: rates::ACCELEROMETER_HZ, noise_std: 0.08, bias_scale: 0.05 },
+            ChannelSpec { rate_hz: rates::GYROSCOPE_HZ, noise_std: 0.005, bias_scale: 0.002 },
+            ChannelSpec { rate_hz: rates::MAGNETOMETER_HZ, noise_std: 0.02, bias_scale: 0.0 },
+            ChannelSpec { rate_hz: rates::BAROMETER_HZ, noise_std: 0.15, bias_scale: 0.3 },
+            ChannelSpec { rate_hz: rates::GPS_HZ, noise_std: 0.5, bias_scale: 0.0 },
+            seed,
+        )
+    }
+
+    /// Creates a suite with explicit channel specifications.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rate is not positive.
+    pub fn new(
+        accel: ChannelSpec,
+        gyro: ChannelSpec,
+        mag: ChannelSpec,
+        baro: ChannelSpec,
+        gps: ChannelSpec,
+        seed: u64,
+    ) -> SensorSuite {
+        for spec in [&accel, &gyro, &mag, &baro, &gps] {
+            assert!(spec.rate_hz > 0.0, "sensor rate must be positive");
+        }
+        let mut rng = Pcg32::seed_from(seed);
+        let accel_bias = Vec3::new(
+            rng.normal_with(0.0, accel.bias_scale),
+            rng.normal_with(0.0, accel.bias_scale),
+            rng.normal_with(0.0, accel.bias_scale),
+        );
+        let gyro_bias = Vec3::new(
+            rng.normal_with(0.0, gyro.bias_scale),
+            rng.normal_with(0.0, gyro.bias_scale),
+            rng.normal_with(0.0, gyro.bias_scale),
+        );
+        let baro_bias = rng.normal_with(0.0, baro.bias_scale);
+        SensorSuite {
+            accel_spec: accel,
+            gyro_spec: gyro,
+            mag_spec: mag,
+            baro_spec: baro,
+            gps_spec: gps,
+            accel_bias,
+            gyro_bias,
+            baro_bias,
+            clock: 0.0,
+            next_due: [0.0; 5],
+            rng,
+        }
+    }
+
+    fn noisy_vec(rng: &mut Pcg32, v: Vec3, std: f64) -> Vec3 {
+        Vec3::new(
+            v.x + rng.normal_with(0.0, std),
+            v.y + rng.normal_with(0.0, std),
+            v.z + rng.normal_with(0.0, std),
+        )
+    }
+
+    /// Samples all sensors against the truth state; `accel_world` is the
+    /// vehicle's world-frame acceleration (excluding gravity) this tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not positive.
+    pub fn sample(&mut self, truth: &RigidBodyState, accel_world: Vec3, dt: f64) -> SensorReadings {
+        assert!(dt > 0.0, "dt must be positive");
+        self.clock += dt;
+        let mut out = SensorReadings::default();
+        let specs = [
+            self.accel_spec.rate_hz,
+            self.gyro_spec.rate_hz,
+            self.mag_spec.rate_hz,
+            self.baro_spec.rate_hz,
+            self.gps_spec.rate_hz,
+        ];
+        let mut due = [false; 5];
+        for i in 0..5 {
+            if self.clock + 1e-12 >= self.next_due[i] {
+                due[i] = true;
+                self.next_due[i] += 1.0 / specs[i];
+                // Never let the schedule fall behind the clock.
+                if self.next_due[i] < self.clock {
+                    self.next_due[i] = self.clock + 1.0 / specs[i];
+                }
+            }
+        }
+
+        if due[0] {
+            // Specific force in body frame: f = Rᵀ(a − g); with g = −g·ẑ a
+            // resting IMU reads +g on body z.
+            let f_world = accel_world + Vec3::Z * STANDARD_GRAVITY;
+            let f_body = truth.attitude.rotate_inverse(f_world);
+            out.accelerometer = Some(
+                Self::noisy_vec(&mut self.rng, f_body, self.accel_spec.noise_std) + self.accel_bias,
+            );
+        }
+        if due[1] {
+            out.gyroscope = Some(
+                Self::noisy_vec(&mut self.rng, truth.angular_velocity, self.gyro_spec.noise_std)
+                    + self.gyro_bias,
+            );
+        }
+        if due[2] {
+            // Field points along world +X (magnetic north).
+            let field_body = truth.attitude.rotate_inverse(Vec3::X);
+            out.magnetometer =
+                Some(Self::noisy_vec(&mut self.rng, field_body, self.mag_spec.noise_std));
+        }
+        if due[3] {
+            out.barometer = Some(
+                truth.position.z
+                    + self.baro_bias
+                    + self.rng.normal_with(0.0, self.baro_spec.noise_std),
+            );
+        }
+        if due[4] {
+            // GPS vertical channel is ~2x noisier than horizontal.
+            let base = Self::noisy_vec(&mut self.rng, truth.position, self.gps_spec.noise_std);
+            let extra_z = self.rng.normal_with(0.0, self.gps_spec.noise_std);
+            out.gps = Some(Vec3::new(base.x, base.y, base.z + extra_z));
+            // Doppler velocity: much cleaner than differentiated position.
+            out.gps_velocity =
+                Some(Self::noisy_vec(&mut self.rng, truth.velocity, 0.2));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count_published(seconds: f64) -> [usize; 5] {
+        let mut suite = SensorSuite::with_defaults(0);
+        let truth = RigidBodyState::at_rest();
+        let dt = 1e-3;
+        let mut counts = [0usize; 5];
+        for _ in 0..(seconds / dt) as usize {
+            let r = suite.sample(&truth, Vec3::ZERO, dt);
+            counts[0] += r.accelerometer.is_some() as usize;
+            counts[1] += r.gyroscope.is_some() as usize;
+            counts[2] += r.magnetometer.is_some() as usize;
+            counts[3] += r.barometer.is_some() as usize;
+            counts[4] += r.gps.is_some() as usize;
+        }
+        counts
+    }
+
+    #[test]
+    fn publish_rates_match_table2a() {
+        let c = count_published(5.0);
+        // 5 s at 200/200/10/20/10 Hz.
+        assert!((c[0] as i64 - 1000).abs() <= 2, "accel {}", c[0]);
+        assert!((c[1] as i64 - 1000).abs() <= 2, "gyro {}", c[1]);
+        assert!((c[2] as i64 - 50).abs() <= 2, "mag {}", c[2]);
+        assert!((c[3] as i64 - 100).abs() <= 2, "baro {}", c[3]);
+        assert!((c[4] as i64 - 50).abs() <= 2, "gps {}", c[4]);
+    }
+
+    #[test]
+    fn resting_imu_reads_gravity_up() {
+        let mut suite = SensorSuite::with_defaults(1);
+        let truth = RigidBodyState::at_rest();
+        let mut sum = Vec3::ZERO;
+        let mut n = 0;
+        for _ in 0..2000 {
+            if let Some(a) = suite.sample(&truth, Vec3::ZERO, 1e-3).accelerometer {
+                sum += a;
+                n += 1;
+            }
+        }
+        let mean = sum / n as f64;
+        // Tolerance covers noise averaging plus the drawn bias (σ=0.05,
+        // so 4σ bounds it at 0.2).
+        assert!((mean.z - STANDARD_GRAVITY).abs() < 0.25, "mean accel {mean}");
+        assert!(mean.x.abs() < 0.25 && mean.y.abs() < 0.25, "mean accel {mean}");
+    }
+
+    #[test]
+    fn magnetometer_tracks_yaw() {
+        let mut suite = SensorSuite::with_defaults(2);
+        let mut truth = RigidBodyState::at_rest();
+        truth.attitude = drone_math::Quat::from_euler(0.0, 0.0, std::f64::consts::FRAC_PI_2);
+        // Wait for a magnetometer sample (10 Hz).
+        let mut field = None;
+        for _ in 0..200 {
+            if let Some(m) = suite.sample(&truth, Vec3::ZERO, 1e-3).magnetometer {
+                field = Some(m);
+                break;
+            }
+        }
+        // Yawed 90° left, world +X appears along body −Y.
+        let m = field.expect("magnetometer published");
+        assert!(m.y < -0.8, "field {m}");
+    }
+
+    #[test]
+    fn gps_noise_magnitude() {
+        let mut suite = SensorSuite::with_defaults(3);
+        let truth = RigidBodyState::at_altitude(100.0);
+        let mut errs = Vec::new();
+        for _ in 0..100_000 {
+            if let Some(g) = suite.sample(&truth, Vec3::ZERO, 1e-3).gps {
+                errs.push((g - truth.position).norm());
+            }
+        }
+        let mean_err = errs.iter().sum::<f64>() / errs.len() as f64;
+        assert!((0.3..2.5).contains(&mean_err), "gps err {mean_err}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let truth = RigidBodyState::at_rest();
+        let mut a = SensorSuite::with_defaults(9);
+        let mut b = SensorSuite::with_defaults(9);
+        for _ in 0..500 {
+            assert_eq!(a.sample(&truth, Vec3::ZERO, 1e-3), b.sample(&truth, Vec3::ZERO, 1e-3));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sensor rate must be positive")]
+    fn zero_rate_panics() {
+        let bad = ChannelSpec { rate_hz: 0.0, noise_std: 0.0, bias_scale: 0.0 };
+        let ok = ChannelSpec { rate_hz: 10.0, noise_std: 0.0, bias_scale: 0.0 };
+        let _ = SensorSuite::new(bad, ok, ok, ok, ok, 0);
+    }
+}

@@ -1,0 +1,45 @@
+//! Autopilot firmware substrate (paper §4's software stack, rebuilt).
+//!
+//! The paper's open-source drone runs ArduCopter on a Navio2+RPi with a
+//! MAVLink link to a ground station and a real-time-patched Linux kernel.
+//! This crate rebuilds the pieces of that stack the experiments need:
+//!
+//! * [`mode`] — the flight-mode state machine with validated transitions.
+//! * [`mission`] — waypoint missions and the runner that turns them into
+//!   outer-loop [`drone_control::Setpoint`]s.
+//! * [`mavlink`] — a MAVLink-flavoured framed telemetry protocol with
+//!   X25 checksums and a robust stream parser.
+//! * [`gcs`] — the ground-station counterpart: mission-upload handshake,
+//!   command issuing, vehicle-state tracking.
+//! * [`scheduler`] — a preemptive rate-group scheduler with deadline
+//!   accounting: the instrument behind the paper's §5.1 observation that
+//!   co-locating SLAM with the autopilot makes outer-loop deadlines slip.
+//! * [`autopilot`] — the glue: estimator + mode machine + mission runner
+//!   + control cascade, stepped like firmware.
+//!
+//! # Example
+//!
+//! ```
+//! use drone_firmware::{Autopilot, Mission};
+//! use drone_sim::QuadcopterParams;
+//! use drone_math::Vec3;
+//!
+//! let params = QuadcopterParams::default_450mm();
+//! let mut ap = Autopilot::new(&params);
+//! ap.upload_mission(Mission::survey_square(Vec3::new(0.0, 0.0, 10.0), 20.0)).unwrap();
+//! assert!(ap.arm().is_ok());
+//! ```
+
+pub mod autopilot;
+pub mod gcs;
+pub mod mavlink;
+pub mod mission;
+pub mod mode;
+pub mod scheduler;
+
+pub use autopilot::{Autopilot, TelemetryRecord};
+pub use gcs::{GroundStation, MissionReceiver};
+pub use mavlink::{Message, StreamParser};
+pub use mission::{Mission, MissionItem, MissionRunner};
+pub use mode::FlightMode;
+pub use scheduler::{RateScheduler, SchedulerReport, Task};

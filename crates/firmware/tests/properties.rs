@@ -1,0 +1,123 @@
+//! Property-based tests: the MAVLink codec round-trips arbitrary
+//! messages and survives arbitrary corruption; the scheduler's
+//! accounting is conserved.
+
+use drone_firmware::mavlink::{Message, StreamParser};
+use drone_firmware::{RateScheduler, Task};
+use proptest::prelude::*;
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        (any::<u8>(), any::<bool>()).prop_map(|(mode, armed)| Message::Heartbeat { mode, armed }),
+        (any::<u32>(), -10.0f32..10.0, -10.0f32..10.0, -10.0f32..10.0)
+            .prop_map(|(t, r, p, y)| Message::Attitude { time_ms: t, roll: r, pitch: p, yaw: y }),
+        (any::<u32>(), prop::array::uniform3(-100.0f32..100.0), prop::array::uniform3(-20.0f32..20.0))
+            .prop_map(|(t, position, velocity)| Message::Position { time_ms: t, position, velocity }),
+        (any::<u16>(), any::<u8>())
+            .prop_map(|(voltage_mv, pct)| Message::BatteryStatus { voltage_mv, remaining_pct: pct.min(100) }),
+        (any::<u16>(), prop::array::uniform7(-1000.0f32..1000.0))
+            .prop_map(|(command, params)| Message::CommandLong { command, params }),
+        (any::<u16>(), any::<u8>()).prop_map(|(command, result)| Message::CommandAck { command, result }),
+        ("[ -~]{0,50}", 0u8..8).prop_map(|(text, severity)| Message::StatusText { severity, text }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn any_message_roundtrips(msg in arb_message(), seq in any::<u8>(), sys in any::<u8>(), comp in any::<u8>()) {
+        let wire = msg.encode(seq, sys, comp);
+        let mut parser = StreamParser::new();
+        let frames = parser.push(&wire);
+        prop_assert_eq!(frames.len(), 1);
+        prop_assert_eq!(&frames[0].message, &msg);
+        prop_assert_eq!(frames[0].seq, seq);
+        prop_assert_eq!(frames[0].sys_id, sys);
+        prop_assert_eq!(frames[0].comp_id, comp);
+    }
+
+    #[test]
+    fn message_stream_roundtrips_in_arbitrary_chunks(
+        msgs in prop::collection::vec(arb_message(), 1..8),
+        chunk in 1usize..32,
+    ) {
+        let mut wire = Vec::new();
+        for (i, m) in msgs.iter().enumerate() {
+            wire.extend_from_slice(&m.encode(i as u8, 1, 1));
+        }
+        let mut parser = StreamParser::new();
+        let mut decoded = Vec::new();
+        for c in wire.chunks(chunk) {
+            decoded.extend(parser.push(c));
+        }
+        prop_assert_eq!(decoded.len(), msgs.len());
+        for (frame, msg) in decoded.iter().zip(&msgs) {
+            prop_assert_eq!(&frame.message, msg);
+        }
+        prop_assert_eq!(parser.crc_failures(), 0);
+    }
+
+    #[test]
+    fn single_byte_corruption_never_yields_a_wrong_message(
+        msg in arb_message(),
+        pos_frac in 0.0f64..1.0,
+        flip in 1u8..=255,
+    ) {
+        let wire = msg.encode(3, 1, 1).to_vec();
+        let mut corrupted = wire.clone();
+        let pos = ((wire.len() - 1) as f64 * pos_frac) as usize;
+        corrupted[pos] ^= flip;
+        let mut parser = StreamParser::new();
+        let frames = parser.push(&corrupted);
+        // Either nothing decodes, or (if the corruption hit a header
+        // field covered by the checksum compensation — impossible for
+        // X25 with one flip) the message matches. X25 detects all
+        // single-byte errors, so we assert strictly: no *different*
+        // message ever comes out.
+        for f in frames {
+            prop_assert_eq!(&f.message, &msg);
+        }
+    }
+
+    #[test]
+    fn garbage_prefix_never_blocks_decoding(
+        garbage in prop::collection::vec(any::<u8>(), 0..64),
+        msg in arb_message(),
+    ) {
+        let mut wire = garbage;
+        wire.extend_from_slice(&msg.encode(0, 1, 1));
+        // Two copies so a garbage byte equal to STX cannot eat the only
+        // frame, plus trailing padding: a garbage STX with a large fake
+        // length makes the (correctly) streaming parser wait for more
+        // bytes, so flush it past the worst-case frame length.
+        wire.extend_from_slice(&msg.encode(1, 1, 1));
+        wire.extend_from_slice(&[0u8; 300]);
+        let mut parser = StreamParser::new();
+        let frames = parser.push(&wire);
+        prop_assert!(!frames.is_empty(), "no frame survived the garbage prefix");
+        prop_assert!(frames.iter().any(|f| f.message == msg));
+    }
+
+    #[test]
+    fn scheduler_accounting_is_conserved(
+        period_ms in 5u64..100,
+        exec_frac in 0.05f64..1.5,
+        speed in 0.5f64..2.0,
+    ) {
+        let period = period_ms as f64 / 1000.0;
+        let exec = period * exec_frac;
+        let mut sched = RateScheduler::new(vec![Task::new("t", period, exec, 0)]);
+        let report = sched.simulate(2.0, speed);
+        let t = report.task("t").expect("task exists");
+        // Every released job is either on time, missed, or still queued
+        // (counted as missed when past deadline) — never lost.
+        prop_assert!(t.completed_on_time + t.deadline_misses <= t.released + 1);
+        prop_assert!(report.cpu_utilization <= 1.0 + 1e-9);
+        // Overloaded task sets must miss; underloaded must not.
+        if exec_frac / speed > 1.1 {
+            prop_assert!(t.deadline_misses > 0, "{report}");
+        }
+        if exec_frac / speed < 0.9 {
+            prop_assert_eq!(t.deadline_misses, 0, "{}", report);
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Angle utilities: wrapping, degree/radian conversion, frequency↔period.
+
+use std::f64::consts::PI;
+
+/// Wraps an angle into `(-π, π]`.
+pub fn wrap_pi(angle: f64) -> f64 {
+    let two_pi = 2.0 * PI;
+    let mut a = angle % two_pi;
+    if a <= -PI {
+        a += two_pi;
+    } else if a > PI {
+        a -= two_pi;
+    }
+    a
+}
+
+/// Shortest signed angular difference `a - b`, wrapped into `(-π, π]`.
+pub fn angle_diff(a: f64, b: f64) -> f64 {
+    wrap_pi(a - b)
+}
+
+/// Degrees → radians.
+pub fn deg_to_rad(deg: f64) -> f64 {
+    deg * PI / 180.0
+}
+
+/// Radians → degrees.
+pub fn rad_to_deg(rad: f64) -> f64 {
+    rad * 180.0 / PI
+}
+
+/// Rotation rate in RPM → rad/s.
+pub fn rpm_to_rad_s(rpm: f64) -> f64 {
+    rpm * 2.0 * PI / 60.0
+}
+
+/// Rotation rate in rad/s → RPM.
+pub fn rad_s_to_rpm(rad_s: f64) -> f64 {
+    rad_s * 60.0 / (2.0 * PI)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrap_basic() {
+        assert!((wrap_pi(0.0)).abs() < 1e-12);
+        assert!((wrap_pi(3.0 * PI) - PI).abs() < 1e-12);
+        assert!((wrap_pi(-3.0 * PI) - PI).abs() < 1e-12);
+        assert!((wrap_pi(PI + 0.1) - (-PI + 0.1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diff_across_wrap() {
+        // 179° to -179° is a 2° step, not 358°.
+        let a = deg_to_rad(179.0);
+        let b = deg_to_rad(-179.0);
+        assert!((angle_diff(b, a) - deg_to_rad(2.0)).abs() < 1e-12);
+        assert!((angle_diff(a, b) + deg_to_rad(2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        assert!((deg_to_rad(rad_to_deg(1.234)) - 1.234).abs() < 1e-12);
+        assert!((rpm_to_rad_s(rad_s_to_rpm(42.0)) - 42.0).abs() < 1e-12);
+        assert!((rpm_to_rad_s(60.0) - 2.0 * PI).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,34 @@
+//! Small, dependency-free numerical kernels for the `drone-dse` workspace.
+//!
+//! The workspace deliberately avoids heavyweight linear-algebra crates: the
+//! paper's models only need 3-vectors, quaternions, small dense matrices, a
+//! Cholesky solver, Levenberg–Marquardt, and ordinary least squares. All of
+//! those live here, fully tested, so the higher layers (dynamics, EKF,
+//! bundle adjustment, regression fitting) share one numerical vocabulary.
+//!
+//! # Example
+//!
+//! ```
+//! use drone_math::{Vec3, Quat};
+//!
+//! let yaw_90 = Quat::from_axis_angle(Vec3::Z, std::f64::consts::FRAC_PI_2);
+//! let v = yaw_90.rotate(Vec3::X);
+//! assert!((v - Vec3::Y).norm() < 1e-12);
+//! ```
+
+pub mod angles;
+pub mod fixed;
+pub mod matrix;
+pub mod optimize;
+pub mod quat;
+pub mod regression;
+pub mod rng;
+pub mod stats;
+pub mod vec3;
+
+pub use matrix::Matrix;
+pub use optimize::{LevenbergMarquardt, LmOutcome, LmReport};
+pub use quat::Quat;
+pub use regression::{LinearFit, WeightedPoint};
+pub use rng::Pcg32;
+pub use vec3::{Mat3, Vec3};

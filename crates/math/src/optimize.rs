@@ -1,0 +1,297 @@
+//! Levenberg–Marquardt nonlinear least squares.
+//!
+//! Used by the bundle-adjustment stages of the SLAM pipeline and by the
+//! motor-model calibration in the component catalog. The implementation is
+//! the classic damped Gauss–Newton with multiplicative lambda adaptation.
+
+use crate::matrix::Matrix;
+use std::fmt;
+
+/// A nonlinear least-squares problem: residuals `r(x)` and their Jacobian.
+///
+/// Implementors provide the residual vector and the Jacobian evaluated at a
+/// parameter vector; [`LevenbergMarquardt::minimize`] drives the iteration.
+pub trait LeastSquaresProblem {
+    /// Number of parameters.
+    fn num_params(&self) -> usize;
+    /// Number of residuals (must be ≥ `num_params` for a well-posed fit).
+    fn num_residuals(&self) -> usize;
+    /// Residual vector `r(x)`, length [`Self::num_residuals`].
+    fn residuals(&self, x: &[f64]) -> Vec<f64>;
+    /// Jacobian `J[i][j] = ∂r_i/∂x_j` as a `num_residuals × num_params`
+    /// matrix. The default implementation uses central finite differences.
+    fn jacobian(&self, x: &[f64]) -> Matrix {
+        let n = self.num_params();
+        let m = self.num_residuals();
+        let mut jac = Matrix::zeros(m, n);
+        let mut xp = x.to_vec();
+        for j in 0..n {
+            let h = 1e-6 * (1.0 + x[j].abs());
+            xp[j] = x[j] + h;
+            let rp = self.residuals(&xp);
+            xp[j] = x[j] - h;
+            let rm = self.residuals(&xp);
+            xp[j] = x[j];
+            for i in 0..m {
+                jac[(i, j)] = (rp[i] - rm[i]) / (2.0 * h);
+            }
+        }
+        jac
+    }
+}
+
+/// Why a Levenberg–Marquardt run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LmOutcome {
+    /// The relative cost reduction fell below the tolerance.
+    Converged,
+    /// The maximum iteration count was reached first.
+    MaxIterations,
+    /// The damped normal equations became unsolvable (numerically singular
+    /// even at maximum damping).
+    SingularNormalEquations,
+}
+
+impl fmt::Display for LmOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LmOutcome::Converged => "converged",
+            LmOutcome::MaxIterations => "max iterations reached",
+            LmOutcome::SingularNormalEquations => "singular normal equations",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Result of a Levenberg–Marquardt minimization.
+#[derive(Debug, Clone)]
+pub struct LmReport {
+    /// Best parameter vector found.
+    pub params: Vec<f64>,
+    /// Final cost `0.5 · ‖r‖²`.
+    pub cost: f64,
+    /// Initial cost, for convergence-ratio reporting.
+    pub initial_cost: f64,
+    /// Iterations actually performed.
+    pub iterations: usize,
+    /// Stop reason.
+    pub outcome: LmOutcome,
+}
+
+impl LmReport {
+    /// Fraction of the initial cost eliminated, in `[0, 1]`.
+    pub fn cost_reduction(&self) -> f64 {
+        if self.initial_cost <= 0.0 {
+            0.0
+        } else {
+            (1.0 - self.cost / self.initial_cost).max(0.0)
+        }
+    }
+}
+
+/// Configuration for the Levenberg–Marquardt solver.
+///
+/// # Example
+///
+/// ```
+/// use drone_math::optimize::{LeastSquaresProblem, LevenbergMarquardt};
+///
+/// // Fit y = a·exp(b·t) to samples of 2·exp(0.5·t).
+/// struct Exp { t: Vec<f64>, y: Vec<f64> }
+/// impl LeastSquaresProblem for Exp {
+///     fn num_params(&self) -> usize { 2 }
+///     fn num_residuals(&self) -> usize { self.t.len() }
+///     fn residuals(&self, x: &[f64]) -> Vec<f64> {
+///         self.t.iter().zip(&self.y).map(|(t, y)| x[0] * (x[1] * t).exp() - y).collect()
+///     }
+/// }
+/// let t: Vec<f64> = (0..20).map(|i| i as f64 * 0.1).collect();
+/// let y: Vec<f64> = t.iter().map(|t| 2.0 * (0.5 * t).exp()).collect();
+/// let report = LevenbergMarquardt::new().minimize(&Exp { t, y }, &[1.0, 0.1]);
+/// assert!((report.params[0] - 2.0).abs() < 1e-6);
+/// assert!((report.params[1] - 0.5).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LevenbergMarquardt {
+    max_iterations: usize,
+    cost_tolerance: f64,
+    initial_lambda: f64,
+}
+
+impl Default for LevenbergMarquardt {
+    fn default() -> Self {
+        LevenbergMarquardt {
+            max_iterations: 100,
+            cost_tolerance: 1e-12,
+            initial_lambda: 1e-3,
+        }
+    }
+}
+
+impl LevenbergMarquardt {
+    /// Solver with default settings (100 iterations, 1e-12 tolerance).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the iteration cap.
+    pub fn with_max_iterations(mut self, n: usize) -> Self {
+        self.max_iterations = n;
+        self
+    }
+
+    /// Sets the relative cost-reduction convergence tolerance.
+    pub fn with_cost_tolerance(mut self, tol: f64) -> Self {
+        self.cost_tolerance = tol;
+        self
+    }
+
+    /// Minimizes the problem starting from `x0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x0.len() != problem.num_params()`.
+    pub fn minimize<P: LeastSquaresProblem>(&self, problem: &P, x0: &[f64]) -> LmReport {
+        assert_eq!(x0.len(), problem.num_params(), "initial guess has wrong length");
+        let mut x = x0.to_vec();
+        let mut r = problem.residuals(&x);
+        let mut cost = 0.5 * r.iter().map(|v| v * v).sum::<f64>();
+        let initial_cost = cost;
+        let mut lambda = self.initial_lambda;
+        let mut iterations = 0;
+        let mut outcome = LmOutcome::MaxIterations;
+
+        for _ in 0..self.max_iterations {
+            iterations += 1;
+            let jac = problem.jacobian(&x);
+            let jt = jac.transpose();
+            let jtj = jt.matmul(&jac);
+            let jtr = jt.matmul(&Matrix::column(&r));
+
+            // Try steps with increasing damping until the cost decreases.
+            let mut stepped = false;
+            for _ in 0..24 {
+                let damped = jtj.add_diagonal(lambda);
+                let Some(delta) = damped.solve_spd(&jtr).or_else(|| damped.solve(&jtr)) else {
+                    lambda *= 10.0;
+                    continue;
+                };
+                let x_new: Vec<f64> =
+                    x.iter().enumerate().map(|(i, v)| v - delta[(i, 0)]).collect();
+                let r_new = problem.residuals(&x_new);
+                let cost_new = 0.5 * r_new.iter().map(|v| v * v).sum::<f64>();
+                if cost_new.is_finite() && cost_new < cost {
+                    let rel = (cost - cost_new) / cost.max(1e-300);
+                    x = x_new;
+                    r = r_new;
+                    cost = cost_new;
+                    lambda = (lambda * 0.3).max(1e-12);
+                    stepped = true;
+                    if rel < self.cost_tolerance {
+                        outcome = LmOutcome::Converged;
+                    }
+                    break;
+                }
+                lambda *= 10.0;
+                if lambda > 1e12 {
+                    break;
+                }
+            }
+            if !stepped {
+                // Either we are at a (local) minimum or the system is
+                // numerically singular; treat tiny gradients as converged.
+                let grad_norm = jtr.frobenius_norm();
+                outcome = if grad_norm < 1e-9 {
+                    LmOutcome::Converged
+                } else {
+                    LmOutcome::SingularNormalEquations
+                };
+                break;
+            }
+            if outcome == LmOutcome::Converged {
+                break;
+            }
+        }
+
+        LmReport { params: x, cost, initial_cost, iterations, outcome }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fit a line y = a·x + b — linear problem, should converge immediately.
+    struct Line {
+        xs: Vec<f64>,
+        ys: Vec<f64>,
+    }
+
+    impl LeastSquaresProblem for Line {
+        fn num_params(&self) -> usize {
+            2
+        }
+        fn num_residuals(&self) -> usize {
+            self.xs.len()
+        }
+        fn residuals(&self, p: &[f64]) -> Vec<f64> {
+            self.xs.iter().zip(&self.ys).map(|(x, y)| p[0] * x + p[1] - y).collect()
+        }
+    }
+
+    #[test]
+    fn fits_exact_line() {
+        let xs: Vec<f64> = (0..10).map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x - 1.0).collect();
+        let report = LevenbergMarquardt::new().minimize(&Line { xs, ys }, &[0.0, 0.0]);
+        assert_eq!(report.outcome, LmOutcome::Converged);
+        assert!((report.params[0] - 3.0).abs() < 1e-8);
+        assert!((report.params[1] + 1.0).abs() < 1e-8);
+        assert!(report.cost < 1e-12);
+    }
+
+    /// Rosenbrock in least-squares form: r = [10(y - x²), 1 - x].
+    struct Rosenbrock;
+
+    impl LeastSquaresProblem for Rosenbrock {
+        fn num_params(&self) -> usize {
+            2
+        }
+        fn num_residuals(&self) -> usize {
+            2
+        }
+        fn residuals(&self, p: &[f64]) -> Vec<f64> {
+            vec![10.0 * (p[1] - p[0] * p[0]), 1.0 - p[0]]
+        }
+    }
+
+    #[test]
+    fn solves_rosenbrock() {
+        let report =
+            LevenbergMarquardt::new().with_max_iterations(200).minimize(&Rosenbrock, &[-1.2, 1.0]);
+        assert!((report.params[0] - 1.0).abs() < 1e-6, "{:?}", report);
+        assert!((report.params[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cost_never_increases() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64 / 10.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + 0.5 + (x * 10.0).sin() * 0.01).collect();
+        let problem = Line { xs, ys };
+        let report = LevenbergMarquardt::new().minimize(&problem, &[100.0, -50.0]);
+        assert!(report.cost <= report.initial_cost);
+        assert!(report.cost_reduction() > 0.999);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong length")]
+    fn wrong_initial_guess_length_panics() {
+        let _ = LevenbergMarquardt::new().minimize(&Rosenbrock, &[0.0]);
+    }
+
+    #[test]
+    fn report_display_outcomes() {
+        assert_eq!(LmOutcome::Converged.to_string(), "converged");
+        assert_eq!(LmOutcome::MaxIterations.to_string(), "max iterations reached");
+    }
+}

@@ -1,0 +1,106 @@
+//! Small descriptive-statistics helpers used by the benchmark harness and
+//! catalog validation (means, geometric means, quantiles, variance).
+
+/// Arithmetic mean; `None` for an empty slice.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// Population variance; `None` for an empty slice.
+pub fn variance(xs: &[f64]) -> Option<f64> {
+    let m = mean(xs)?;
+    Some(xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64)
+}
+
+/// Population standard deviation; `None` for an empty slice.
+pub fn std_dev(xs: &[f64]) -> Option<f64> {
+    variance(xs).map(f64::sqrt)
+}
+
+/// Geometric mean; `None` when empty or any value is non-positive.
+///
+/// The paper reports SLAM speedups as GMean across EuRoC sequences.
+pub fn geometric_mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() || xs.iter().any(|&x| x <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = xs.iter().map(|x| x.ln()).sum();
+    Some((log_sum / xs.len() as f64).exp())
+}
+
+/// Linear-interpolated quantile `q ∈ [0, 1]`; `None` when empty or `q` is
+/// outside the unit interval.
+pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
+    if xs.is_empty() || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Median (the 0.5 quantile).
+pub fn median(xs: &[f64]) -> Option<f64> {
+    quantile(xs, 0.5)
+}
+
+/// Root mean square; `None` for an empty slice.
+pub fn rms(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some((xs.iter().map(|x| x * x).sum::<f64>() / xs.len() as f64).sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs).unwrap() - 5.0).abs() < 1e-12);
+        assert!((variance(&xs).unwrap() - 4.0).abs() < 1e-12);
+        assert!((std_dev(&xs).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs_are_none() {
+        assert!(mean(&[]).is_none());
+        assert!(variance(&[]).is_none());
+        assert!(geometric_mean(&[]).is_none());
+        assert!(quantile(&[], 0.5).is_none());
+        assert!(rms(&[]).is_none());
+    }
+
+    #[test]
+    fn gmean_known_values() {
+        assert!((geometric_mean(&[1.0, 4.0]).unwrap() - 2.0).abs() < 1e-12);
+        assert!((geometric_mean(&[2.16, 2.16]).unwrap() - 2.16).abs() < 1e-12);
+        assert!(geometric_mean(&[1.0, -1.0]).is_none());
+        assert!(geometric_mean(&[1.0, 0.0]).is_none());
+    }
+
+    #[test]
+    fn quantiles() {
+        let xs = [3.0, 1.0, 2.0, 4.0];
+        assert!((quantile(&xs, 0.0).unwrap() - 1.0).abs() < 1e-12);
+        assert!((quantile(&xs, 1.0).unwrap() - 4.0).abs() < 1e-12);
+        assert!((median(&xs).unwrap() - 2.5).abs() < 1e-12);
+        assert!(quantile(&xs, 1.5).is_none());
+    }
+
+    #[test]
+    fn rms_known() {
+        assert!((rms(&[3.0, 4.0]).unwrap() - (12.5f64).sqrt()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the numerical kernels.
+
+use drone_math::{angles, Mat3, Matrix, Quat, Vec3};
+use proptest::prelude::*;
+
+fn finite_f64(range: f64) -> impl Strategy<Value = f64> {
+    prop::num::f64::NORMAL.prop_map(move |v| v % range).prop_filter("finite", |v| v.is_finite())
+}
+
+fn vec3(range: f64) -> impl Strategy<Value = Vec3> {
+    (finite_f64(range), finite_f64(range), finite_f64(range)).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn unit_quat() -> impl Strategy<Value = Quat> {
+    (finite_f64(3.0), finite_f64(1.4), finite_f64(3.0))
+        .prop_map(|(r, p, y)| Quat::from_euler(r, p, y))
+}
+
+proptest! {
+    #[test]
+    fn cross_product_anticommutes(a in vec3(1e3), b in vec3(1e3)) {
+        let lhs = a.cross(b);
+        let rhs = -(b.cross(a));
+        prop_assert!((lhs - rhs).norm() < 1e-6 * (1.0 + lhs.norm()));
+    }
+
+    #[test]
+    fn dot_cauchy_schwarz(a in vec3(1e3), b in vec3(1e3)) {
+        prop_assert!(a.dot(b).abs() <= a.norm() * b.norm() + 1e-6);
+    }
+
+    #[test]
+    fn triangle_inequality(a in vec3(1e3), b in vec3(1e3)) {
+        prop_assert!((a + b).norm() <= a.norm() + b.norm() + 1e-9);
+    }
+
+    #[test]
+    fn rotation_preserves_norm(q in unit_quat(), v in vec3(1e3)) {
+        let r = q.rotate(v);
+        prop_assert!((r.norm() - v.norm()).abs() < 1e-7 * (1.0 + v.norm()));
+    }
+
+    #[test]
+    fn rotation_preserves_dot(q in unit_quat(), a in vec3(100.0), b in vec3(100.0)) {
+        let da = q.rotate(a).dot(q.rotate(b));
+        let db = a.dot(b);
+        prop_assert!((da - db).abs() < 1e-6 * (1.0 + db.abs()));
+    }
+
+    #[test]
+    fn quat_inverse_roundtrip(q in unit_quat(), v in vec3(100.0)) {
+        let back = q.rotate_inverse(q.rotate(v));
+        prop_assert!((back - v).norm() < 1e-9 * (1.0 + v.norm()));
+    }
+
+    #[test]
+    fn rotation_matrix_det_is_one(q in unit_quat()) {
+        prop_assert!((q.to_rotation_matrix().det() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mat3_inverse_property(v0 in vec3(10.0), v1 in vec3(10.0), v2 in vec3(10.0)) {
+        let m = Mat3::from_rows(v0, v1, v2);
+        // Only well-conditioned matrices.
+        prop_assume!(m.det().abs() > 1e-3);
+        let inv = m.inverse().unwrap();
+        let prod = m * inv;
+        for r in 0..3 {
+            for c in 0..3 {
+                let expect = if r == c { 1.0 } else { 0.0 };
+                prop_assert!((prod.m[r][c] - expect).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn wrap_pi_is_idempotent_and_bounded(a in finite_f64(1e6)) {
+        let w = angles::wrap_pi(a);
+        prop_assert!(w > -std::f64::consts::PI - 1e-9 && w <= std::f64::consts::PI + 1e-9);
+        prop_assert!((angles::wrap_pi(w) - w).abs() < 1e-9);
+        // Same point on the circle.
+        prop_assert!(((a - w) / (2.0 * std::f64::consts::PI)).round() * 2.0 * std::f64::consts::PI - (a - w) < 1e-6);
+    }
+
+    #[test]
+    fn spd_solve_matches_general_solve(d0 in 0.1f64..10.0, d1 in 0.1f64..10.0, d2 in 0.1f64..10.0,
+                                       o in -0.05f64..0.05, b0 in -10.0f64..10.0, b1 in -10.0f64..10.0, b2 in -10.0f64..10.0) {
+        // Diagonally dominant symmetric matrix is SPD.
+        let a = Matrix::from_rows(&[
+            &[d0 + 1.0, o, o],
+            &[o, d1 + 1.0, o],
+            &[o, o, d2 + 1.0],
+        ]);
+        let b = Matrix::column(&[b0, b1, b2]);
+        let x1 = a.solve_spd(&b).unwrap();
+        let x2 = a.solve(&b).unwrap();
+        for i in 0..3 {
+            prop_assert!((x1[(i, 0)] - x2[(i, 0)]).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn transpose_of_product(n in 1usize..4, m in 1usize..4, k in 1usize..4, seed in 0u64..1000) {
+        let mut rng = drone_math::Pcg32::seed_from(seed);
+        let mut a = Matrix::zeros(n, m);
+        let mut b = Matrix::zeros(m, k);
+        for r in 0..n { for c in 0..m { a[(r, c)] = rng.uniform(-5.0, 5.0); } }
+        for r in 0..m { for c in 0..k { b[(r, c)] = rng.uniform(-5.0, 5.0); } }
+        // (AB)ᵀ = BᵀAᵀ
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        for r in 0..k { for c in 0..n {
+            prop_assert!((lhs[(r, c)] - rhs[(r, c)]).abs() < 1e-9);
+        } }
+    }
+}

@@ -1,0 +1,17 @@
+//! Trace-driven micro-architecture simulation.
+//!
+//! A deliberately small in-order core model — enough to reproduce the
+//! *relative* performance-counter picture of the paper's Figure 15
+//! (`perf` on an RPi): cache miss rates, TLB miss rates, branch
+//! mispredictions, and the IPC they imply, for workloads run alone and
+//! co-scheduled.
+
+pub mod branch;
+pub mod cache;
+pub mod system;
+pub mod tlb;
+
+pub use branch::GsharePredictor;
+pub use cache::{Cache, CacheConfig};
+pub use system::{CoreConfig, CoreSystem, WorkloadStats};
+pub use tlb::Tlb;

@@ -1,0 +1,160 @@
+//! LiPo discharge simulation.
+//!
+//! Tracks state of charge by integrating electrical power, applies the
+//! paper's 85 % drain limit (`LiPoDrainLimit`), and models the mild
+//! voltage sag of a LiPo across its discharge curve.
+
+use drone_components::battery::Battery;
+use drone_components::units::{Volts, WattHours, Watts};
+use serde::{Deserialize, Serialize};
+
+/// A battery with live state of charge.
+///
+/// # Example
+///
+/// ```
+/// use drone_sim::BatterySim;
+/// use drone_components::battery::{Battery, CellCount};
+/// use drone_components::units::{Grams, MilliampHours, Watts};
+///
+/// let pack = Battery::new(CellCount::S3, MilliampHours(3000.0), 25.0, Grams(248.0));
+/// let mut sim = BatterySim::new(pack);
+/// sim.drain(Watts(130.0), 60.0); // one minute at 130 W
+/// assert!(sim.remaining_fraction() < 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatterySim {
+    battery: Battery,
+    consumed: WattHours,
+}
+
+impl BatterySim {
+    /// Creates a fully charged battery simulation.
+    pub fn new(battery: Battery) -> BatterySim {
+        BatterySim { battery, consumed: WattHours::ZERO }
+    }
+
+    /// The underlying pack.
+    pub fn battery(&self) -> &Battery {
+        &self.battery
+    }
+
+    /// Energy consumed so far.
+    pub fn consumed(&self) -> WattHours {
+        self.consumed
+    }
+
+    /// Remaining fraction of *total* stored energy, `0.0..=1.0`.
+    pub fn remaining_fraction(&self) -> f64 {
+        (1.0 - self.consumed.0 / self.battery.stored_energy().0).clamp(0.0, 1.0)
+    }
+
+    /// Whether the pack has hit the 85 % safe-drain limit — the flight
+    /// must end here even though charge physically remains.
+    pub fn at_drain_limit(&self) -> bool {
+        self.consumed.0 >= self.battery.usable_energy().0
+    }
+
+    /// Usable energy still available before the drain limit.
+    pub fn usable_remaining(&self) -> WattHours {
+        WattHours((self.battery.usable_energy().0 - self.consumed.0).max(0.0))
+    }
+
+    /// Present terminal voltage: full packs sit ~8 % above nominal,
+    /// sagging roughly linearly to ~8 % below nominal at the drain limit.
+    pub fn voltage(&self) -> Volts {
+        let depth = (self.consumed.0 / self.battery.usable_energy().0).clamp(0.0, 1.2);
+        Volts(self.battery.nominal_voltage().0 * (1.08 - 0.16 * depth))
+    }
+
+    /// Integrates a power draw over `dt` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `power` is negative or `dt` is negative.
+    pub fn drain(&mut self, power: Watts, dt: f64) {
+        assert!(power.0 >= 0.0, "power must be non-negative");
+        assert!(dt >= 0.0, "dt must be non-negative");
+        self.consumed += WattHours(power.0 * dt / 3600.0);
+    }
+
+    /// Predicted remaining flight minutes at a constant power draw.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `power` is zero or negative.
+    pub fn minutes_remaining_at(&self, power: Watts) -> f64 {
+        self.usable_remaining().duration_at(power).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drone_components::battery::{CellCount, LIPO_DRAIN_LIMIT};
+    use drone_components::units::{Grams, MilliampHours};
+
+    fn pack() -> Battery {
+        Battery::new(CellCount::S3, MilliampHours(3000.0), 25.0, Grams(248.0))
+    }
+
+    #[test]
+    fn fresh_pack_is_full() {
+        let sim = BatterySim::new(pack());
+        assert!((sim.remaining_fraction() - 1.0).abs() < 1e-12);
+        assert!(!sim.at_drain_limit());
+    }
+
+    #[test]
+    fn drain_accounts_energy() {
+        let mut sim = BatterySim::new(pack());
+        // 33.3 Wh pack: 33.3 W for half an hour consumes half.
+        sim.drain(Watts(33.3), 1800.0);
+        assert!((sim.remaining_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drain_limit_hits_at_85_percent() {
+        let mut sim = BatterySim::new(pack());
+        let usable = sim.battery().usable_energy().0;
+        sim.drain(Watts(usable * 3600.0 / 100.0), 99.0);
+        assert!(!sim.at_drain_limit());
+        sim.drain(Watts(usable * 3600.0 / 100.0), 1.5);
+        assert!(sim.at_drain_limit());
+        assert!((sim.remaining_fraction() - (1.0 - LIPO_DRAIN_LIMIT)).abs() < 0.01);
+    }
+
+    #[test]
+    fn voltage_sags_with_discharge() {
+        let mut sim = BatterySim::new(pack());
+        let v_full = sim.voltage().0;
+        sim.drain(Watts(100.0), 600.0);
+        let v_later = sim.voltage().0;
+        assert!(v_later < v_full);
+        // Stays within ±10 % of nominal over the usable window.
+        assert!((v_later - 11.1).abs() / 11.1 < 0.10);
+    }
+
+    #[test]
+    fn flight_time_prediction() {
+        let sim = BatterySim::new(pack());
+        // 33.3 Wh × 0.85 usable at 130 W ≈ 13.1 min — the paper's drone
+        // class.
+        let minutes = sim.minutes_remaining_at(Watts(130.0));
+        assert!((12.0..14.5).contains(&minutes), "minutes {minutes}");
+    }
+
+    #[test]
+    fn remaining_never_negative() {
+        let mut sim = BatterySim::new(pack());
+        sim.drain(Watts(1000.0), 3600.0 * 10.0);
+        assert_eq!(sim.remaining_fraction(), 0.0);
+        assert_eq!(sim.usable_remaining().0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power must be non-negative")]
+    fn negative_power_panics() {
+        BatterySim::new(pack()).drain(Watts(-1.0), 1.0);
+    }
+}

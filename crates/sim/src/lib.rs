@@ -1,0 +1,49 @@
+//! 6-DOF quadcopter flight simulation.
+//!
+//! This crate is the workspace's physical test bench — the substitute for
+//! the paper's real 450 mm experimental drone. It provides:
+//!
+//! * [`state`] — the rigid-body state (position, velocity, attitude,
+//!   angular rate) in a world frame with **Z up**; body +Z is the thrust
+//!   axis.
+//! * [`params`] — quadcopter physical parameters assembled from
+//!   [`drone_components`] parts.
+//! * [`rotor`] — the four-rotor set with first-order motor lag, thrust
+//!   and reaction-torque generation.
+//! * [`dynamics`] — RK4 rigid-body integration with gravity, rotor
+//!   forces, aerodynamic drag and wind.
+//! * [`wind`] — constant wind plus Ornstein–Uhlenbeck gusts (the
+//!   disturbances Table 1 assigns to the inner loop).
+//! * [`battery`] — LiPo state-of-charge integration with voltage sag.
+//! * [`power`] — electrical power telemetry (the Figure 16 measurement
+//!   substitute).
+//!
+//! # Example
+//!
+//! ```
+//! use drone_sim::{params::QuadcopterParams, Quadcopter};
+//!
+//! let params = QuadcopterParams::default_450mm();
+//! let mut quad = Quadcopter::new(params);
+//! let hover = quad.hover_throttle();
+//! for _ in 0..1000 {
+//!     quad.step([hover; 4], drone_math::Vec3::ZERO, 1e-3);
+//! }
+//! // A symmetric quad at hover throttle barely moves in a second.
+//! assert!(quad.state().position.norm() < 0.5);
+//! ```
+
+pub mod battery;
+pub mod dynamics;
+pub mod params;
+pub mod power;
+pub mod rotor;
+pub mod state;
+pub mod wind;
+
+pub use battery::BatterySim;
+pub use dynamics::{Quadcopter, StepOutput};
+pub use params::QuadcopterParams;
+pub use power::{PowerMeter, PowerSample};
+pub use state::RigidBodyState;
+pub use wind::WindModel;

@@ -1,0 +1,84 @@
+//! Property-based tests on the physical invariants of the simulator.
+
+use drone_math::{Pcg32, Vec3};
+use drone_sim::rotor::RotorSet;
+use drone_sim::{BatterySim, Quadcopter, QuadcopterParams};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn rotor_thrust_monotonic_in_throttle(t1 in 0.05f64..0.95, delta in 0.02f64..0.5) {
+        let params = QuadcopterParams::default_450mm();
+        let mut low = RotorSet::new(&params);
+        let mut high = RotorSet::new(&params);
+        let t2 = (t1 + delta).min(1.0);
+        for _ in 0..3000 {
+            low.step([t1; 4], 1e-3);
+            high.step([t2; 4], 1e-3);
+        }
+        let fl = low.forces(&params);
+        let fh = high.forces(&params);
+        prop_assert!(fh.total_thrust > fl.total_thrust);
+        prop_assert!(fh.electrical_power.0 > fl.electrical_power.0);
+        // Symmetric commands: no torque either way.
+        prop_assert!(fl.torque.norm() < 1e-9);
+        prop_assert!(fh.torque.norm() < 1e-9);
+    }
+
+    #[test]
+    fn battery_energy_conservation(p1 in 10.0f64..300.0, t1 in 1.0f64..300.0,
+                                   p2 in 10.0f64..300.0, t2 in 1.0f64..300.0) {
+        let params = QuadcopterParams::default_450mm();
+        let mut a = BatterySim::new(params.battery);
+        // Order of draws must not matter; totals must add.
+        a.drain(drone_components::units::Watts(p1), t1);
+        a.drain(drone_components::units::Watts(p2), t2);
+        let mut b = BatterySim::new(params.battery);
+        b.drain(drone_components::units::Watts(p2), t2);
+        b.drain(drone_components::units::Watts(p1), t1);
+        prop_assert!((a.consumed().0 - b.consumed().0).abs() < 1e-12);
+        let expect = (p1 * t1 + p2 * t2) / 3600.0;
+        prop_assert!((a.consumed().0 - expect).abs() < 1e-9);
+        // Voltage never leaves the physical window.
+        prop_assert!((8.0..14.0).contains(&a.voltage().0));
+    }
+
+    #[test]
+    fn simulation_stays_finite_for_any_throttle_sequence(seed in 0u64..300) {
+        let params = QuadcopterParams::default_450mm();
+        let mut quad = Quadcopter::hovering_at(params, 50.0);
+        let mut rng = Pcg32::seed_from(seed);
+        for _ in 0..2000 {
+            let throttle = [
+                rng.next_f64(),
+                rng.next_f64(),
+                rng.next_f64(),
+                rng.next_f64(),
+            ];
+            let wind = Vec3::new(rng.uniform(-15.0, 15.0), rng.uniform(-15.0, 15.0), 0.0);
+            quad.step(throttle, wind, 1e-3);
+            prop_assert!(quad.state().is_finite(), "diverged: {}", quad.state());
+        }
+    }
+
+    #[test]
+    fn ground_plane_never_penetrated(seed in 0u64..300) {
+        let params = QuadcopterParams::default_100mm();
+        let mut quad = Quadcopter::new(params);
+        let mut rng = Pcg32::seed_from(seed);
+        for _ in 0..3000 {
+            let t = rng.next_f64() * 0.8;
+            quad.step([t; 4], Vec3::ZERO, 1e-3);
+            prop_assert!(quad.state().position.z >= 0.0);
+        }
+    }
+
+    #[test]
+    fn hover_throttle_scales_with_payload(extra in 0.0f64..300.0) {
+        let mut params = QuadcopterParams::default_450mm();
+        let base = Quadcopter::new(params.clone()).hover_throttle();
+        params.accessories_weight += drone_components::units::Grams(extra);
+        let loaded = Quadcopter::new(params).hover_throttle();
+        prop_assert!(loaded >= base);
+    }
+}

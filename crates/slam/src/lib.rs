@@ -1,0 +1,49 @@
+//! A from-scratch sparse visual SLAM system (the paper's §5 workload).
+//!
+//! The paper offloads **ORB-SLAM** \[72\] onto RPi / TX2 / FPGA / ASIC and
+//! reports per-stage speedups over the EuRoC MAV sequences (Figure 17,
+//! Table 5). This crate rebuilds the workload itself:
+//!
+//! * [`camera`] — pinhole projection and camera poses.
+//! * [`descriptor`] — 256-bit binary (BRIEF-like) descriptors with
+//!   Hamming matching and a ratio test.
+//! * [`euroc`] — a synthetic EuRoC-like dataset generator: the eleven
+//!   sequences (MH01–MH05, V101–V203) as trajectory + landmark worlds
+//!   with difficulty-scaled speed, clutter and noise.
+//! * [`frame`] — stereo-style frames: noisy pixel observations with
+//!   depth, descriptor corruption and outlier clutter.
+//! * [`pose`] — PnP-style pose refinement by Levenberg–Marquardt on
+//!   reprojection error.
+//! * [`map`] — the keyframe/landmark map.
+//! * [`ba`] — local and global bundle adjustment.
+//! * [`pipeline`] — the tracker tying it together, with the virtual
+//!   RPi-time cost model that yields the paper's ~10 % feature / ~90 %
+//!   bundle-adjustment profile.
+//! * [`metrics`] — absolute trajectory error (ATE) for accuracy checks.
+//!
+//! # Example
+//!
+//! ```
+//! use drone_slam::euroc::Sequence;
+//! use drone_slam::pipeline::{Pipeline, PipelineConfig};
+//!
+//! let dataset = Sequence::V101.generate_with_frames(120);
+//! let mut slam = Pipeline::new(PipelineConfig::default());
+//! let result = slam.run(&dataset);
+//! assert!(result.ate_meters < 0.5, "ATE {}", result.ate_meters);
+//! ```
+
+pub mod ba;
+pub mod camera;
+pub mod descriptor;
+pub mod euroc;
+pub mod frame;
+pub mod map;
+pub mod metrics;
+pub mod pipeline;
+pub mod pose;
+
+pub use camera::{CameraIntrinsics, CameraPose, Pixel};
+pub use descriptor::Descriptor;
+pub use euroc::{Difficulty, Sequence};
+pub use pipeline::{Pipeline, PipelineConfig, RunResult, StageProfile};

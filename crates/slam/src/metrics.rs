@@ -1,0 +1,115 @@
+//! Trajectory accuracy metrics ("while confirming SLAM key metrics",
+//! paper §5): absolute trajectory error and relative pose error.
+
+use crate::camera::CameraPose;
+
+/// Absolute trajectory error: RMS of position differences between the
+/// estimated and ground-truth trajectories (both anchored at the first
+/// pose, which is how the pipeline initializes).
+///
+/// # Panics
+///
+/// Panics if the trajectories differ in length or are empty.
+pub fn absolute_trajectory_error(estimate: &[CameraPose], truth: &[CameraPose]) -> f64 {
+    assert_eq!(estimate.len(), truth.len(), "trajectory lengths differ");
+    assert!(!estimate.is_empty(), "empty trajectory");
+    let n = estimate.len() as f64;
+    let sq: f64 = estimate
+        .iter()
+        .zip(truth)
+        .map(|(e, t)| (e.position - t.position).norm_squared())
+        .sum();
+    (sq / n).sqrt()
+}
+
+/// Relative pose error over `delta`-step windows: RMS of the translation
+/// drift per window, a local-consistency measure insensitive to global
+/// drift.
+///
+/// # Panics
+///
+/// Panics if lengths differ, the trajectory is shorter than `delta + 1`,
+/// or `delta` is zero.
+pub fn relative_pose_error(estimate: &[CameraPose], truth: &[CameraPose], delta: usize) -> f64 {
+    assert_eq!(estimate.len(), truth.len(), "trajectory lengths differ");
+    assert!(delta > 0, "delta must be positive");
+    assert!(estimate.len() > delta, "trajectory shorter than delta");
+    let mut sq = 0.0;
+    let mut n = 0usize;
+    for i in 0..(estimate.len() - delta) {
+        let est_step = estimate[i + delta].position - estimate[i].position;
+        let truth_step = truth[i + delta].position - truth[i].position;
+        sq += (est_step - truth_step).norm_squared();
+        n += 1;
+    }
+    (sq / n as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drone_math::Vec3;
+
+    fn line(n: usize, step: Vec3) -> Vec<CameraPose> {
+        (0..n).map(|i| CameraPose::new(step * i as f64, Default::default())).collect()
+    }
+
+    #[test]
+    fn identical_trajectories_have_zero_error() {
+        let t = line(20, Vec3::new(0.1, 0.0, 0.0));
+        assert!(absolute_trajectory_error(&t, &t) < 1e-15);
+        assert!(relative_pose_error(&t, &t, 5) < 1e-15);
+    }
+
+    #[test]
+    fn constant_offset_shows_in_ate_not_rpe() {
+        let truth = line(20, Vec3::new(0.1, 0.0, 0.0));
+        let mut est = truth.clone();
+        for p in &mut est {
+            p.position += Vec3::new(0.0, 0.5, 0.0);
+        }
+        assert!((absolute_trajectory_error(&est, &truth) - 0.5).abs() < 1e-12);
+        assert!(relative_pose_error(&est, &truth, 3) < 1e-12);
+    }
+
+    #[test]
+    fn growing_drift_shows_in_both() {
+        let truth = line(50, Vec3::new(0.1, 0.0, 0.0));
+        let est: Vec<CameraPose> = truth
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                CameraPose::new(p.position + Vec3::new(0.0, 0.01 * i as f64, 0.0), p.orientation)
+            })
+            .collect();
+        assert!(absolute_trajectory_error(&est, &truth) > 0.1);
+        assert!(relative_pose_error(&est, &truth, 10) > 0.05);
+    }
+
+    #[test]
+    fn ate_known_value() {
+        let truth = line(2, Vec3::ZERO);
+        let est = vec![
+            CameraPose::new(Vec3::new(3.0, 0.0, 0.0), Default::default()),
+            CameraPose::new(Vec3::new(0.0, 4.0, 0.0), Default::default()),
+        ];
+        // RMS of (3, 4) = √((9+16)/2).
+        let expect = (25.0f64 / 2.0).sqrt();
+        assert!((absolute_trajectory_error(&est, &truth) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths differ")]
+    fn mismatched_lengths_panic() {
+        let a = line(5, Vec3::ZERO);
+        let b = line(6, Vec3::ZERO);
+        let _ = absolute_trajectory_error(&a, &b);
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than delta")]
+    fn rpe_delta_too_large_panics() {
+        let a = line(5, Vec3::ZERO);
+        let _ = relative_pose_error(&a, &a, 5);
+    }
+}

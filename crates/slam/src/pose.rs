@@ -1,0 +1,396 @@
+//! PnP-style pose refinement: given 3D landmark positions and their 2D
+//! pixel observations, find the camera pose minimizing reprojection
+//! error with Levenberg–Marquardt (robustified by a Huber-style weight).
+
+use crate::camera::{CameraIntrinsics, CameraPose, Pixel};
+use drone_math::optimize::{LeastSquaresProblem, LevenbergMarquardt};
+use drone_math::Vec3;
+
+/// One 3D→2D correspondence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Correspondence {
+    /// Landmark position estimate, world frame.
+    pub world: Vec3,
+    /// Observed pixel.
+    pub pixel: Pixel,
+}
+
+/// Result of a pose estimation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoseEstimate {
+    /// Refined pose.
+    pub pose: CameraPose,
+    /// RMS reprojection error over inliers, pixels.
+    pub rms_reprojection: f64,
+    /// Number of inlier correspondences (below the Huber threshold).
+    pub inliers: usize,
+    /// LM iterations performed (feeds the stage cost model).
+    pub iterations: usize,
+}
+
+struct PnpProblem<'a> {
+    intrinsics: &'a CameraIntrinsics,
+    base: CameraPose,
+    correspondences: &'a [Correspondence],
+    /// IRLS weights, one per correspondence, held fixed during LM.
+    weights: Vec<f64>,
+}
+
+impl PnpProblem<'_> {
+    fn reprojection(&self, pose: &CameraPose, c: &Correspondence) -> (f64, f64) {
+        let p_cam = pose.world_to_camera(c.world);
+        // Penalize points behind the camera with a large, smooth residual
+        // instead of dropping them (keeps LM differentiable).
+        if p_cam.z <= 0.05 {
+            return (50.0 + p_cam.z.abs() * 10.0, 50.0 + p_cam.z.abs() * 10.0);
+        }
+        let u = self.intrinsics.fx * p_cam.x / p_cam.z + self.intrinsics.cx;
+        let v = self.intrinsics.fy * p_cam.y / p_cam.z + self.intrinsics.cy;
+        (u - c.pixel.u, v - c.pixel.v)
+    }
+}
+
+impl LeastSquaresProblem for PnpProblem<'_> {
+    fn num_params(&self) -> usize {
+        6
+    }
+    fn num_residuals(&self) -> usize {
+        self.correspondences.len() * 2
+    }
+    fn residuals(&self, x: &[f64]) -> Vec<f64> {
+        let delta = [x[0], x[1], x[2], x[3], x[4], x[5]];
+        let pose = self.base.perturbed(&delta);
+        let mut out = Vec::with_capacity(self.num_residuals());
+        for (c, &w) in self.correspondences.iter().zip(&self.weights) {
+            let (eu, ev) = self.reprojection(&pose, c);
+            out.push(eu * w);
+            out.push(ev * w);
+        }
+        out
+    }
+}
+
+/// Huber IRLS weight for a residual magnitude.
+fn huber_weight(error: f64, threshold: f64) -> f64 {
+    let a = error.abs();
+    if a <= threshold {
+        1.0
+    } else {
+        (threshold / a).sqrt()
+    }
+}
+
+/// Refines `initial` against the correspondences via iteratively
+/// reweighted least squares: each outer round fixes Huber weights from
+/// the current pose's residuals and runs an inner Levenberg–Marquardt —
+/// the weights stay constant inside the LM so the inner problem remains
+/// genuinely quadratic near the optimum.
+///
+/// Returns `None` with fewer than 4 correspondences (the PnP minimum
+/// with margin), on divergence, or when fewer than 4 inliers remain.
+pub fn estimate_pose(
+    intrinsics: &CameraIntrinsics,
+    initial: &CameraPose,
+    correspondences: &[Correspondence],
+) -> Option<PoseEstimate> {
+    if correspondences.len() < 4 {
+        return None;
+    }
+    let huber_px = 3.0;
+    let mut pose = *initial;
+    let mut total_iterations = 0;
+    for round in 0..3 {
+        let mut problem = PnpProblem {
+            intrinsics,
+            base: pose,
+            correspondences,
+            weights: vec![1.0; correspondences.len()],
+        };
+        if round > 0 {
+            // Reweight from the current pose's residuals.
+            for (i, c) in correspondences.iter().enumerate() {
+                let (eu, ev) = problem.reprojection(&pose, c);
+                problem.weights[i] = huber_weight((eu * eu + ev * ev).sqrt(), huber_px);
+            }
+        }
+        let report = LevenbergMarquardt::new()
+            .with_max_iterations(15)
+            .with_cost_tolerance(1e-8)
+            .minimize(&problem, &[0.0; 6]);
+        let delta = [
+            report.params[0],
+            report.params[1],
+            report.params[2],
+            report.params[3],
+            report.params[4],
+            report.params[5],
+        ];
+        pose = problem.base.perturbed(&delta);
+        total_iterations += report.iterations;
+        if !pose.position.is_finite() {
+            return None;
+        }
+    }
+    // Inlier accounting at the refined pose.
+    let accounting = PnpProblem {
+        intrinsics,
+        base: pose,
+        correspondences,
+        weights: vec![1.0; correspondences.len()],
+    };
+    let mut inliers = 0;
+    let mut sq_sum = 0.0;
+    for c in correspondences {
+        let (eu, ev) = accounting.reprojection(&pose, c);
+        let e = (eu * eu + ev * ev).sqrt();
+        if e < 6.0 {
+            inliers += 1;
+            sq_sum += e * e;
+        }
+    }
+    if inliers < 4 {
+        return None;
+    }
+    Some(PoseEstimate {
+        pose,
+        rms_reprojection: (sq_sum / inliers as f64).sqrt(),
+        inliers,
+        iterations: total_iterations,
+    })
+}
+
+/// A 3D–3D correspondence for absolute-orientation recovery.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointPair {
+    /// Point in the camera frame (from stereo depth).
+    pub camera: Vec3,
+    /// The same point in the world frame (from the map).
+    pub world: Vec3,
+}
+
+/// Horn's closed-form absolute orientation: the camera pose aligning
+/// camera-frame points onto their world positions. Used for
+/// relocalization after tracking loss, where no pose prior exists.
+///
+/// The optimal rotation is the maximal eigenvector of Horn's 4×4 `N`
+/// matrix, found by power iteration (shifted to guarantee positive
+/// semidefiniteness).
+///
+/// Returns `None` with fewer than 3 pairs or degenerate geometry.
+pub fn absolute_orientation(pairs: &[PointPair]) -> Option<CameraPose> {
+    if pairs.len() < 3 {
+        return None;
+    }
+    let n = pairs.len() as f64;
+    let c_cam: Vec3 = pairs.iter().map(|p| p.camera).sum::<Vec3>() / n;
+    let c_world: Vec3 = pairs.iter().map(|p| p.world).sum::<Vec3>() / n;
+
+    // Cross-covariance M = Σ (cam − c̄)(world − w̄)ᵀ.
+    let mut m = [[0.0f64; 3]; 3];
+    for p in pairs {
+        let a = p.camera - c_cam;
+        let b = p.world - c_world;
+        let (av, bv) = (a.to_array(), b.to_array());
+        for (r, &ar) in av.iter().enumerate() {
+            for (c, &bc) in bv.iter().enumerate() {
+                m[r][c] += ar * bc;
+            }
+        }
+    }
+    // Horn's N matrix.
+    let (sxx, sxy, sxz) = (m[0][0], m[0][1], m[0][2]);
+    let (syx, syy, syz) = (m[1][0], m[1][1], m[1][2]);
+    let (szx, szy, szz) = (m[2][0], m[2][1], m[2][2]);
+    let n_mat = drone_math::Matrix::from_rows(&[
+        &[sxx + syy + szz, syz - szy, szx - sxz, sxy - syx],
+        &[syz - szy, sxx - syy - szz, sxy + syx, szx + sxz],
+        &[szx - sxz, sxy + syx, -sxx + syy - szz, syz + szy],
+        &[sxy - syx, szx + sxz, syz + szy, -sxx - syy + szz],
+    ]);
+    // Shift to PSD and power-iterate for the dominant eigenvector.
+    let shift = 4.0 * (sxx.abs() + syy.abs() + szz.abs()) + 1.0;
+    let shifted = n_mat.add_diagonal(shift);
+    let mut v = drone_math::Matrix::column(&[1.0, 0.1, 0.1, 0.1]);
+    for _ in 0..200 {
+        let next = shifted.matmul(&v);
+        let norm = next.frobenius_norm();
+        if norm < 1e-12 {
+            return None;
+        }
+        v = next.scale(1.0 / norm);
+    }
+    let q = drone_math::Quat::new(v[(0, 0)], v[(1, 0)], v[(2, 0)], v[(3, 0)]);
+    if q.norm() < 1e-9 {
+        return None;
+    }
+    let orientation = q.normalized();
+    // t = w̄ − R·c̄.
+    let position = c_world - orientation.rotate(c_cam);
+    let pose = CameraPose::new(position, orientation);
+    // Reject degenerate alignments (colinear points leave rotation
+    // under-determined; check the residual).
+    let rms: f64 = (pairs
+        .iter()
+        .map(|p| (pose.camera_to_world(p.camera) - p.world).norm_squared())
+        .sum::<f64>()
+        / n)
+        .sqrt();
+    let spread = pairs.iter().map(|p| (p.world - c_world).norm()).fold(0.0f64, f64::max);
+    if rms > 0.5 * spread.max(1e-3) {
+        return None;
+    }
+    Some(pose)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::camera::CameraIntrinsics;
+    use drone_math::{Pcg32, Quat};
+
+    fn scene(n: usize, rng: &mut Pcg32) -> Vec<Vec3> {
+        (0..n)
+            .map(|_| Vec3::new(rng.uniform(-4.0, 4.0), rng.uniform(-3.0, 3.0), rng.uniform(4.0, 12.0)))
+            .collect()
+    }
+
+    fn observe(
+        cam: &CameraIntrinsics,
+        pose: &CameraPose,
+        points: &[Vec3],
+        noise_px: f64,
+        rng: &mut Pcg32,
+    ) -> Vec<Correspondence> {
+        points
+            .iter()
+            .filter_map(|&w| {
+                let pix = cam.project(pose.world_to_camera(w))?;
+                Some(Correspondence {
+                    world: w,
+                    pixel: Pixel::new(
+                        pix.u + rng.normal_with(0.0, noise_px),
+                        pix.v + rng.normal_with(0.0, noise_px),
+                    ),
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_exact_pose_from_clean_data() {
+        let cam = CameraIntrinsics::euroc();
+        let mut rng = Pcg32::seed_from(1);
+        let points = scene(40, &mut rng);
+        let truth = CameraPose::new(Vec3::new(0.3, -0.2, 0.5), Quat::from_euler(0.05, -0.03, 0.1));
+        let corr = observe(&cam, &truth, &points, 0.0, &mut rng);
+        let initial = CameraPose::identity();
+        let est = estimate_pose(&cam, &initial, &corr).expect("pose found");
+        assert!(est.pose.distance_to(&truth) < 1e-4, "pos err {}", est.pose.distance_to(&truth));
+        assert!(est.pose.angle_to(&truth) < 1e-4);
+        assert!(est.rms_reprojection < 1e-3);
+    }
+
+    #[test]
+    fn tolerates_pixel_noise() {
+        let cam = CameraIntrinsics::euroc();
+        let mut rng = Pcg32::seed_from(2);
+        let points = scene(60, &mut rng);
+        let truth = CameraPose::new(Vec3::new(-0.4, 0.1, 0.2), Quat::from_euler(0.0, 0.08, -0.05));
+        let corr = observe(&cam, &truth, &points, 1.0, &mut rng);
+        let est = estimate_pose(&cam, &CameraPose::identity(), &corr).expect("pose found");
+        assert!(est.pose.distance_to(&truth) < 0.05, "pos err {}", est.pose.distance_to(&truth));
+        assert!(est.rms_reprojection < 3.0);
+    }
+
+    #[test]
+    fn huber_rejects_outliers() {
+        let cam = CameraIntrinsics::euroc();
+        let mut rng = Pcg32::seed_from(3);
+        let points = scene(60, &mut rng);
+        let truth = CameraPose::new(Vec3::new(0.2, 0.0, 0.0), Quat::IDENTITY);
+        let mut corr = observe(&cam, &truth, &points, 0.5, &mut rng);
+        // 15 % gross outliers.
+        let n_out = corr.len() / 7;
+        for c in corr.iter_mut().take(n_out) {
+            c.pixel = Pixel::new(rng.uniform(0.0, 752.0), rng.uniform(0.0, 480.0));
+        }
+        let est = estimate_pose(&cam, &CameraPose::identity(), &corr).expect("pose found");
+        assert!(est.pose.distance_to(&truth) < 0.08, "pos err {}", est.pose.distance_to(&truth));
+        assert!(est.inliers >= corr.len() - n_out - 8);
+    }
+
+    #[test]
+    fn too_few_points_is_none() {
+        let cam = CameraIntrinsics::euroc();
+        let corr = vec![
+            Correspondence { world: Vec3::new(0.0, 0.0, 5.0), pixel: Pixel::new(376.0, 240.0) };
+            3
+        ];
+        assert!(estimate_pose(&cam, &CameraPose::identity(), &corr).is_none());
+    }
+
+    #[test]
+    fn absolute_orientation_recovers_known_pose() {
+        let mut rng = Pcg32::seed_from(9);
+        let truth = CameraPose::new(
+            Vec3::new(2.0, -1.0, 3.0),
+            Quat::from_euler(0.4, -0.3, 1.2),
+        );
+        let pairs: Vec<PointPair> = (0..30)
+            .map(|_| {
+                let world = Vec3::new(
+                    rng.uniform(-5.0, 5.0),
+                    rng.uniform(-5.0, 5.0),
+                    rng.uniform(-5.0, 5.0),
+                );
+                PointPair { camera: truth.world_to_camera(world), world }
+            })
+            .collect();
+        let pose = absolute_orientation(&pairs).expect("aligned");
+        assert!(pose.distance_to(&truth) < 1e-6, "pos err {}", pose.distance_to(&truth));
+        assert!(pose.angle_to(&truth) < 1e-6, "rot err {}", pose.angle_to(&truth));
+    }
+
+    #[test]
+    fn absolute_orientation_tolerates_noise() {
+        let mut rng = Pcg32::seed_from(10);
+        let truth = CameraPose::new(Vec3::new(-1.0, 0.5, 2.0), Quat::from_euler(0.1, 0.2, -0.8));
+        let pairs: Vec<PointPair> = (0..60)
+            .map(|_| {
+                let world = Vec3::new(
+                    rng.uniform(-6.0, 6.0),
+                    rng.uniform(-6.0, 6.0),
+                    rng.uniform(2.0, 10.0),
+                );
+                let noisy_cam = truth.world_to_camera(world)
+                    + Vec3::new(
+                        rng.normal_with(0.0, 0.05),
+                        rng.normal_with(0.0, 0.05),
+                        rng.normal_with(0.0, 0.05),
+                    );
+                PointPair { camera: noisy_cam, world }
+            })
+            .collect();
+        let pose = absolute_orientation(&pairs).expect("aligned");
+        assert!(pose.distance_to(&truth) < 0.1, "pos err {}", pose.distance_to(&truth));
+        assert!(pose.angle_to(&truth) < 0.05, "rot err {}", pose.angle_to(&truth));
+    }
+
+    #[test]
+    fn absolute_orientation_rejects_tiny_sets() {
+        assert!(absolute_orientation(&[]).is_none());
+        let p = PointPair { camera: Vec3::X, world: Vec3::Y };
+        assert!(absolute_orientation(&[p, p]).is_none());
+    }
+
+    #[test]
+    fn iterations_are_reported() {
+        let cam = CameraIntrinsics::euroc();
+        let mut rng = Pcg32::seed_from(4);
+        let points = scene(30, &mut rng);
+        let truth = CameraPose::new(Vec3::new(0.1, 0.1, 0.1), Quat::IDENTITY);
+        let corr = observe(&cam, &truth, &points, 0.2, &mut rng);
+        let est = estimate_pose(&cam, &CameraPose::identity(), &corr).unwrap();
+        assert!(est.iterations >= 1 && est.iterations <= 25);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests on the SLAM building blocks.
+
+use drone_math::{Pcg32, Quat, Vec3};
+use drone_slam::camera::{rotation_matrix_to_quat, CameraIntrinsics, CameraPose, Pixel};
+use drone_slam::descriptor::Descriptor;
+use proptest::prelude::*;
+
+fn arb_quat() -> impl Strategy<Value = Quat> {
+    (-3.0f64..3.0, -1.4f64..1.4, -3.0f64..3.0).prop_map(|(r, p, y)| Quat::from_euler(r, p, y))
+}
+
+fn arb_vec(range: f64) -> impl Strategy<Value = Vec3> {
+    (-range..range, -range..range, -range..range).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+proptest! {
+    #[test]
+    fn hamming_is_a_metric(seed in 0u64..5000) {
+        let mut rng = Pcg32::seed_from(seed);
+        let a = Descriptor::random(&mut rng);
+        let b = Descriptor::random(&mut rng);
+        let c = Descriptor::random(&mut rng);
+        // Identity, symmetry, triangle inequality.
+        prop_assert_eq!(a.hamming(&a), 0);
+        prop_assert_eq!(a.hamming(&b), b.hamming(&a));
+        prop_assert!(a.hamming(&c) <= a.hamming(&b) + b.hamming(&c));
+    }
+
+    #[test]
+    fn corruption_distance_bounded_by_flips(seed in 0u64..5000, p in 0.0f64..0.2) {
+        let mut rng = Pcg32::seed_from(seed);
+        let d = Descriptor::random(&mut rng);
+        let c = d.corrupted(p, &mut rng);
+        prop_assert!(d.hamming(&c) <= 256);
+    }
+
+    #[test]
+    fn world_camera_roundtrip(q in arb_quat(), pos in arb_vec(20.0), point in arb_vec(50.0)) {
+        let pose = CameraPose::new(pos, q);
+        let back = pose.camera_to_world(pose.world_to_camera(point));
+        prop_assert!((back - point).norm() < 1e-9 * (1.0 + point.norm()));
+    }
+
+    #[test]
+    fn projection_unprojection_consistent(u in 1.0f64..750.0, v in 1.0f64..478.0, depth in 0.2f64..30.0) {
+        let cam = CameraIntrinsics::euroc();
+        let p = cam.unproject(Pixel::new(u, v), depth);
+        let pix = cam.project(p).expect("unprojected point is in view");
+        prop_assert!((pix.u - u).abs() < 1e-9);
+        prop_assert!((pix.v - v).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rotation_matrix_quat_roundtrip(q in arb_quat()) {
+        let q2 = rotation_matrix_to_quat(&q.to_rotation_matrix());
+        prop_assert!(q.angle_to(q2) < 1e-6);
+    }
+
+    #[test]
+    fn pose_perturbation_composes(q in arb_quat(), pos in arb_vec(5.0),
+                                  d in prop::array::uniform6(-0.1f64..0.1)) {
+        let pose = CameraPose::new(pos, q);
+        let moved = pose.perturbed(&d);
+        // Inverting the translation gets the position back exactly.
+        let back = moved.perturbed(&[0.0, 0.0, 0.0, -d[3], -d[4], -d[5]]);
+        prop_assert!((back.position - pose.position).norm() < 1e-12);
+        // Small rotations have magnitude ≈ ‖ω‖.
+        let omega = Vec3::new(d[0], d[1], d[2]).norm();
+        prop_assert!((pose.angle_to(&moved) - omega).abs() < 1e-6 + omega * 1e-3);
+    }
+
+    #[test]
+    fn looking_at_always_faces_the_target(pos in arb_vec(10.0), target in arb_vec(10.0)) {
+        prop_assume!((target - pos).norm() > 0.5);
+        let pose = CameraPose::looking_at(pos, target);
+        let t_cam = pose.world_to_camera(target);
+        prop_assert!(t_cam.z > 0.0, "target behind the camera: {t_cam}");
+        // Target sits on the optical axis.
+        prop_assert!(t_cam.x.abs() < 1e-6 * (1.0 + t_cam.z));
+        prop_assert!(t_cam.y.abs() < 1e-6 * (1.0 + t_cam.z));
+    }
+}

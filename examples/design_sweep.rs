@@ -1,0 +1,42 @@
+//! Design-space sweep (Figure 10): how power, flight time and the
+//! computation footprint vary across wheelbases and battery choices.
+//!
+//! ```sh
+//! cargo run --example design_sweep
+//! ```
+
+use drone_components::battery::CellCount;
+use drone_dse::sweep::WheelbaseSweep;
+
+fn main() {
+    let cells = [CellCount::S1, CellCount::S3, CellCount::S6];
+    for wheelbase in [100.0, 450.0, 800.0] {
+        let sweep = WheelbaseSweep::run(wheelbase, &cells, 8);
+        println!("=== {wheelbase:.0} mm wheelbase ===");
+        println!(
+            "{:>5} {:>10} {:>10} {:>10} {:>12} {:>14}",
+            "cells", "mAh", "weight(g)", "power(W)", "flight(min)", "20W@hover(%)"
+        );
+        for (p, fp) in sweep.points.iter().zip(&sweep.footprint) {
+            println!(
+                "{:>5} {:>10.0} {:>10.0} {:>10.0} {:>12.1} {:>14.1}",
+                p.cells.to_string(),
+                p.capacity_mah,
+                p.weight_g,
+                p.hover_power_w,
+                p.flight_time_min,
+                fp.advanced_hover * 100.0
+            );
+        }
+        if let Some(best) = sweep.best_configuration() {
+            println!(
+                "best: {:.1} min with {} {:.0} mAh at {:.0} g\n",
+                best.flight_time_min, best.cells, best.capacity_mah, best.weight_g
+            );
+        }
+    }
+    println!(
+        "paper's §3.2 headline: computation is 2-30% of total power; optimizing it buys\n\
+         up to ~+5 min on small drones and ~+2 min on large ones."
+    );
+}

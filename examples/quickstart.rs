@@ -1,0 +1,50 @@
+//! Quickstart: the paper's Figure 12 procedure, end to end.
+//!
+//! "How to accurately quantify the benefits?" — size a drone for an
+//! application, derive its power and flight time, find the computation
+//! share, and convert a compute optimization into gained flight minutes.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use drone_components::battery::CellCount;
+use drone_components::units::{Grams, MilliampHours, Watts};
+use drone_dse::design::DesignSpec;
+use drone_dse::power::{FlyingLoad, PowerModel};
+
+fn main() {
+    // Step 1 (Fig 12): start from the application needs — a mapping
+    // drone with a mid-size frame, an RPi-class computer, and a camera.
+    let spec = DesignSpec::new(450.0, CellCount::S3, MilliampHours(4000.0))
+        .with_compute(Grams(73.0), Watts(5.0)) // RPi + flight controller
+        .with_sensors(Grams(40.0), Watts(1.5)) // GPS + FPV camera
+        .with_payload(Grams(100.0)); // HD camera (self-powered)
+
+    // Step 2: estimate weight / select components (Equations 1-2).
+    let drone = spec.size().expect("the design is feasible");
+    println!("sized drone: {drone}");
+    println!("weight breakdown:");
+    for (label, grams) in drone.weight_breakdown() {
+        println!("  {label:<12} {grams}");
+    }
+
+    // Step 3: power and flight time (Equations 3-5).
+    let model = PowerModel::paper_defaults();
+    let hover = model.average_power(&drone, FlyingLoad::Hover);
+    println!("\nhover power: {hover}");
+    println!("hover flight time: {}", model.flight_time(&drone, FlyingLoad::Hover));
+    println!(
+        "maneuver flight time: {}",
+        model.flight_time(&drone, FlyingLoad::Maneuver)
+    );
+
+    // Step 4: computation footprint (Equation 6).
+    let share = model.compute_share(&drone, FlyingLoad::Hover);
+    println!("\ncompute share of total power: {:.1}%", share * 100.0);
+
+    // Step 5: what would offloading the heavy computation buy us?
+    // (Equation 7 — e.g. moving SLAM from the RPi to an FPGA saves ~4.5 W.)
+    let gained = model.gained_flight_time(&drone, FlyingLoad::Hover, Watts(4.5));
+    println!("gained flight time if we save 4.5 W of compute: {gained}");
+}

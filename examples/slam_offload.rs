@@ -1,0 +1,65 @@
+//! SLAM offload study (§5): run the visual SLAM pipeline on synthetic
+//! EuRoC sequences, measure the stage profile, and decide which hardware
+//! platform should run it on a drone.
+//!
+//! ```sh
+//! cargo run --release --example slam_offload
+//! ```
+
+use drone_dse::offload;
+use drone_platform::model::Platform;
+use drone_slam::euroc::Sequence;
+use drone_slam::{Pipeline, PipelineConfig};
+
+fn main() {
+    // Run three representative sequences (one per difficulty band).
+    let mut profiles = Vec::new();
+    for seq in [Sequence::MH01, Sequence::V102, Sequence::V203] {
+        let dataset = seq.generate_with_frames(120);
+        let result = Pipeline::new(PipelineConfig::default()).run(&dataset);
+        println!(
+            "{seq}: ATE {:.2} m, {}/{} frames tracked, {} keyframes, profile {}",
+            result.ate_meters,
+            result.tracked_frames,
+            result.frames,
+            result.keyframes,
+            result.profile
+        );
+        profiles.push(result.profile);
+    }
+
+    // Platform speedups on the hardest profile.
+    let profile = profiles[0];
+    println!("\nplatform speedups on the measured profile:");
+    for platform in Platform::table5_lineup() {
+        println!(
+            "  {:<5} {:6.2}x  ({}, {})",
+            platform.name,
+            offload::platform_speedup(&platform, &profile),
+            platform.power,
+            platform.weight
+        );
+    }
+
+    // The flight-time verdict (Table 5).
+    println!("\nTable 5 — gained flight time vs the RPi baseline:");
+    println!("{:<6}{:>9}{:>12}{:>12}{:>13}{:>13}", "", "speedup", "power ovh", "weight ovh", "small drones", "large drones");
+    for row in offload::table5(&profile) {
+        println!(
+            "{:<6}{:>8.2}x{:>10.2} W{:>10.0} g{:>9.1} min{:>9.1} min",
+            row.platform,
+            row.slam_speedup,
+            row.power_overhead_w,
+            row.weight_overhead_g,
+            row.gained_minutes_small,
+            row.gained_minutes_large
+        );
+    }
+    let rows = offload::table5(&profile);
+    if let Some(winner) = offload::most_cost_effective(&rows) {
+        println!(
+            "\nverdict: {} is the most cost-effective platform (the paper's conclusion)",
+            winner.platform
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! A full closed-loop autonomous survey flight: 6-DOF simulation, noisy
+//! sensors, state estimation, the hierarchical control cascade, mission
+//! logic and a MAVLink telemetry downlink — the paper's §4 drone stack
+//! flying the aerial-mapping workload its introduction motivates.
+//!
+//! ```sh
+//! cargo run --example survey_mission
+//! ```
+
+use drone_estimation::SensorSuite;
+use drone_firmware::{Autopilot, FlightMode, Mission, StreamParser};
+use drone_math::Vec3;
+use drone_sim::{PowerMeter, Quadcopter, QuadcopterParams, WindModel};
+
+fn main() {
+    let params = QuadcopterParams::default_450mm();
+    println!(
+        "airframe: {:.0} g take-off weight, TWR {:.2}",
+        params.total_weight().0,
+        params.thrust_to_weight()
+    );
+
+    let mut quad = Quadcopter::new(params.clone());
+    let mut sensors = SensorSuite::with_defaults(7);
+    let mut autopilot = Autopilot::new(&params);
+    autopilot.align(quad.state());
+    autopilot
+        .upload_mission(Mission::survey_square(Vec3::new(0.0, 0.0, 12.0), 16.0))
+        .expect("valid mission");
+    autopilot.arm().expect("armed");
+
+    // 4 m/s mean wind with 1.5 m/s gusts — Table 1 says the inner loop
+    // handles this without the mission layer noticing.
+    let mut wind = WindModel::gusty(Vec3::new(4.0, 1.0, 0.0), 1.5, 11);
+    let mut meter = PowerMeter::new(0.5);
+    let mut ground_station = StreamParser::new();
+    let mut wire = Vec::new();
+
+    let dt = 1e-3;
+    let mut prev_vel = quad.state().velocity;
+    let mut last_mode = autopilot.mode();
+    for step in 0..240_000 {
+        let t = step as f64 * dt;
+        let accel = (quad.state().velocity - prev_vel) / dt;
+        prev_vel = quad.state().velocity;
+        let readings = sensors.sample(quad.state(), accel, dt);
+        let throttle = autopilot.update(&readings, quad.battery().remaining_fraction(), dt);
+        let out = quad.step(throttle, wind.sample(dt), dt);
+        meter.set_phase(autopilot.mode().to_string());
+        meter.record(t, out.total_power);
+
+        if autopilot.mode() != last_mode {
+            println!("t={t:7.1}s  mode -> {}  at {}", autopilot.mode(), quad.state().position);
+            last_mode = autopilot.mode();
+        }
+        // Downlink: encode every queued message onto the "radio".
+        for (i, msg) in autopilot.drain_outbox().into_iter().enumerate() {
+            wire.extend_from_slice(&msg.encode(i as u8, 1, 1));
+        }
+        if autopilot.mode() == FlightMode::Disarmed && t > 5.0 {
+            println!("t={t:7.1}s  mission complete, landed at {}", quad.state().position);
+            break;
+        }
+    }
+
+    // Ground station decodes the whole flight's telemetry.
+    let frames = ground_station.push(&wire);
+    println!(
+        "\nground station received {} MAVLink frames ({} resyncs, {} CRC failures)",
+        frames.len(),
+        ground_station.resyncs(),
+        ground_station.crc_failures()
+    );
+
+    println!("\npower by flight phase:");
+    for (phase, avg) in meter.phase_averages() {
+        println!("  {phase:<10} {avg}");
+    }
+    println!(
+        "battery remaining: {:.0}%",
+        quad.battery().remaining_fraction() * 100.0
+    );
+}

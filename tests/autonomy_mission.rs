@@ -1,0 +1,128 @@
+//! Outer-loop autonomy end to end: a survey flight builds an occupancy
+//! map from simulated LiDAR, the planner routes through the discovered
+//! gap, and the full flight stack flies the planned mission without
+//! hitting the (never directly revealed) obstacle boxes — the paper's
+//! Table 1 outer-loop applications working on top of the inner loop.
+
+use drone_autonomy::grid::{CellState, OccupancyGrid};
+use drone_autonomy::lidar::{Lidar, ObstacleWorld};
+use drone_autonomy::planner::{plan_mission, plan_path};
+use drone_estimation::SensorSuite;
+use drone_firmware::{Autopilot, FlightMode, MissionItem};
+use drone_math::Vec3;
+use drone_sim::{Quadcopter, QuadcopterParams, RigidBodyState};
+
+/// A wall at x ∈ [4,5] spanning y ∈ [-12,12] with a gap at y ∈ [-1.5,1.5].
+fn walled_world() -> ObstacleWorld {
+    let mut world = ObstacleWorld::new();
+    world.add_box(Vec3::new(4.0, -12.0, 0.0), Vec3::new(5.0, -1.5, 25.0));
+    world.add_box(Vec3::new(4.0, 1.5, 0.0), Vec3::new(5.0, 12.0, 25.0));
+    world
+}
+
+/// Scan the world from a lawnmower pattern of hover points (a simple
+/// stand-in for a full mapping flight) and return the built grid.
+fn map_by_scanning(world: &ObstacleWorld) -> OccupancyGrid {
+    let mut grid = OccupancyGrid::new(60, 60, 0.5, -15.0, -15.0);
+    let mut lidar = Lidar::new(180, 25.0, 0.005, 9);
+    for iy in 0..6 {
+        for ix in 0..4 {
+            let pose = RigidBodyState {
+                position: Vec3::new(-12.0 + ix as f64 * 5.0, -12.0 + iy as f64 * 5.0, 8.0),
+                ..Default::default()
+            };
+            if world.collides(pose.position) {
+                continue;
+            }
+            // Two scans per vantage point to pass the evidence threshold.
+            for _ in 0..2 {
+                for ret in lidar.scan(world, &pose) {
+                    let dir = Vec3::new(ret.azimuth.cos(), ret.azimuth.sin(), 0.0);
+                    let end = pose.position + dir * ret.range;
+                    grid.integrate_ray(pose.position, end, ret.hit);
+                }
+            }
+        }
+    }
+    grid
+}
+
+#[test]
+fn lidar_mapping_discovers_the_wall_and_the_gap() {
+    let world = walled_world();
+    let grid = map_by_scanning(&world);
+    assert!(grid.coverage() > 0.5, "coverage {}", grid.coverage());
+    // The wall's front face (the surface the beams strike) is occupied…
+    let (wx, wy) = (4.1, 6.0);
+    let (cx, cy) = grid.world_to_cell(wx, wy).unwrap();
+    assert_eq!(grid.state(cx, cy), CellState::Occupied, "wall not mapped");
+    // …and the gap is known free.
+    let (gx, gy) = grid.world_to_cell(4.5, 0.0).unwrap();
+    assert_eq!(grid.state(gx, gy), CellState::Free, "gap not discovered");
+}
+
+#[test]
+fn planned_path_uses_the_discovered_gap() {
+    let world = walled_world();
+    let grid = map_by_scanning(&world).inflated(0.6);
+    let start = grid.world_to_cell(-8.0, -6.0).unwrap();
+    let goal = grid.world_to_cell(10.0, 6.0).unwrap();
+    let path = plan_path(&grid, start, goal).expect("a route through the gap exists");
+    // Every path cell must be collision-free in the TRUE world.
+    for &(x, y) in &path {
+        let (wx, wy) = grid.cell_center(x, y);
+        assert!(
+            !world.collides(Vec3::new(wx, wy, 8.0)),
+            "path cell ({wx:.1},{wy:.1}) is inside an obstacle"
+        );
+    }
+}
+
+#[test]
+fn full_stack_flies_the_planned_mission_without_collision() {
+    let world = walled_world();
+    let grid = map_by_scanning(&world).inflated(0.8);
+    let mission = plan_mission(&grid, (-8.0, -6.0), (10.0, 6.0), 8.0, 0.8)
+        .expect("mission planned through the gap");
+    let waypoints = mission
+        .items()
+        .iter()
+        .filter(|i| matches!(i, MissionItem::Waypoint { .. }))
+        .count();
+    assert!(waypoints >= 2, "route should need turns: {:?}", mission.items());
+
+    // Fly it with the full stack, starting at the mission start point.
+    let params = QuadcopterParams::default_450mm();
+    let mut quad = Quadcopter::new(params.clone());
+    quad.state_mut().position = Vec3::new(-8.0, -6.0, 0.0);
+    let mut sensors = SensorSuite::with_defaults(51);
+    let mut autopilot = Autopilot::new(&params);
+    autopilot.align(quad.state());
+    autopilot.upload_mission(mission).unwrap();
+    autopilot.arm().unwrap();
+    let dt = 1e-3;
+    let mut prev_vel = quad.state().velocity;
+    let mut min_clearance_ok = true;
+    for step in 0..240_000 {
+        let accel = (quad.state().velocity - prev_vel) / dt;
+        prev_vel = quad.state().velocity;
+        let readings = sensors.sample(quad.state(), accel, dt);
+        let throttle = autopilot.update(&readings, quad.battery().remaining_fraction(), dt);
+        quad.step(throttle, Vec3::ZERO, dt);
+        if world.collides(quad.state().position) {
+            min_clearance_ok = false;
+            break;
+        }
+        if autopilot.mode() == FlightMode::Disarmed && step as f64 * dt > 5.0 {
+            break;
+        }
+    }
+    assert!(min_clearance_ok, "the drone hit the wall at {}", quad.state());
+    assert_eq!(autopilot.mode(), FlightMode::Disarmed, "mission did not complete");
+    // Landed near the goal.
+    let final_pos = quad.state().position;
+    assert!(
+        (final_pos - Vec3::new(10.0, 6.0, 0.0)).norm() < 2.5,
+        "landed at {final_pos}, expected near (10, 6)"
+    );
+}

@@ -1,0 +1,77 @@
+//! End-to-end §5 reproduction: SLAM pipeline → stage profile → platform
+//! models → Figure 17 / Table 5 conclusions.
+
+use drone_dse::offload;
+use drone_math::stats::geometric_mean;
+use drone_platform::model::Platform;
+use drone_slam::euroc::Sequence;
+use drone_slam::{Pipeline, PipelineConfig};
+
+fn profiles(frames: usize) -> Vec<drone_slam::StageProfile> {
+    // One sequence per difficulty band keeps the test quick while
+    // spanning the dataset.
+    [Sequence::MH01, Sequence::V102, Sequence::V203]
+        .into_iter()
+        .map(|seq| {
+            let dataset = seq.generate_with_frames(frames);
+            Pipeline::new(PipelineConfig::default()).run(&dataset).profile
+        })
+        .collect()
+}
+
+#[test]
+fn ba_dominates_like_the_paper_says() {
+    // §5.2: the bundle adjustments are ≈90 % of ORB-SLAM's RPi runtime.
+    for profile in profiles(120) {
+        let ba = profile.ba_fraction();
+        assert!((0.7..1.0).contains(&ba), "BA fraction {ba:.2} ({profile})");
+    }
+}
+
+#[test]
+fn figure17_gmeans_track_the_paper() {
+    let tx2 = Platform::jetson_tx2();
+    let fpga = Platform::zynq_fpga();
+    let mut s_tx2 = Vec::new();
+    let mut s_fpga = Vec::new();
+    for profile in profiles(120) {
+        s_tx2.push(offload::platform_speedup(&tx2, &profile));
+        s_fpga.push(offload::platform_speedup(&fpga, &profile));
+    }
+    let g_tx2 = geometric_mean(&s_tx2).unwrap();
+    let g_fpga = geometric_mean(&s_fpga).unwrap();
+    assert!((1.7..2.8).contains(&g_tx2), "TX2 GMean {g_tx2:.2} (paper 2.16)");
+    assert!((20.0..40.0).contains(&g_fpga), "FPGA GMean {g_fpga:.1} (paper 30.7)");
+}
+
+#[test]
+fn table5_conclusions_hold_on_measured_profiles() {
+    for profile in profiles(120) {
+        let rows = offload::table5(&profile);
+        let get = |n: &str| rows.iter().find(|r| r.platform == n).unwrap();
+        // TX2 loses flight time, FPGA and ASIC gain, ASIC by seconds.
+        assert!(get("TX2").gained_minutes_small < 0.0);
+        assert!(get("FPGA").gained_minutes_small > 1.0);
+        let delta = get("ASIC").gained_minutes_small - get("FPGA").gained_minutes_small;
+        assert!((0.0..1.0).contains(&delta), "ASIC-FPGA delta {delta:.2}");
+        // FPGA is the verdict once fabrication cost is considered.
+        assert_eq!(offload::most_cost_effective(&rows).unwrap().platform, "FPGA");
+    }
+}
+
+#[test]
+fn slam_stays_accurate_enough_to_trust_the_profile() {
+    // The profile only means something if the pipeline actually tracks
+    // ("while confirming SLAM key metrics", §5).
+    for (seq, max_ate) in [(Sequence::MH01, 0.6), (Sequence::V102, 1.2), (Sequence::V203, 3.0)] {
+        let dataset = seq.generate_with_frames(120);
+        let result = Pipeline::new(PipelineConfig::default()).run(&dataset);
+        assert!(
+            result.ate_meters < max_ate,
+            "{seq}: ATE {:.2} m exceeds {max_ate}",
+            result.ate_meters
+        );
+        let tracked = result.tracked_frames as f64 / result.frames as f64;
+        assert!(tracked > 0.8, "{seq}: tracked only {:.0}%", tracked * 100.0);
+    }
+}

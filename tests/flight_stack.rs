@@ -1,0 +1,155 @@
+//! Cross-crate integration: the full flight stack — simulation, sensors,
+//! estimation, control cascade, mission firmware and telemetry — flying
+//! a complete autonomous mission.
+
+use drone_estimation::SensorSuite;
+use drone_firmware::{Autopilot, FlightMode, Mission, Message, StreamParser};
+use drone_math::Vec3;
+use drone_sim::{PowerMeter, Quadcopter, QuadcopterParams, WindModel};
+
+/// Flies a mission and returns `(quad, autopilot, meter, wire)`.
+fn fly(
+    mission: Mission,
+    wind: WindModel,
+    seconds: f64,
+    sensor_seed: u64,
+) -> (Quadcopter, Autopilot, PowerMeter, Vec<u8>) {
+    let params = QuadcopterParams::default_450mm();
+    let mut quad = Quadcopter::new(params.clone());
+    let mut sensors = SensorSuite::with_defaults(sensor_seed);
+    let mut autopilot = Autopilot::new(&params);
+    autopilot.align(quad.state());
+    autopilot.upload_mission(mission).expect("mission accepted");
+    autopilot.arm().expect("armed");
+    let mut wind = wind;
+    let mut meter = PowerMeter::new(0.1);
+    let mut wire = Vec::new();
+    let dt = 1e-3;
+    let mut prev_vel = quad.state().velocity;
+    let mut seq = 0u8;
+    for step in 0..(seconds / dt) as usize {
+        let accel = (quad.state().velocity - prev_vel) / dt;
+        prev_vel = quad.state().velocity;
+        let readings = sensors.sample(quad.state(), accel, dt);
+        let throttle = autopilot.update(&readings, quad.battery().remaining_fraction(), dt);
+        let out = quad.step(throttle, wind.sample(dt), dt);
+        meter.set_phase(autopilot.mode().to_string());
+        meter.record(step as f64 * dt, out.total_power);
+        for msg in autopilot.drain_outbox() {
+            wire.extend_from_slice(&msg.encode(seq, 1, 1));
+            seq = seq.wrapping_add(1);
+        }
+        if autopilot.mode() == FlightMode::Disarmed && step as f64 * dt > 5.0 {
+            break;
+        }
+    }
+    (quad, autopilot, meter, wire)
+}
+
+#[test]
+fn survey_mission_completes_in_gusty_wind() {
+    let mission = Mission::survey_square(Vec3::new(0.0, 0.0, 12.0), 16.0);
+    let wind = WindModel::gusty(Vec3::new(3.0, 1.0, 0.0), 1.0, 13);
+    let (quad, autopilot, _, _) = fly(mission, wind, 150.0, 31);
+    assert_eq!(autopilot.mode(), FlightMode::Disarmed, "mission did not complete");
+    assert!(quad.state().position.z < 0.3, "not landed: {}", quad.state());
+    // The whole square was visited.
+    let telemetry = autopilot.telemetry();
+    for (sx, sy) in [(-1.0, -1.0), (1.0, -1.0), (1.0, 1.0), (-1.0, 1.0)] {
+        assert!(
+            telemetry.iter().any(|t| t.position.x * sx > 4.0 && t.position.y * sy > 4.0),
+            "quadrant ({sx},{sy}) never visited"
+        );
+    }
+}
+
+#[test]
+fn telemetry_downlink_survives_the_radio() {
+    let mission = Mission::hover_test(8.0, 3.0);
+    let (_, _, _, wire) = fly(mission, WindModel::calm(), 60.0, 32);
+    // The ground station decodes every frame despite byte-at-a-time
+    // delivery.
+    let mut parser = StreamParser::new();
+    let mut frames = Vec::new();
+    for chunk in wire.chunks(7) {
+        frames.extend(parser.push(chunk));
+    }
+    assert!(frames.len() > 200, "only {} frames", frames.len());
+    assert_eq!(parser.crc_failures(), 0);
+    // The stream contains all four periodic message types.
+    let has = |pred: fn(&Message) -> bool| frames.iter().any(|f| pred(&f.message));
+    assert!(has(|m| matches!(m, Message::Heartbeat { .. })));
+    assert!(has(|m| matches!(m, Message::Attitude { .. })));
+    assert!(has(|m| matches!(m, Message::Position { .. })));
+    assert!(has(|m| matches!(m, Message::BatteryStatus { .. })));
+}
+
+#[test]
+fn flight_power_matches_the_design_model() {
+    // The simulator's measured hover power should agree with the
+    // analytical design-space model within modelling error — tying the
+    // two halves of the workspace together.
+    let mission = Mission::hover_test(10.0, 20.0);
+    let (_quad, _, meter, _) = fly(mission, WindModel::calm(), 90.0, 33);
+    let sim_hover = meter
+        .phase_averages()
+        .into_iter()
+        .find(|(phase, _)| phase == "mission")
+        .map(|(_, w)| w.0)
+        .expect("mission phase recorded");
+
+    // Analytical model for the same build.
+    let params = QuadcopterParams::default_450mm();
+    let spec = drone_dse::design::DesignSpec::new(
+        450.0,
+        drone_components::battery::CellCount::S3,
+        drone_components::units::MilliampHours(3000.0),
+    )
+    .with_compute(drone_components::units::Grams(73.0), params.avionics_power)
+    .with_sensors(drone_components::units::Grams(106.0), drone_components::units::Watts(0.5));
+    let drone = spec.size().expect("feasible");
+    let model_hover = drone_dse::power::PowerModel::paper_defaults()
+        .average_power(&drone, drone_dse::power::FlyingLoad::Hover)
+        .total()
+        .0;
+    let rel = (sim_hover - model_hover).abs() / model_hover;
+    assert!(
+        rel < 0.45,
+        "simulated hover {sim_hover:.0} W vs model {model_hover:.0} W (rel {rel:.2})"
+    );
+    // Both in the paper's 450 mm ballpark (~130 W).
+    assert!((60.0..220.0).contains(&sim_hover), "sim hover {sim_hover}");
+}
+
+#[test]
+fn estimator_tracks_through_the_whole_mission() {
+    let mission = Mission::survey_square(Vec3::new(0.0, 0.0, 10.0), 12.0);
+    let params = QuadcopterParams::default_450mm();
+    let mut quad = Quadcopter::new(params.clone());
+    let mut sensors = SensorSuite::with_defaults(34);
+    let mut autopilot = Autopilot::new(&params);
+    autopilot.align(quad.state());
+    autopilot.upload_mission(mission).unwrap();
+    autopilot.arm().unwrap();
+    let mut wind = WindModel::gusty(Vec3::new(2.0, 0.0, 0.0), 0.5, 5);
+    let dt = 1e-3;
+    let mut prev_vel = quad.state().velocity;
+    let mut worst_error = 0.0f64;
+    for step in 0..150_000 {
+        let accel = (quad.state().velocity - prev_vel) / dt;
+        prev_vel = quad.state().velocity;
+        let readings = sensors.sample(quad.state(), accel, dt);
+        let throttle = autopilot.update(&readings, quad.battery().remaining_fraction(), dt);
+        quad.step(throttle, wind.sample(dt), dt);
+        if step > 2000 {
+            let err = (autopilot.estimate().position - quad.state().position).norm();
+            worst_error = worst_error.max(err);
+        }
+        if autopilot.mode() == FlightMode::Disarmed && step as f64 * dt > 5.0 {
+            break;
+        }
+    }
+    // Transient peaks during aggressive corner turns (with blade-flapping
+    // moments) reach ~3 m; divergence would be tens of metres.
+    assert!(worst_error < 4.0, "estimator diverged: worst error {worst_error:.2} m");
+}

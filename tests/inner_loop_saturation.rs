@@ -1,0 +1,47 @@
+//! §2.1.3-D reproduction: the inner-loop update rate is limited by the
+//! physical response of the vehicle, not by computation. Running the
+//! cascade faster than a few hundred hertz buys essentially nothing,
+//! while dropping to tens of hertz visibly degrades response.
+
+use drone_bench::{roll_overshoot, roll_rise_time};
+
+#[test]
+fn response_saturates_beyond_500hz() {
+    let rise_500 = roll_rise_time(500.0).expect("500 Hz loop reaches the target");
+    let rise_4k = roll_rise_time(4000.0).expect("4 kHz loop reaches the target");
+    // 8x the compute budget improves the response by under 25 %: the
+    // motor time constant dominates.
+    let improvement = 1.0 - rise_4k / rise_500;
+    assert!(
+        improvement < 0.25,
+        "4 kHz should not meaningfully beat 500 Hz: rise {rise_500:.4}s -> {rise_4k:.4}s ({improvement:.2})"
+    );
+}
+
+#[test]
+fn paper_rate_band_all_works() {
+    // The paper: commercial inner loops run 50-500 Hz. Every rate in the
+    // band must achieve the maneuver.
+    for rate in [50.0, 100.0, 250.0, 500.0] {
+        let rise = roll_rise_time(rate);
+        assert!(rise.is_some(), "{rate} Hz loop failed to reach the roll target");
+        let rise = rise.unwrap();
+        assert!(
+            rise < 1.0,
+            "{rate} Hz loop took {rise:.2}s — outside the Table 2 attitude response scale"
+        );
+    }
+}
+
+#[test]
+fn very_slow_loops_ring_visibly() {
+    // Rise time alone misleads (an underdamped loop rises *faster*);
+    // the cost of a slow loop is ringing. A 50 Hz loop must overshoot
+    // the step noticeably more than a 1 kHz loop.
+    let over_50 = roll_overshoot(50.0);
+    let over_1k = roll_overshoot(1000.0);
+    assert!(
+        over_50 > over_1k + 0.005,
+        "50 Hz should ring more than 1 kHz: {over_50:.4} vs {over_1k:.4} rad"
+    );
+}

@@ -54,10 +54,23 @@ impl OccupancyGrid {
     /// # Panics
     ///
     /// Panics on zero dimensions or non-positive resolution.
-    pub fn new(width: usize, height: usize, resolution: f64, origin_x: f64, origin_y: f64) -> OccupancyGrid {
+    pub fn new(
+        width: usize,
+        height: usize,
+        resolution: f64,
+        origin_x: f64,
+        origin_y: f64,
+    ) -> OccupancyGrid {
         assert!(width > 0 && height > 0, "grid must be non-empty");
         assert!(resolution > 0.0, "resolution must be positive");
-        OccupancyGrid { width, height, resolution, origin_x, origin_y, evidence: vec![0; width * height] }
+        OccupancyGrid {
+            width,
+            height,
+            resolution,
+            origin_x,
+            origin_y,
+            evidence: vec![0; width * height],
+        }
     }
 
     /// Grid width in cells.
@@ -95,7 +108,10 @@ impl OccupancyGrid {
     }
 
     fn index(&self, x: usize, y: usize) -> usize {
-        assert!(x < self.width && y < self.height, "cell ({x},{y}) out of grid");
+        assert!(
+            x < self.width && y < self.height,
+            "cell ({x},{y}) out of grid"
+        );
         y * self.width + x
     }
 
@@ -136,8 +152,12 @@ impl OccupancyGrid {
     /// the end cell gains occupied evidence when `hit` is true. Out-of-
     /// grid portions are ignored.
     pub fn integrate_ray(&mut self, from: Vec3, to: Vec3, hit: bool) {
-        let Some((x0, y0)) = self.world_to_cell(from.x, from.y) else { return };
-        let Some((x1, y1)) = self.world_to_cell(to.x, to.y) else { return };
+        let Some((x0, y0)) = self.world_to_cell(from.x, from.y) else {
+            return;
+        };
+        let Some((x1, y1)) = self.world_to_cell(to.x, to.y) else {
+            return;
+        };
         // Bresenham.
         let (mut x, mut y) = (x0 as isize, y0 as isize);
         let (x1, y1) = (x1 as isize, y1 as isize);
@@ -187,7 +207,10 @@ impl OccupancyGrid {
                         }
                         let nx = x as isize + dx;
                         let ny = y as isize + dy;
-                        if nx >= 0 && ny >= 0 && (nx as usize) < self.width && (ny as usize) < self.height
+                        if nx >= 0
+                            && ny >= 0
+                            && (nx as usize) < self.width
+                            && (ny as usize) < self.height
                         {
                             out.set_occupied(nx as usize, ny as usize);
                         }

@@ -141,7 +141,12 @@ impl Lidar {
     pub fn new(beams: usize, max_range: f64, range_noise: f64, seed: u64) -> Lidar {
         assert!(beams > 0, "need at least one beam");
         assert!(max_range > 0.0, "range must be positive");
-        Lidar { beams, max_range, range_noise, rng: Pcg32::seed_from(seed) }
+        Lidar {
+            beams,
+            max_range,
+            range_noise,
+            rng: Pcg32::seed_from(seed),
+        }
     }
 
     /// Maximum range, m.
@@ -161,9 +166,17 @@ impl Lidar {
                     Some(d) => {
                         let noisy =
                             (d * (1.0 + self.rng.normal_with(0.0, self.range_noise))).max(0.05);
-                        LidarReturn { azimuth, range: noisy.min(self.max_range), hit: true }
+                        LidarReturn {
+                            azimuth,
+                            range: noisy.min(self.max_range),
+                            hit: true,
+                        }
                     }
-                    None => LidarReturn { azimuth, range: self.max_range, hit: false },
+                    None => LidarReturn {
+                        azimuth,
+                        range: self.max_range,
+                        hit: false,
+                    },
                 }
             })
             .collect()
@@ -183,14 +196,18 @@ mod tests {
     #[test]
     fn raycast_hits_facing_wall() {
         let w = wall_world();
-        let d = w.raycast(Vec3::new(0.0, 0.0, 5.0), Vec3::X, 30.0).expect("hit");
+        let d = w
+            .raycast(Vec3::new(0.0, 0.0, 5.0), Vec3::X, 30.0)
+            .expect("hit");
         assert!((d - 5.0).abs() < 1e-9, "distance {d}");
     }
 
     #[test]
     fn raycast_misses_behind() {
         let w = wall_world();
-        assert!(w.raycast(Vec3::new(0.0, 0.0, 5.0), -Vec3::X, 30.0).is_none());
+        assert!(w
+            .raycast(Vec3::new(0.0, 0.0, 5.0), -Vec3::X, 30.0)
+            .is_none());
         assert!(w.raycast(Vec3::new(0.0, 0.0, 5.0), Vec3::Y, 30.0).is_none());
     }
 
@@ -204,7 +221,9 @@ mod tests {
     fn nearest_of_two_obstacles_wins() {
         let mut w = wall_world();
         w.add_box(Vec3::new(2.0, -1.0, 0.0), Vec3::new(3.0, 1.0, 20.0));
-        let d = w.raycast(Vec3::new(0.0, 0.0, 5.0), Vec3::X, 30.0).expect("hit");
+        let d = w
+            .raycast(Vec3::new(0.0, 0.0, 5.0), Vec3::X, 30.0)
+            .expect("hit");
         assert!((d - 2.0).abs() < 1e-9);
     }
 
@@ -221,7 +240,10 @@ mod tests {
         let scan = lidar.scan(&wall_world(), &RigidBodyState::at_altitude(5.0));
         // The beam along +X hits at ~5 m; the beam along −X misses.
         let forward = &scan[0];
-        assert!(forward.hit && (forward.range - 5.0).abs() < 0.1, "{forward:?}");
+        assert!(
+            forward.hit && (forward.range - 5.0).abs() < 0.1,
+            "{forward:?}"
+        );
         let backward = &scan[36];
         assert!(!backward.hit);
     }
@@ -229,7 +251,9 @@ mod tests {
     #[test]
     fn ray_starting_inside_reports_zero_distance() {
         let w = wall_world();
-        let d = w.raycast(Vec3::new(5.5, 0.0, 5.0), Vec3::X, 30.0).expect("inside");
+        let d = w
+            .raycast(Vec3::new(5.5, 0.0, 5.0), Vec3::X, 30.0)
+            .expect("inside");
         assert!(d.abs() < 1e-9);
     }
 

@@ -51,8 +51,14 @@ fn heuristic(a: Cell, b: Cell) -> f64 {
 ///
 /// Panics if `start` or `goal` are outside the grid.
 pub fn plan_path(grid: &OccupancyGrid, start: Cell, goal: Cell) -> Option<Vec<Cell>> {
-    assert!(start.0 < grid.width() && start.1 < grid.height(), "start outside grid");
-    assert!(goal.0 < grid.width() && goal.1 < grid.height(), "goal outside grid");
+    assert!(
+        start.0 < grid.width() && start.1 < grid.height(),
+        "start outside grid"
+    );
+    assert!(
+        goal.0 < grid.width() && goal.1 < grid.height(),
+        "goal outside grid"
+    );
     if !traversable(grid, start) || !traversable(grid, goal) {
         return None;
     }
@@ -63,7 +69,10 @@ pub fn plan_path(grid: &OccupancyGrid, start: Cell, goal: Cell) -> Option<Vec<Ce
     let mut parent: Vec<Option<Cell>> = vec![None; w * h];
     let mut open = BinaryHeap::new();
     g_cost[idx(start)] = 0.0;
-    open.push(Node { cell: start, f: heuristic(start, goal) });
+    open.push(Node {
+        cell: start,
+        f: heuristic(start, goal),
+    });
 
     while let Some(Node { cell, .. }) = open.pop() {
         if cell == goal {
@@ -100,12 +109,19 @@ pub fn plan_path(grid: &OccupancyGrid, start: Cell, goal: Cell) -> Option<Vec<Ce
                         continue;
                     }
                 }
-                let step = if dx != 0 && dy != 0 { std::f64::consts::SQRT_2 } else { 1.0 };
+                let step = if dx != 0 && dy != 0 {
+                    std::f64::consts::SQRT_2
+                } else {
+                    1.0
+                };
                 let tentative = base + step;
                 if tentative < g_cost[idx(next)] {
                     g_cost[idx(next)] = tentative;
                     parent[idx(next)] = Some(cell);
-                    open.push(Node { cell: next, f: tentative + heuristic(next, goal) });
+                    open.push(Node {
+                        cell: next,
+                        f: tentative + heuristic(next, goal),
+                    });
                 }
             }
         }
@@ -274,8 +290,16 @@ mod tests {
             if dx != 0 && dy != 0 {
                 let sa = ((a.0 as isize + dx) as usize, a.1);
                 let sb = (a.0, (a.1 as isize + dy) as usize);
-                assert_ne!(g.state(sa.0, sa.1), CellState::Occupied, "cut corner at {a:?}");
-                assert_ne!(g.state(sb.0, sb.1), CellState::Occupied, "cut corner at {a:?}");
+                assert_ne!(
+                    g.state(sa.0, sa.1),
+                    CellState::Occupied,
+                    "cut corner at {a:?}"
+                );
+                assert_ne!(
+                    g.state(sb.0, sb.1),
+                    CellState::Occupied,
+                    "cut corner at {a:?}"
+                );
             }
         }
     }

@@ -29,7 +29,11 @@ fn bench_catalog_figures(c: &mut Criterion) {
             b.iter(|| {
                 let catalog = Catalog::synthesize(
                     7,
-                    CatalogSize { batteries, escs: 40, frames: 25 },
+                    CatalogSize {
+                        batteries,
+                        escs: 40,
+                        frames: 25,
+                    },
                 );
                 catalog.battery_fit(CellCount::S3)
             })
@@ -93,7 +97,14 @@ fn bench_estimator_ablation(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_estimator");
     g.bench_function("complementary_update", |b| {
         let mut f = ComplementaryFilter::default();
-        b.iter(|| f.update(black_box(Vec3::new(0.1, 0.0, 0.0)), Some(Vec3::Z * 9.81), None, 5e-3))
+        b.iter(|| {
+            f.update(
+                black_box(Vec3::new(0.1, 0.0, 0.0)),
+                Some(Vec3::Z * 9.81),
+                None,
+                5e-3,
+            )
+        })
     });
     g.bench_function("ekf_predict_update", |b| {
         let mut ekf = NavigationEkf::new();

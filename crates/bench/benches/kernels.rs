@@ -9,7 +9,9 @@ fn bench_math(c: &mut Criterion) {
     let mut g = c.benchmark_group("math");
     let q = Quat::from_euler(0.2, -0.4, 1.0);
     let v = Vec3::new(1.0, 2.0, 3.0);
-    g.bench_function("quat_rotate", |b| b.iter(|| black_box(q).rotate(black_box(v))));
+    g.bench_function("quat_rotate", |b| {
+        b.iter(|| black_box(q).rotate(black_box(v)))
+    });
     g.bench_function("quat_integrate", |b| {
         b.iter(|| black_box(q).integrate(black_box(v), black_box(1e-3)))
     });
@@ -23,7 +25,9 @@ fn bench_math(c: &mut Criterion) {
     }
     let spd = a.matmul(&a.transpose()).add_diagonal(1.0);
     let rhs = Matrix::column(&[1.0; 24]);
-    g.bench_function("matmul_24x24", |b| b.iter(|| black_box(&a).matmul(black_box(&a))));
+    g.bench_function("matmul_24x24", |b| {
+        b.iter(|| black_box(&a).matmul(black_box(&a)))
+    });
     g.bench_function("cholesky_solve_24", |b| {
         b.iter(|| black_box(&spd).solve_spd(black_box(&rhs)))
     });
@@ -48,7 +52,12 @@ fn bench_uarch(c: &mut Criterion) {
     });
     g.bench_function("core_100k_autopilot_instructions", |b| {
         b.iter_batched(
-            || (CoreSystem::new(CoreConfig::default()), SyntheticWorkload::autopilot(1)),
+            || {
+                (
+                    CoreSystem::new(CoreConfig::default()),
+                    SyntheticWorkload::autopilot(1),
+                )
+            },
             |(mut core, mut wl)| core.run_alone(&mut wl, 100_000),
             BatchSize::SmallInput,
         )
@@ -114,7 +123,9 @@ fn bench_mavlink(c: &mut Criterion) {
         position: [1.0, 2.0, 3.0],
         velocity: [0.1, 0.2, 0.3],
     };
-    g.bench_function("encode_position", |b| b.iter(|| black_box(&msg).encode(0, 1, 1)));
+    g.bench_function("encode_position", |b| {
+        b.iter(|| black_box(&msg).encode(0, 1, 1))
+    });
     let wire = msg.encode(0, 1, 1);
     g.bench_function("decode_position", |b| {
         b.iter_batched(

@@ -14,9 +14,18 @@ use drone_sim::{PowerMeter, Quadcopter, QuadcopterParams, WindModel};
 /// and co-scheduled on one core.
 pub fn figure15() -> String {
     let (ap_alone, slam_alone, ap_shared, slam_shared) = figure15_experiment(2_000_000, 42);
-    let mut t = Table::new(vec!["workload", "IPC", "LLC miss", "branch miss", "TLB MPKI"]);
+    let mut t = Table::new(vec![
+        "workload",
+        "IPC",
+        "LLC miss",
+        "branch miss",
+        "TLB MPKI",
+    ]);
     for s in [&ap_alone, &slam_alone, &ap_shared, &slam_shared] {
-        let label = match (s.name.as_str(), std::ptr::eq(s, &ap_shared) || std::ptr::eq(s, &slam_shared)) {
+        let label = match (
+            s.name.as_str(),
+            std::ptr::eq(s, &ap_shared) || std::ptr::eq(s, &slam_shared),
+        ) {
             (n, true) => format!("{n} (w/ co-run)"),
             (n, false) => n.to_owned(),
         };
@@ -75,7 +84,11 @@ pub fn figure16() -> String {
             ComputePhase::AutopilotSlamActive => "4.56",
             _ => "-",
         };
-        a.row(vec![phase.to_string(), f(sum / *n as f64, 2), paper_val.to_owned()]);
+        a.row(vec![
+            phase.to_string(),
+            f(sum / *n as f64, 2),
+            paper_val.to_owned(),
+        ]);
     }
 
     // --- (b) whole-drone flight power from the simulator. ---
@@ -84,7 +97,9 @@ pub fn figure16() -> String {
     let mut sensors = SensorSuite::with_defaults(16);
     let mut autopilot = Autopilot::new(&params);
     autopilot.align(quad.state());
-    autopilot.upload_mission(Mission::hover_test(10.0, 20.0)).expect("valid mission");
+    autopilot
+        .upload_mission(Mission::hover_test(10.0, 20.0))
+        .expect("valid mission");
     autopilot.arm().expect("armed");
     let mut wind = WindModel::gusty(Vec3::new(1.0, 0.0, 0.0), 0.5, 4);
     let mut meter = PowerMeter::new(0.02); // the paper's 50 Hz oscilloscope

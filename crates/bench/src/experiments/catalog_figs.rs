@@ -28,7 +28,9 @@ pub fn figure7() -> String {
         "n",
     ]);
     for cells in CellCount::ALL {
-        let Some(fit) = catalog.battery_fit(cells) else { continue };
+        let Some(fit) = catalog.battery_fit(cells) else {
+            continue;
+        };
         let reference = paper::battery_weight_fit(cells);
         t.row(vec![
             cells.to_string(),
@@ -50,12 +52,21 @@ pub fn figure7() -> String {
 /// thermal class.
 pub fn figure8a() -> String {
     let catalog = Catalog::synthesize_default(CATALOG_SEED);
-    let mut t = Table::new(vec!["class", "fitted slope", "paper slope", "fitted intercept", "paper intercept", "n"]);
+    let mut t = Table::new(vec![
+        "class",
+        "fitted slope",
+        "paper slope",
+        "fitted intercept",
+        "paper intercept",
+        "n",
+    ]);
     for (class, reference) in [
         (EscClass::LongFlight, paper::esc_long_flight_fit()),
         (EscClass::ShortFlight, paper::esc_short_flight_fit()),
     ] {
-        let Some(fit) = catalog.esc_fit(class) else { continue };
+        let Some(fit) = catalog.esc_fit(class) else {
+            continue;
+        };
         t.row(vec![
             class.to_string(),
             f(fit.slope, 4),
@@ -65,7 +76,10 @@ pub fn figure8a() -> String {
             fit.n.to_string(),
         ]);
     }
-    format!("Figure 8a — ESC current vs weight of 4x ESCs (40 synthetic ESCs)\n{}", t.render())
+    format!(
+        "Figure 8a — ESC current vs weight of 4x ESCs (40 synthetic ESCs)\n{}",
+        t.render()
+    )
 }
 
 /// Figure 8b: frame wheelbase → weight fit above 200 mm.
@@ -75,8 +89,18 @@ pub fn figure8b() -> String {
     if let Some(fit) = catalog.frame_fit() {
         let reference = paper::frame_weight_fit();
         let mut t = Table::new(vec!["", "slope", "intercept", "R^2"]);
-        t.row(vec!["fitted".into(), f(fit.slope, 4), f(fit.intercept, 1), f(fit.r_squared, 3)]);
-        t.row(vec!["paper".into(), f(reference.slope, 4), f(reference.intercept, 1), "".into()]);
+        t.row(vec![
+            "fitted".into(),
+            f(fit.slope, 4),
+            f(fit.intercept, 1),
+            f(fit.r_squared, 3),
+        ]);
+        t.row(vec![
+            "paper".into(),
+            f(reference.slope, 4),
+            f(reference.intercept, 1),
+            "".into(),
+        ]);
         out.push_str(&t.render());
     }
     out.push_str("small frames (<200 mm): 50-200 g scatter band, no linear trend (paper note)\n");
@@ -87,10 +111,14 @@ pub fn figure8b() -> String {
 /// by wheelbase (propeller) and supply voltage, at TWR 2 — with the Kv
 /// ratings the designs demand.
 pub fn figure9() -> String {
-    let mut out = String::from(
-        "Figure 9 — per-motor max current vs basic weight @ TWR 2 (Kv in brackets)\n",
-    );
-    let configs = [(100.0, 200.0, 600.0), (200.0, 200.0, 1100.0), (450.0, 300.0, 1800.0), (800.0, 500.0, 2700.0)];
+    let mut out =
+        String::from("Figure 9 — per-motor max current vs basic weight @ TWR 2 (Kv in brackets)\n");
+    let configs = [
+        (100.0, 200.0, 600.0),
+        (200.0, 200.0, 1100.0),
+        (450.0, 300.0, 1800.0),
+        (800.0, 500.0, 2700.0),
+    ];
     for (wheelbase, w_min, w_max) in configs {
         let frame = Frame::from_model(Millimeters(wheelbase));
         let prop = Propeller::standard(frame.max_propeller_inches());
@@ -123,7 +151,10 @@ pub fn figure9() -> String {
                     }
                 }
                 let m = chosen.expect("sizing ran");
-                cells_out.push(format!("{:.1} A [{:.0}Kv]", m.max_current.0, m.kv_rpm_per_volt));
+                cells_out.push(format!(
+                    "{:.1} A [{:.0}Kv]",
+                    m.max_current.0, m.kv_rpm_per_volt
+                ));
             }
             let mut row = vec![format!("{basic:.0}")];
             row.extend(cells_out);

@@ -36,7 +36,11 @@ pub fn table2() -> String {
         ("gps", rates::GPS_HZ, "1-40"),
     ];
     for (i, (name, _, paper)) in labels.iter().enumerate() {
-        a.row(vec![(*name).to_owned(), f(counts[i] as f64 / seconds, 0), (*paper).to_owned()]);
+        a.row(vec![
+            (*name).to_owned(),
+            f(counts[i] as f64 / seconds, 0),
+            (*paper).to_owned(),
+        ]);
     }
 
     // (b) Controller rate groups measured from cascade counters.
@@ -50,9 +54,21 @@ pub fn table2() -> String {
     }
     let c = ctrl.update_counts();
     let mut b = Table::new(vec!["controller", "measured (Hz)", "paper (Hz)"]);
-    b.row(vec!["thrust/rate".into(), f(c.rate as f64 / seconds, 0), "1000".into()]);
-    b.row(vec!["attitude".into(), f(c.attitude as f64 / seconds, 0), "200".into()]);
-    b.row(vec!["position".into(), f(c.position as f64 / seconds, 0), "40".into()]);
+    b.row(vec![
+        "thrust/rate".into(),
+        f(c.rate as f64 / seconds, 0),
+        "1000".into(),
+    ]);
+    b.row(vec![
+        "attitude".into(),
+        f(c.attitude as f64 / seconds, 0),
+        "200".into(),
+    ]);
+    b.row(vec![
+        "position".into(),
+        f(c.position as f64 / seconds, 0),
+        "40".into(),
+    ]);
     format!(
         "Table 2a — sensor data frequencies\n{}\nTable 2b — controller update frequencies\n{}",
         a.render(),
@@ -142,7 +158,8 @@ pub fn inner_loop() -> String {
         results.push((rate, rise));
         t.row(vec![
             f(rate, 0),
-            rise.map(|r| f(r * 1e3, 1)).unwrap_or_else(|| "did not reach".into()),
+            rise.map(|r| f(r * 1e3, 1))
+                .unwrap_or_else(|| "did not reach".into()),
         ]);
     }
     // Saturation metric: improvement from 500 Hz to 4 kHz.
@@ -200,7 +217,11 @@ fn gust_attitude_rms(gust: f64, seconds: f64, use_indi: bool) -> f64 {
 /// Ablation: the paper-cited INDI rate loop vs the PID rate loop under
 /// increasing gust intensity (both inside the same attitude cascade).
 pub fn gust_rejection() -> String {
-    let mut t = Table::new(vec!["gust sigma (m/s)", "PID RMS (mrad)", "INDI RMS (mrad)"]);
+    let mut t = Table::new(vec![
+        "gust sigma (m/s)",
+        "PID RMS (mrad)",
+        "INDI RMS (mrad)",
+    ]);
     for gust in [0.0, 1.0, 2.0, 4.0] {
         let pid = gust_attitude_rms(gust, 6.0, false);
         let indi = gust_attitude_rms(gust, 6.0, true);
@@ -230,8 +251,12 @@ pub fn deadlines() -> String {
 
     let mut t = Table::new(vec!["task", "misses (alone)", "misses (with SLAM)"]);
     for task in ["inner-loop", "ekf", "outer-loop", "telemetry", "slam"] {
-        let a = report_alone.task(task).map(|r| r.deadline_misses.to_string());
-        let b = report_shared.task(task).map(|r| r.deadline_misses.to_string());
+        let a = report_alone
+            .task(task)
+            .map(|r| r.deadline_misses.to_string());
+        let b = report_shared
+            .task(task)
+            .map(|r| r.deadline_misses.to_string());
         t.row(vec![
             task.to_owned(),
             a.unwrap_or_else(|| "-".into()),

@@ -61,15 +61,17 @@ pub fn lidar_payload() -> String {
         "20W compute share",
     ]);
     let base_spec = || {
-        DesignSpec::new(800.0, CellCount::S6, MilliampHours(8000.0))
-            .with_compute_power(Watts(20.0))
+        DesignSpec::new(800.0, CellCount::S6, MilliampHours(8000.0)).with_compute_power(Watts(20.0))
     };
     let baseline = base_spec().size().expect("bare 800 mm design feasible");
     t.row(vec![
         "(none)".into(),
         "0".into(),
         f(baseline.total_weight.0, 0),
-        f(model.average_power(&baseline, FlyingLoad::Hover).total().0, 0),
+        f(
+            model.average_power(&baseline, FlyingLoad::Hover).total().0,
+            0,
+        ),
         pct(model.compute_share(&baseline, FlyingLoad::Hover)),
     ]);
     for lidar in ExternalSensor::table4_lidars() {
@@ -81,7 +83,11 @@ pub fn lidar_payload() -> String {
                 f(model.average_power(&drone, FlyingLoad::Hover).total().0, 0),
                 pct(model.compute_share(&drone, FlyingLoad::Hover)),
             ]),
-            Err(e) => t.row(vec![lidar.name.clone(), f(lidar.weight.0, 0), format!("{e}")]),
+            Err(e) => t.row(vec![
+                lidar.name.clone(),
+                f(lidar.weight.0, 0),
+                format!("{e}"),
+            ]),
         }
     }
     format!(
@@ -96,7 +102,12 @@ pub fn lidar_payload() -> String {
 /// hardware-friendly format.
 pub fn fixed_point() -> String {
     let mut rng = Pcg32::seed_from(20);
-    let mut t = Table::new(vec!["system size", "f64 residual", "Q16.16 residual", "Q16.16 rel err"]);
+    let mut t = Table::new(vec![
+        "system size",
+        "f64 residual",
+        "Q16.16 residual",
+        "Q16.16 rel err",
+    ]);
     for n in [4usize, 8, 12] {
         // A well-conditioned SPD system like a damped BA normal matrix.
         let mut j = Matrix::zeros(2 * n, n);
@@ -115,8 +126,9 @@ pub fn fixed_point() -> String {
             .sum::<f64>()
             .sqrt();
 
-        let a_q: Vec<Vec<Q16>> =
-            (0..n).map(|r| (0..n).map(|c| Q16::from_f64(a[(r, c)])).collect()).collect();
+        let a_q: Vec<Vec<Q16>> = (0..n)
+            .map(|r| (0..n).map(|c| Q16::from_f64(a[(r, c)])).collect())
+            .collect();
         let b_q: Vec<Q16> = (0..n).map(|i| Q16::from_f64(b[(i, 0)])).collect();
         match solve_spd_q16(&a_q, &b_q) {
             Some(x_q) => {
@@ -132,7 +144,11 @@ pub fn fixed_point() -> String {
                     format!("{:.2e}", res_q / x_norm),
                 ]);
             }
-            None => t.row(vec![format!("{n}x{n}"), format!("{res_f64:.2e}"), "pivot underflow".into()]),
+            None => t.row(vec![
+                format!("{n}x{n}"),
+                format!("{res_f64:.2e}"),
+                "pivot underflow".into(),
+            ]),
         }
     }
     format!(

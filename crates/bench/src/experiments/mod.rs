@@ -4,13 +4,17 @@ mod arch_figs;
 mod catalog_figs;
 mod control_figs;
 mod extension_figs;
+pub mod fault_figs;
 mod slam_figs;
 mod space_figs;
 
 pub use arch_figs::{figure15, figure16};
 pub use catalog_figs::{figure7, figure8a, figure8b, figure9};
-pub use control_figs::{deadlines, gust_rejection, inner_loop, roll_overshoot, roll_rise_time, table2};
+pub use control_figs::{
+    deadlines, gust_rejection, inner_loop, roll_overshoot, roll_rise_time, table2,
+};
 pub use extension_figs::{fixed_point, lidar_payload, twr_sweep};
+pub use fault_figs::faults;
 pub use slam_figs::{figure17, profile_sequence, table5};
 pub use space_figs::{claims, figure10_footprint, figure10_power, figure11, figure14};
 
@@ -40,5 +44,6 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("twr_sweep", twr_sweep),
         ("lidar", lidar_payload),
         ("fixed_point", fixed_point),
+        ("faults", faults),
     ]
 }

@@ -15,7 +15,9 @@ const FRAMES: usize = 150;
 /// Runs the pipeline on one sequence and returns its stage profile.
 pub fn profile_sequence(seq: Sequence, frames: usize) -> StageProfile {
     let dataset = seq.generate_with_frames(frames);
-    Pipeline::new(PipelineConfig::default()).run(&dataset).profile
+    Pipeline::new(PipelineConfig::default())
+        .run(&dataset)
+        .profile
 }
 
 /// Figure 17: per-sequence speedup of TX2 and FPGA over the RPi, by
@@ -23,7 +25,13 @@ pub fn profile_sequence(seq: Sequence, frames: usize) -> StageProfile {
 pub fn figure17() -> String {
     let tx2 = Platform::jetson_tx2();
     let fpga = Platform::zynq_fpga();
-    let mut t = Table::new(vec!["sequence", "BA share", "TX2 speedup", "FPGA speedup", "ATE (m)"]);
+    let mut t = Table::new(vec![
+        "sequence",
+        "BA share",
+        "TX2 speedup",
+        "FPGA speedup",
+        "ATE (m)",
+    ]);
     let mut tx2_speedups = Vec::new();
     let mut fpga_speedups = Vec::new();
     for seq in Sequence::ALL {
@@ -67,7 +75,10 @@ pub fn table5() -> String {
     ]);
     let lineup = Platform::table5_lineup();
     for row in &rows {
-        let p = lineup.iter().find(|p| p.name == row.platform).expect("platform known");
+        let p = lineup
+            .iter()
+            .find(|p| p.name == row.platform)
+            .expect("platform known");
         t.row(vec![
             row.platform.clone(),
             f(row.slam_speedup, 2),

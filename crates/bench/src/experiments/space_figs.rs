@@ -15,7 +15,13 @@ pub fn figure10_power() -> String {
     let mut out = String::from("Figure 10a-c — total hover power vs weight (1S/3S/6S)\n");
     for sweep in WheelbaseSweep::paper_figure10() {
         out.push_str(&format!("\n{} mm wheelbase:\n", sweep.wheelbase_mm));
-        let mut t = Table::new(vec!["cells", "capacity (mAh)", "weight (g)", "power (W)", "flight (min)"]);
+        let mut t = Table::new(vec![
+            "cells",
+            "capacity (mAh)",
+            "weight (g)",
+            "power (W)",
+            "flight (min)",
+        ]);
         for p in &sweep.points {
             t.row(vec![
                 p.cells.to_string(),
@@ -188,7 +194,14 @@ mod tests {
     #[test]
     fn figure11_lists_six_drones() {
         let r = figure11();
-        for name in ["Mambo", "Anafi", "Spark", "Mavic Air", "Bebop 2", "Skydio 2"] {
+        for name in [
+            "Mambo",
+            "Anafi",
+            "Spark",
+            "Mavic Air",
+            "Bebop 2",
+            "Skydio 2",
+        ] {
             assert!(r.contains(name), "missing {name}");
         }
     }

@@ -21,7 +21,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new(headers: Vec<&str>) -> Table {
-        Table { headers: headers.into_iter().map(str::to_owned).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.into_iter().map(str::to_owned).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (padded/truncated to the header width).

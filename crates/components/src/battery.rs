@@ -36,8 +36,14 @@ pub enum CellCount {
 
 impl CellCount {
     /// All configurations the paper studies, ascending.
-    pub const ALL: [CellCount; 6] =
-        [CellCount::S1, CellCount::S2, CellCount::S3, CellCount::S4, CellCount::S5, CellCount::S6];
+    pub const ALL: [CellCount; 6] = [
+        CellCount::S1,
+        CellCount::S2,
+        CellCount::S3,
+        CellCount::S4,
+        CellCount::S5,
+        CellCount::S6,
+    ];
 
     /// Number of series cells.
     pub fn cells(self) -> u8 {
@@ -97,11 +103,21 @@ impl Battery {
     /// # Panics
     ///
     /// Panics if capacity, discharge rating or weight are not positive.
-    pub fn new(cells: CellCount, capacity: MilliampHours, discharge_c: f64, weight: Grams) -> Battery {
+    pub fn new(
+        cells: CellCount,
+        capacity: MilliampHours,
+        discharge_c: f64,
+        weight: Grams,
+    ) -> Battery {
         assert!(capacity.0 > 0.0, "capacity must be positive");
         assert!(discharge_c > 0.0, "discharge rating must be positive");
         assert!(weight.0 > 0.0, "weight must be positive");
-        Battery { cells, capacity, discharge_c, weight }
+        Battery {
+            cells,
+            capacity,
+            discharge_c,
+            weight,
+        }
     }
 
     /// Creates a battery whose weight follows the paper's Figure 7 line for
@@ -215,7 +231,10 @@ mod tests {
             .map(|c| Battery::from_model(c, MilliampHours(5000.0), 25.0).weight.0)
             .collect();
         for pair in w.windows(2) {
-            assert!(pair[0] < pair[1], "weights not monotonic in cell count: {w:?}");
+            assert!(
+                pair[0] < pair[1],
+                "weights not monotonic in cell count: {w:?}"
+            );
         }
     }
 

@@ -30,7 +30,11 @@ pub struct CatalogSize {
 impl Default for CatalogSize {
     /// The paper's survey sizes.
     fn default() -> Self {
-        CatalogSize { batteries: 250, escs: 40, frames: 25 }
+        CatalogSize {
+            batteries: 250,
+            escs: 40,
+            frames: 25,
+        }
     }
 }
 
@@ -80,7 +84,10 @@ impl Catalog {
     /// Least-squares weight-vs-capacity fit for one cell configuration
     /// (regenerates one Figure 7 line). `None` with fewer than 2 samples.
     pub fn battery_fit(&self, cells: CellCount) -> Option<LinearFit> {
-        LinearFit::fit(self.batteries_with(cells).map(|b| (b.capacity.0, b.weight.0)))
+        LinearFit::fit(
+            self.batteries_with(cells)
+                .map(|b| (b.capacity.0, b.weight.0)),
+        )
     }
 
     /// Weight-of-four-ESCs vs per-ESC max current fit for one thermal
@@ -151,7 +158,12 @@ fn synthesize_batteries(rng: &mut Pcg32, count: usize) -> Vec<Battery> {
         let scatter = rng.normal_with(1.0, 0.05).clamp(0.85, 1.15);
         let c_penalty = 1.0 + 0.0004 * (discharge_c - 20.0);
         let weight = (line * scatter * c_penalty).max(3.0);
-        out.push(Battery::new(cells, MilliampHours(capacity), discharge_c, Grams(weight)));
+        out.push(Battery::new(
+            cells,
+            MilliampHours(capacity),
+            discharge_c,
+            Grams(weight),
+        ));
     }
     out
 }
@@ -160,7 +172,11 @@ fn synthesize_escs(rng: &mut Pcg32, count: usize) -> Vec<Esc> {
     let mut out = Vec::with_capacity(count);
     for i in 0..count {
         // Match the paper's mix: roughly half racing, half long-flight.
-        let class = if i % 2 == 0 { EscClass::LongFlight } else { EscClass::ShortFlight };
+        let class = if i % 2 == 0 {
+            EscClass::LongFlight
+        } else {
+            EscClass::ShortFlight
+        };
         let current = rng.uniform(10.0, 90.0);
         let fit = match class {
             EscClass::LongFlight => crate::paper::esc_long_flight_fit(),
@@ -218,7 +234,11 @@ mod tests {
             let fit = c.battery_fit(cells).expect("population per config");
             let reference = crate::paper::battery_weight_fit(cells);
             let (slope_err, _) = fit.relative_error_to(&reference);
-            assert!(slope_err < 0.10, "{cells}: fitted {fit} vs slope {}", reference.slope);
+            assert!(
+                slope_err < 0.10,
+                "{cells}: fitted {fit} vs slope {}",
+                reference.slope
+            );
         }
     }
 
@@ -251,11 +271,27 @@ mod tests {
     #[test]
     fn larger_catalogs_fit_tighter() {
         // Ablation hook: regression stability improves with survey size.
-        let small = Catalog::synthesize(3, CatalogSize { batteries: 30, escs: 10, frames: 10 });
-        let large = Catalog::synthesize(3, CatalogSize { batteries: 2500, escs: 400, frames: 250 });
+        let small = Catalog::synthesize(
+            3,
+            CatalogSize {
+                batteries: 30,
+                escs: 10,
+                frames: 10,
+            },
+        );
+        let large = Catalog::synthesize(
+            3,
+            CatalogSize {
+                batteries: 2500,
+                escs: 400,
+                frames: 250,
+            },
+        );
         let reference = crate::paper::battery_weight_fit(CellCount::S3);
         let err_of = |c: &Catalog| {
-            c.battery_fit(CellCount::S3).map(|f| f.relative_error_to(&reference).0).unwrap_or(1.0)
+            c.battery_fit(CellCount::S3)
+                .map(|f| f.relative_error_to(&reference).0)
+                .unwrap_or(1.0)
         };
         assert!(err_of(&large) <= err_of(&small) + 0.02);
         assert!(err_of(&large) < 0.05);

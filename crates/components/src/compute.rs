@@ -61,7 +61,12 @@ impl ComputeBoard {
         let name = name.into();
         assert!(weight.0 > 0.0, "weight must be positive");
         assert!(power.0 > 0.0, "power must be positive");
-        ComputeBoard { name, class, weight, power }
+        ComputeBoard {
+            name,
+            class,
+            weight,
+            power,
+        }
     }
 
     /// Looks up a board from Table 4 by exact name.
@@ -102,7 +107,11 @@ impl ComputeBoard {
 
 impl fmt::Display for ComputeBoard {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} ({} controller, {}, {})", self.name, self.class, self.weight, self.power)
+        write!(
+            f,
+            "{} ({} controller, {}, {})",
+            self.name, self.class, self.weight, self.power
+        )
     }
 }
 
@@ -153,7 +162,13 @@ impl ExternalSensor {
         let name = name.into();
         assert!(weight.0 > 0.0, "weight must be positive");
         assert!(power.0 >= 0.0, "power must be non-negative");
-        ExternalSensor { name, kind, weight, power, self_powered }
+        ExternalSensor {
+            name,
+            kind,
+            weight,
+            power,
+            self_powered,
+        }
     }
 
     /// Power this sensor draws from the *main* battery.
@@ -193,7 +208,11 @@ impl fmt::Display for ExternalSensor {
             self.kind,
             self.weight,
             self.power,
-            if self.self_powered { ", self-powered" } else { "" }
+            if self.self_powered {
+                ", self-powered"
+            } else {
+                ""
+            }
         )
     }
 }
@@ -223,7 +242,13 @@ mod tests {
     fn all_table4_boards() {
         let boards = ComputeBoard::all_table4();
         assert_eq!(boards.len(), 10, "5 basic + 5 improved");
-        assert!(boards.iter().filter(|b| b.class == ComputeClass::Basic).count() == 5);
+        assert!(
+            boards
+                .iter()
+                .filter(|b| b.class == ComputeClass::Basic)
+                .count()
+                == 5
+        );
     }
 
     #[test]

@@ -57,9 +57,16 @@ impl Esc {
     ///
     /// Panics if current or weight are not positive.
     pub fn new(class: EscClass, max_continuous_current: Amps, weight: Grams) -> Esc {
-        assert!(max_continuous_current.0 > 0.0, "current rating must be positive");
+        assert!(
+            max_continuous_current.0 > 0.0,
+            "current rating must be positive"
+        );
         assert!(weight.0 > 0.0, "weight must be positive");
-        Esc { class, max_continuous_current, weight }
+        Esc {
+            class,
+            max_continuous_current,
+            weight,
+        }
     }
 
     /// Creates an ESC on the paper's Figure 8a weight line for its class.
@@ -97,7 +104,11 @@ impl Esc {
 
 impl fmt::Display for Esc {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} ESC {:.0} A ({})", self.class, self.max_continuous_current.0, self.weight)
+        write!(
+            f,
+            "{} ESC {:.0} A ({})",
+            self.class, self.max_continuous_current.0, self.weight
+        )
     }
 }
 

@@ -111,7 +111,13 @@ mod tests {
     #[test]
     fn standard_prop_pairings() {
         // Paper Figure 9 legend pairings, tolerance ±30 %.
-        for (wb, inches) in [(50.0, 1.0), (100.0, 2.0), (200.0, 5.0), (450.0, 10.0), (800.0, 20.0)] {
+        for (wb, inches) in [
+            (50.0, 1.0),
+            (100.0, 2.0),
+            (200.0, 5.0),
+            (450.0, 10.0),
+            (800.0, 20.0),
+        ] {
             let d = Frame::from_model(Millimeters(wb)).max_propeller_inches();
             assert!(
                 (d - inches).abs() / inches < 0.35,

@@ -68,7 +68,11 @@ impl Motor {
         assert!(kv_rpm_per_volt > 0.0, "Kv must be positive");
         assert!(weight.0 > 0.0, "weight must be positive");
         assert!(max_current.0 > 0.0, "max current must be positive");
-        Motor { kv_rpm_per_volt, weight, max_current }
+        Motor {
+            kv_rpm_per_volt,
+            weight,
+            max_current,
+        }
     }
 
     /// Sizes the minimal motor able to produce `max_thrust_n` newtons with
@@ -219,7 +223,11 @@ mod tests {
         // MT2213-935Kv with 1045 prop: ~10 A max is typical.
         let prop = Propeller::new(10.0, 4.5);
         let m = Motor::size_for(&prop, Volts(11.1), 8.0);
-        assert!((4.0..20.0).contains(&m.max_current.0), "max current {}", m.max_current);
+        assert!(
+            (4.0..20.0).contains(&m.max_current.0),
+            "max current {}",
+            m.max_current
+        );
     }
 
     #[test]

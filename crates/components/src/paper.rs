@@ -23,23 +23,43 @@ pub fn battery_weight_fit(cells: CellCount) -> LinearFit {
         CellCount::S5 => (0.118, 45.478),
         CellCount::S6 => (0.116, 159.117),
     };
-    LinearFit { slope, intercept, r_squared: 1.0, n: 0 }
+    LinearFit {
+        slope,
+        intercept,
+        r_squared: 1.0,
+        n: 0,
+    }
 }
 
 /// Figure 8a, long-flight ESCs: total weight of **four** ESCs (g) vs max
 /// continuous current per ESC (A): `w = 4.9678·I − 15.757`.
 pub fn esc_long_flight_fit() -> LinearFit {
-    LinearFit { slope: 4.9678, intercept: -15.757, r_squared: 1.0, n: 0 }
+    LinearFit {
+        slope: 4.9678,
+        intercept: -15.757,
+        r_squared: 1.0,
+        n: 0,
+    }
 }
 
 /// Figure 8a, short-flight (racing) ESCs: `w = 1.2269·I + 11.816`.
 pub fn esc_short_flight_fit() -> LinearFit {
-    LinearFit { slope: 1.2269, intercept: 11.816, r_squared: 1.0, n: 0 }
+    LinearFit {
+        slope: 1.2269,
+        intercept: 11.816,
+        r_squared: 1.0,
+        n: 0,
+    }
 }
 
 /// Figure 8b, frames above 200 mm wheelbase: `w = 1.2767·wb − 167.6`.
 pub fn frame_weight_fit() -> LinearFit {
-    LinearFit { slope: 1.2767, intercept: -167.6, r_squared: 1.0, n: 0 }
+    LinearFit {
+        slope: 1.2767,
+        intercept: -167.6,
+        r_squared: 1.0,
+        n: 0,
+    }
 }
 
 /// Figure 8b note: frames under 200 mm scatter between 50 g and 200 g with
@@ -167,12 +187,23 @@ pub fn commercial_drones() -> Vec<CommercialDrone> {
 /// The six nano/micro drones of Figure 11 (a subset of
 /// [`commercial_drones`] in the paper's plotting order).
 pub fn figure11_drones() -> Vec<CommercialDrone> {
-    let order =
-        ["Parrot Mambo", "Parrot Anafi", "DJI Spark", "DJI Mavic Air", "Parrot Bebop 2", "Skydio 2"];
+    let order = [
+        "Parrot Mambo",
+        "Parrot Anafi",
+        "DJI Spark",
+        "DJI Mavic Air",
+        "Parrot Bebop 2",
+        "Skydio 2",
+    ];
     let all = commercial_drones();
     order
         .iter()
-        .map(|n| all.iter().find(|d| &d.name == n).expect("figure 11 drone present").clone())
+        .map(|n| {
+            all.iter()
+                .find(|d| &d.name == n)
+                .expect("figure 11 drone present")
+                .clone()
+        })
         .collect()
 }
 
@@ -217,21 +248,96 @@ pub enum Table4Group {
 pub fn table4() -> Vec<Table4Row> {
     use Table4Group::*;
     vec![
-        Table4Row { name: "iFlight SucceX-E F4", group: BasicController, weight: Grams(7.6), power: Watts(0.5) },
-        Table4Row { name: "DJI NAZA-M Lite", group: BasicController, weight: Grams(66.3), power: Watts(1.5) },
-        Table4Row { name: "DJI NAZA-M V2", group: BasicController, weight: Grams(82.0), power: Watts(1.5) },
-        Table4Row { name: "Pixhawk 4", group: BasicController, weight: Grams(15.8), power: Watts(2.0) },
-        Table4Row { name: "Mateksys F405", group: BasicController, weight: Grams(17.0), power: Watts(1.0) },
-        Table4Row { name: "Intel Aero", group: ImprovedController, weight: Grams(30.0), power: Watts(10.0) },
-        Table4Row { name: "Navio2", group: ImprovedController, weight: Grams(23.0), power: Watts(0.75) },
-        Table4Row { name: "Raspberry Pi 4", group: ImprovedController, weight: Grams(50.0), power: Watts(5.0) },
-        Table4Row { name: "Nvidia Jetson TX2", group: ImprovedController, weight: Grams(85.0), power: Watts(10.0) },
-        Table4Row { name: "DJI Manifold", group: ImprovedController, weight: Grams(200.0), power: Watts(20.0) },
-        Table4Row { name: "Eachine Bat 19S 800TVL", group: FpvCamera, weight: Grams(8.0), power: Watts(0.25) },
-        Table4Row { name: "RunCam Night Eagle 2", group: FpvCamera, weight: Grams(14.5), power: Watts(1.0) },
-        Table4Row { name: "HoverMap", group: Lidar, weight: Grams(1800.0), power: Watts(50.0) },
-        Table4Row { name: "YellowScan Surveyor", group: Lidar, weight: Grams(1600.0), power: Watts(15.0) },
-        Table4Row { name: "Ultra Puck", group: Lidar, weight: Grams(925.0), power: Watts(10.0) },
+        Table4Row {
+            name: "iFlight SucceX-E F4",
+            group: BasicController,
+            weight: Grams(7.6),
+            power: Watts(0.5),
+        },
+        Table4Row {
+            name: "DJI NAZA-M Lite",
+            group: BasicController,
+            weight: Grams(66.3),
+            power: Watts(1.5),
+        },
+        Table4Row {
+            name: "DJI NAZA-M V2",
+            group: BasicController,
+            weight: Grams(82.0),
+            power: Watts(1.5),
+        },
+        Table4Row {
+            name: "Pixhawk 4",
+            group: BasicController,
+            weight: Grams(15.8),
+            power: Watts(2.0),
+        },
+        Table4Row {
+            name: "Mateksys F405",
+            group: BasicController,
+            weight: Grams(17.0),
+            power: Watts(1.0),
+        },
+        Table4Row {
+            name: "Intel Aero",
+            group: ImprovedController,
+            weight: Grams(30.0),
+            power: Watts(10.0),
+        },
+        Table4Row {
+            name: "Navio2",
+            group: ImprovedController,
+            weight: Grams(23.0),
+            power: Watts(0.75),
+        },
+        Table4Row {
+            name: "Raspberry Pi 4",
+            group: ImprovedController,
+            weight: Grams(50.0),
+            power: Watts(5.0),
+        },
+        Table4Row {
+            name: "Nvidia Jetson TX2",
+            group: ImprovedController,
+            weight: Grams(85.0),
+            power: Watts(10.0),
+        },
+        Table4Row {
+            name: "DJI Manifold",
+            group: ImprovedController,
+            weight: Grams(200.0),
+            power: Watts(20.0),
+        },
+        Table4Row {
+            name: "Eachine Bat 19S 800TVL",
+            group: FpvCamera,
+            weight: Grams(8.0),
+            power: Watts(0.25),
+        },
+        Table4Row {
+            name: "RunCam Night Eagle 2",
+            group: FpvCamera,
+            weight: Grams(14.5),
+            power: Watts(1.0),
+        },
+        Table4Row {
+            name: "HoverMap",
+            group: Lidar,
+            weight: Grams(1800.0),
+            power: Watts(50.0),
+        },
+        Table4Row {
+            name: "YellowScan Surveyor",
+            group: Lidar,
+            weight: Grams(1600.0),
+            power: Watts(15.0),
+        },
+        Table4Row {
+            name: "Ultra Puck",
+            group: Lidar,
+            weight: Grams(925.0),
+            power: Watts(10.0),
+        },
     ]
 }
 

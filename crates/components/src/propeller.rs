@@ -55,7 +55,11 @@ impl Propeller {
         // Empirical weight scaling: ≈0.1 g per in², matching ~10 g for a
         // 10" prop and ~40 g for a 20" prop.
         let weight = Grams(0.1 * diameter_in * diameter_in);
-        Propeller { diameter_in, pitch_in, weight }
+        Propeller {
+            diameter_in,
+            pitch_in,
+            weight,
+        }
     }
 
     /// A conventional prop for the given diameter: pitch ≈ 0.45 × diameter
@@ -117,7 +121,11 @@ impl Propeller {
 
 impl fmt::Display for Propeller {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:.0}x{:.1} prop ({})", self.diameter_in, self.pitch_in, self.weight)
+        write!(
+            f,
+            "{:.0}x{:.1} prop ({})",
+            self.diameter_in, self.pitch_in, self.weight
+        )
     }
 }
 

@@ -41,8 +41,12 @@ impl AttitudeController {
     pub fn new(params: &QuadcopterParams) -> AttitudeController {
         let inertia = params.inertia_diagonal();
         let rate_pid = [
-            Pid::new(18.0, 6.0, 0.35).with_integral_limit(4.0).with_derivative_filter(0.004),
-            Pid::new(18.0, 6.0, 0.35).with_integral_limit(4.0).with_derivative_filter(0.004),
+            Pid::new(18.0, 6.0, 0.35)
+                .with_integral_limit(4.0)
+                .with_derivative_filter(0.004),
+            Pid::new(18.0, 6.0, 0.35)
+                .with_integral_limit(4.0)
+                .with_derivative_filter(0.004),
             Pid::new(10.0, 3.0, 0.0).with_integral_limit(2.0),
         ];
         AttitudeController {
@@ -127,14 +131,22 @@ mod tests {
     fn reaches_roll_target() {
         let target = Quat::from_euler(0.3, 0.0, 0.0);
         let s = fly_attitude(target, 1.0);
-        assert!(s.attitude.angle_to(target) < 0.05, "attitude error {}", s.attitude.angle_to(target));
+        assert!(
+            s.attitude.angle_to(target) < 0.05,
+            "attitude error {}",
+            s.attitude.angle_to(target)
+        );
     }
 
     #[test]
     fn reaches_combined_target() {
         let target = Quat::from_euler(-0.2, 0.15, 0.8);
         let s = fly_attitude(target, 2.0);
-        assert!(s.attitude.angle_to(target) < 0.08, "attitude error {}", s.attitude.angle_to(target));
+        assert!(
+            s.attitude.angle_to(target) < 0.08,
+            "attitude error {}",
+            s.attitude.angle_to(target)
+        );
     }
 
     #[test]

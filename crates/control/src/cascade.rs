@@ -35,7 +35,11 @@ pub struct ControlRates {
 impl Default for ControlRates {
     /// The paper's Table 2b frequencies.
     fn default() -> Self {
-        ControlRates { position_hz: 40.0, attitude_hz: 200.0, rate_hz: 1000.0 }
+        ControlRates {
+            position_hz: 40.0,
+            attitude_hz: 200.0,
+            rate_hz: 1000.0,
+        }
     }
 }
 
@@ -190,16 +194,23 @@ impl CascadeController {
             };
             match setpoint {
                 Setpoint::Position { position, yaw } => {
-                    let cmd = self.position.update_position(state, *position, *yaw, step_dt);
+                    let cmd = self
+                        .position
+                        .update_position(state, *position, *yaw, step_dt);
                     self.attitude_cmd = cmd.attitude;
                     self.thrust_cmd = cmd.thrust_newtons;
                 }
                 Setpoint::Velocity { velocity, yaw } => {
-                    let cmd = self.position.update_velocity(state, *velocity, *yaw, step_dt);
+                    let cmd = self
+                        .position
+                        .update_velocity(state, *velocity, *yaw, step_dt);
                     self.attitude_cmd = cmd.attitude;
                     self.thrust_cmd = cmd.thrust_newtons;
                 }
-                Setpoint::Attitude { attitude, thrust_newtons } => {
+                Setpoint::Attitude {
+                    attitude,
+                    thrust_newtons,
+                } => {
                     self.attitude_cmd = *attitude;
                     self.thrust_cmd = *thrust_newtons;
                 }
@@ -211,13 +222,17 @@ impl CascadeController {
         // Mid level at attitude_hz.
         let attitude_period = 1.0 / self.rates.attitude_hz;
         if self.time_since_attitude >= attitude_period {
-            self.rate_setpoint = self.attitude.rate_setpoint(state.attitude, self.attitude_cmd);
+            self.rate_setpoint = self
+                .attitude
+                .rate_setpoint(state.attitude, self.attitude_cmd);
             self.time_since_attitude = 0.0;
             self.updates.attitude += 1;
         }
 
         // Low level every tick.
-        let torque = self.attitude.update_rate_only(state.angular_velocity, self.rate_setpoint, dt);
+        let torque = self
+            .attitude
+            .update_rate_only(state.angular_velocity, self.rate_setpoint, dt);
         self.updates.rate += 1;
         self.mixer.mix(self.thrust_cmd, torque)
     }
@@ -279,7 +294,11 @@ mod tests {
     fn tracks_velocity_setpoint() {
         let sp = Setpoint::velocity(Vec3::new(2.0, 0.0, 0.0), 0.0);
         let (quad, _) = fly(sp, 6.0, &mut WindModel::calm());
-        assert!((quad.state().velocity.x - 2.0).abs() < 0.4, "{}", quad.state());
+        assert!(
+            (quad.state().velocity.x - 2.0).abs() < 0.4,
+            "{}",
+            quad.state()
+        );
     }
 
     #[test]
@@ -299,9 +318,21 @@ mod tests {
         let (_, ctrl) = fly(sp, 2.0, &mut WindModel::calm());
         let c = ctrl.update_counts();
         // 2 s at 1 kHz / 200 Hz / 40 Hz.
-        assert!((c.rate as i64 - 2000).abs() <= 2, "rate ran {} times", c.rate);
-        assert!((c.attitude as i64 - 400).abs() <= 4, "attitude ran {} times", c.attitude);
-        assert!((c.position as i64 - 80).abs() <= 2, "position ran {} times", c.position);
+        assert!(
+            (c.rate as i64 - 2000).abs() <= 2,
+            "rate ran {} times",
+            c.rate
+        );
+        assert!(
+            (c.attitude as i64 - 400).abs() <= 4,
+            "attitude ran {} times",
+            c.attitude
+        );
+        assert!(
+            (c.position as i64 - 80).abs() <= 2,
+            "position ran {} times",
+            c.position
+        );
     }
 
     #[test]
@@ -323,7 +354,11 @@ mod tests {
         let params = QuadcopterParams::default_450mm();
         let _ = CascadeController::with_rates(
             &params,
-            ControlRates { position_hz: 500.0, attitude_hz: 200.0, rate_hz: 1000.0 },
+            ControlRates {
+                position_hz: 500.0,
+                attitude_hz: 200.0,
+                rate_hz: 1000.0,
+            },
         );
     }
 
@@ -335,7 +370,11 @@ mod tests {
         let mut quad = Quadcopter::hovering_at(params.clone(), 10.0);
         let mut ctrl = CascadeController::with_rates(
             &params,
-            ControlRates { position_hz: 40.0, attitude_hz: 125.0, rate_hz: 250.0 },
+            ControlRates {
+                position_hz: 40.0,
+                attitude_hz: 125.0,
+                rate_hz: 250.0,
+            },
         );
         let sp = Setpoint::position(Vec3::new(0.0, 0.0, 10.0), 0.0);
         let dt = 1.0 / 250.0;

@@ -106,9 +106,15 @@ impl IndiRateController {
                 self.inertia.z * delta.z,
             );
         self.torque_cmd = Vec3::new(
-            self.torque_cmd.x.clamp(-self.max_torque.x, self.max_torque.x),
-            self.torque_cmd.y.clamp(-self.max_torque.y, self.max_torque.y),
-            self.torque_cmd.z.clamp(-self.max_torque.z, self.max_torque.z),
+            self.torque_cmd
+                .x
+                .clamp(-self.max_torque.x, self.max_torque.x),
+            self.torque_cmd
+                .y
+                .clamp(-self.max_torque.y, self.max_torque.y),
+            self.torque_cmd
+                .z
+                .clamp(-self.max_torque.z, self.max_torque.z),
         );
         self.torque_cmd
     }
@@ -148,11 +154,8 @@ mod tests {
             let s = *quad.state();
             let rate_sp = attitude.rate_setpoint(s.attitude, Quat::IDENTITY);
             let mut torque = indi.update(s.angular_velocity, rate_sp, dt);
-            torque += drone_math::Vec3::new(
-                rng.normal_with(0.0, 0.02),
-                rng.normal_with(0.0, 0.02),
-                0.0,
-            );
+            torque +=
+                drone_math::Vec3::new(rng.normal_with(0.0, 0.02), rng.normal_with(0.0, 0.02), 0.0);
             quad.step(mixer.mix(hover, torque), wind.sample(dt), dt);
             sq += s.attitude.angle_to(Quat::IDENTITY).powi(2);
         }
@@ -197,8 +200,8 @@ mod tests {
         let dt = 1e-3;
         for _ in 0..3000 {
             let s = *quad.state();
-            let torque =
-                indi.update(s.angular_velocity, drone_math::Vec3::ZERO, dt) + drone_math::Vec3::new(0.08, 0.0, 0.0);
+            let torque = indi.update(s.angular_velocity, drone_math::Vec3::ZERO, dt)
+                + drone_math::Vec3::new(0.08, 0.0, 0.0);
             quad.step(mixer.mix(hover, torque), drone_math::Vec3::ZERO, dt);
         }
         let residual = quad.state().angular_velocity.x.abs();
@@ -212,7 +215,10 @@ mod tests {
         for _ in 0..1000 {
             let t = indi.update(Vec3::ZERO, Vec3::new(100.0, -100.0, 50.0), 1e-3);
             assert!(t.is_finite());
-            assert!(t.x.abs() <= 10.0 && t.y.abs() <= 10.0, "unbounded torque {t}");
+            assert!(
+                t.x.abs() <= 10.0 && t.y.abs() <= 10.0,
+                "unbounded torque {t}"
+            );
         }
     }
 

@@ -7,9 +7,9 @@
 //! normalized speed command through `u = √(T / T_max)` (thrust is
 //! quadratic in rotor speed).
 
+use drone_math::Vec3;
 use drone_sim::params::QuadcopterParams;
 use drone_sim::rotor::ROTOR_COUNT;
-use drone_math::Vec3;
 use serde::{Deserialize, Serialize};
 
 /// Thrust/torque → per-motor throttle allocator.
@@ -45,9 +45,14 @@ impl Mixer {
         let prop = &params.propeller;
         let kq = prop.power_coefficient() * prop.diameter_m()
             / (2.0 * std::f64::consts::PI * prop.thrust_coefficient());
-        let max_thrust_per_motor =
-            params.motor.max_thrust_newtons(prop, params.supply_voltage());
-        Mixer { lever, kq, max_thrust_per_motor }
+        let max_thrust_per_motor = params
+            .motor
+            .max_thrust_newtons(prop, params.supply_voltage());
+        Mixer {
+            lever,
+            kq,
+            max_thrust_per_motor,
+        }
     }
 
     /// Maximum collective thrust, N.
@@ -116,7 +121,11 @@ mod tests {
         let want = params.total_weight().weight_newtons(); // hover
         let throttle = mixer.mix(want, Vec3::ZERO);
         let got = realize(&params, throttle);
-        assert!((got.total_thrust - want).abs() / want < 0.01, "thrust {}", got.total_thrust);
+        assert!(
+            (got.total_thrust - want).abs() / want < 0.01,
+            "thrust {}",
+            got.total_thrust
+        );
         assert!(got.torque.norm() < 1e-6);
     }
 
@@ -161,9 +170,7 @@ mod tests {
     #[test]
     fn max_total_thrust_matches_params() {
         let (params, mixer) = setup();
-        assert!(
-            (mixer.max_total_thrust() - params.max_total_thrust_newtons()).abs() < 1e-9
-        );
+        assert!((mixer.max_total_thrust() - params.max_total_thrust_newtons()).abs() < 1e-9);
     }
 
     #[test]

@@ -44,7 +44,10 @@ impl Pid {
     ///
     /// Panics if any gain is negative.
     pub fn new(kp: f64, ki: f64, kd: f64) -> Pid {
-        assert!(kp >= 0.0 && ki >= 0.0 && kd >= 0.0, "gains must be non-negative");
+        assert!(
+            kp >= 0.0 && ki >= 0.0 && kd >= 0.0,
+            "gains must be non-negative"
+        );
         Pid {
             kp,
             ki,
@@ -186,7 +189,10 @@ mod tests {
             raw_max = raw_max.max(raw.step(noise, 0.001).abs());
             filt_max = filt_max.max(filt.step(noise, 0.001).abs());
         }
-        assert!(filt_max < raw_max / 3.0, "filtered {filt_max} vs raw {raw_max}");
+        assert!(
+            filt_max < raw_max / 3.0,
+            "filtered {filt_max} vs raw {raw_max}"
+        );
     }
 
     #[test]

@@ -55,9 +55,15 @@ impl PositionController {
     /// Creates a controller tuned for the given airframe.
     pub fn new(params: &QuadcopterParams) -> PositionController {
         let velocity_pid = [
-            Pid::new(2.2, 0.4, 0.0).with_integral_limit(2.0).with_output_limit(6.0),
-            Pid::new(2.2, 0.4, 0.0).with_integral_limit(2.0).with_output_limit(6.0),
-            Pid::new(4.0, 1.2, 0.0).with_integral_limit(3.0).with_output_limit(8.0),
+            Pid::new(2.2, 0.4, 0.0)
+                .with_integral_limit(2.0)
+                .with_output_limit(6.0),
+            Pid::new(2.2, 0.4, 0.0)
+                .with_integral_limit(2.0)
+                .with_output_limit(6.0),
+            Pid::new(4.0, 1.2, 0.0)
+                .with_integral_limit(3.0)
+                .with_output_limit(8.0),
         ];
         // TWR-limited tilt: cos(tilt) ≥ 1/TWR keeps altitude authority;
         // additionally capped at ~23° so the IMU's gravity reference
@@ -123,14 +129,21 @@ impl PositionController {
         let g = STANDARD_GRAVITY;
         // Tilt from horizontal acceleration, rotated into the yaw frame.
         let (sy, cy) = yaw.sin_cos();
-        let pitch = ((accel.x * cy + accel.y * sy) / g).atan().clamp(-self.max_tilt, self.max_tilt);
-        let roll = ((accel.x * sy - accel.y * cy) / g).atan().clamp(-self.max_tilt, self.max_tilt);
+        let pitch = ((accel.x * cy + accel.y * sy) / g)
+            .atan()
+            .clamp(-self.max_tilt, self.max_tilt);
+        let roll = ((accel.x * sy - accel.y * cy) / g)
+            .atan()
+            .clamp(-self.max_tilt, self.max_tilt);
         let attitude = Quat::from_euler(roll, pitch, yaw);
         // Collective thrust: support weight plus vertical demand, divided
         // by the tilt's vertical projection.
         let tilt_cos = (roll.cos() * pitch.cos()).max(0.5);
         let thrust = (self.mass_kg * (g + accel.z) / tilt_cos).clamp(0.0, self.max_thrust);
-        AttitudeThrustCommand { attitude, thrust_newtons: thrust }
+        AttitudeThrustCommand {
+            attitude,
+            thrust_newtons: thrust,
+        }
     }
 
     /// Clears controller history.

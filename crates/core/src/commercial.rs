@@ -66,15 +66,12 @@ pub fn validate_against_sweep(
 ) -> Option<(f64, f64, f64)> {
     let inferred = infer_flight_power(drone).0;
     // Nearest-weight model point.
-    let nearest = sweep
-        .points
-        .iter()
-        .min_by(|a, b| {
-            (a.weight_g - drone.weight.0)
-                .abs()
-                .partial_cmp(&(b.weight_g - drone.weight.0).abs())
-                .expect("finite")
-        })?;
+    let nearest = sweep.points.iter().min_by(|a, b| {
+        (a.weight_g - drone.weight.0)
+            .abs()
+            .partial_cmp(&(b.weight_g - drone.weight.0).abs())
+            .expect("finite")
+    })?;
     // Only meaningful when the weights are comparable.
     if (nearest.weight_g - drone.weight.0).abs() / drone.weight.0 > 0.5 {
         return None;
@@ -104,7 +101,11 @@ mod tests {
     fn mambo_hover_power_is_nano_scale() {
         let points = figure11_points();
         let mambo = points.iter().find(|p| p.name == "Parrot Mambo").unwrap();
-        assert!((5.0..25.0).contains(&mambo.flight_power_w), "{}", mambo.flight_power_w);
+        assert!(
+            (5.0..25.0).contains(&mambo.flight_power_w),
+            "{}",
+            mambo.flight_power_w
+        );
     }
 
     #[test]
@@ -122,8 +123,10 @@ mod tests {
             );
         }
         // At least half the fleet in the paper's headline 10–20 % band.
-        let in_band =
-            points.iter().filter(|p| (0.08..0.25).contains(&p.heavy_compute_share)).count();
+        let in_band = points
+            .iter()
+            .filter(|p| (0.08..0.25).contains(&p.heavy_compute_share))
+            .count();
         assert!(in_band >= 3, "only {in_band} drones in the 10-20% band");
     }
 
@@ -140,19 +143,26 @@ mod tests {
         // DJI Phantom 4 sits in the 450 mm sweep's weight range; the
         // model should agree within ~40 % (the paper's validation is
         // visual agreement on log-free axes).
-        let sweep =
-            WheelbaseSweep::run(450.0, &[CellCount::S1, CellCount::S3, CellCount::S6], 15);
-        let phantom = commercial_drones().into_iter().find(|d| d.name == "DJI Phantom 4").unwrap();
+        let sweep = WheelbaseSweep::run(450.0, &[CellCount::S1, CellCount::S3, CellCount::S6], 15);
+        let phantom = commercial_drones()
+            .into_iter()
+            .find(|d| d.name == "DJI Phantom 4")
+            .unwrap();
         let (inferred, model, rel) =
             validate_against_sweep(&phantom, &sweep).expect("weight in range");
-        assert!(rel < 0.5, "inferred {inferred:.0} W vs model {model:.0} W (rel {rel:.2})");
+        assert!(
+            rel < 0.5,
+            "inferred {inferred:.0} W vs model {model:.0} W (rel {rel:.2})"
+        );
     }
 
     #[test]
     fn validation_rejects_absurd_weight_mismatch() {
         let sweep = WheelbaseSweep::run(100.0, &[CellCount::S1], 6);
-        let matrice =
-            commercial_drones().into_iter().find(|d| d.name == "DJI Matrice 600").unwrap();
+        let matrice = commercial_drones()
+            .into_iter()
+            .find(|d| d.name == "DJI Matrice 600")
+            .unwrap();
         // A 9.5 kg drone has no counterpart in a 100 mm sweep.
         assert!(validate_against_sweep(&matrice, &sweep).is_none());
     }

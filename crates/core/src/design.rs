@@ -198,7 +198,10 @@ impl fmt::Display for DesignError {
         match self {
             DesignError::InvalidParameter(p) => write!(f, "invalid design parameter: {p}"),
             DesignError::SizingDiverged => f.write_str("sizing fixed point diverged"),
-            DesignError::BatteryDischargeLimit { required, available } => {
+            DesignError::BatteryDischargeLimit {
+                required,
+                available,
+            } => {
                 write!(f, "battery supplies {available} but motors need {required}")
             }
         }
@@ -246,8 +249,10 @@ impl SizedDrone {
 
     /// Achieved thrust-to-weight ratio (≥ the spec's target).
     pub fn thrust_to_weight(&self) -> f64 {
-        let max_thrust =
-            4.0 * self.motor.max_thrust_newtons(&self.propeller, self.voltage());
+        let max_thrust = 4.0
+            * self
+                .motor
+                .max_thrust_newtons(&self.propeller, self.voltage());
         max_thrust / self.total_weight.weight_newtons()
     }
 
@@ -305,7 +310,10 @@ mod tests {
         assert!((800.0..1400.0).contains(&drone.total_weight.0), "{drone}");
         assert!(drone.thrust_to_weight() >= 1.95, "{drone}");
         // MT2213-class motors: hundreds of Kv on 3S.
-        assert!((500.0..1500.0).contains(&drone.motor.kv_rpm_per_volt), "{drone}");
+        assert!(
+            (500.0..1500.0).contains(&drone.motor.kv_rpm_per_volt),
+            "{drone}"
+        );
     }
 
     #[test]
@@ -348,8 +356,12 @@ mod tests {
     #[test]
     fn higher_voltage_lowers_current_and_kv() {
         // Figure 9: more cells → lower per-motor current and lower Kv.
-        let s3 = DesignSpec::new(450.0, CellCount::S3, MilliampHours(3000.0)).size().unwrap();
-        let s6 = DesignSpec::new(450.0, CellCount::S6, MilliampHours(3000.0)).size().unwrap();
+        let s3 = DesignSpec::new(450.0, CellCount::S3, MilliampHours(3000.0))
+            .size()
+            .unwrap();
+        let s6 = DesignSpec::new(450.0, CellCount::S6, MilliampHours(3000.0))
+            .size()
+            .unwrap();
         assert!(s6.max_motor_current() < s3.max_motor_current());
         assert!(s6.motor.kv_rpm_per_volt < s3.motor.kv_rpm_per_volt);
     }
@@ -357,7 +369,9 @@ mod tests {
     #[test]
     fn small_frames_use_high_kv_motors() {
         // Figure 9a: 100 mm drones need tens of thousands of Kv on 1S.
-        let micro = DesignSpec::new(100.0, CellCount::S1, MilliampHours(600.0)).size().unwrap();
+        let micro = DesignSpec::new(100.0, CellCount::S1, MilliampHours(600.0))
+            .size()
+            .unwrap();
         assert!(micro.motor.kv_rpm_per_volt > 8000.0, "{micro}");
         assert!(micro.total_weight.0 < 400.0, "{micro}");
     }
@@ -369,7 +383,10 @@ mod tests {
             .with_payload(Grams(800.0))
             .size()
             .unwrap_err();
-        assert!(matches!(err, DesignError::BatteryDischargeLimit { .. }), "{err}");
+        assert!(
+            matches!(err, DesignError::BatteryDischargeLimit { .. }),
+            "{err}"
+        );
     }
 
     #[test]
@@ -378,7 +395,9 @@ mod tests {
             spec_450().with_twr(0.5).size().unwrap_err(),
             DesignError::InvalidParameter(_)
         ));
-        assert!(DesignSpec::new(10.0, CellCount::S1, MilliampHours(500.0)).size().is_err());
+        assert!(DesignSpec::new(10.0, CellCount::S1, MilliampHours(500.0))
+            .size()
+            .is_err());
     }
 
     #[test]

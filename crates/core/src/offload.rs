@@ -34,12 +34,22 @@ pub struct DroneClass {
 impl DroneClass {
     /// The paper's "small drones" (Mambo/Spark class: ~10–15 W total).
     pub fn small() -> DroneClass {
-        DroneClass { name: "small", total_power: Watts(12.0), weight: Grams(400.0), baseline_minutes: 15.0 }
+        DroneClass {
+            name: "small",
+            total_power: Watts(12.0),
+            weight: Grams(400.0),
+            baseline_minutes: 15.0,
+        }
     }
 
     /// The paper's "large drones" (the 450 mm class at ~130–140 W).
     pub fn large() -> DroneClass {
-        DroneClass { name: "large", total_power: Watts(140.0), weight: Grams(2000.0), baseline_minutes: 15.0 }
+        DroneClass {
+            name: "large",
+            total_power: Watts(140.0),
+            weight: Grams(2000.0),
+            baseline_minutes: 15.0,
+        }
     }
 }
 
@@ -129,7 +139,11 @@ mod tests {
 
     /// The paper's measured RPi profile shape: ~10 % feature, ~90 % BA.
     fn paper_profile() -> StageProfile {
-        StageProfile { feature_matching_s: 10.0, local_ba_s: 45.0, global_ba_s: 45.0 }
+        StageProfile {
+            feature_matching_s: 10.0,
+            local_ba_s: 45.0,
+            global_ba_s: 45.0,
+        }
     }
 
     #[test]
@@ -138,9 +152,21 @@ mod tests {
         let rows = table5(&profile);
         let get = |name: &str| rows.iter().find(|r| r.platform == name).unwrap();
         assert!((get("RPi").slam_speedup - 1.0).abs() < 1e-9);
-        assert!((get("TX2").slam_speedup - 2.16).abs() < 0.3, "{}", get("TX2").slam_speedup);
-        assert!((get("FPGA").slam_speedup - 30.7).abs() < 3.5, "{}", get("FPGA").slam_speedup);
-        assert!((get("ASIC").slam_speedup - 23.5).abs() < 3.5, "{}", get("ASIC").slam_speedup);
+        assert!(
+            (get("TX2").slam_speedup - 2.16).abs() < 0.3,
+            "{}",
+            get("TX2").slam_speedup
+        );
+        assert!(
+            (get("FPGA").slam_speedup - 30.7).abs() < 3.5,
+            "{}",
+            get("FPGA").slam_speedup
+        );
+        assert!(
+            (get("ASIC").slam_speedup - 23.5).abs() < 3.5,
+            "{}",
+            get("ASIC").slam_speedup
+        );
     }
 
     #[test]
@@ -198,10 +224,13 @@ mod tests {
     fn works_on_a_real_pipeline_profile() {
         // End-to-end: run the actual SLAM pipeline and feed its profile.
         let dataset = drone_slam::euroc::Sequence::V101.generate_with_frames(80);
-        let result = drone_slam::Pipeline::new(drone_slam::PipelineConfig::default())
-            .run(&dataset);
+        let result = drone_slam::Pipeline::new(drone_slam::PipelineConfig::default()).run(&dataset);
         let rows = table5(&result.profile);
         let fpga = rows.iter().find(|r| r.platform == "FPGA").unwrap();
-        assert!(fpga.slam_speedup > 10.0, "FPGA speedup {}", fpga.slam_speedup);
+        assert!(
+            fpga.slam_speedup > 10.0,
+            "FPGA speedup {}",
+            fpga.slam_speedup
+        );
     }
 }

@@ -58,13 +58,17 @@ pub struct PowerModel {
 impl PowerModel {
     /// The constants used for the Figure 10 sweeps.
     pub fn paper_defaults() -> PowerModel {
-        PowerModel { power_efficiency: 0.78, drain_limit: LIPO_DRAIN_LIMIT }
+        PowerModel {
+            power_efficiency: 0.78,
+            drain_limit: LIPO_DRAIN_LIMIT,
+        }
     }
 
     /// Equation 3: average electrical power at a flying load.
     pub fn average_power(&self, drone: &SizedDrone, load: FlyingLoad) -> PowerBreakdown {
-        let propulsion =
-            drone.voltage().power(drone.max_total_current() * load.fraction());
+        let propulsion = drone
+            .voltage()
+            .power(drone.max_total_current() * load.fraction());
         PowerBreakdown {
             propulsion,
             compute: drone.spec.compute_power,
@@ -80,7 +84,8 @@ impl PowerModel {
 
     /// Equation 5: flight time at a flying load.
     pub fn flight_time(&self, drone: &SizedDrone, load: FlyingLoad) -> Minutes {
-        self.usable_energy(drone).duration_at(self.average_power(drone, load).total())
+        self.usable_energy(drone)
+            .duration_at(self.average_power(drone, load).total())
     }
 
     /// Equation 6: computation share of total power at a flying load.

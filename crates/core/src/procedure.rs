@@ -91,7 +91,10 @@ pub struct Procedure {
 impl Procedure {
     /// Creates the procedure.
     pub fn new(requirements: Requirements, optimization_savings: Watts) -> Procedure {
-        Procedure { requirements, optimization_savings }
+        Procedure {
+            requirements,
+            optimization_savings,
+        }
     }
 
     /// Runs the procedure: sweeps battery capacity until the flight-time
@@ -133,7 +136,11 @@ impl Procedure {
         let (drone, flight_time) = chosen.ok_or(DesignError::SizingDiverged)?;
         steps.push(Step {
             label: "estimate weight (Eq. 1)".into(),
-            result: format!("{} total at TWR {:.2}", drone.total_weight, drone.thrust_to_weight()),
+            result: format!(
+                "{} total at TWR {:.2}",
+                drone.total_weight,
+                drone.thrust_to_weight()
+            ),
         });
         steps.push(Step {
             label: "estimate lift power (Eq. 2-3)".into(),
@@ -141,7 +148,11 @@ impl Procedure {
         });
         steps.push(Step {
             label: "battery & capacity (Eq. 4)".into(),
-            result: format!("{} -> usable {}", drone.battery, model.usable_energy(&drone)),
+            result: format!(
+                "{} -> usable {}",
+                drone.battery,
+                model.usable_energy(&drone)
+            ),
         });
         steps.push(Step {
             label: "flight time (Eq. 5)".into(),
@@ -158,7 +169,13 @@ impl Procedure {
             result: format!("saving {} buys {gained}", self.optimization_savings),
         });
 
-        Ok(ProcedureReport { steps, drone, flight_time, compute_share, gained })
+        Ok(ProcedureReport {
+            steps,
+            drone,
+            flight_time,
+            compute_share,
+            gained,
+        })
     }
 }
 
@@ -204,7 +221,9 @@ mod tests {
 
     #[test]
     fn heavier_payload_shortens_flight() {
-        let base = Procedure::new(Requirements::mapping_drone(), Watts(1.0)).run().unwrap();
+        let base = Procedure::new(Requirements::mapping_drone(), Watts(1.0))
+            .run()
+            .unwrap();
         let mut heavy_req = Requirements::mapping_drone();
         heavy_req.payload = Grams(600.0);
         heavy_req.required_minutes = 5.0; // keep it feasible
@@ -212,8 +231,14 @@ mod tests {
         // Same capacity would fly shorter; the loop may pick a bigger
         // pack instead — either way the heavy build draws more power.
         let model = PowerModel::paper_defaults();
-        let p_base = model.average_power(&base.drone, FlyingLoad::Hover).total().0;
-        let p_heavy = model.average_power(&heavy.drone, FlyingLoad::Hover).total().0;
+        let p_base = model
+            .average_power(&base.drone, FlyingLoad::Hover)
+            .total()
+            .0;
+        let p_heavy = model
+            .average_power(&heavy.drone, FlyingLoad::Hover)
+            .total()
+            .0;
         assert!(p_heavy > p_base);
     }
 }

@@ -60,10 +60,26 @@ mod tests {
         let shares = figure14_shares();
         let get = |name: &str| shares.iter().find(|s| s.component == name).unwrap();
         // Paper: frame 25 %, battery 23 %, motors 21 %, ESC 10 %.
-        assert!((get("Frame").share - 0.25).abs() < 0.02, "{}", get("Frame").share);
-        assert!((get("Battery").share - 0.23).abs() < 0.02, "{}", get("Battery").share);
-        assert!((get("Motors").share - 0.21).abs() < 0.02, "{}", get("Motors").share);
-        assert!((get("ESC").share - 0.10).abs() < 0.02, "{}", get("ESC").share);
+        assert!(
+            (get("Frame").share - 0.25).abs() < 0.02,
+            "{}",
+            get("Frame").share
+        );
+        assert!(
+            (get("Battery").share - 0.23).abs() < 0.02,
+            "{}",
+            get("Battery").share
+        );
+        assert!(
+            (get("Motors").share - 0.21).abs() < 0.02,
+            "{}",
+            get("Motors").share
+        );
+        assert!(
+            (get("ESC").share - 0.10).abs() < 0.02,
+            "{}",
+            get("ESC").share
+        );
     }
 
     #[test]
@@ -79,7 +95,12 @@ mod tests {
         let modeled = model_papers_drone();
         let real = paper_drone_total();
         let rel = (modeled.total_weight.0 - real.0).abs() / real.0;
-        assert!(rel < 0.25, "model {} vs real {} ({rel:.2})", modeled.total_weight, real);
+        assert!(
+            rel < 0.25,
+            "model {} vs real {} ({rel:.2})",
+            modeled.total_weight,
+            real
+        );
     }
 
     #[test]
@@ -92,7 +113,11 @@ mod tests {
             modeled.motor.kv_rpm_per_volt
         );
         // 30 A ESC class in the build guide; model should demand less.
-        assert!(modeled.max_motor_current().0 < 30.0, "{}", modeled.max_motor_current());
+        assert!(
+            modeled.max_motor_current().0 < 30.0,
+            "{}",
+            modeled.max_motor_current()
+        );
     }
 
     #[test]

@@ -99,7 +99,11 @@ impl WheelbaseSweep {
         }
         points.sort_by(|a, b| a.weight_g.partial_cmp(&b.weight_g).expect("finite"));
         footprint.sort_by(|a, b| a.weight_g.partial_cmp(&b.weight_g).expect("finite"));
-        WheelbaseSweep { wheelbase_mm, points, footprint }
+        WheelbaseSweep {
+            wheelbase_mm,
+            points,
+            footprint,
+        }
     }
 
     /// The paper's three wheelbases with 1S/3S/6S batteries.
@@ -114,13 +118,16 @@ impl WheelbaseSweep {
     /// The best (longest-hover) configuration in the sweep.
     pub fn best_configuration(&self) -> Option<&SweepPoint> {
         self.points.iter().max_by(|a, b| {
-            a.flight_time_min.partial_cmp(&b.flight_time_min).expect("finite")
+            a.flight_time_min
+                .partial_cmp(&b.flight_time_min)
+                .expect("finite")
         })
     }
 
     /// Best flight time, if any design was feasible.
     pub fn best_flight_time(&self) -> Option<Minutes> {
-        self.best_configuration().map(|p| Minutes(p.flight_time_min))
+        self.best_configuration()
+            .map(|p| Minutes(p.flight_time_min))
     }
 }
 
@@ -155,11 +162,7 @@ mod tests {
         // upper band is generous; EXPERIMENTS.md records the exact
         // model-vs-paper numbers.
         for (wb, expected) in [(100.0, 23.0), (450.0, 19.0), (800.0, 22.0)] {
-            let sweep = WheelbaseSweep::run(
-                wb,
-                &[CellCount::S1, CellCount::S3, CellCount::S6],
-                10,
-            );
+            let sweep = WheelbaseSweep::run(wb, &[CellCount::S1, CellCount::S3, CellCount::S6], 10);
             let best = sweep.best_flight_time().expect("feasible designs exist").0;
             assert!(
                 (expected - 12.0..=expected + 25.0).contains(&best),

@@ -39,9 +39,16 @@ impl ComplementaryFilter {
     ///
     /// Panics if gains are outside `[0, 1]`.
     pub fn new(accel_gain: f64, mag_gain: f64) -> ComplementaryFilter {
-        assert!((0.0..=1.0).contains(&accel_gain), "accel gain must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&accel_gain),
+            "accel gain must be in [0,1]"
+        );
         assert!((0.0..=1.0).contains(&mag_gain), "mag gain must be in [0,1]");
-        ComplementaryFilter { attitude: Quat::IDENTITY, accel_gain, mag_gain }
+        ComplementaryFilter {
+            attitude: Quat::IDENTITY,
+            accel_gain,
+            mag_gain,
+        }
     }
 
     /// Current attitude estimate (body→world).
@@ -122,7 +129,11 @@ mod tests {
         for i in 0..(seconds / dt) as usize {
             let accel_body = truth.rotate_inverse(Vec3::Z * 9.81);
             let noisy_accel = accel_body
-                + Vec3::new(rng.normal_with(0.0, 0.05), rng.normal_with(0.0, 0.05), rng.normal_with(0.0, 0.05));
+                + Vec3::new(
+                    rng.normal_with(0.0, 0.05),
+                    rng.normal_with(0.0, 0.05),
+                    rng.normal_with(0.0, 0.05),
+                );
             let mag_body = truth.rotate_inverse(Vec3::X);
             let mag = if i % 20 == 0 { Some(mag_body) } else { None };
             f.update(gyro_bias, Some(noisy_accel), mag, dt);
@@ -166,7 +177,10 @@ mod tests {
             f.update(Vec3::ZERO, Some(Vec3::Z * 9.81), None, 0.005);
         }
         let (roll, pitch, _) = f.attitude().to_euler();
-        assert!(roll.abs() < 0.02 && pitch.abs() < 0.02, "tilt remains {roll},{pitch}");
+        assert!(
+            roll.abs() < 0.02 && pitch.abs() < 0.02,
+            "tilt remains {roll},{pitch}"
+        );
     }
 
     #[test]

@@ -35,7 +35,26 @@ pub struct NavigationEkf {
     gps_var_z: f64,
     /// Barometer variance, m².
     baro_var: f64,
+    /// Innovation (NIS) gating: reject measurements whose normalized
+    /// innovation squared exceeds the χ² 99.9 % quantile for the
+    /// measurement dimension. Off by default — a cold-started filter
+    /// legitimately sees huge innovations until it converges.
+    gate_enabled: bool,
+    /// Measurements fused since construction.
+    accepted: u64,
+    /// Measurements rejected by the gate since construction.
+    rejected: u64,
+    /// Consecutive rejections; drives covariance-inflation recovery.
+    reject_streak: u32,
 }
+
+/// χ² 99.9 % quantiles by degrees of freedom (1..=3).
+const CHI2_999: [f64; 3] = [10.83, 13.82, 16.27];
+
+/// Consecutive rejections before the filter concludes it is confidently
+/// wrong (rather than the sensor being faulty) and inflates `P` to let
+/// measurements back in.
+const REJECT_STREAK_LIMIT: u32 = 25;
 
 impl NavigationEkf {
     /// Creates a filter at the origin with broad initial uncertainty.
@@ -53,7 +72,31 @@ impl NavigationEkf {
             gps_var_xy: 0.5,
             gps_var_z: 2.0,
             baro_var: 0.05,
+            gate_enabled: false,
+            accepted: 0,
+            rejected: 0,
+            reject_streak: 0,
         }
+    }
+
+    /// Enables or disables innovation (NIS) gating.
+    pub fn set_innovation_gating(&mut self, enabled: bool) {
+        self.gate_enabled = enabled;
+    }
+
+    /// Whether innovation gating is active.
+    pub fn innovation_gating(&self) -> bool {
+        self.gate_enabled
+    }
+
+    /// Measurements fused since construction.
+    pub fn innovations_accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Measurements rejected by the gate since construction.
+    pub fn innovations_rejected(&self) -> u64 {
+        self.rejected
     }
 
     /// Position estimate.
@@ -118,51 +161,76 @@ impl NavigationEkf {
         self.p.symmetrize();
     }
 
-    /// Generic linear measurement update.
-    fn update(&mut self, h: &Matrix, z: &Matrix, r: &Matrix) {
+    /// Generic linear measurement update. Returns whether the
+    /// measurement was fused (`false` = rejected by the innovation gate
+    /// or numerically degenerate).
+    fn update(&mut self, h: &Matrix, z: &Matrix, r: &Matrix) -> bool {
         let ht = h.transpose();
         let s = &h.matmul(&self.p).matmul(&ht) + r;
         let Some(s_inv) = s.inverse() else {
-            return; // numerically degenerate innovation; skip the update
+            return false; // numerically degenerate innovation; skip the update
         };
-        let k = self.p.matmul(&ht).matmul(&s_inv);
         let innovation = z - &h.matmul(&self.x);
+        if self.gate_enabled {
+            // NIS = νᵀ S⁻¹ ν ~ χ²(dof) for a healthy measurement.
+            let nis = innovation.transpose().matmul(&s_inv).matmul(&innovation)[(0, 0)];
+            let dof = h.rows().min(CHI2_999.len());
+            if nis > CHI2_999[dof - 1] {
+                self.rejected += 1;
+                self.reject_streak += 1;
+                if self.reject_streak >= REJECT_STREAK_LIMIT {
+                    // Every recent measurement looks like an outlier: the
+                    // filter, not the sensors, is the likelier culprit.
+                    // Inflate the covariance so the gate reopens and the
+                    // next measurements pull the state back.
+                    self.p = self.p.scale(10.0);
+                    self.p.symmetrize();
+                    self.reject_streak = 0;
+                }
+                return false;
+            }
+            self.reject_streak = 0;
+        }
+        self.accepted += 1;
+        let k = self.p.matmul(&ht).matmul(&s_inv);
         self.x = &self.x + &k.matmul(&innovation);
         // Joseph-free form: P ← (I − K H) P, re-symmetrized.
         let ikh = &Matrix::identity(6) - &k.matmul(h);
         self.p = ikh.matmul(&self.p);
         self.p.symmetrize();
+        true
     }
 
-    /// Fuses a GPS position fix.
-    pub fn update_gps(&mut self, position: Vec3) {
+    /// Fuses a GPS position fix. Returns whether it passed the gate.
+    pub fn update_gps(&mut self, position: Vec3) -> bool {
         let mut h = Matrix::zeros(3, 6);
         h[(0, 0)] = 1.0;
         h[(1, 1)] = 1.0;
         h[(2, 2)] = 1.0;
         let z = Matrix::column(&position.to_array());
         let r = Matrix::from_diagonal(&[self.gps_var_xy, self.gps_var_xy, self.gps_var_z]);
-        self.update(&h, &z, &r);
+        self.update(&h, &z, &r)
     }
 
-    /// Fuses a GPS Doppler velocity measurement.
-    pub fn update_gps_velocity(&mut self, velocity: Vec3) {
+    /// Fuses a GPS Doppler velocity measurement. Returns whether it
+    /// passed the gate.
+    pub fn update_gps_velocity(&mut self, velocity: Vec3) -> bool {
         let mut h = Matrix::zeros(3, 6);
         h[(0, 3)] = 1.0;
         h[(1, 4)] = 1.0;
         h[(2, 5)] = 1.0;
         let z = Matrix::column(&velocity.to_array());
         let r = Matrix::from_diagonal(&[0.05, 0.05, 0.05]);
-        self.update(&h, &z, &r);
+        self.update(&h, &z, &r)
     }
 
-    /// Fuses a barometric altitude.
-    pub fn update_baro(&mut self, altitude: f64) {
+    /// Fuses a barometric altitude. Returns whether it passed the gate.
+    pub fn update_baro(&mut self, altitude: f64) -> bool {
         let mut h = Matrix::zeros(1, 6);
         h[(0, 2)] = 1.0;
         let z = Matrix::column(&[altitude]);
         let r = Matrix::from_diagonal(&[self.baro_var]);
-        self.update(&h, &z, &r);
+        self.update(&h, &z, &r)
     }
 }
 
@@ -199,7 +267,11 @@ mod tests {
         }
         let err = (ekf.position() - truth).norm();
         assert!(err < 0.5, "position error {err}");
-        assert!(ekf.velocity().norm() < 0.3, "phantom velocity {}", ekf.velocity());
+        assert!(
+            ekf.velocity().norm() < 0.3,
+            "phantom velocity {}",
+            ekf.velocity()
+        );
     }
 
     #[test]
@@ -281,5 +353,85 @@ mod tests {
     #[should_panic(expected = "dt must be positive")]
     fn zero_dt_predict_panics() {
         NavigationEkf::new().predict(Vec3::ZERO, 0.0);
+    }
+
+    /// An EKF settled confidently at the origin.
+    fn settled_at_origin() -> NavigationEkf {
+        let mut ekf = NavigationEkf::new();
+        for _ in 0..100 {
+            ekf.predict(Vec3::ZERO, 0.01);
+            ekf.update_gps(Vec3::ZERO);
+            ekf.update_baro(0.0);
+        }
+        ekf
+    }
+
+    #[test]
+    fn gate_is_off_by_default() {
+        let ekf = NavigationEkf::new();
+        assert!(!ekf.innovation_gating());
+        assert_eq!(ekf.innovations_rejected(), 0);
+    }
+
+    #[test]
+    fn gate_rejects_gross_outliers() {
+        let mut ekf = settled_at_origin();
+        ekf.set_innovation_gating(true);
+        let before = ekf.position();
+        // A 100 m multipath spike: NIS is astronomically over the χ²
+        // threshold; the fix must bounce off the gate.
+        assert!(!ekf.update_gps(Vec3::new(100.0, 0.0, 0.0)));
+        assert_eq!(ekf.innovations_rejected(), 1);
+        assert!(
+            (ekf.position() - before).norm() < 1e-12,
+            "rejected fix must not move the state"
+        );
+        // A plausible fix still fuses.
+        assert!(ekf.update_gps(Vec3::new(0.1, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn gate_accepts_nominal_measurements() {
+        let mut ekf = settled_at_origin();
+        ekf.set_innovation_gating(true);
+        let mut rng = Pcg32::seed_from(7);
+        let mut rejected = 0;
+        for _ in 0..200 {
+            ekf.predict(Vec3::ZERO, 0.01);
+            let noisy = Vec3::new(
+                rng.normal_with(0.0, 0.5),
+                rng.normal_with(0.0, 0.5),
+                rng.normal_with(0.0, 1.0),
+            );
+            if !ekf.update_gps(noisy) {
+                rejected += 1;
+            }
+        }
+        // 99.9 % gate: essentially everything sane passes.
+        assert!(rejected <= 2, "rejected {rejected} of 200 nominal fixes");
+    }
+
+    #[test]
+    fn covariance_inflation_recovers_from_a_persistent_offset() {
+        // The vehicle is "teleported" (filter divergence scenario): every
+        // honest fix now looks like an outlier. The rejection-streak
+        // inflation must reopen the gate and let the filter re-converge
+        // instead of dead-reckoning forever.
+        let mut ekf = settled_at_origin();
+        ekf.set_innovation_gating(true);
+        let truth = Vec3::new(50.0, 0.0, 0.0);
+        for _ in 0..300 {
+            ekf.predict(Vec3::ZERO, 0.01);
+            ekf.update_gps(truth);
+        }
+        assert!(
+            ekf.innovations_rejected() > 0,
+            "the jump must first be gated"
+        );
+        let err = (ekf.position() - truth).norm();
+        assert!(
+            err < 1.0,
+            "filter stuck {err} m away after inflation recovery"
+        );
     }
 }

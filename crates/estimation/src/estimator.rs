@@ -27,12 +27,69 @@ use serde::{Deserialize, Serialize};
 /// est.ingest(&readings, 0.005);
 /// assert!(est.state().position.z > 0.0);
 /// ```
+/// Seconds of silence after which each channel is declared dead:
+/// ~20 nominal periods for the fast IMU channels, a handful of periods
+/// for the slow aiding sensors (indices match `sensors::SensorChannel`).
+const DEAD_TIMEOUT: [f64; 5] = [0.1, 0.1, 0.5, 0.5, 1.0];
+
+/// Liveness of each sensor channel as seen by the estimator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SensorHealthReport {
+    /// Accelerometer published within its timeout.
+    pub accelerometer_ok: bool,
+    /// Gyroscope published within its timeout.
+    pub gyroscope_ok: bool,
+    /// Magnetometer published within its timeout.
+    pub magnetometer_ok: bool,
+    /// Barometer published within its timeout.
+    pub barometer_ok: bool,
+    /// GPS published within its timeout.
+    pub gps_ok: bool,
+}
+
+impl SensorHealthReport {
+    /// Every channel alive.
+    pub fn all_ok(&self) -> bool {
+        self.accelerometer_ok
+            && self.gyroscope_ok
+            && self.magnetometer_ok
+            && self.barometer_ok
+            && self.gps_ok
+    }
+
+    /// Position aiding is gone (GPS *and* barometer dead): the EKF is
+    /// dead-reckoning and position uncertainty grows without bound.
+    pub fn navigation_degraded(&self) -> bool {
+        !self.gps_ok && !self.barometer_ok
+    }
+
+    /// Attitude has fallen back to reduced complementary filtering
+    /// (gyro-only tilt or no heading correction).
+    pub fn attitude_fallback(&self) -> bool {
+        !self.accelerometer_ok || !self.magnetometer_ok
+    }
+}
+
+impl Default for SensorHealthReport {
+    fn default() -> Self {
+        SensorHealthReport {
+            accelerometer_ok: true,
+            gyroscope_ok: true,
+            magnetometer_ok: true,
+            barometer_ok: true,
+            gps_ok: true,
+        }
+    }
+}
+
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StateEstimator {
     attitude: ComplementaryFilter,
     navigation: NavigationEkf,
     last_gyro: Vec3,
     last_accel_world: Vec3,
+    /// Seconds since each channel last published (SensorChannel order).
+    silence: [f64; 5],
 }
 
 impl StateEstimator {
@@ -43,6 +100,30 @@ impl StateEstimator {
             navigation: NavigationEkf::new(),
             last_gyro: Vec3::ZERO,
             last_accel_world: Vec3::ZERO,
+            silence: [0.0; 5],
+        }
+    }
+
+    /// Enables EKF innovation gating (outlier rejection). Off by
+    /// default: a cold-started filter must be allowed to converge from
+    /// large initial errors.
+    pub fn set_innovation_gating(&mut self, enabled: bool) {
+        self.navigation.set_innovation_gating(enabled);
+    }
+
+    /// Measurements rejected by the EKF innovation gate.
+    pub fn innovations_rejected(&self) -> u64 {
+        self.navigation.innovations_rejected()
+    }
+
+    /// Current per-channel liveness.
+    pub fn health(&self) -> SensorHealthReport {
+        SensorHealthReport {
+            accelerometer_ok: self.silence[0] <= DEAD_TIMEOUT[0],
+            gyroscope_ok: self.silence[1] <= DEAD_TIMEOUT[1],
+            magnetometer_ok: self.silence[2] <= DEAD_TIMEOUT[2],
+            barometer_ok: self.silence[3] <= DEAD_TIMEOUT[3],
+            gps_ok: self.silence[4] <= DEAD_TIMEOUT[4],
         }
     }
 
@@ -55,9 +136,27 @@ impl StateEstimator {
 
     /// Ingests one tick of sensor readings spanning `dt` seconds.
     pub fn ingest(&mut self, readings: &SensorReadings, dt: f64) {
+        let published = [
+            readings.accelerometer.is_some(),
+            readings.gyroscope.is_some(),
+            readings.magnetometer.is_some(),
+            readings.barometer.is_some(),
+            readings.gps.is_some(),
+        ];
+        for (s, fresh) in self.silence.iter_mut().zip(published) {
+            *s = if fresh { 0.0 } else { *s + dt };
+        }
+        let health = self.health();
+
+        // Holding the last rate bridges the gap between IMU samples, but
+        // a dead gyro must not spin the attitude forever.
+        if !health.gyroscope_ok {
+            self.last_gyro = Vec3::ZERO;
+        }
         let gyro = readings.gyroscope.unwrap_or(self.last_gyro);
         self.last_gyro = gyro;
-        self.attitude.update(gyro, readings.accelerometer, readings.magnetometer, dt);
+        self.attitude
+            .update(gyro, readings.accelerometer, readings.magnetometer, dt);
 
         // Rotate specific force to the world frame and strip gravity.
         // Between accelerometer samples (the IMU publishes slower than
@@ -69,7 +168,16 @@ impl StateEstimator {
                 self.last_accel_world = a;
                 a
             }
-            None => self.last_accel_world,
+            None => {
+                // A *dead* accelerometer is different from the gap
+                // between samples: integrating a stale acceleration for
+                // seconds would run the velocity away, so fall back to
+                // constant-velocity prediction.
+                if !health.accelerometer_ok {
+                    self.last_accel_world = Vec3::ZERO;
+                }
+                self.last_accel_world
+            }
         };
         self.navigation.predict(accel_world, dt);
         if let Some(gps) = readings.gps {
@@ -122,7 +230,10 @@ mod tests {
             est.ingest(&readings, dt);
         }
         let s = est.state();
-        ((s.position - truth.position).norm(), s.attitude.angle_to(truth.attitude))
+        (
+            (s.position - truth.position).norm(),
+            s.attitude.angle_to(truth.attitude),
+        )
     }
 
     #[test]
@@ -172,7 +283,10 @@ mod tests {
     #[test]
     fn gyro_holds_between_samples() {
         let mut est = StateEstimator::new();
-        let spin = SensorReadings { gyroscope: Some(Vec3::Z * 0.5), ..Default::default() };
+        let spin = SensorReadings {
+            gyroscope: Some(Vec3::Z * 0.5),
+            ..Default::default()
+        };
         est.ingest(&spin, 0.005);
         // Next tick without a gyro sample: last rate is held.
         let empty = SensorReadings::default();
@@ -184,5 +298,101 @@ mod tests {
     fn uncertainty_reported() {
         let est = StateEstimator::new();
         assert!(est.position_uncertainty() > 0.0);
+    }
+
+    #[test]
+    fn silent_channels_are_declared_dead_after_their_timeouts() {
+        let mut est = StateEstimator::new();
+        assert!(
+            est.health().all_ok(),
+            "everything is presumed alive at startup"
+        );
+        // Only the IMU publishes; the aiding sensors stay silent.
+        let imu_only = SensorReadings {
+            accelerometer: Some(Vec3::Z * 9.81),
+            gyroscope: Some(Vec3::ZERO),
+            ..Default::default()
+        };
+        for _ in 0..400 {
+            est.ingest(&imu_only, 0.005); // 2 s
+        }
+        let h = est.health();
+        assert!(h.accelerometer_ok && h.gyroscope_ok);
+        assert!(!h.magnetometer_ok && !h.barometer_ok && !h.gps_ok);
+        assert!(h.navigation_degraded());
+        assert!(h.attitude_fallback());
+    }
+
+    #[test]
+    fn aiding_loss_degrades_navigation_but_attitude_survives() {
+        use crate::sensors::{SensorChannel, SensorFault, SensorFaultKind};
+        let mut truth = RigidBodyState::at_altitude(15.0);
+        truth.attitude = Quat::from_euler(0.1, -0.05, 0.4);
+        let mut suite = SensorSuite::with_defaults(21);
+        for channel in [SensorChannel::Gps, SensorChannel::Barometer] {
+            suite.inject_fault(SensorFault {
+                channel,
+                kind: SensorFaultKind::Dropout,
+                start: 5.0,
+                duration: f64::INFINITY,
+            });
+        }
+        let mut est = StateEstimator::new();
+        est.initialize_from(&truth);
+        let dt = 1e-3;
+        let mut uncertainty_at_fault = 0.0;
+        for i in 0..10_000 {
+            let readings = suite.sample(&truth, Vec3::ZERO, dt);
+            est.ingest(&readings, dt);
+            if i == 5000 {
+                uncertainty_at_fault = est.position_uncertainty();
+            }
+        }
+        assert!(est.health().navigation_degraded());
+        assert!(
+            est.position_uncertainty() > uncertainty_at_fault * 2.0,
+            "dead reckoning must grow uncertainty: {} vs {}",
+            est.position_uncertainty(),
+            uncertainty_at_fault
+        );
+        // Attitude runs on the complementary filter and never needed the
+        // dead aiding sensors.
+        let att_err = est.state().attitude.angle_to(truth.attitude);
+        assert!(att_err < 0.08, "attitude error {att_err}");
+    }
+
+    #[test]
+    fn innovation_gate_rejects_a_gps_bias_step() {
+        use crate::sensors::{SensorChannel, SensorFault, SensorFaultKind};
+        let truth = RigidBodyState::at_altitude(10.0);
+        let mut suite = SensorSuite::with_defaults(22);
+        suite.inject_fault(SensorFault {
+            channel: SensorChannel::Gps,
+            kind: SensorFaultKind::BiasStep(50.0),
+            start: 3.0,
+            duration: 4.0,
+        });
+        let mut est = StateEstimator::new();
+        est.initialize_from(&truth);
+        est.set_innovation_gating(true);
+        let dt = 1e-3;
+        let mut worst = 0.0f64;
+        for _ in 0..10_000 {
+            let readings = suite.sample(&truth, Vec3::ZERO, dt);
+            est.ingest(&readings, dt);
+            worst = worst.max((est.state().position - truth.position).norm());
+        }
+        assert!(
+            est.innovations_rejected() > 10,
+            "the 50 m fixes must bounce off the gate"
+        );
+        // Without gating the estimate walks tens of metres; with it the
+        // healthy Doppler/baro channels hold the fort.
+        assert!(
+            worst < 10.0,
+            "estimate excursion {worst} m during the bias window"
+        );
+        let final_err = (est.state().position - truth.position).norm();
+        assert!(final_err < 1.0, "post-fault error {final_err}");
     }
 }

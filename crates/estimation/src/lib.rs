@@ -39,5 +39,5 @@ pub mod sensors;
 
 pub use complementary::ComplementaryFilter;
 pub use ekf::NavigationEkf;
-pub use estimator::StateEstimator;
-pub use sensors::{SensorReadings, SensorSuite};
+pub use estimator::{SensorHealthReport, StateEstimator};
+pub use sensors::{SensorChannel, SensorFault, SensorFaultKind, SensorReadings, SensorSuite};

@@ -25,6 +25,63 @@ pub mod rates {
     pub const GPS_HZ: f64 = 10.0;
 }
 
+/// One sensor channel of the Table 2a suite. The discriminants index the
+/// suite's internal schedule array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SensorChannel {
+    /// Body-frame specific force.
+    Accelerometer = 0,
+    /// Body-frame angular rate.
+    Gyroscope = 1,
+    /// Heading reference.
+    Magnetometer = 2,
+    /// Barometric altitude.
+    Barometer = 3,
+    /// Position + Doppler velocity.
+    Gps = 4,
+}
+
+/// What a faulted channel does while the fault window is active.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SensorFaultKind {
+    /// The channel stops publishing entirely.
+    Dropout,
+    /// The channel keeps publishing the last healthy sample.
+    StuckValue,
+    /// A constant offset is added to every axis (hard-iron shift, baro
+    /// drift, GPS multipath plateau).
+    BiasStep(f64),
+    /// Extra white noise with this standard deviation (vibration, EMI).
+    NoiseBurst(f64),
+}
+
+/// A timed fault window on one sensor channel.
+///
+/// Active while `start <= t < start + duration`; use
+/// `f64::INFINITY` for a permanent failure.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SensorFault {
+    /// Which channel misbehaves.
+    pub channel: SensorChannel,
+    /// How it misbehaves.
+    pub kind: SensorFaultKind,
+    /// Suite-clock time the fault begins, s.
+    pub start: f64,
+    /// How long it lasts, s.
+    pub duration: f64,
+}
+
+/// Last healthy sample per channel, replayed by `StuckValue` faults.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct HeldReadings {
+    accel: Option<Vec3>,
+    gyro: Option<Vec3>,
+    mag: Option<Vec3>,
+    baro: Option<f64>,
+    gps: Option<Vec3>,
+    gps_velocity: Option<Vec3>,
+}
+
 /// Noise/bias description of one vector sensor channel.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ChannelSpec {
@@ -70,17 +127,43 @@ pub struct SensorSuite {
     clock: f64,
     next_due: [f64; 5],
     rng: Pcg32,
+    /// Injected fault windows (sorted by nothing; scanned per tick).
+    faults: Vec<SensorFault>,
+    /// Separate stream for fault noise so that an inactive fault list
+    /// leaves the nominal sensor stream bit-identical.
+    fault_rng: Pcg32,
+    held: HeldReadings,
 }
 
 impl SensorSuite {
     /// Creates a suite with consumer-grade noise at Table 2a rates.
     pub fn with_defaults(seed: u64) -> SensorSuite {
         SensorSuite::new(
-            ChannelSpec { rate_hz: rates::ACCELEROMETER_HZ, noise_std: 0.08, bias_scale: 0.05 },
-            ChannelSpec { rate_hz: rates::GYROSCOPE_HZ, noise_std: 0.005, bias_scale: 0.002 },
-            ChannelSpec { rate_hz: rates::MAGNETOMETER_HZ, noise_std: 0.02, bias_scale: 0.0 },
-            ChannelSpec { rate_hz: rates::BAROMETER_HZ, noise_std: 0.15, bias_scale: 0.3 },
-            ChannelSpec { rate_hz: rates::GPS_HZ, noise_std: 0.5, bias_scale: 0.0 },
+            ChannelSpec {
+                rate_hz: rates::ACCELEROMETER_HZ,
+                noise_std: 0.08,
+                bias_scale: 0.05,
+            },
+            ChannelSpec {
+                rate_hz: rates::GYROSCOPE_HZ,
+                noise_std: 0.005,
+                bias_scale: 0.002,
+            },
+            ChannelSpec {
+                rate_hz: rates::MAGNETOMETER_HZ,
+                noise_std: 0.02,
+                bias_scale: 0.0,
+            },
+            ChannelSpec {
+                rate_hz: rates::BAROMETER_HZ,
+                noise_std: 0.15,
+                bias_scale: 0.3,
+            },
+            ChannelSpec {
+                rate_hz: rates::GPS_HZ,
+                noise_std: 0.5,
+                bias_scale: 0.0,
+            },
             seed,
         )
     }
@@ -125,7 +208,25 @@ impl SensorSuite {
             clock: 0.0,
             next_due: [0.0; 5],
             rng,
+            faults: Vec::new(),
+            fault_rng: Pcg32::new(seed, 0xFA17),
+            held: HeldReadings::default(),
         }
+    }
+
+    /// Schedules a fault window on one channel.
+    pub fn inject_fault(&mut self, fault: SensorFault) {
+        self.faults.push(fault);
+    }
+
+    /// Removes all scheduled faults (past windows included).
+    pub fn clear_faults(&mut self) {
+        self.faults.clear();
+    }
+
+    /// Injected faults, in insertion order.
+    pub fn faults(&self) -> &[SensorFault] {
+        &self.faults
     }
 
     fn noisy_vec(rng: &mut Pcg32, v: Vec3, std: f64) -> Vec3 {
@@ -176,15 +277,21 @@ impl SensorSuite {
         }
         if due[1] {
             out.gyroscope = Some(
-                Self::noisy_vec(&mut self.rng, truth.angular_velocity, self.gyro_spec.noise_std)
-                    + self.gyro_bias,
+                Self::noisy_vec(
+                    &mut self.rng,
+                    truth.angular_velocity,
+                    self.gyro_spec.noise_std,
+                ) + self.gyro_bias,
             );
         }
         if due[2] {
             // Field points along world +X (magnetic north).
             let field_body = truth.attitude.rotate_inverse(Vec3::X);
-            out.magnetometer =
-                Some(Self::noisy_vec(&mut self.rng, field_body, self.mag_spec.noise_std));
+            out.magnetometer = Some(Self::noisy_vec(
+                &mut self.rng,
+                field_body,
+                self.mag_spec.noise_std,
+            ));
         }
         if due[3] {
             out.barometer = Some(
@@ -199,10 +306,87 @@ impl SensorSuite {
             let extra_z = self.rng.normal_with(0.0, self.gps_spec.noise_std);
             out.gps = Some(Vec3::new(base.x, base.y, base.z + extra_z));
             // Doppler velocity: much cleaner than differentiated position.
-            out.gps_velocity =
-                Some(Self::noisy_vec(&mut self.rng, truth.velocity, 0.2));
+            out.gps_velocity = Some(Self::noisy_vec(&mut self.rng, truth.velocity, 0.2));
         }
+        self.apply_faults(&mut out);
         out
+    }
+
+    /// Applies active fault windows to one tick of readings.
+    ///
+    /// Order matters: dropout silences the channel, stuck replays the
+    /// last healthy sample, then bias/noise corrupt whatever is left.
+    fn apply_faults(&mut self, out: &mut SensorReadings) {
+        let now = self.clock;
+        let mut dropped = [false; 5];
+        let mut stuck = [false; 5];
+        let mut bias = [0.0f64; 5];
+        let mut burst = [0.0f64; 5];
+        for f in &self.faults {
+            if now + 1e-12 < f.start || now >= f.start + f.duration {
+                continue;
+            }
+            let i = f.channel as usize;
+            match f.kind {
+                SensorFaultKind::Dropout => dropped[i] = true,
+                SensorFaultKind::StuckValue => stuck[i] = true,
+                SensorFaultKind::BiasStep(b) => bias[i] += b,
+                SensorFaultKind::NoiseBurst(s) => burst[i] += s,
+            }
+        }
+
+        macro_rules! vec_channel {
+            ($i:expr, $field:ident, $held:ident) => {
+                if dropped[$i] {
+                    out.$field = None;
+                } else if stuck[$i] {
+                    if out.$field.is_some() {
+                        out.$field = self.held.$held;
+                    }
+                } else if let Some(v) = out.$field {
+                    self.held.$held = Some(v);
+                }
+                if (bias[$i] != 0.0 || burst[$i] > 0.0) && !dropped[$i] {
+                    if let Some(v) = out.$field {
+                        let shifted = v + Vec3::new(bias[$i], bias[$i], bias[$i]);
+                        out.$field = Some(Self::noisy_vec(&mut self.fault_rng, shifted, burst[$i]));
+                    }
+                }
+            };
+        }
+
+        vec_channel!(0, accelerometer, accel);
+        vec_channel!(1, gyroscope, gyro);
+        vec_channel!(2, magnetometer, mag);
+
+        if dropped[3] {
+            out.barometer = None;
+        } else if stuck[3] {
+            if out.barometer.is_some() {
+                out.barometer = self.held.baro;
+            }
+        } else if let Some(v) = out.barometer {
+            self.held.baro = Some(v);
+        }
+        if (bias[3] != 0.0 || burst[3] > 0.0) && !dropped[3] {
+            if let Some(v) = out.barometer {
+                out.barometer = Some(v + bias[3] + self.fault_rng.normal_with(0.0, burst[3]));
+            }
+        }
+
+        vec_channel!(4, gps, gps);
+        // The Doppler channel shares the receiver: it drops and sticks
+        // with the position fix, but bias/noise faults model multipath
+        // on the position solution only.
+        if dropped[4] {
+            out.gps_velocity = None;
+        } else if stuck[4] {
+            if out.gps_velocity.is_some() {
+                out.gps_velocity = self.held.gps_velocity;
+            }
+        } else if let Some(v) = out.gps_velocity {
+            self.held.gps_velocity = Some(v);
+        }
     }
 }
 
@@ -252,8 +436,14 @@ mod tests {
         let mean = sum / n as f64;
         // Tolerance covers noise averaging plus the drawn bias (σ=0.05,
         // so 4σ bounds it at 0.2).
-        assert!((mean.z - STANDARD_GRAVITY).abs() < 0.25, "mean accel {mean}");
-        assert!(mean.x.abs() < 0.25 && mean.y.abs() < 0.25, "mean accel {mean}");
+        assert!(
+            (mean.z - STANDARD_GRAVITY).abs() < 0.25,
+            "mean accel {mean}"
+        );
+        assert!(
+            mean.x.abs() < 0.25 && mean.y.abs() < 0.25,
+            "mean accel {mean}"
+        );
     }
 
     #[test]
@@ -294,15 +484,170 @@ mod tests {
         let mut a = SensorSuite::with_defaults(9);
         let mut b = SensorSuite::with_defaults(9);
         for _ in 0..500 {
-            assert_eq!(a.sample(&truth, Vec3::ZERO, 1e-3), b.sample(&truth, Vec3::ZERO, 1e-3));
+            assert_eq!(
+                a.sample(&truth, Vec3::ZERO, 1e-3),
+                b.sample(&truth, Vec3::ZERO, 1e-3)
+            );
+        }
+    }
+
+    #[test]
+    fn dropout_silences_channel_for_its_window() {
+        let mut suite = SensorSuite::with_defaults(11);
+        suite.inject_fault(SensorFault {
+            channel: SensorChannel::Gps,
+            kind: SensorFaultKind::Dropout,
+            start: 0.5,
+            duration: 1.0,
+        });
+        let truth = RigidBodyState::at_altitude(10.0);
+        let mut t = 0.0;
+        let (mut before, mut during, mut after) = (0, 0, 0);
+        for _ in 0..3000 {
+            let r = suite.sample(&truth, Vec3::ZERO, 1e-3);
+            t += 1e-3;
+            if r.gps.is_some() {
+                if t < 0.5 {
+                    before += 1;
+                } else if t < 1.5 {
+                    during += 1;
+                } else {
+                    after += 1;
+                }
+            }
+            // The receiver reports position and Doppler together.
+            assert_eq!(r.gps.is_some(), r.gps_velocity.is_some());
+        }
+        assert!(before > 0, "healthy before the window");
+        assert_eq!(during, 0, "silent during the window");
+        assert!(after > 0, "recovers after the window");
+    }
+
+    #[test]
+    fn stuck_value_repeats_last_healthy_sample() {
+        let mut suite = SensorSuite::with_defaults(12);
+        suite.inject_fault(SensorFault {
+            channel: SensorChannel::Barometer,
+            kind: SensorFaultKind::StuckValue,
+            start: 1.0,
+            duration: f64::INFINITY,
+        });
+        let truth = RigidBodyState::at_altitude(20.0);
+        let mut last_healthy = None;
+        let mut stuck_values = Vec::new();
+        let mut t = 0.0;
+        for _ in 0..3000 {
+            let r = suite.sample(&truth, Vec3::ZERO, 1e-3);
+            t += 1e-3;
+            if let Some(b) = r.barometer {
+                if t < 1.0 {
+                    last_healthy = Some(b);
+                } else {
+                    stuck_values.push(b);
+                }
+            }
+        }
+        let frozen = last_healthy.expect("baro published before the fault");
+        assert!(!stuck_values.is_empty(), "stuck sensor still publishes");
+        for v in stuck_values {
+            assert_eq!(
+                v, frozen,
+                "every faulted sample repeats the pre-fault value"
+            );
+        }
+    }
+
+    #[test]
+    fn bias_step_shifts_the_mean() {
+        let truth = RigidBodyState::at_altitude(50.0);
+        let mean_baro = |fault: Option<SensorFault>| {
+            let mut suite = SensorSuite::with_defaults(13);
+            if let Some(f) = fault {
+                suite.inject_fault(f);
+            }
+            let (mut sum, mut n) = (0.0, 0);
+            for _ in 0..5000 {
+                if let Some(b) = suite.sample(&truth, Vec3::ZERO, 1e-3).barometer {
+                    sum += b;
+                    n += 1;
+                }
+            }
+            sum / n as f64
+        };
+        let clean = mean_baro(None);
+        let biased = mean_baro(Some(SensorFault {
+            channel: SensorChannel::Barometer,
+            kind: SensorFaultKind::BiasStep(7.5),
+            start: 0.0,
+            duration: f64::INFINITY,
+        }));
+        assert!(
+            (biased - clean - 7.5).abs() < 0.1,
+            "clean {clean}, biased {biased}"
+        );
+    }
+
+    #[test]
+    fn noise_burst_widens_the_spread() {
+        let truth = RigidBodyState::at_altitude(5.0);
+        let spread = |burst: Option<f64>| {
+            let mut suite = SensorSuite::with_defaults(14);
+            if let Some(std) = burst {
+                suite.inject_fault(SensorFault {
+                    channel: SensorChannel::Gps,
+                    kind: SensorFaultKind::NoiseBurst(std),
+                    start: 0.0,
+                    duration: f64::INFINITY,
+                });
+            }
+            let mut errs = Vec::new();
+            for _ in 0..20_000 {
+                if let Some(g) = suite.sample(&truth, Vec3::ZERO, 1e-3).gps {
+                    errs.push((g - truth.position).norm());
+                }
+            }
+            errs.iter().sum::<f64>() / errs.len() as f64
+        };
+        assert!(spread(Some(8.0)) > spread(None) * 3.0);
+    }
+
+    #[test]
+    fn inactive_faults_leave_the_stream_untouched() {
+        // A fault scheduled in the future must not perturb the RNG
+        // stream before (or after) its window.
+        let truth = RigidBodyState::at_rest();
+        let mut clean = SensorSuite::with_defaults(15);
+        let mut armed = SensorSuite::with_defaults(15);
+        armed.inject_fault(SensorFault {
+            channel: SensorChannel::Accelerometer,
+            kind: SensorFaultKind::NoiseBurst(5.0),
+            start: 0.2,
+            duration: 0.1,
+        });
+        let mut t = 0.0;
+        for _ in 0..600 {
+            let a = clean.sample(&truth, Vec3::ZERO, 1e-3);
+            let b = armed.sample(&truth, Vec3::ZERO, 1e-3);
+            t += 1e-3;
+            if !(0.2 - 1e-9..0.3 + 2e-3).contains(&t) {
+                assert_eq!(a, b, "streams diverge outside the fault window at t={t}");
+            }
         }
     }
 
     #[test]
     #[should_panic(expected = "sensor rate must be positive")]
     fn zero_rate_panics() {
-        let bad = ChannelSpec { rate_hz: 0.0, noise_std: 0.0, bias_scale: 0.0 };
-        let ok = ChannelSpec { rate_hz: 10.0, noise_std: 0.0, bias_scale: 0.0 };
+        let bad = ChannelSpec {
+            rate_hz: 0.0,
+            noise_std: 0.0,
+            bias_scale: 0.0,
+        };
+        let ok = ChannelSpec {
+            rate_hz: 10.0,
+            noise_std: 0.0,
+            bias_scale: 0.0,
+        };
         let _ = SensorSuite::new(bad, ok, ok, ok, ok, 0);
     }
 }

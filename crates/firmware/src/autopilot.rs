@@ -3,6 +3,7 @@
 //! commands, with telemetry out the MAVLink side.
 
 use crate::gcs::{MissionReceiver, CMD_ARM};
+use crate::link::{LinkEvent, LinkMonitor};
 use crate::mavlink::Message;
 use crate::mission::{Mission, MissionError, MissionRunner};
 use crate::mode::{FlightMode, ModeMachine, TransitionError};
@@ -16,6 +17,14 @@ use std::fmt;
 
 /// Battery fraction below which the autopilot declares failsafe.
 pub const FAILSAFE_BATTERY_FRACTION: f64 = 0.20;
+
+/// Per-cell voltage below which the autopilot declares failsafe (LiPo
+/// cells are damaged below ~3.0 V; 3.3 V leaves margin to land).
+pub const FAILSAFE_CELL_VOLTS: f64 = 3.3;
+
+/// Low voltage must persist this long before the failsafe fires —
+/// transient sag under a throttle punch is not an emergency.
+pub const LOW_VOLTAGE_HOLD_SECONDS: f64 = 0.5;
 
 /// One telemetry log entry.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -93,6 +102,15 @@ pub struct Autopilot {
     seq: u8,
     mission_link: MissionReceiver,
     rc_override: Option<Setpoint>,
+    link: LinkMonitor,
+    /// Low-voltage failsafe threshold for the whole pack, volts.
+    low_voltage_threshold: f64,
+    /// Latest reported pack voltage (None until first report).
+    reported_voltage: Option<f64>,
+    /// Latest reported drain-limit flag.
+    at_drain_limit: bool,
+    /// How long the pack has been continuously under the threshold, s.
+    low_voltage_for: f64,
 }
 
 impl Autopilot {
@@ -114,7 +132,26 @@ impl Autopilot {
             seq: 0,
             mission_link: MissionReceiver::new(),
             rc_override: None,
+            link: LinkMonitor::default(),
+            low_voltage_threshold: params.battery.nominal_voltage().0
+                * (FAILSAFE_CELL_VOLTS / drone_components::battery::CELL_NOMINAL_VOLTS),
+            reported_voltage: None,
+            at_drain_limit: false,
+            low_voltage_for: 0.0,
         }
+    }
+
+    /// The ground-station link watchdog.
+    pub fn link(&self) -> &LinkMonitor {
+        &self.link
+    }
+
+    /// Feeds the battery monitor with pack telemetry (terminal voltage
+    /// and whether the 85 % safe-drain limit has been reached). Without
+    /// reports only the state-of-charge failsafe is active.
+    pub fn report_battery(&mut self, voltage: f64, at_drain_limit: bool) {
+        self.reported_voltage = Some(voltage);
+        self.at_drain_limit = at_drain_limit;
     }
 
     /// Current flight mode.
@@ -148,12 +185,27 @@ impl Autopilot {
     /// paper's "reconfigured mid-flight" DroneKit path — the new mission
     /// takes effect at the next arm.
     pub fn handle_message(&mut self, msg: &Message) -> Vec<Message> {
+        if let Message::Heartbeat { .. } = msg {
+            if self.link.heartbeat() == Some(LinkEvent::Recovered) {
+                self.outbox.push(Message::StatusText {
+                    severity: 5,
+                    text: "ground-station link recovered".into(),
+                });
+            }
+            return Vec::new();
+        }
         if let Message::CommandLong { command, params } = msg {
             if *command == CMD_ARM && params[0] > 0.5 {
                 let result = u8::from(self.arm().is_err());
-                return vec![Message::CommandAck { command: *command, result }];
+                return vec![Message::CommandAck {
+                    command: *command,
+                    result,
+                }];
             }
-            return vec![Message::CommandAck { command: *command, result: 2 }];
+            return vec![Message::CommandAck {
+                command: *command,
+                result: 2,
+            }];
         }
         let replies = self.mission_link.handle(msg);
         if let Some(mission) = self.mission_link.take_mission() {
@@ -190,7 +242,10 @@ impl Autopilot {
     /// Returns the underlying [`MissionError`] for invalid missions.
     pub fn upload_mission(&mut self, mission: Mission) -> Result<(), AutopilotError> {
         self.pending_mission = Some(mission);
-        self.outbox.push(Message::StatusText { severity: 6, text: "mission uploaded".into() });
+        self.outbox.push(Message::StatusText {
+            severity: 6,
+            text: "mission uploaded".into(),
+        });
         Ok(())
     }
 
@@ -201,13 +256,19 @@ impl Autopilot {
     /// Returns [`AutopilotError::NoMission`] without an uploaded mission,
     /// or a mode error when not disarmed.
     pub fn arm(&mut self) -> Result<(), AutopilotError> {
-        let mission = self.pending_mission.take().ok_or(AutopilotError::NoMission)?;
+        let mission = self
+            .pending_mission
+            .take()
+            .ok_or(AutopilotError::NoMission)?;
         self.mode.transition(FlightMode::Armed)?;
         let home = self.estimator.state().position;
         self.home = home;
         self.mission = Some(MissionRunner::new(mission, home));
         self.mode.transition(FlightMode::Takeoff)?;
-        self.outbox.push(Message::StatusText { severity: 5, text: "armed: taking off".into() });
+        self.outbox.push(Message::StatusText {
+            severity: 5,
+            text: "armed: taking off".into(),
+        });
         Ok(())
     }
 
@@ -223,17 +284,46 @@ impl Autopilot {
         self.estimator.ingest(readings, dt);
         let estimate = self.estimator.state();
 
-        // Failsafe check dominates everything while flying.
+        for event in self.link.tick(dt) {
+            if event == LinkEvent::Lost {
+                self.outbox.push(Message::StatusText {
+                    severity: 2,
+                    text: "ground-station link lost".into(),
+                });
+            }
+        }
+        match self.reported_voltage {
+            Some(v) if v < self.low_voltage_threshold => self.low_voltage_for += dt,
+            _ => self.low_voltage_for = 0.0,
+        }
+
+        // Failsafe checks dominate everything while flying.
         if self.mode().is_flying()
             && self.mode() != FlightMode::Failsafe
             && self.mode() != FlightMode::Land
-            && battery_fraction < FAILSAFE_BATTERY_FRACTION
         {
-            let _ = self.mode.transition(FlightMode::Failsafe);
-            self.outbox.push(Message::StatusText {
-                severity: 1,
-                text: format!("battery {:.0}%: failsafe landing", battery_fraction * 100.0),
-            });
+            let reason = if battery_fraction < FAILSAFE_BATTERY_FRACTION {
+                Some(format!(
+                    "battery {:.0}%: failsafe landing",
+                    battery_fraction * 100.0
+                ))
+            } else if self.at_drain_limit {
+                Some("battery at safe-drain limit: failsafe landing".into())
+            } else if self.low_voltage_for >= LOW_VOLTAGE_HOLD_SECONDS {
+                Some(format!(
+                    "pack voltage {:.1} V below {:.1} V: failsafe landing",
+                    self.reported_voltage.unwrap_or(0.0),
+                    self.low_voltage_threshold
+                ))
+            } else if self.link.ever_connected() && !self.link.is_connected() {
+                Some("ground-station link lost: failsafe landing".into())
+            } else {
+                None
+            };
+            if let Some(text) = reason {
+                let _ = self.mode.transition(FlightMode::Failsafe);
+                self.outbox.push(Message::StatusText { severity: 1, text });
+            }
         }
 
         match self.mode() {
@@ -386,10 +476,19 @@ mod tests {
     #[test]
     fn completes_hover_mission_and_disarms() {
         let (quad, ap) = fly_mission(Mission::hover_test(8.0, 3.0), 60.0, None);
-        assert_eq!(ap.mode(), FlightMode::Disarmed, "telemetry: {:?}", ap.telemetry().last());
+        assert_eq!(
+            ap.mode(),
+            FlightMode::Disarmed,
+            "telemetry: {:?}",
+            ap.telemetry().last()
+        );
         assert!(quad.state().position.z < 0.3, "{}", quad.state());
         // It actually flew.
-        let max_alt = ap.telemetry().iter().map(|t| t.position.z).fold(0.0, f64::max);
+        let max_alt = ap
+            .telemetry()
+            .iter()
+            .map(|t| t.position.z)
+            .fold(0.0, f64::max);
         assert!(max_alt > 7.0, "max altitude {max_alt}");
     }
 
@@ -414,10 +513,16 @@ mod tests {
         // Battery cut below the failsafe threshold 10 s into the hover.
         let (quad, ap) = fly_mission(Mission::hover_test(10.0, 60.0), 60.0, Some((10.0, 0.10)));
         assert_eq!(ap.mode(), FlightMode::Disarmed);
-        assert!(quad.state().position.z < 0.3, "failsafe never landed: {}", quad.state());
+        assert!(
+            quad.state().position.z < 0.3,
+            "failsafe never landed: {}",
+            quad.state()
+        );
         // It must have flagged failsafe in telemetry modes.
         assert!(
-            ap.telemetry().iter().any(|t| t.mode == FlightMode::Failsafe),
+            ap.telemetry()
+                .iter()
+                .any(|t| t.mode == FlightMode::Failsafe),
             "failsafe mode never recorded"
         );
     }
@@ -470,7 +575,10 @@ mod tests {
         let replies = ap.handle_message(&gcs.arm_command());
         assert_eq!(
             replies,
-            vec![Message::CommandAck { command: crate::gcs::CMD_ARM, result: 0 }]
+            vec![Message::CommandAck {
+                command: crate::gcs::CMD_ARM,
+                result: 0
+            }]
         );
         assert!(ap.mode().is_armed());
     }
@@ -483,7 +591,10 @@ mod tests {
         let replies = ap.handle_message(&gcs.arm_command());
         assert_eq!(
             replies,
-            vec![Message::CommandAck { command: crate::gcs::CMD_ARM, result: 1 }]
+            vec![Message::CommandAck {
+                command: crate::gcs::CMD_ARM,
+                result: 1
+            }]
         );
         assert_eq!(ap.mode(), FlightMode::Disarmed);
     }
@@ -540,5 +651,151 @@ mod tests {
         let mut ap = Autopilot::new(&params);
         let out = ap.update(&SensorReadings::default(), 1.0, 1e-3);
         assert_eq!(out, [0.0; 4]);
+    }
+
+    /// Closed-loop flight with a GCS heartbeating at 1 Hz until
+    /// `silence_after` seconds, when the ground station goes dark.
+    fn fly_with_link(silence_after: f64, seconds: f64) -> (Quadcopter, Autopilot) {
+        let params = QuadcopterParams::default_450mm();
+        let mut quad = Quadcopter::new(params.clone());
+        let mut sensors = SensorSuite::with_defaults(33);
+        let mut ap = Autopilot::new(&params);
+        ap.align(quad.state());
+        ap.upload_mission(Mission::hover_test(10.0, 120.0)).unwrap();
+        ap.arm().unwrap();
+        let dt = 1e-3;
+        let mut prev_vel = quad.state().velocity;
+        let mut next_heartbeat = 0.0;
+        for step in 0..(seconds / dt) as usize {
+            let t = step as f64 * dt;
+            if t >= next_heartbeat && t < silence_after {
+                ap.handle_message(&Message::Heartbeat {
+                    mode: 0,
+                    armed: false,
+                });
+                next_heartbeat += 1.0;
+            }
+            let accel = (quad.state().velocity - prev_vel) / dt;
+            prev_vel = quad.state().velocity;
+            let readings = sensors.sample(quad.state(), accel, dt);
+            let throttle = ap.update(&readings, quad.battery().remaining_fraction(), dt);
+            quad.step(throttle, Vec3::ZERO, dt);
+            if ap.mode() == FlightMode::Disarmed && quad.state().position.z < 0.2 {
+                break;
+            }
+        }
+        (quad, ap)
+    }
+
+    #[test]
+    fn link_loss_triggers_failsafe_landing() {
+        // GCS heartbeats for 15 s, then goes silent mid-hover: the
+        // heartbeat timeout must drive Failsafe and land the vehicle.
+        let (quad, ap) = fly_with_link(15.0, 90.0);
+        assert_eq!(
+            ap.mode(),
+            FlightMode::Disarmed,
+            "{:?}",
+            ap.telemetry().last()
+        );
+        assert!(quad.state().position.z < 0.3, "{}", quad.state());
+        assert!(
+            ap.telemetry()
+                .iter()
+                .any(|t| t.mode == FlightMode::Failsafe),
+            "failsafe never engaged"
+        );
+        assert_eq!(ap.link().drops(), 1);
+        assert!(
+            ap.link().reconnect_attempts() > 0,
+            "no reconnects attempted"
+        );
+    }
+
+    #[test]
+    fn no_ground_station_means_no_link_failsafe() {
+        // Never-connected links must not fail a bench flight (the
+        // existing mission tests rely on this, but make it explicit).
+        let (quad, ap) = fly_mission(Mission::hover_test(6.0, 3.0), 40.0, None);
+        assert_eq!(ap.mode(), FlightMode::Disarmed);
+        assert!(
+            ap.telemetry()
+                .iter()
+                .all(|t| t.mode != FlightMode::Failsafe),
+            "phantom link failsafe"
+        );
+        assert!(quad.state().position.z < 0.3);
+    }
+
+    #[test]
+    fn drain_limit_report_triggers_failsafe() {
+        let params = QuadcopterParams::default_450mm();
+        let mut quad = Quadcopter::new(params.clone());
+        let mut sensors = SensorSuite::with_defaults(34);
+        let mut ap = Autopilot::new(&params);
+        ap.align(quad.state());
+        ap.upload_mission(Mission::hover_test(8.0, 120.0)).unwrap();
+        ap.arm().unwrap();
+        let dt = 1e-3;
+        let mut prev_vel = quad.state().velocity;
+        for step in 0..60_000 {
+            let t = step as f64 * dt;
+            // 20 s in, the pack monitor reports the 85 % drain limit
+            // (battery fraction itself still far above the SoC failsafe).
+            ap.report_battery(11.1, t > 20.0);
+            let accel = (quad.state().velocity - prev_vel) / dt;
+            prev_vel = quad.state().velocity;
+            let readings = sensors.sample(quad.state(), accel, dt);
+            let throttle = ap.update(&readings, 0.9, dt);
+            quad.step(throttle, Vec3::ZERO, dt);
+            if ap.mode() == FlightMode::Disarmed && quad.state().position.z < 0.2 {
+                break;
+            }
+        }
+        assert_eq!(ap.mode(), FlightMode::Disarmed);
+        assert!(quad.state().position.z < 0.3, "{}", quad.state());
+        assert!(ap
+            .telemetry()
+            .iter()
+            .any(|t| t.mode == FlightMode::Failsafe));
+    }
+
+    #[test]
+    fn sustained_low_voltage_triggers_failsafe_but_transients_do_not() {
+        let params = QuadcopterParams::default_450mm();
+        let mut ap = Autopilot::new(&params);
+        ap.upload_mission(Mission::hover_test(5.0, 60.0)).unwrap();
+        ap.arm().unwrap();
+        let readings = SensorReadings::default();
+        let voltage_failsafed = |ap: &mut Autopilot| {
+            ap.drain_outbox().iter().any(
+                |m| matches!(m, Message::StatusText { text, .. } if text.contains("pack voltage")),
+            )
+        };
+        // A 0.3 s sag (throttle punch) must not fail the flight.
+        ap.report_battery(9.0, false);
+        for _ in 0..300 {
+            ap.update(&readings, 0.9, 1e-3);
+        }
+        ap.report_battery(11.1, false);
+        for _ in 0..300 {
+            ap.update(&readings, 0.9, 1e-3);
+        }
+        assert!(
+            !voltage_failsafed(&mut ap),
+            "transient sag must be ridden out"
+        );
+        assert_eq!(ap.mode(), FlightMode::Takeoff);
+        // Sustained brown-out does trip it (the grounded estimate then
+        // disarms immediately — the landing is already "complete").
+        ap.report_battery(9.0, false);
+        for _ in 0..600 {
+            ap.update(&readings, 0.9, 1e-3);
+        }
+        assert!(
+            voltage_failsafed(&mut ap),
+            "sustained low voltage never failsafed"
+        );
+        assert_eq!(ap.mode(), FlightMode::Disarmed);
     }
 }

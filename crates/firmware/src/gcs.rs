@@ -28,7 +28,11 @@ fn encode_item(seq: u16, item: &MissionItem) -> Message {
         },
         // Yaw is not carried over the wire (the reference autopilot's
         // NAV_WAYPOINT leaves yaw to the vehicle as well).
-        MissionItem::Waypoint { position, acceptance_radius, yaw: _ } => Message::MissionItem {
+        MissionItem::Waypoint {
+            position,
+            acceptance_radius,
+            yaw: _,
+        } => Message::MissionItem {
             seq,
             kind: 1,
             x: position.x as f32,
@@ -44,20 +48,31 @@ fn encode_item(seq: u16, item: &MissionItem) -> Message {
             z: 0.0,
             param: seconds as f32,
         },
-        MissionItem::Land => Message::MissionItem { seq, kind: 3, x: 0.0, y: 0.0, z: 0.0, param: 0.0 },
+        MissionItem::Land => Message::MissionItem {
+            seq,
+            kind: 3,
+            x: 0.0,
+            y: 0.0,
+            z: 0.0,
+            param: 0.0,
+        },
     }
 }
 
 /// Decodes a wire mission item; `None` for an unknown kind.
 fn decode_item(kind: u8, x: f32, y: f32, z: f32, param: f32) -> Option<MissionItem> {
     match kind {
-        0 => Some(MissionItem::Takeoff { altitude: f64::from(z) }),
+        0 => Some(MissionItem::Takeoff {
+            altitude: f64::from(z),
+        }),
         1 => Some(MissionItem::Waypoint {
             position: Vec3::new(f64::from(x), f64::from(y), f64::from(z)),
             acceptance_radius: f64::from(param).max(0.1),
             yaw: 0.0,
         }),
-        2 => Some(MissionItem::Loiter { seconds: f64::from(param) }),
+        2 => Some(MissionItem::Loiter {
+            seconds: f64::from(param),
+        }),
         3 => Some(MissionItem::Land),
         _ => None,
     }
@@ -92,14 +107,23 @@ impl MissionReceiver {
                 self.expecting = Some((*count, Vec::new()));
                 vec![Message::MissionRequest { seq: 0 }]
             }
-            Message::MissionItem { seq, kind, x, y, z, param } => {
+            Message::MissionItem {
+                seq,
+                kind,
+                x,
+                y,
+                z,
+                param,
+            } => {
                 let Some((count, items)) = &mut self.expecting else {
                     return vec![Message::MissionAck { result: 3 }]; // unsolicited
                 };
                 if *seq as usize != items.len() {
                     // Out-of-order: re-request what we actually need
                     // (lossy radios re-send; the protocol is idempotent).
-                    return vec![Message::MissionRequest { seq: items.len() as u16 }];
+                    return vec![Message::MissionRequest {
+                        seq: items.len() as u16,
+                    }];
                 }
                 match decode_item(*kind, *x, *y, *z, *param) {
                     Some(item) => items.push(item),
@@ -109,7 +133,9 @@ impl MissionReceiver {
                     }
                 }
                 if items.len() < *count as usize {
-                    vec![Message::MissionRequest { seq: items.len() as u16 }]
+                    vec![Message::MissionRequest {
+                        seq: items.len() as u16,
+                    }]
                 } else {
                     let (_, items) = self.expecting.take().expect("in upload");
                     match Mission::new(items) {
@@ -195,7 +221,10 @@ impl GroundStation {
 
     /// The arm command message.
     pub fn arm_command(&self) -> Message {
-        Message::CommandLong { command: CMD_ARM, params: [1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0] }
+        Message::CommandLong {
+            command: CMD_ARM,
+            params: [1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+        }
     }
 
     /// Latest vehicle state snapshot from telemetry.
@@ -207,7 +236,9 @@ impl GroundStation {
     pub fn handle(&mut self, msg: &Message) -> Vec<Message> {
         match msg {
             Message::MissionRequest { seq } => {
-                let Some(items) = &self.uploading else { return Vec::new() };
+                let Some(items) = &self.uploading else {
+                    return Vec::new();
+                };
                 match items.get(*seq as usize) {
                     Some(item) => vec![encode_item(*seq, item)],
                     None => Vec::new(),
@@ -295,7 +326,11 @@ mod tests {
         pump(&mut gcs, &mut rx, first);
         let received = rx.take_mission().unwrap();
         match received.items()[1] {
-            MissionItem::Waypoint { position, acceptance_radius, .. } => {
+            MissionItem::Waypoint {
+                position,
+                acceptance_radius,
+                ..
+            } => {
                 assert!((position - Vec3::new(10.25, -3.5, 12.5)).norm() < 1e-3);
                 assert!((acceptance_radius - 1.5).abs() < 0.1);
             }
@@ -340,8 +375,7 @@ mod tests {
         let re_request = rx.handle(&item0);
         assert_eq!(re_request, vec![Message::MissionRequest { seq: 1 }]);
         // Finish normally.
-        let mut to_vehicle: Vec<Message> =
-            re_request.iter().flat_map(|m| gcs.handle(m)).collect();
+        let mut to_vehicle: Vec<Message> = re_request.iter().flat_map(|m| gcs.handle(m)).collect();
         for _ in 0..16 {
             let mut to_gcs = Vec::new();
             for m in &to_vehicle {
@@ -377,13 +411,19 @@ mod tests {
     #[test]
     fn telemetry_updates_the_snapshot() {
         let mut gcs = GroundStation::new();
-        gcs.handle(&Message::Heartbeat { mode: 3, armed: true });
+        gcs.handle(&Message::Heartbeat {
+            mode: 3,
+            armed: true,
+        });
         gcs.handle(&Message::Position {
             time_ms: 1,
             position: [1.0, 2.0, 3.0],
             velocity: [0.0; 3],
         });
-        gcs.handle(&Message::BatteryStatus { voltage_mv: 11_100, remaining_pct: 72 });
+        gcs.handle(&Message::BatteryStatus {
+            voltage_mv: 11_100,
+            remaining_pct: 72,
+        });
         let v = gcs.vehicle();
         assert!(v.armed);
         assert_eq!(v.mode, Some(3));

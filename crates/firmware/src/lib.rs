@@ -11,6 +11,9 @@
 //!   X25 checksums and a robust stream parser.
 //! * [`gcs`] — the ground-station counterpart: mission-upload handshake,
 //!   command issuing, vehicle-state tracking.
+//! * [`link`] — the ground-station link watchdog: heartbeat timeout,
+//!   bounded-exponential reconnect backoff, feeding the link-loss
+//!   failsafe.
 //! * [`scheduler`] — a preemptive rate-group scheduler with deadline
 //!   accounting: the instrument behind the paper's §5.1 observation that
 //!   co-locating SLAM with the autopilot makes outer-loop deadlines slip.
@@ -32,6 +35,7 @@
 
 pub mod autopilot;
 pub mod gcs;
+pub mod link;
 pub mod mavlink;
 pub mod mission;
 pub mod mode;
@@ -39,7 +43,8 @@ pub mod scheduler;
 
 pub use autopilot::{Autopilot, TelemetryRecord};
 pub use gcs::{GroundStation, MissionReceiver};
+pub use link::{LinkEvent, LinkMonitor};
 pub use mavlink::{Message, StreamParser};
 pub use mission::{Mission, MissionItem, MissionRunner};
 pub use mode::FlightMode;
-pub use scheduler::{RateScheduler, SchedulerReport, Task};
+pub use scheduler::{RateScheduler, SchedulerReport, ShedOutcome, ShedPolicy, Task};

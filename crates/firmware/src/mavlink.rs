@@ -150,19 +150,31 @@ impl Message {
                 buf.put_u8(*mode);
                 buf.put_u8(u8::from(*armed));
             }
-            Message::Attitude { time_ms, roll, pitch, yaw } => {
+            Message::Attitude {
+                time_ms,
+                roll,
+                pitch,
+                yaw,
+            } => {
                 buf.put_u32_le(*time_ms);
                 buf.put_f32_le(*roll);
                 buf.put_f32_le(*pitch);
                 buf.put_f32_le(*yaw);
             }
-            Message::Position { time_ms, position, velocity } => {
+            Message::Position {
+                time_ms,
+                position,
+                velocity,
+            } => {
                 buf.put_u32_le(*time_ms);
                 for v in position.iter().chain(velocity) {
                     buf.put_f32_le(*v);
                 }
             }
-            Message::BatteryStatus { voltage_mv, remaining_pct } => {
+            Message::BatteryStatus {
+                voltage_mv,
+                remaining_pct,
+            } => {
                 buf.put_u16_le(*voltage_mv);
                 buf.put_u8(*remaining_pct);
             }
@@ -185,7 +197,14 @@ impl Message {
             }
             Message::MissionCount { count } => buf.put_u16_le(*count),
             Message::MissionRequest { seq } => buf.put_u16_le(*seq),
-            Message::MissionItem { seq, kind, x, y, z, param } => {
+            Message::MissionItem {
+                seq,
+                kind,
+                x,
+                y,
+                z,
+                param,
+            } => {
                 buf.put_u16_le(*seq);
                 buf.put_u8(*kind);
                 buf.put_f32_le(*x);
@@ -245,7 +264,10 @@ impl Message {
                 }
                 let voltage_mv = p.get_u16_le();
                 let remaining_pct = p.get_u8();
-                Some(Message::BatteryStatus { voltage_mv, remaining_pct })
+                Some(Message::BatteryStatus {
+                    voltage_mv,
+                    remaining_pct,
+                })
             }
             76 => {
                 if p.remaining() < 30 {
@@ -282,13 +304,17 @@ impl Message {
                 if p.remaining() < 2 {
                     return None;
                 }
-                Some(Message::MissionCount { count: p.get_u16_le() })
+                Some(Message::MissionCount {
+                    count: p.get_u16_le(),
+                })
             }
             40 => {
                 if p.remaining() < 2 {
                     return None;
                 }
-                Some(Message::MissionRequest { seq: p.get_u16_le() })
+                Some(Message::MissionRequest {
+                    seq: p.get_u16_le(),
+                })
             }
             73 => {
                 if p.remaining() < 19 {
@@ -329,7 +355,10 @@ impl Message {
         frame.put_u8(msg_id);
         frame.put_slice(&payload);
         // CRC over everything after STX, then the CRC-extra byte.
-        let crc = crc_x25(&[&frame[1..], &[Self::crc_extra(msg_id)][..]].concat(), 0xFFFF);
+        let crc = crc_x25(
+            &[&frame[1..], &[Self::crc_extra(msg_id)][..]].concat(),
+            0xFFFF,
+        );
         frame.put_u16_le(crc);
         frame.freeze()
     }
@@ -339,14 +368,27 @@ impl fmt::Display for Message {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Message::Heartbeat { mode, armed } => write!(f, "HEARTBEAT mode={mode} armed={armed}"),
-            Message::Attitude { roll, pitch, yaw, .. } => {
+            Message::Attitude {
+                roll, pitch, yaw, ..
+            } => {
                 write!(f, "ATTITUDE rpy=({roll:.2},{pitch:.2},{yaw:.2})")
             }
             Message::Position { position, .. } => {
-                write!(f, "POSITION ({:.1},{:.1},{:.1})", position[0], position[1], position[2])
+                write!(
+                    f,
+                    "POSITION ({:.1},{:.1},{:.1})",
+                    position[0], position[1], position[2]
+                )
             }
-            Message::BatteryStatus { voltage_mv, remaining_pct } => {
-                write!(f, "BATTERY {:.2} V {remaining_pct}%", *voltage_mv as f64 / 1000.0)
+            Message::BatteryStatus {
+                voltage_mv,
+                remaining_pct,
+            } => {
+                write!(
+                    f,
+                    "BATTERY {:.2} V {remaining_pct}%",
+                    *voltage_mv as f64 / 1000.0
+                )
             }
             Message::CommandLong { command, .. } => write!(f, "COMMAND {command}"),
             Message::CommandAck { command, result } => write!(f, "ACK {command} -> {result}"),
@@ -449,11 +491,22 @@ impl StreamParser {
                 let comp_id = self.buffer[4];
                 let payload = Bytes::copy_from_slice(&self.buffer[6..6 + payload_len]);
                 if let Some(message) = Message::decode_payload(msg_id, payload) {
-                    out.push(Frame { seq, sys_id, comp_id, message });
+                    out.push(Frame {
+                        seq,
+                        sys_id,
+                        comp_id,
+                        message,
+                    });
+                    self.buffer.drain(..frame_len);
                 } else {
-                    self.crc_failures += 1; // valid checksum, bad schema
+                    // Valid checksum but an undecodable schema: almost
+                    // certainly a garbage STX whose pseudo-frame happened
+                    // to pass CRC over bytes that contain *real* frames.
+                    // Draining the whole pseudo-frame would swallow them,
+                    // so skip just this STX and rescan.
+                    self.crc_failures += 1;
+                    self.buffer.drain(..1);
                 }
-                self.buffer.drain(..frame_len);
             } else {
                 // Bad checksum: skip this STX and rescan.
                 self.crc_failures += 1;
@@ -470,20 +523,47 @@ mod tests {
 
     fn all_messages() -> Vec<Message> {
         vec![
-            Message::Heartbeat { mode: 3, armed: true },
-            Message::Attitude { time_ms: 1234, roll: 0.1, pitch: -0.2, yaw: 1.5 },
+            Message::Heartbeat {
+                mode: 3,
+                armed: true,
+            },
+            Message::Attitude {
+                time_ms: 1234,
+                roll: 0.1,
+                pitch: -0.2,
+                yaw: 1.5,
+            },
             Message::Position {
                 time_ms: 99,
                 position: [1.0, 2.0, 3.0],
                 velocity: [-0.5, 0.0, 0.25],
             },
-            Message::BatteryStatus { voltage_mv: 11100, remaining_pct: 73 },
-            Message::CommandLong { command: 400, params: [1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0] },
-            Message::CommandAck { command: 400, result: 0 },
-            Message::StatusText { severity: 6, text: "takeoff complete".to_owned() },
+            Message::BatteryStatus {
+                voltage_mv: 11100,
+                remaining_pct: 73,
+            },
+            Message::CommandLong {
+                command: 400,
+                params: [1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+            },
+            Message::CommandAck {
+                command: 400,
+                result: 0,
+            },
+            Message::StatusText {
+                severity: 6,
+                text: "takeoff complete".to_owned(),
+            },
             Message::MissionCount { count: 7 },
             Message::MissionRequest { seq: 3 },
-            Message::MissionItem { seq: 3, kind: 1, x: 1.0, y: -2.0, z: 10.0, param: 1.0 },
+            Message::MissionItem {
+                seq: 3,
+                kind: 1,
+                x: 1.0,
+                y: -2.0,
+                z: 10.0,
+                param: 1.0,
+            },
             Message::MissionAck { result: 0 },
         ]
     }
@@ -519,7 +599,12 @@ mod tests {
 
     #[test]
     fn byte_at_a_time_delivery() {
-        let msg = Message::Attitude { time_ms: 7, roll: 1.0, pitch: 2.0, yaw: 3.0 };
+        let msg = Message::Attitude {
+            time_ms: 7,
+            roll: 1.0,
+            pitch: 2.0,
+            yaw: 3.0,
+        };
         let wire = msg.encode(9, 2, 3);
         let mut parser = StreamParser::new();
         let mut got = Vec::new();
@@ -532,7 +617,10 @@ mod tests {
 
     #[test]
     fn corruption_is_detected_and_skipped() {
-        let good = Message::Heartbeat { mode: 1, armed: false };
+        let good = Message::Heartbeat {
+            mode: 1,
+            armed: false,
+        };
         let mut bad = good.encode(0, 1, 1).to_vec();
         bad[6] ^= 0xFF; // flip a payload byte
         let mut wire = bad;
@@ -546,7 +634,10 @@ mod tests {
 
     #[test]
     fn garbage_between_frames_resyncs() {
-        let msg = Message::BatteryStatus { voltage_mv: 12000, remaining_pct: 50 };
+        let msg = Message::BatteryStatus {
+            voltage_mv: 12000,
+            remaining_pct: 50,
+        };
         let mut wire = vec![0x00, 0x12, 0x42, 0xFF, 0x13];
         wire.extend_from_slice(&msg.encode(0, 1, 1));
         wire.extend_from_slice(&[0xAA, 0xBB]);
@@ -558,9 +649,36 @@ mod tests {
     }
 
     #[test]
+    fn stx_garbage_byte_cannot_swallow_embedded_frames() {
+        // Regression (see tests/properties.proptest-regressions): a lone
+        // garbage STX byte in front of real traffic forms a pseudo-frame
+        // whose payload_len is read from the *real* frame's STX (0xFE →
+        // 254, frame_len 262). Once enough bytes accumulate, the CRC over
+        // that garbage span can collide; the parser must then drop only
+        // the bogus STX — never 262 bytes of real frames behind it.
+        let msg = Message::Heartbeat {
+            mode: 0,
+            armed: false,
+        };
+        let mut wire = vec![STX]; // the garbage byte IS an STX
+        wire.extend_from_slice(&msg.encode(0, 1, 1));
+        wire.extend_from_slice(&msg.encode(1, 1, 1));
+        wire.extend_from_slice(&[0u8; 300]); // flush past the fake frame_len
+        let mut parser = StreamParser::new();
+        let frames = parser.push(&wire);
+        assert_eq!(frames.len(), 2, "both real heartbeats must survive");
+        assert!(frames.iter().all(|f| f.message == msg));
+        assert_eq!(frames[0].seq, 0);
+        assert_eq!(frames[1].seq, 1);
+    }
+
+    #[test]
     fn status_text_truncates_at_50() {
         let long = "x".repeat(100);
-        let msg = Message::StatusText { severity: 4, text: long };
+        let msg = Message::StatusText {
+            severity: 4,
+            text: long,
+        };
         let wire = msg.encode(0, 1, 1);
         let mut parser = StreamParser::new();
         let frames = parser.push(&wire);
@@ -587,7 +705,10 @@ mod tests {
     fn schema_disagreement_breaks_crc() {
         // A frame whose msg_id is rewritten fails its checksum because of
         // the CRC-extra seed, exactly like real MAVLink.
-        let msg = Message::CommandAck { command: 1, result: 0 };
+        let msg = Message::CommandAck {
+            command: 1,
+            result: 0,
+        };
         let mut wire = msg.encode(0, 1, 1).to_vec();
         wire[5] = 0; // claim it is a heartbeat (same payload length ≥ 2)
         let mut parser = StreamParser::new();
@@ -597,9 +718,17 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        assert!(Message::Heartbeat { mode: 1, armed: true }.to_string().contains("HEARTBEAT"));
-        assert!(Message::BatteryStatus { voltage_mv: 11100, remaining_pct: 80 }
-            .to_string()
-            .contains("11.10 V"));
+        assert!(Message::Heartbeat {
+            mode: 1,
+            armed: true
+        }
+        .to_string()
+        .contains("HEARTBEAT"));
+        assert!(Message::BatteryStatus {
+            voltage_mv: 11100,
+            remaining_pct: 80
+        }
+        .to_string()
+        .contains("11.10 V"));
     }
 }

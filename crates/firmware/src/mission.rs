@@ -100,7 +100,11 @@ impl Mission {
                         )));
                     }
                 }
-                MissionItem::Waypoint { position, acceptance_radius, yaw } => {
+                MissionItem::Waypoint {
+                    position,
+                    acceptance_radius,
+                    yaw,
+                } => {
                     if !position.is_finite() || !yaw.is_finite() {
                         return Err(MissionError::InvalidParameter("non-finite waypoint".into()));
                     }
@@ -142,7 +146,11 @@ impl Mission {
         ];
         let mut items = vec![MissionItem::Takeoff { altitude: alt }];
         for c in corners {
-            items.push(MissionItem::Waypoint { position: c, acceptance_radius: 1.0, yaw: 0.0 });
+            items.push(MissionItem::Waypoint {
+                position: c,
+                acceptance_radius: 1.0,
+                yaw: 0.0,
+            });
         }
         items.push(MissionItem::Waypoint {
             position: Vec3::new(center.x, center.y, alt),
@@ -248,7 +256,11 @@ impl MissionRunner {
                 }
                 Some(Setpoint::position(target, 0.0))
             }
-            MissionItem::Waypoint { position, acceptance_radius, yaw } => {
+            MissionItem::Waypoint {
+                position,
+                acceptance_radius,
+                yaw,
+            } => {
                 if (estimate.position - position).norm() < acceptance_radius {
                     self.advance();
                 }
@@ -372,7 +384,7 @@ mod tests {
         let mut state = RigidBodyState::at_altitude(5.0);
         let _ = runner.update(&state, 0.02); // takeoff done
         let _ = runner.update(&state, 0.02); // loiter(0) done
-        // Descending…
+                                             // Descending…
         let sp = runner.update(&state, 0.02).unwrap();
         match sp {
             Setpoint::Position { position, .. } => assert!(position.z < 5.0),
@@ -388,7 +400,10 @@ mod tests {
 
     #[test]
     fn display_items() {
-        assert_eq!(MissionItem::Takeoff { altitude: 10.0 }.to_string(), "takeoff to 10.0 m");
+        assert_eq!(
+            MissionItem::Takeoff { altitude: 10.0 }.to_string(),
+            "takeoff to 10.0 m"
+        );
         assert_eq!(MissionItem::Land.to_string(), "land");
     }
 }

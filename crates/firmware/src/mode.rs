@@ -36,7 +36,11 @@ impl FlightMode {
     pub fn is_flying(self) -> bool {
         matches!(
             self,
-            FlightMode::Takeoff | FlightMode::Mission | FlightMode::Hold | FlightMode::Land | FlightMode::Failsafe
+            FlightMode::Takeoff
+                | FlightMode::Mission
+                | FlightMode::Hold
+                | FlightMode::Land
+                | FlightMode::Failsafe
         )
     }
 
@@ -85,7 +89,11 @@ pub struct TransitionError {
 
 impl fmt::Display for TransitionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "illegal flight-mode transition {} -> {}", self.from, self.to)
+        write!(
+            f,
+            "illegal flight-mode transition {} -> {}",
+            self.from, self.to
+        )
     }
 }
 
@@ -100,7 +108,9 @@ pub struct ModeMachine {
 impl ModeMachine {
     /// Starts disarmed.
     pub fn new() -> ModeMachine {
-        ModeMachine { mode: FlightMode::Disarmed }
+        ModeMachine {
+            mode: FlightMode::Disarmed,
+        }
     }
 
     /// Current mode.
@@ -118,7 +128,10 @@ impl ModeMachine {
             self.mode = to;
             Ok(())
         } else {
-            Err(TransitionError { from: self.mode, to })
+            Err(TransitionError {
+                from: self.mode,
+                to,
+            })
         }
     }
 }

@@ -22,6 +22,10 @@ pub struct Task {
     pub execution_time: f64,
     /// Priority: lower number = higher priority.
     pub priority: u8,
+    /// Whether the load-shedding policy may drop this task under
+    /// overload (best-effort workloads like SLAM; never flight-critical
+    /// loops).
+    pub sheddable: bool,
 }
 
 impl Task {
@@ -34,7 +38,19 @@ impl Task {
         let name = name.into();
         assert!(period > 0.0, "period must be positive");
         assert!(execution_time > 0.0, "execution time must be positive");
-        Task { name, period, execution_time, priority }
+        Task {
+            name,
+            period,
+            execution_time,
+            priority,
+            sheddable: false,
+        }
+    }
+
+    /// Marks this task as droppable by the load-shedding policy.
+    pub fn sheddable(mut self) -> Task {
+        self.sheddable = true;
+        self
     }
 
     /// CPU utilization demanded by this task at speed 1.0.
@@ -109,6 +125,56 @@ impl fmt::Display for SchedulerReport {
     }
 }
 
+/// Load-shedding policy: watch one task's windowed deadline-miss ratio
+/// and drop every sheddable task the first time it crosses the
+/// threshold (paper §5.1: the outer loop slipping under co-located SLAM
+/// is the signal; shedding SLAM is the remedy).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShedPolicy {
+    /// Name of the task whose miss ratio is monitored.
+    pub monitor: String,
+    /// Monitoring window, seconds.
+    pub window: f64,
+    /// Shed when the windowed miss ratio reaches this value.
+    pub miss_ratio_threshold: f64,
+    /// CPU speed after shedding: removing the co-located workload also
+    /// removes its cache/TLB interference, so the surviving tasks run at
+    /// (close to) nominal IPC again (Figure 15's 1.7× recovered).
+    pub restored_cpu_speed: f64,
+}
+
+impl ShedPolicy {
+    /// The paper-calibrated default: watch the 40 Hz outer loop over 1 s
+    /// windows, shed at 30 % misses, recover nominal IPC.
+    pub fn outer_loop_default() -> ShedPolicy {
+        ShedPolicy {
+            monitor: "outer-loop".into(),
+            window: 1.0,
+            miss_ratio_threshold: 0.3,
+            restored_cpu_speed: 1.0,
+        }
+    }
+}
+
+/// Result of a simulation run under a [`ShedPolicy`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShedOutcome {
+    /// The usual per-task report for the whole run.
+    pub report: SchedulerReport,
+    /// When the sheddable tasks were dropped (None = never triggered).
+    pub shed_at: Option<f64>,
+    /// Names of the tasks that were shed.
+    pub tasks_shed: Vec<String>,
+    /// Worst windowed miss ratio of the monitored task before the shed
+    /// (over the whole run when no shed happened).
+    pub worst_window_before: f64,
+    /// Worst windowed miss ratio of the monitored task after the shed,
+    /// excluding the settling window right after it: jobs already past
+    /// their deadline at shed time still drain through that window and
+    /// are not evidence against the policy.
+    pub worst_window_after: f64,
+}
+
 /// Fixed-priority preemptive scheduler simulation on one CPU.
 ///
 /// # Example
@@ -133,6 +199,9 @@ struct Job {
     release: f64,
     deadline: f64,
     remaining: f64,
+    /// Already counted against the shed policy's window (avoids double
+    /// counting a job that blows its deadline and completes later).
+    counted_missed: bool,
 }
 
 impl RateScheduler {
@@ -163,8 +232,37 @@ impl RateScheduler {
     ///
     /// Panics if duration or speed are not positive.
     pub fn simulate(&mut self, duration: f64, cpu_speed: f64) -> SchedulerReport {
+        self.run(duration, cpu_speed, None).report
+    }
+
+    /// Simulates with a live load-shedding policy: the first time the
+    /// monitored task's windowed miss ratio reaches the threshold, every
+    /// sheddable task is dropped (queued jobs discarded, no further
+    /// releases) and the CPU recovers to the policy's restored speed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if duration/speed are not positive or the monitored task is
+    /// not in the task set.
+    pub fn simulate_with_shedding(
+        &mut self,
+        duration: f64,
+        cpu_speed: f64,
+        policy: &ShedPolicy,
+    ) -> ShedOutcome {
+        self.run(duration, cpu_speed, Some(policy))
+    }
+
+    fn run(&mut self, duration: f64, cpu_speed: f64, policy: Option<&ShedPolicy>) -> ShedOutcome {
         assert!(duration > 0.0, "duration must be positive");
         assert!(cpu_speed > 0.0, "cpu speed must be positive");
+        let monitor_idx = policy.map(|p| {
+            assert!(p.window > 0.0, "shed window must be positive");
+            self.tasks
+                .iter()
+                .position(|t| t.name == p.monitor)
+                .expect("monitored task must be in the task set")
+        });
 
         let mut reports: Vec<TaskReport> = self
             .tasks
@@ -182,8 +280,90 @@ impl RateScheduler {
         let mut next_release: Vec<f64> = vec![0.0; self.tasks.len()];
         let mut busy_time = 0.0;
         let mut now = 0.0;
+        let mut speed = cpu_speed;
+
+        // Shed-policy window accounting over the monitored task.
+        let mut window_end = policy.map_or(f64::INFINITY, |p| p.window);
+        let mut pending_deadlines: Vec<f64> = Vec::new();
+        let mut window_due = 0u64;
+        let mut window_missed = 0u64;
+        let mut shed_at = None;
+        let mut tasks_shed = Vec::new();
+        let mut worst_before = 0.0f64;
+        let mut worst_after = 0.0f64;
 
         while now < duration {
+            // Close the monitoring window and apply the shed policy.
+            if let (Some(p), Some(mi)) = (policy, monitor_idx) {
+                while now + 1e-12 >= window_end {
+                    // Deadlines that fell inside this window are due.
+                    pending_deadlines.retain(|d| {
+                        if *d <= window_end + 1e-9 {
+                            window_due += 1;
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                    // Jobs still unfinished past a due deadline count
+                    // missed now (their eventual late completion must not
+                    // count twice).
+                    for job in &mut ready {
+                        if job.task_index == mi
+                            && job.deadline <= window_end + 1e-9
+                            && !job.counted_missed
+                        {
+                            job.counted_missed = true;
+                            window_missed += 1;
+                        }
+                    }
+                    if window_due > 0 {
+                        let ratio = window_missed as f64 / window_due as f64;
+                        // The window immediately after the shed is a
+                        // settling window: the pre-shed backlog of
+                        // already-late jobs drains through it.
+                        let settling = shed_at.is_some_and(|t| window_end <= t + p.window + 1e-9);
+                        if shed_at.is_none() {
+                            worst_before = worst_before.max(ratio);
+                            if ratio >= p.miss_ratio_threshold
+                                && self.tasks.iter().any(|t| t.sheddable)
+                            {
+                                shed_at = Some(window_end);
+                                for (i, task) in self.tasks.iter().enumerate() {
+                                    if task.sheddable {
+                                        tasks_shed.push(task.name.clone());
+                                        next_release[i] = f64::INFINITY;
+                                    }
+                                }
+                                let tasks = &self.tasks;
+                                ready.retain(|j| {
+                                    if tasks[j.task_index].sheddable {
+                                        // Dropped, not missed: remove it
+                                        // from the release count too.
+                                        reports[j.task_index].released -= 1;
+                                        false
+                                    } else {
+                                        true
+                                    }
+                                });
+                                // The interference is gone with the
+                                // workload: in-flight work finishes at the
+                                // restored IPC.
+                                for j in &mut ready {
+                                    j.remaining *= speed / p.restored_cpu_speed;
+                                }
+                                speed = p.restored_cpu_speed;
+                            }
+                        } else if !settling {
+                            worst_after = worst_after.max(ratio);
+                        }
+                    }
+                    window_due = 0;
+                    window_missed = 0;
+                    window_end += p.window;
+                }
+            }
+
             // Release due jobs.
             for (i, task) in self.tasks.iter().enumerate() {
                 while next_release[i] <= now + 1e-12 {
@@ -192,15 +372,19 @@ impl RateScheduler {
                         task_index: i,
                         release,
                         deadline: release + task.period,
-                        remaining: task.execution_time / cpu_speed,
+                        remaining: task.execution_time / speed,
+                        counted_missed: false,
                     });
                     reports[i].released += 1;
+                    if Some(i) == monitor_idx {
+                        pending_deadlines.push(release + task.period);
+                    }
                     next_release[i] += task.period;
                 }
             }
             // Time of the next release event (preemption boundary).
             let next_event = next_release.iter().copied().fold(f64::INFINITY, f64::min);
-            let slice_end = next_event.min(duration);
+            let slice_end = next_event.min(duration).min(window_end);
 
             // Run the highest-priority ready job until it finishes or the
             // next release preempts it.
@@ -228,6 +412,9 @@ impl RateScheduler {
                         r.completed_on_time += 1;
                     } else {
                         r.deadline_misses += 1;
+                        if Some(job.task_index) == monitor_idx && !job.counted_missed {
+                            window_missed += 1;
+                        }
                     }
                 }
                 if run <= 0.0 {
@@ -247,8 +434,45 @@ impl RateScheduler {
                 reports[job.task_index].deadline_misses += 1;
             }
         }
+        // Close out the final (possibly partial) window for the stats.
+        if policy.is_some() {
+            let due_final = window_due
+                + pending_deadlines
+                    .iter()
+                    .filter(|d| **d <= duration + 1e-9)
+                    .count() as u64;
+            let missed_final = window_missed
+                + ready
+                    .iter()
+                    .filter(|j| {
+                        Some(j.task_index) == monitor_idx
+                            && j.deadline <= duration + 1e-9
+                            && !j.counted_missed
+                    })
+                    .count() as u64;
+            if due_final > 0 {
+                let ratio = missed_final as f64 / due_final as f64;
+                let settling = policy
+                    .zip(shed_at)
+                    .is_some_and(|(p, t)| duration <= t + p.window + 1e-9);
+                if shed_at.is_none() {
+                    worst_before = worst_before.max(ratio);
+                } else if !settling {
+                    worst_after = worst_after.max(ratio);
+                }
+            }
+        }
 
-        SchedulerReport { tasks: reports, cpu_utilization: (busy_time / duration).min(1.0) }
+        ShedOutcome {
+            report: SchedulerReport {
+                tasks: reports,
+                cpu_utilization: (busy_time / duration).min(1.0),
+            },
+            shed_at,
+            tasks_shed,
+            worst_window_before: worst_before,
+            worst_window_after: worst_after,
+        }
     }
 }
 
@@ -270,7 +494,8 @@ pub fn autopilot_task_set() -> Vec<Task> {
 /// outer-loop threads, so it gets the outer loop's priority level —
 /// only the truly real-time inner loop and EKF sit above it.
 pub fn slam_task() -> Task {
-    Task::new("slam", 0.1, 70e-3, 2)
+    // Sheddable: losing SLAM costs autonomy features, not the airframe.
+    Task::new("slam", 0.1, 70e-3, 2).sheddable()
 }
 
 #[cfg(test)]
@@ -324,7 +549,11 @@ mod tests {
             Task::new("bulk", 0.05, 0.04, 9),
         ]);
         let report = sched.simulate(5.0, 1.0);
-        assert_eq!(report.task("critical").unwrap().deadline_misses, 0, "{report}");
+        assert_eq!(
+            report.task("critical").unwrap().deadline_misses,
+            0,
+            "{report}"
+        );
         assert!(report.task("bulk").unwrap().deadline_misses > 0, "{report}");
     }
 
@@ -373,6 +602,78 @@ mod tests {
             worst_response: 0.0,
         };
         assert!((r.miss_ratio() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shedding_slam_restores_the_outer_loop() {
+        // §5.1 remedy: the outer loop misses deadlines under co-located
+        // SLAM (IPC degraded 1.7×); the shed policy drops SLAM the first
+        // window the miss ratio crosses the threshold, and the outer
+        // loop's windowed miss ratio falls back under it.
+        let mut tasks = autopilot_task_set();
+        tasks.push(slam_task());
+        let policy = ShedPolicy::outer_loop_default();
+        let mut sched = RateScheduler::new(tasks);
+        let outcome = sched.simulate_with_shedding(30.0, 1.0 / 1.7, &policy);
+        assert!(
+            outcome.shed_at.is_some(),
+            "overload never triggered the shed: {outcome:?}"
+        );
+        assert_eq!(outcome.tasks_shed, vec!["slam".to_string()]);
+        assert!(
+            outcome.worst_window_before >= policy.miss_ratio_threshold,
+            "shed fired without cause: {outcome:?}"
+        );
+        assert!(
+            outcome.worst_window_after < policy.miss_ratio_threshold,
+            "shedding did not restore the outer loop: {outcome:?}"
+        );
+        // After the shed the outer loop is strictly healthier than the
+        // un-shed run over the same horizon.
+        let mut tasks = autopilot_task_set();
+        tasks.push(slam_task());
+        let unshed = RateScheduler::new(tasks).simulate(30.0, 1.0 / 1.7);
+        let shed_misses = outcome.report.task("outer-loop").unwrap().deadline_misses;
+        let unshed_misses = unshed.task("outer-loop").unwrap().deadline_misses;
+        assert!(
+            shed_misses < unshed_misses,
+            "shed {shed_misses} vs unshed {unshed_misses}"
+        );
+    }
+
+    #[test]
+    fn healthy_load_never_sheds() {
+        let mut tasks = autopilot_task_set();
+        tasks.push(slam_task());
+        let mut sched = RateScheduler::new(tasks);
+        // Dual-core-class speed: everything fits, SLAM must survive.
+        let outcome = sched.simulate_with_shedding(20.0, 4.0, &ShedPolicy::outer_loop_default());
+        assert_eq!(outcome.shed_at, None, "{outcome:?}");
+        assert!(outcome.tasks_shed.is_empty());
+        assert_eq!(outcome.report.total_misses(), 0);
+    }
+
+    #[test]
+    fn shedding_without_sheddable_tasks_is_inert() {
+        // Overloaded, but nothing is marked sheddable: the policy can
+        // only watch.
+        let mut sched = RateScheduler::new(vec![Task::new("outer-loop", 0.025, 0.06, 2)]);
+        let outcome = sched.simulate_with_shedding(5.0, 1.0, &ShedPolicy::outer_loop_default());
+        assert_eq!(outcome.shed_at, None);
+        assert!(outcome.worst_window_before > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "monitored task must be in the task set")]
+    fn shedding_unknown_monitor_panics() {
+        let mut sched = RateScheduler::new(autopilot_task_set());
+        let policy = ShedPolicy {
+            monitor: "no-such-task".into(),
+            window: 1.0,
+            miss_ratio_threshold: 0.3,
+            restored_cpu_speed: 1.0,
+        };
+        let _ = sched.simulate_with_shedding(1.0, 1.0, &policy);
     }
 
     #[test]

@@ -9,15 +9,32 @@ use proptest::prelude::*;
 fn arb_message() -> impl Strategy<Value = Message> {
     prop_oneof![
         (any::<u8>(), any::<bool>()).prop_map(|(mode, armed)| Message::Heartbeat { mode, armed }),
-        (any::<u32>(), -10.0f32..10.0, -10.0f32..10.0, -10.0f32..10.0)
-            .prop_map(|(t, r, p, y)| Message::Attitude { time_ms: t, roll: r, pitch: p, yaw: y }),
-        (any::<u32>(), prop::array::uniform3(-100.0f32..100.0), prop::array::uniform3(-20.0f32..20.0))
-            .prop_map(|(t, position, velocity)| Message::Position { time_ms: t, position, velocity }),
-        (any::<u16>(), any::<u8>())
-            .prop_map(|(voltage_mv, pct)| Message::BatteryStatus { voltage_mv, remaining_pct: pct.min(100) }),
+        (any::<u32>(), -10.0f32..10.0, -10.0f32..10.0, -10.0f32..10.0).prop_map(|(t, r, p, y)| {
+            Message::Attitude {
+                time_ms: t,
+                roll: r,
+                pitch: p,
+                yaw: y,
+            }
+        }),
+        (
+            any::<u32>(),
+            prop::array::uniform3(-100.0f32..100.0),
+            prop::array::uniform3(-20.0f32..20.0)
+        )
+            .prop_map(|(t, position, velocity)| Message::Position {
+                time_ms: t,
+                position,
+                velocity
+            }),
+        (any::<u16>(), any::<u8>()).prop_map(|(voltage_mv, pct)| Message::BatteryStatus {
+            voltage_mv,
+            remaining_pct: pct.min(100)
+        }),
         (any::<u16>(), prop::array::uniform7(-1000.0f32..1000.0))
             .prop_map(|(command, params)| Message::CommandLong { command, params }),
-        (any::<u16>(), any::<u8>()).prop_map(|(command, result)| Message::CommandAck { command, result }),
+        (any::<u16>(), any::<u8>())
+            .prop_map(|(command, result)| Message::CommandAck { command, result }),
         ("[ -~]{0,50}", 0u8..8).prop_map(|(text, severity)| Message::StatusText { severity, text }),
     ]
 }
@@ -95,6 +112,62 @@ proptest! {
         let frames = parser.push(&wire);
         prop_assert!(!frames.is_empty(), "no frame survived the garbage prefix");
         prop_assert!(frames.iter().any(|f| f.message == msg));
+    }
+
+    #[test]
+    fn truncated_frame_does_not_block_later_traffic(
+        msg in arb_message(),
+        cut_frac in 0.0f64..1.0,
+        follow in arb_message(),
+    ) {
+        let wire = msg.encode(0, 1, 1).to_vec();
+        let cut = 1 + ((wire.len() - 1) as f64 * cut_frac) as usize;
+        let mut stream = wire[..cut].to_vec(); // frame cut off mid-air
+        stream.extend_from_slice(&follow.encode(1, 1, 1));
+        stream.extend_from_slice(&follow.encode(2, 1, 1));
+        stream.extend_from_slice(&[0u8; 300]); // flush worst-case fake length
+        let mut parser = StreamParser::new();
+        let frames = parser.push(&stream);
+        prop_assert!(
+            frames.iter().any(|f| f.message == follow),
+            "later traffic lost behind a truncated frame"
+        );
+    }
+
+    #[test]
+    fn frames_interleaved_with_garbage_are_all_recovered(
+        msgs in prop::collection::vec(arb_message(), 1..6),
+        gaps in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..16), 6..7),
+    ) {
+        let mut stream = Vec::new();
+        for (i, m) in msgs.iter().enumerate() {
+            stream.extend_from_slice(&gaps[i]);
+            stream.extend_from_slice(&m.encode(i as u8, 1, 1));
+        }
+        stream.extend_from_slice(&[0u8; 300]);
+        let mut parser = StreamParser::new();
+        let frames = parser.push(&stream);
+        // Every real frame decodes, in order (garbage may not fabricate a
+        // frame that displaces one — X25 + crc_extra guard the gaps).
+        let mut it = frames.iter();
+        for m in &msgs {
+            prop_assert!(it.any(|f| &f.message == m), "lost {m} among {} frames", frames.len());
+        }
+    }
+
+    #[test]
+    fn parser_counters_are_monotonic_under_arbitrary_input(
+        chunks in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 1..12),
+    ) {
+        let mut parser = StreamParser::new();
+        let (mut crc, mut rs) = (0u64, 0u64);
+        for c in &chunks {
+            parser.push(c); // must never panic, whatever the bytes
+            prop_assert!(parser.crc_failures() >= crc, "crc_failures went backwards");
+            prop_assert!(parser.resyncs() >= rs, "resyncs went backwards");
+            crc = parser.crc_failures();
+            rs = parser.resyncs();
+        }
     }
 
     #[test]

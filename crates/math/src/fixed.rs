@@ -18,7 +18,9 @@ const ONE_RAW: i64 = 1 << FRACTIONAL_BITS;
 
 /// A Q16.16 fixed-point number (32.16 internally to keep headroom for
 /// accumulation, saturating at the Q16.16 envelope on conversion).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Q16(i64);
 
 impl Q16 {
@@ -150,7 +152,10 @@ pub fn dot_q16(a: &[Q16], b: &[Q16]) -> Q16 {
 #[allow(clippy::needless_range_loop)] // index pairs mirror the HW datapath
 pub fn solve_spd_q16(a: &[Vec<Q16>], b: &[Q16]) -> Option<Vec<Q16>> {
     let n = b.len();
-    assert!(a.len() == n && a.iter().all(|row| row.len() == n), "shape mismatch");
+    assert!(
+        a.len() == n && a.iter().all(|row| row.len() == n),
+        "shape mismatch"
+    );
     let mut l = vec![vec![Q16::ZERO; n]; n];
     for i in 0..n {
         for j in 0..=i {
@@ -227,7 +232,10 @@ mod tests {
     fn sqrt_accuracy() {
         for v in [0.25, 1.0, 2.0, 100.0, 12345.0] {
             let s = Q16::from_f64(v).sqrt().to_f64();
-            assert!((s - v.sqrt()).abs() < 2e-2 * (1.0 + v.sqrt()), "sqrt({v}) = {s}");
+            assert!(
+                (s - v.sqrt()).abs() < 2e-2 * (1.0 + v.sqrt()),
+                "sqrt({v}) = {s}"
+            );
         }
         assert_eq!(Q16::ZERO.sqrt(), Q16::ZERO);
     }

@@ -27,7 +27,11 @@ pub struct Matrix {
 impl Matrix {
     /// A `rows × cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Matrix {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// The `n × n` identity matrix.
@@ -53,7 +57,11 @@ impl Matrix {
             assert_eq!(r.len(), cols, "ragged rows in matrix literal");
             data.extend_from_slice(r);
         }
-        Matrix { rows: rows.len(), cols, data }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// A square diagonal matrix with the given diagonal.
@@ -67,7 +75,11 @@ impl Matrix {
 
     /// A column vector (n × 1) from a slice.
     pub fn column(v: &[f64]) -> Matrix {
-        Matrix { rows: v.len(), cols: 1, data: v.to_vec() }
+        Matrix {
+            rows: v.len(),
+            cols: 1,
+            data: v.to_vec(),
+        }
     }
 
     /// Number of rows.
@@ -137,7 +149,10 @@ impl Matrix {
     ///
     /// Panics if the matrix is not square.
     pub fn add_diagonal(&self, v: f64) -> Matrix {
-        assert_eq!(self.rows, self.cols, "add_diagonal requires a square matrix");
+        assert_eq!(
+            self.rows, self.cols,
+            "add_diagonal requires a square matrix"
+        );
         let mut out = self.clone();
         for i in 0..self.rows {
             out[(i, i)] += v;
@@ -151,7 +166,10 @@ impl Matrix {
     ///
     /// Panics if the block does not fit.
     pub fn set_block(&mut self, r0: usize, c0: usize, block: &Matrix) {
-        assert!(r0 + block.rows <= self.rows && c0 + block.cols <= self.cols, "block out of range");
+        assert!(
+            r0 + block.rows <= self.rows && c0 + block.cols <= self.cols,
+            "block out of range"
+        );
         for r in 0..block.rows {
             for c in 0..block.cols {
                 self[(r0 + r, c0 + c)] = block[(r, c)];
@@ -165,7 +183,10 @@ impl Matrix {
     ///
     /// Panics if the block exceeds the matrix bounds.
     pub fn block(&self, r0: usize, c0: usize, rows: usize, cols: usize) -> Matrix {
-        assert!(r0 + rows <= self.rows && c0 + cols <= self.cols, "block out of range");
+        assert!(
+            r0 + rows <= self.rows && c0 + cols <= self.cols,
+            "block out of range"
+        );
         let mut out = Matrix::zeros(rows, cols);
         for r in 0..rows {
             for c in 0..cols {
@@ -334,7 +355,12 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f64;
     #[inline]
     fn index(&self, (r, c): (usize, usize)) -> &f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of {}x{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of {}x{}",
+            self.rows,
+            self.cols
+        );
         &self.data[r * self.cols + c]
     }
 }
@@ -342,7 +368,12 @@ impl Index<(usize, usize)> for Matrix {
 impl IndexMut<(usize, usize)> for Matrix {
     #[inline]
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of {}x{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of {}x{}",
+            self.rows,
+            self.cols
+        );
         &mut self.data[r * self.cols + c]
     }
 }
@@ -350,7 +381,11 @@ impl IndexMut<(usize, usize)> for Matrix {
 impl Add for &Matrix {
     type Output = Matrix;
     fn add(self, rhs: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch in add");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "shape mismatch in add"
+        );
         let mut out = self.clone();
         for (o, r) in out.data.iter_mut().zip(&rhs.data) {
             *o += r;
@@ -362,7 +397,11 @@ impl Add for &Matrix {
 impl Sub for &Matrix {
     type Output = Matrix;
     fn sub(self, rhs: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch in sub");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "shape mismatch in sub"
+        );
         let mut out = self.clone();
         for (o, r) in out.data.iter_mut().zip(&rhs.data) {
             *o -= r;

@@ -152,7 +152,11 @@ impl LevenbergMarquardt {
     ///
     /// Panics if `x0.len() != problem.num_params()`.
     pub fn minimize<P: LeastSquaresProblem>(&self, problem: &P, x0: &[f64]) -> LmReport {
-        assert_eq!(x0.len(), problem.num_params(), "initial guess has wrong length");
+        assert_eq!(
+            x0.len(),
+            problem.num_params(),
+            "initial guess has wrong length"
+        );
         let mut x = x0.to_vec();
         let mut r = problem.residuals(&x);
         let mut cost = 0.5 * r.iter().map(|v| v * v).sum::<f64>();
@@ -176,8 +180,11 @@ impl LevenbergMarquardt {
                     lambda *= 10.0;
                     continue;
                 };
-                let x_new: Vec<f64> =
-                    x.iter().enumerate().map(|(i, v)| v - delta[(i, 0)]).collect();
+                let x_new: Vec<f64> = x
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| v - delta[(i, 0)])
+                    .collect();
                 let r_new = problem.residuals(&x_new);
                 let cost_new = 0.5 * r_new.iter().map(|v| v * v).sum::<f64>();
                 if cost_new.is_finite() && cost_new < cost {
@@ -213,7 +220,13 @@ impl LevenbergMarquardt {
             }
         }
 
-        LmReport { params: x, cost, initial_cost, iterations, outcome }
+        LmReport {
+            params: x,
+            cost,
+            initial_cost,
+            iterations,
+            outcome,
+        }
     }
 }
 
@@ -235,7 +248,11 @@ mod tests {
             self.xs.len()
         }
         fn residuals(&self, p: &[f64]) -> Vec<f64> {
-            self.xs.iter().zip(&self.ys).map(|(x, y)| p[0] * x + p[1] - y).collect()
+            self.xs
+                .iter()
+                .zip(&self.ys)
+                .map(|(x, y)| p[0] * x + p[1] - y)
+                .collect()
         }
     }
 
@@ -267,8 +284,9 @@ mod tests {
 
     #[test]
     fn solves_rosenbrock() {
-        let report =
-            LevenbergMarquardt::new().with_max_iterations(200).minimize(&Rosenbrock, &[-1.2, 1.0]);
+        let report = LevenbergMarquardt::new()
+            .with_max_iterations(200)
+            .minimize(&Rosenbrock, &[-1.2, 1.0]);
         assert!((report.params[0] - 1.0).abs() < 1e-6, "{:?}", report);
         assert!((report.params[1] - 1.0).abs() < 1e-6);
     }
@@ -276,7 +294,10 @@ mod tests {
     #[test]
     fn cost_never_increases() {
         let xs: Vec<f64> = (0..50).map(|i| i as f64 / 10.0).collect();
-        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + 0.5 + (x * 10.0).sin() * 0.01).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| 2.0 * x + 0.5 + (x * 10.0).sin() * 0.01)
+            .collect();
         let problem = Line { xs, ys };
         let report = LevenbergMarquardt::new().minimize(&problem, &[100.0, -50.0]);
         assert!(report.cost <= report.initial_cost);
@@ -292,6 +313,9 @@ mod tests {
     #[test]
     fn report_display_outcomes() {
         assert_eq!(LmOutcome::Converged.to_string(), "converged");
-        assert_eq!(LmOutcome::MaxIterations.to_string(), "max iterations reached");
+        assert_eq!(
+            LmOutcome::MaxIterations.to_string(),
+            "max iterations reached"
+        );
     }
 }

@@ -32,7 +32,12 @@ pub struct Quat {
 
 impl Quat {
     /// The identity rotation.
-    pub const IDENTITY: Quat = Quat { w: 1.0, x: 0.0, y: 0.0, z: 0.0 };
+    pub const IDENTITY: Quat = Quat {
+        w: 1.0,
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
 
     /// Creates a quaternion from raw components (not normalized).
     pub const fn new(w: f64, x: f64, y: f64, z: f64) -> Quat {
@@ -78,9 +83,15 @@ impl Quat {
             let yaw = 2.0 * f64::atan2(q.z, q.w) * sinp.signum();
             return (0.0, pitch, yaw);
         }
-        let roll = f64::atan2(2.0 * (q.w * q.x + q.y * q.z), 1.0 - 2.0 * (q.x * q.x + q.y * q.y));
+        let roll = f64::atan2(
+            2.0 * (q.w * q.x + q.y * q.z),
+            1.0 - 2.0 * (q.x * q.x + q.y * q.y),
+        );
         let pitch = sinp.asin();
-        let yaw = f64::atan2(2.0 * (q.w * q.z + q.x * q.y), 1.0 - 2.0 * (q.y * q.y + q.z * q.z));
+        let yaw = f64::atan2(
+            2.0 * (q.w * q.z + q.x * q.y),
+            1.0 - 2.0 * (q.y * q.y + q.z * q.z),
+        );
         (roll, pitch, yaw)
     }
 
@@ -96,7 +107,10 @@ impl Quat {
     /// Panics if the norm is zero or non-finite.
     pub fn normalized(self) -> Quat {
         let n = self.norm();
-        assert!(n.is_finite() && n > 1e-12, "cannot normalize quaternion with norm {n}");
+        assert!(
+            n.is_finite() && n > 1e-12,
+            "cannot normalize quaternion with norm {n}"
+        );
         Quat::new(self.w / n, self.x / n, self.y / n, self.z / n)
     }
 
@@ -124,9 +138,21 @@ impl Quat {
         let (w, x, y, z) = (q.w, q.x, q.y, q.z);
         Mat3 {
             m: [
-                [1.0 - 2.0 * (y * y + z * z), 2.0 * (x * y - w * z), 2.0 * (x * z + w * y)],
-                [2.0 * (x * y + w * z), 1.0 - 2.0 * (x * x + z * z), 2.0 * (y * z - w * x)],
-                [2.0 * (x * z - w * y), 2.0 * (y * z + w * x), 1.0 - 2.0 * (x * x + y * y)],
+                [
+                    1.0 - 2.0 * (y * y + z * z),
+                    2.0 * (x * y - w * z),
+                    2.0 * (x * z + w * y),
+                ],
+                [
+                    2.0 * (x * y + w * z),
+                    1.0 - 2.0 * (x * x + z * z),
+                    2.0 * (y * z - w * x),
+                ],
+                [
+                    2.0 * (x * z - w * y),
+                    2.0 * (y * z + w * x),
+                    1.0 - 2.0 * (x * x + y * y),
+                ],
             ],
         }
     }
@@ -159,7 +185,11 @@ impl Default for Quat {
 
 impl fmt::Display for Quat {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "({:.6} + {:.6}i + {:.6}j + {:.6}k)", self.w, self.x, self.y, self.z)
+        write!(
+            f,
+            "({:.6} + {:.6}i + {:.6}j + {:.6}k)",
+            self.w, self.x, self.y, self.z
+        )
     }
 }
 

@@ -73,7 +73,10 @@ impl LinearFit {
         let mean_x = pts.iter().map(|p| p.weight * p.x).sum::<f64>() / wsum;
         let mean_y = pts.iter().map(|p| p.weight * p.y).sum::<f64>() / wsum;
         let sxx: f64 = pts.iter().map(|p| p.weight * (p.x - mean_x).powi(2)).sum();
-        let sxy: f64 = pts.iter().map(|p| p.weight * (p.x - mean_x) * (p.y - mean_y)).sum();
+        let sxy: f64 = pts
+            .iter()
+            .map(|p| p.weight * (p.x - mean_x) * (p.y - mean_y))
+            .sum();
         if sxx < 1e-12 {
             return None;
         }
@@ -85,8 +88,17 @@ impl LinearFit {
             .iter()
             .map(|p| p.weight * (p.y - slope * p.x - intercept).powi(2))
             .sum();
-        let r_squared = if ss_tot < 1e-12 { 1.0 } else { (1.0 - ss_res / ss_tot).clamp(0.0, 1.0) };
-        Some(LinearFit { slope, intercept, r_squared, n: pts.len() })
+        let r_squared = if ss_tot < 1e-12 {
+            1.0
+        } else {
+            (1.0 - ss_res / ss_tot).clamp(0.0, 1.0)
+        };
+        Some(LinearFit {
+            slope,
+            intercept,
+            r_squared,
+            n: pts.len(),
+        })
     }
 
     /// Evaluates the fitted line at `x`.
@@ -177,9 +189,21 @@ mod tests {
     fn weighted_fit_favors_heavy_points() {
         // Two clusters; the heavily weighted one dominates the intercept.
         let pts = vec![
-            WeightedPoint { x: 0.0, y: 0.0, weight: 100.0 },
-            WeightedPoint { x: 1.0, y: 1.0, weight: 100.0 },
-            WeightedPoint { x: 0.5, y: 10.0, weight: 0.001 },
+            WeightedPoint {
+                x: 0.0,
+                y: 0.0,
+                weight: 100.0,
+            },
+            WeightedPoint {
+                x: 1.0,
+                y: 1.0,
+                weight: 100.0,
+            },
+            WeightedPoint {
+                x: 0.5,
+                y: 10.0,
+                weight: 0.001,
+            },
         ];
         let fit = LinearFit::fit_weighted(pts).unwrap();
         assert!((fit.slope - 1.0).abs() < 0.01);
@@ -189,25 +213,53 @@ mod tests {
     #[test]
     fn zero_total_weight_is_none() {
         let pts = vec![
-            WeightedPoint { x: 0.0, y: 0.0, weight: 0.0 },
-            WeightedPoint { x: 1.0, y: 1.0, weight: 0.0 },
+            WeightedPoint {
+                x: 0.0,
+                y: 0.0,
+                weight: 0.0,
+            },
+            WeightedPoint {
+                x: 1.0,
+                y: 1.0,
+                weight: 0.0,
+            },
         ];
         assert!(LinearFit::fit_weighted(pts).is_none());
     }
 
     #[test]
     fn predict_and_inverse() {
-        let fit = LinearFit { slope: 2.0, intercept: 1.0, r_squared: 1.0, n: 2 };
+        let fit = LinearFit {
+            slope: 2.0,
+            intercept: 1.0,
+            r_squared: 1.0,
+            n: 2,
+        };
         assert!((fit.predict(3.0) - 7.0).abs() < 1e-12);
         assert!((fit.solve_for_x(7.0).unwrap() - 3.0).abs() < 1e-12);
-        let flat = LinearFit { slope: 0.0, intercept: 1.0, r_squared: 1.0, n: 2 };
+        let flat = LinearFit {
+            slope: 0.0,
+            intercept: 1.0,
+            r_squared: 1.0,
+            n: 2,
+        };
         assert!(flat.solve_for_x(5.0).is_none());
     }
 
     #[test]
     fn relative_error() {
-        let a = LinearFit { slope: 1.1, intercept: 10.0, r_squared: 1.0, n: 2 };
-        let b = LinearFit { slope: 1.0, intercept: 8.0, r_squared: 1.0, n: 2 };
+        let a = LinearFit {
+            slope: 1.1,
+            intercept: 10.0,
+            r_squared: 1.0,
+            n: 2,
+        };
+        let b = LinearFit {
+            slope: 1.0,
+            intercept: 8.0,
+            r_squared: 1.0,
+            n: 2,
+        };
         let (se, ie) = a.relative_error_to(&b);
         assert!((se - 0.1).abs() < 1e-12);
         assert!((ie - 0.25).abs() < 1e-12);
@@ -215,7 +267,12 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        let fit = LinearFit { slope: 0.074, intercept: 16.935, r_squared: 0.99, n: 42 };
+        let fit = LinearFit {
+            slope: 0.074,
+            intercept: 16.935,
+            r_squared: 0.99,
+            n: 42,
+        };
         let s = fit.to_string();
         assert!(s.contains("0.074"), "{s}");
         assert!(s.contains("n=42"), "{s}");

@@ -28,7 +28,10 @@ const PCG_MULT: u64 = 6364136223846793005;
 impl Pcg32 {
     /// Creates a generator from a seed and stream-selector pair.
     pub fn new(seed: u64, stream: u64) -> Pcg32 {
-        let mut rng = Pcg32 { state: 0, inc: (stream << 1) | 1 };
+        let mut rng = Pcg32 {
+            state: 0,
+            inc: (stream << 1) | 1,
+        };
         rng.next_u32();
         rng.state = rng.state.wrapping_add(seed);
         rng.next_u32();
@@ -195,6 +198,10 @@ mod tests {
         let mut sorted = xs.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
-        assert_ne!(xs, (0..50).collect::<Vec<_>>(), "50 elements should not stay in order");
+        assert_ne!(
+            xs,
+            (0..50).collect::<Vec<_>>(),
+            "50 elements should not stay in order"
+        );
     }
 }

@@ -3,7 +3,9 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
-use std::ops::{Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::ops::{
+    Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign,
+};
 
 /// A 3-dimensional vector of `f64` components.
 ///
@@ -29,13 +31,29 @@ pub struct Vec3 {
 
 impl Vec3 {
     /// The zero vector.
-    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    pub const ZERO: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
     /// Unit vector along +X.
-    pub const X: Vec3 = Vec3 { x: 1.0, y: 0.0, z: 0.0 };
+    pub const X: Vec3 = Vec3 {
+        x: 1.0,
+        y: 0.0,
+        z: 0.0,
+    };
     /// Unit vector along +Y.
-    pub const Y: Vec3 = Vec3 { x: 0.0, y: 1.0, z: 0.0 };
+    pub const Y: Vec3 = Vec3 {
+        x: 0.0,
+        y: 1.0,
+        z: 0.0,
+    };
     /// Unit vector along +Z.
-    pub const Z: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 1.0 };
+    pub const Z: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 1.0,
+    };
 
     /// Creates a vector from components.
     #[inline]
@@ -112,7 +130,11 @@ impl Vec3 {
     /// Panics if `lo > hi`.
     pub fn clamp(self, lo: f64, hi: f64) -> Vec3 {
         assert!(lo <= hi, "invalid clamp range: {lo} > {hi}");
-        Vec3::new(self.x.clamp(lo, hi), self.y.clamp(lo, hi), self.z.clamp(lo, hi))
+        Vec3::new(
+            self.x.clamp(lo, hi),
+            self.y.clamp(lo, hi),
+            self.z.clamp(lo, hi),
+        )
     }
 
     /// `true` when every component is finite.
@@ -288,7 +310,9 @@ impl Mat3 {
 
     /// Builds a matrix from row-major entries.
     pub fn from_rows(r0: Vec3, r1: Vec3, r2: Vec3) -> Mat3 {
-        Mat3 { m: [r0.to_array(), r1.to_array(), r2.to_array()] }
+        Mat3 {
+            m: [r0.to_array(), r1.to_array(), r2.to_array()],
+        }
     }
 
     /// Builds a diagonal matrix.
@@ -370,7 +394,11 @@ impl Default for Mat3 {
 impl fmt::Display for Mat3 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for r in 0..3 {
-            writeln!(f, "[{:.6} {:.6} {:.6}]", self.m[r][0], self.m[r][1], self.m[r][2])?;
+            writeln!(
+                f,
+                "[{:.6} {:.6} {:.6}]",
+                self.m[r][0], self.m[r][1], self.m[r][2]
+            )?;
         }
         Ok(())
     }
@@ -542,7 +570,10 @@ mod tests {
         for r in 0..3 {
             for c in 0..3 {
                 let expect = if r == c { 1.0 } else { 0.0 };
-                assert!((prod.m[r][c] - expect).abs() < 1e-10, "at ({r},{c}): {prod}");
+                assert!(
+                    (prod.m[r][c] - expect).abs() < 1e-10,
+                    "at ({r},{c}): {prod}"
+                );
             }
         }
     }

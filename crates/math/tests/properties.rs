@@ -4,11 +4,14 @@ use drone_math::{angles, Mat3, Matrix, Quat, Vec3};
 use proptest::prelude::*;
 
 fn finite_f64(range: f64) -> impl Strategy<Value = f64> {
-    prop::num::f64::NORMAL.prop_map(move |v| v % range).prop_filter("finite", |v| v.is_finite())
+    prop::num::f64::NORMAL
+        .prop_map(move |v| v % range)
+        .prop_filter("finite", |v| v.is_finite())
 }
 
 fn vec3(range: f64) -> impl Strategy<Value = Vec3> {
-    (finite_f64(range), finite_f64(range), finite_f64(range)).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+    (finite_f64(range), finite_f64(range), finite_f64(range))
+        .prop_map(|(x, y, z)| Vec3::new(x, y, z))
 }
 
 fn unit_quat() -> impl Strategy<Value = Quat> {

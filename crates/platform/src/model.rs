@@ -58,7 +58,11 @@ pub struct StageSpeedups {
 impl StageSpeedups {
     /// Uniform speedup across stages.
     pub fn uniform(factor: f64) -> StageSpeedups {
-        StageSpeedups { feature_extraction: factor, local_ba: factor, global_ba: factor }
+        StageSpeedups {
+            feature_extraction: factor,
+            local_ba: factor,
+            global_ba: factor,
+        }
     }
 }
 
@@ -103,7 +107,11 @@ impl Platform {
         Platform {
             name: "TX2".to_owned(),
             kind: PlatformKind::EmbeddedGpu,
-            speedups: StageSpeedups { feature_extraction: 5.0, local_ba: 2.0, global_ba: 2.0 },
+            speedups: StageSpeedups {
+                feature_extraction: 5.0,
+                local_ba: 2.0,
+                global_ba: 2.0,
+            },
             power: Watts(10.0),
             weight: Grams(85.0),
             integration_cost: CostLevel::Low,
@@ -119,7 +127,11 @@ impl Platform {
         Platform {
             name: "FPGA".to_owned(),
             kind: PlatformKind::Fpga,
-            speedups: StageSpeedups { feature_extraction: 8.0, local_ba: 45.0, global_ba: 45.0 },
+            speedups: StageSpeedups {
+                feature_extraction: 8.0,
+                local_ba: 45.0,
+                global_ba: 45.0,
+            },
             power: Watts(0.417),
             weight: Grams(75.0),
             integration_cost: CostLevel::Medium,
@@ -133,7 +145,11 @@ impl Platform {
         Platform {
             name: "ASIC".to_owned(),
             kind: PlatformKind::Asic,
-            speedups: StageSpeedups { feature_extraction: 10.0, local_ba: 28.0, global_ba: 28.0 },
+            speedups: StageSpeedups {
+                feature_extraction: 10.0,
+                local_ba: 28.0,
+                global_ba: 28.0,
+            },
             power: Watts(0.024),
             weight: Grams(20.0),
             integration_cost: CostLevel::High,
@@ -185,7 +201,11 @@ impl Platform {
 
 impl fmt::Display for Platform {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} ({:?}, {}, {})", self.name, self.kind, self.power, self.weight)
+        write!(
+            f,
+            "{} ({:?}, {}, {})",
+            self.name, self.kind, self.power, self.weight
+        )
     }
 }
 
@@ -223,8 +243,7 @@ mod tests {
     #[test]
     fn power_ordering_matches_table5() {
         // TX2 > RPi > FPGA > ASIC in power.
-        let [rpi, tx2, fpga, asic]: [Platform; 4] =
-            Platform::table5_lineup().try_into().unwrap();
+        let [rpi, tx2, fpga, asic]: [Platform; 4] = Platform::table5_lineup().try_into().unwrap();
         assert!(tx2.power > rpi.power);
         assert!(rpi.power > fpga.power);
         assert!(fpga.power > asic.power);

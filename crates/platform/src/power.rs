@@ -90,7 +90,14 @@ impl BoardPowerModel {
                 && slam_active.0 <= peak.0,
             "phase power levels must be non-decreasing"
         );
-        BoardPowerModel { idle, autopilot, slam_idle, slam_active, peak, ripple_fraction: 0.04 }
+        BoardPowerModel {
+            idle,
+            autopilot,
+            slam_idle,
+            slam_active,
+            peak,
+            ripple_fraction: 0.04,
+        }
     }
 
     /// Nominal power of a phase.

@@ -16,12 +16,20 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// RPi-class L1 data cache: 32 KiB, 4-way, 64 B lines.
     pub fn l1d() -> CacheConfig {
-        CacheConfig { size_bytes: 32 * 1024, line_bytes: 64, ways: 4 }
+        CacheConfig {
+            size_bytes: 32 * 1024,
+            line_bytes: 64,
+            ways: 4,
+        }
     }
 
     /// RPi-class shared last-level cache: 1 MiB, 16-way, 64 B lines.
     pub fn llc() -> CacheConfig {
-        CacheConfig { size_bytes: 1024 * 1024, line_bytes: 64, ways: 16 }
+        CacheConfig {
+            size_bytes: 1024 * 1024,
+            line_bytes: 64,
+            ways: 16,
+        }
     }
 
     /// Number of sets implied by the geometry.
@@ -64,10 +72,15 @@ impl Cache {
     /// Panics if the geometry is degenerate (zero sizes, non-power-of-two
     /// line size, or capacity not divisible into sets).
     pub fn new(config: CacheConfig) -> Cache {
-        assert!(config.line_bytes.is_power_of_two() && config.line_bytes > 0, "bad line size");
+        assert!(
+            config.line_bytes.is_power_of_two() && config.line_bytes > 0,
+            "bad line size"
+        );
         assert!(config.ways > 0, "need at least one way");
         assert!(
-            config.size_bytes.is_multiple_of(config.line_bytes * config.ways)
+            config
+                .size_bytes
+                .is_multiple_of(config.line_bytes * config.ways)
                 && config.sets() > 0,
             "capacity must divide into sets"
         );
@@ -103,7 +116,13 @@ impl Cache {
         self.misses += 1;
         // Install over the LRU (or first invalid) way.
         let victim = (0..self.config.ways)
-            .min_by_key(|&w| if self.tags[set][w] == u64::MAX { 0 } else { self.stamps[set][w] })
+            .min_by_key(|&w| {
+                if self.tags[set][w] == u64::MAX {
+                    0
+                } else {
+                    self.stamps[set][w]
+                }
+            })
             .expect("at least one way");
         self.tags[set][victim] = tag;
         self.stamps[set][victim] = self.clock;
@@ -142,7 +161,11 @@ mod tests {
 
     fn tiny() -> Cache {
         // 4 sets × 2 ways × 64 B = 512 B.
-        Cache::new(CacheConfig { size_bytes: 512, line_bytes: 64, ways: 2 })
+        Cache::new(CacheConfig {
+            size_bytes: 512,
+            line_bytes: 64,
+            ways: 2,
+        })
     }
 
     #[test]
@@ -173,7 +196,7 @@ mod tests {
     fn working_set_within_capacity_hits() {
         let mut c = Cache::new(CacheConfig::l1d());
         let lines = 32 * 1024 / 64 / 2; // half capacity
-        // Two passes: first cold, second fully resident.
+                                        // Two passes: first cold, second fully resident.
         for pass in 0..2 {
             for i in 0..lines {
                 let hit = c.access(i as u64 * 64);
@@ -186,7 +209,11 @@ mod tests {
 
     #[test]
     fn working_set_beyond_capacity_thrashes() {
-        let mut c = Cache::new(CacheConfig { size_bytes: 1024, line_bytes: 64, ways: 2 });
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 1024,
+            line_bytes: 64,
+            ways: 2,
+        });
         // 4× capacity streamed repeatedly with LRU → always misses.
         let lines = 4 * 1024 / 64;
         for _ in 0..3 {
@@ -215,6 +242,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "bad line size")]
     fn non_power_of_two_line_panics() {
-        let _ = Cache::new(CacheConfig { size_bytes: 512, line_bytes: 48, ways: 2 });
+        let _ = Cache::new(CacheConfig {
+            size_bytes: 512,
+            line_bytes: 48,
+            ways: 2,
+        });
     }
 }

@@ -191,8 +191,15 @@ impl CoreSystem {
     }
 
     /// Runs a single workload alone for `instructions` instructions.
-    pub fn run_alone(&mut self, workload: &mut SyntheticWorkload, instructions: u64) -> WorkloadStats {
-        let mut stats = WorkloadStats { name: workload.spec().name.clone(), ..Default::default() };
+    pub fn run_alone(
+        &mut self,
+        workload: &mut SyntheticWorkload,
+        instructions: u64,
+    ) -> WorkloadStats {
+        let mut stats = WorkloadStats {
+            name: workload.spec().name.clone(),
+            ..Default::default()
+        };
         for _ in 0..instructions {
             let op = workload.next_op();
             self.execute(op, &mut stats);
@@ -226,12 +233,19 @@ impl CoreSystem {
         assert!(quanta.iter().all(|&q| q > 0), "quantum must be positive");
         let mut stats: Vec<WorkloadStats> = workloads
             .iter()
-            .map(|w| WorkloadStats { name: w.spec().name.clone(), ..Default::default() })
+            .map(|w| WorkloadStats {
+                name: w.spec().name.clone(),
+                ..Default::default()
+            })
             .collect();
         let mut subject_remaining = subject_instructions;
         while subject_remaining > 0 {
             for (i, workload) in workloads.iter_mut().enumerate() {
-                let burst = if i == 0 { quanta[0].min(subject_remaining) } else { quanta[i] };
+                let burst = if i == 0 {
+                    quanta[0].min(subject_remaining)
+                } else {
+                    quanta[i]
+                };
                 for _ in 0..burst {
                     let op = workload.next_op();
                     self.execute(op, &mut stats[i]);
@@ -265,7 +279,10 @@ pub fn figure15_experiment(
     let slam_alone = core.run_alone(&mut SyntheticWorkload::slam(seed), instructions);
 
     let mut core = CoreSystem::default();
-    let mut both = [SyntheticWorkload::autopilot(seed), SyntheticWorkload::slam(seed)];
+    let mut both = [
+        SyntheticWorkload::autopilot(seed),
+        SyntheticWorkload::slam(seed),
+    ];
     // The autopilot runs short real-time bursts between long SLAM frame
     // computations; each SLAM turn walks enough of its 8 MiB working set
     // to flush the shared L1/LLC/TLB, so every autopilot burst restarts
@@ -307,7 +324,10 @@ mod tests {
         // rates, and costs it ~1.7× IPC.
         let (ap_alone, _slam_alone, ap_shared, _slam_shared) = figure15_experiment(N, 2);
         let ipc_drop = ap_alone.ipc() / ap_shared.ipc();
-        assert!(ipc_drop > 1.2, "IPC drop only {ipc_drop:.2}: {ap_alone} vs {ap_shared}");
+        assert!(
+            ipc_drop > 1.2,
+            "IPC drop only {ipc_drop:.2}: {ap_alone} vs {ap_shared}"
+        );
         // The autopilot's own TLB misses rise (the system-level 4.5x
         // figure is dominated by SLAM's absolute misses and is reported
         // by the fig15 experiment).
@@ -340,7 +360,10 @@ mod tests {
         assert!(stats.cycles >= stats.instructions);
         let cfg = CoreConfig::default();
         let worst = stats.instructions
-            * (1 + cfg.llc_miss_penalty + cfg.l1_miss_penalty + cfg.tlb_miss_penalty + cfg.branch_penalty);
+            * (1 + cfg.llc_miss_penalty
+                + cfg.l1_miss_penalty
+                + cfg.tlb_miss_penalty
+                + cfg.branch_penalty);
         assert!(stats.cycles < worst);
     }
 

@@ -34,7 +34,13 @@ impl Tlb {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Tlb {
         assert!(capacity > 0, "TLB needs at least one entry");
-        Tlb { entries: Vec::with_capacity(capacity), capacity, clock: 0, accesses: 0, misses: 0 }
+        Tlb {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            clock: 0,
+            accesses: 0,
+            misses: 0,
+        }
     }
 
     /// Accesses a byte address; returns `true` on hit.

@@ -76,7 +76,10 @@ impl WorkloadSpec {
             ("branch", self.branch_fraction),
             ("entropy", self.branch_entropy),
         ] {
-            assert!((0.0..=1.0).contains(&v), "{label} fraction {v} out of range");
+            assert!(
+                (0.0..=1.0).contains(&v),
+                "{label} fraction {v} out of range"
+            );
         }
         assert!(
             self.load_fraction + self.store_fraction + self.branch_fraction <= 1.0,
@@ -117,7 +120,12 @@ impl SyntheticWorkload {
     pub fn new(spec: WorkloadSpec, seed: u64) -> SyntheticWorkload {
         let spec = spec.validated();
         let loop_iterations = vec![0; spec.branch_sites as usize];
-        SyntheticWorkload { spec, rng: Pcg32::seed_from(seed), stream_offset: 0, loop_iterations }
+        SyntheticWorkload {
+            spec,
+            rng: Pcg32::seed_from(seed),
+            stream_offset: 0,
+            loop_iterations,
+        }
     }
 
     /// The ArduPilot-shaped workload: a hot ~28 KiB state (vectors,
@@ -245,7 +253,11 @@ mod tests {
         let f = |c: usize| c as f64 / n as f64;
         assert!((f(loads) - 0.25).abs() < 0.01, "loads {}", f(loads));
         assert!((f(stores) - 0.10).abs() < 0.01, "stores {}", f(stores));
-        assert!((f(branches) - 0.15).abs() < 0.01, "branches {}", f(branches));
+        assert!(
+            (f(branches) - 0.15).abs() < 0.01,
+            "branches {}",
+            f(branches)
+        );
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! simple ground plane at z = 0 so take-off and landing scenarios work.
 
 use crate::battery::BatterySim;
+use crate::fault::FaultSchedule;
 use crate::params::QuadcopterParams;
 use crate::rotor::{RotorForces, RotorSet, ROTOR_COUNT};
 use crate::state::RigidBodyState;
@@ -13,7 +14,11 @@ use drone_math::Vec3;
 use serde::{Deserialize, Serialize};
 
 /// Gravitational acceleration vector in the world frame (Z up), m/s².
-pub const GRAVITY: Vec3 = Vec3 { x: 0.0, y: 0.0, z: -drone_components::units::STANDARD_GRAVITY };
+pub const GRAVITY: Vec3 = Vec3 {
+    x: 0.0,
+    y: 0.0,
+    z: -drone_components::units::STANDARD_GRAVITY,
+};
 
 /// Everything one physics step produces.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -43,6 +48,7 @@ pub struct Quadcopter {
     rotors: RotorSet,
     battery: BatterySim,
     elapsed: f64,
+    faults: FaultSchedule,
 }
 
 impl Quadcopter {
@@ -50,7 +56,14 @@ impl Quadcopter {
     pub fn new(params: QuadcopterParams) -> Quadcopter {
         let rotors = RotorSet::new(&params);
         let battery = BatterySim::new(params.battery);
-        Quadcopter { params, state: RigidBodyState::at_rest(), rotors, battery, elapsed: 0.0 }
+        Quadcopter {
+            params,
+            state: RigidBodyState::at_rest(),
+            rotors,
+            battery,
+            elapsed: 0.0,
+            faults: FaultSchedule::none(),
+        }
     }
 
     /// Creates a quadcopter already hovering at `altitude` metres with
@@ -97,9 +110,23 @@ impl Quadcopter {
         self.elapsed
     }
 
+    /// Installs a fault schedule; events fire inside [`Quadcopter::step`]
+    /// at their scheduled simulation times.
+    pub fn inject_faults(&mut self, schedule: FaultSchedule) {
+        self.faults = schedule;
+    }
+
+    /// The installed fault schedule (fired/remaining event accounting).
+    pub fn faults(&self) -> &FaultSchedule {
+        &self.faults
+    }
+
     /// The normalized throttle at which total rotor thrust equals weight.
     pub fn hover_throttle(&self) -> f64 {
-        let n = self.params.propeller.rev_per_s_for_thrust(self.params.hover_thrust_per_motor());
+        let n = self
+            .params
+            .propeller
+            .rev_per_s_for_thrust(self.params.hover_thrust_per_motor());
         (n / self.rotors.max_speed()).min(1.0)
     }
 
@@ -110,7 +137,16 @@ impl Quadcopter {
     ///
     /// Panics if `dt` is not positive and finite.
     pub fn step(&mut self, throttle: [f64; ROTOR_COUNT], wind: Vec3, dt: f64) -> StepOutput {
-        assert!(dt > 0.0 && dt.is_finite(), "dt must be positive and finite, got {dt}");
+        assert!(
+            dt > 0.0 && dt.is_finite(),
+            "dt must be positive and finite, got {dt}"
+        );
+        // Fire due fault events against the physical components and pick
+        // up any active gust burst before integrating.
+        let gust = self
+            .faults
+            .advance(self.elapsed, &mut self.rotors, &mut self.battery);
+        let wind = wind + gust;
         self.rotors.step(throttle, dt);
         let rotor = self.rotors.forces(&self.params);
 
@@ -137,16 +173,22 @@ impl Quadcopter {
             * (self.params.flapping_coefficient * rotor.total_thrust);
         let omega = self.state.angular_velocity;
         let i_omega = inertia.hadamard(omega);
-        let torque = rotor.torque + flap_torque
-            - omega.cross(i_omega)
-            - omega * self.params.angular_drag;
-        let alpha = Vec3::new(torque.x / inertia.x, torque.y / inertia.y, torque.z / inertia.z);
+        let torque =
+            rotor.torque + flap_torque - omega.cross(i_omega) - omega * self.params.angular_drag;
+        let alpha = Vec3::new(
+            torque.x / inertia.x,
+            torque.y / inertia.y,
+            torque.z / inertia.z,
+        );
 
         // Semi-implicit Euler: update velocities first, then positions.
         self.state.velocity += accel * dt;
         self.state.angular_velocity += alpha * dt;
         self.state.position += self.state.velocity * dt;
-        self.state.attitude = self.state.attitude.integrate(self.state.angular_velocity, dt);
+        self.state.attitude = self
+            .state
+            .attitude
+            .integrate(self.state.angular_velocity, dt);
 
         // Ground plane at z = 0: no penetration; landing kills motion.
         let mut on_ground = false;
@@ -167,7 +209,11 @@ impl Quadcopter {
         self.battery.drain(total_power, dt);
         self.elapsed += dt;
 
-        StepOutput { rotor, total_power, on_ground }
+        StepOutput {
+            rotor,
+            total_power,
+            on_ground,
+        }
     }
 
     /// Adds payload weight mid-design (rebuilds derived quantities).
@@ -197,7 +243,11 @@ mod tests {
         for _ in 0..2000 {
             quad.step([1.0; 4], Vec3::ZERO, 1e-3);
         }
-        assert!(quad.state().position.z > 1.0, "altitude {}", quad.state().position.z);
+        assert!(
+            quad.state().position.z > 1.0,
+            "altitude {}",
+            quad.state().position.z
+        );
         assert!(quad.state().velocity.z > 0.0);
     }
 
@@ -221,9 +271,17 @@ mod tests {
         let hover = quad.hover_throttle();
         // Roll command: right rotors faster.
         for _ in 0..300 {
-            quad.step([hover - 0.05, hover + 0.05, hover + 0.05, hover - 0.05], Vec3::ZERO, 1e-3);
+            quad.step(
+                [hover - 0.05, hover + 0.05, hover + 0.05, hover - 0.05],
+                Vec3::ZERO,
+                1e-3,
+            );
         }
-        assert!(quad.state().angular_velocity.x.abs() > 0.05, "{}", quad.state());
+        assert!(
+            quad.state().angular_velocity.x.abs() > 0.05,
+            "{}",
+            quad.state()
+        );
     }
 
     #[test]
@@ -247,7 +305,11 @@ mod tests {
         for _ in 0..4000 {
             quad.step([hover; 4], Vec3::new(5.0, 0.0, 0.0), 1e-3);
         }
-        assert!(quad.state().velocity.x > 0.2, "wind had no effect: {}", quad.state());
+        assert!(
+            quad.state().velocity.x > 0.2,
+            "wind had no effect: {}",
+            quad.state()
+        );
     }
 
     #[test]
@@ -286,6 +348,53 @@ mod tests {
             quad.step(t, Vec3::new(rng.uniform(-10.0, 10.0), 0.0, 0.0), 1e-3);
             assert!(quad.state().is_finite(), "diverged: {}", quad.state());
         }
+    }
+
+    #[test]
+    fn injected_rotor_out_unbalances_the_vehicle() {
+        use crate::fault::{FaultEvent, FaultKind, FaultSchedule};
+        let params = QuadcopterParams::default_450mm();
+        let mut quad = Quadcopter::hovering_at(params, 30.0);
+        quad.inject_faults(FaultSchedule::scripted(vec![FaultEvent {
+            at: 0.5,
+            kind: FaultKind::RotorOut { rotor: 0 },
+        }]));
+        let hover = quad.hover_throttle();
+        for _ in 0..1500 {
+            quad.step([hover; 4], Vec3::ZERO, 1e-3);
+        }
+        assert_eq!(quad.faults().remaining(), 0);
+        assert_eq!(quad.rotors().effectiveness()[0], 0.0);
+        // Open-loop hover with a dead rotor must tumble and descend.
+        assert!(
+            quad.state().tilt_angle() > 0.2,
+            "tilt {}",
+            quad.state().tilt_angle()
+        );
+        assert!(quad.state().velocity.z < -0.5, "{}", quad.state());
+    }
+
+    #[test]
+    fn injected_gust_pushes_like_real_wind() {
+        use crate::fault::{FaultEvent, FaultKind, FaultSchedule};
+        let params = QuadcopterParams::default_450mm();
+        let mut quad = Quadcopter::hovering_at(params, 50.0);
+        quad.inject_faults(FaultSchedule::scripted(vec![FaultEvent {
+            at: 0.0,
+            kind: FaultKind::GustBurst {
+                velocity: Vec3::new(6.0, 0.0, 0.0),
+                duration: 4.0,
+            },
+        }]));
+        let hover = quad.hover_throttle();
+        for _ in 0..4000 {
+            quad.step([hover; 4], Vec3::ZERO, 1e-3);
+        }
+        assert!(
+            quad.state().velocity.x > 0.2,
+            "gust had no effect: {}",
+            quad.state()
+        );
     }
 
     #[test]

@@ -35,6 +35,7 @@
 
 pub mod battery;
 pub mod dynamics;
+pub mod fault;
 pub mod params;
 pub mod power;
 pub mod rotor;
@@ -43,6 +44,7 @@ pub mod wind;
 
 pub use battery::BatterySim;
 pub use dynamics::{Quadcopter, StepOutput};
+pub use fault::{FaultEvent, FaultKind, FaultSchedule};
 pub use params::QuadcopterParams;
 pub use power::{PowerMeter, PowerSample};
 pub use state::RigidBodyState;

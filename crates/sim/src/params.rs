@@ -61,9 +61,16 @@ impl QuadcopterParams {
         let battery = Battery::new(CellCount::S3, MilliampHours(3000.0), 25.0, Grams(248.0));
         // Size motors for TWR 2 against the known ~1.07 kg take-off mass.
         let takeoff_newtons = Grams(1071.0).weight_newtons();
-        let motor =
-            Motor::size_for(&propeller, battery.nominal_voltage(), takeoff_newtons * 2.0 / 4.0);
-        let esc = Esc::new(EscClass::LongFlight, drone_components::units::Amps(30.0), Grams(28.0));
+        let motor = Motor::size_for(
+            &propeller,
+            battery.nominal_voltage(),
+            takeoff_newtons * 2.0 / 4.0,
+        );
+        let esc = Esc::new(
+            EscClass::LongFlight,
+            drone_components::units::Amps(30.0),
+            Grams(28.0),
+        );
         QuadcopterParams {
             frame,
             motor,
@@ -189,7 +196,9 @@ impl QuadcopterParams {
 
     /// Maximum total thrust of the four motors, newtons.
     pub fn max_total_thrust_newtons(&self) -> f64 {
-        4.0 * self.motor.max_thrust_newtons(&self.propeller, self.supply_voltage())
+        4.0 * self
+            .motor
+            .max_thrust_newtons(&self.propeller, self.supply_voltage())
     }
 
     /// Thrust-to-weight ratio (§2.3; flyable builds need ≥ 2).
@@ -207,8 +216,7 @@ impl QuadcopterParams {
     /// arms. Returns `(Ixx, Iyy, Izz)` in kg·m².
     pub fn inertia_diagonal(&self) -> Vec3 {
         let arm = self.frame.wheelbase.meters() / 2.0;
-        let tip_mass =
-            (self.motor.weight + self.propeller.weight + self.esc.weight).kilograms();
+        let tip_mass = (self.motor.weight + self.propeller.weight + self.esc.weight).kilograms();
         let hub_mass = self.total_mass_kg() - 4.0 * tip_mass;
         // Four point masses at arm tips (two per axis at distance arm/√2
         // in X config) plus a central hub disk.
@@ -231,7 +239,10 @@ impl QuadcopterParams {
     pub fn validate(&self) -> Vec<String> {
         let mut problems = Vec::new();
         if self.thrust_to_weight() < 1.1 {
-            problems.push(format!("thrust-to-weight {:.2} cannot sustain hover", self.thrust_to_weight()));
+            problems.push(format!(
+                "thrust-to-weight {:.2} cannot sustain hover",
+                self.thrust_to_weight()
+            ));
         }
         if !self.esc.supports(self.motor.max_current) {
             problems.push(format!(
@@ -278,11 +289,19 @@ mod tests {
     #[test]
     fn default_800_is_a_heavy_lifter() {
         let p = QuadcopterParams::default_800mm();
-        assert!((2000.0..4500.0).contains(&p.total_weight().0), "weight {}", p.total_weight());
+        assert!(
+            (2000.0..4500.0).contains(&p.total_weight().0),
+            "weight {}",
+            p.total_weight()
+        );
         assert!(p.thrust_to_weight() >= 1.9, "TWR {}", p.thrust_to_weight());
         assert!(p.validate().is_empty(), "{:?}", p.validate());
         // Low-Kv motors on 6S, per Figure 9d.
-        assert!(p.motor.kv_rpm_per_volt < 400.0, "Kv {}", p.motor.kv_rpm_per_volt);
+        assert!(
+            p.motor.kv_rpm_per_volt < 400.0,
+            "Kv {}",
+            p.motor.kv_rpm_per_volt
+        );
     }
 
     #[test]
@@ -309,13 +328,20 @@ mod tests {
         // Strap a brick to it.
         p.accessories_weight = Grams(5000.0);
         let problems = p.validate();
-        assert!(problems.iter().any(|m| m.contains("thrust-to-weight")), "{problems:?}");
+        assert!(
+            problems.iter().any(|m| m.contains("thrust-to-weight")),
+            "{problems:?}"
+        );
     }
 
     #[test]
     fn validate_flags_undersized_esc() {
         let mut p = QuadcopterParams::default_450mm();
-        p.esc = Esc::new(EscClass::ShortFlight, drone_components::units::Amps(0.5), Grams(5.0));
+        p.esc = Esc::new(
+            EscClass::ShortFlight,
+            drone_components::units::Amps(0.5),
+            Grams(5.0),
+        );
         let problems = p.validate();
         assert!(problems.iter().any(|m| m.contains("ESC")), "{problems:?}");
     }

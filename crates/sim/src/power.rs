@@ -86,7 +86,11 @@ impl PowerMeter {
             Some(t) => time - t >= self.sample_interval - 1e-12,
         };
         if due {
-            self.samples.push(PowerSample { time, power, phase: self.phase.clone() });
+            self.samples.push(PowerSample {
+                time,
+                power,
+                phase: self.phase.clone(),
+            });
             self.last_sample_time = Some(time);
         }
     }
@@ -109,21 +113,31 @@ impl PowerMeter {
             e.0 += s.power.0;
             e.1 += 1;
         }
-        sums.into_iter().map(|(k, (sum, n))| (k, Watts(sum / n as f64))).collect()
+        sums.into_iter()
+            .map(|(k, (sum, n))| (k, Watts(sum / n as f64)))
+            .collect()
     }
 
     /// Peak power seen in samples.
     pub fn peak(&self) -> Option<Watts> {
-        self.samples.iter().map(|s| s.power).fold(None, |acc, p| match acc {
-            None => Some(p),
-            Some(a) => Some(a.max(p)),
-        })
+        self.samples
+            .iter()
+            .map(|s| s.power)
+            .fold(None, |acc, p| match acc {
+                None => Some(p),
+                Some(a) => Some(a.max(p)),
+            })
     }
 }
 
 impl fmt::Display for PowerMeter {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "power trace: {} samples, {:.2} Wh", self.samples.len(), self.energy_wh)?;
+        writeln!(
+            f,
+            "power trace: {} samples, {:.2} Wh",
+            self.samples.len(),
+            self.energy_wh
+        )?;
         for (phase, avg) in self.phase_averages() {
             writeln!(f, "  {phase}: avg {avg}")?;
         }

@@ -62,6 +62,10 @@ pub struct RotorSet {
     max_speed: f64,
     /// First-order lag time constant, s.
     time_constant: f64,
+    /// Per-rotor output derating (1.0 = healthy, 0.0 = rotor out),
+    /// applied by fault injection to thrust, torque and power alike —
+    /// the ESC-level view of a failing drive.
+    effectiveness: [f64; ROTOR_COUNT],
 }
 
 impl RotorSet {
@@ -71,6 +75,7 @@ impl RotorSet {
             speeds: [0.0; ROTOR_COUNT],
             max_speed: params.motor.max_loaded_rev_per_s(params.supply_voltage()),
             time_constant: params.motor_time_constant,
+            effectiveness: [1.0; ROTOR_COUNT],
         }
     }
 
@@ -82,6 +87,21 @@ impl RotorSet {
     /// Maximum commandable speed, rev/s.
     pub fn max_speed(&self) -> f64 {
         self.max_speed
+    }
+
+    /// Per-rotor output derating factors (1.0 = healthy).
+    pub fn effectiveness(&self) -> [f64; ROTOR_COUNT] {
+        self.effectiveness
+    }
+
+    /// Derates one rotor's output (fault injection): `factor` of thrust,
+    /// torque and power survive. `0.0` models a total rotor-out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rotor >= ROTOR_COUNT`.
+    pub fn set_effectiveness(&mut self, rotor: usize, factor: f64) {
+        self.effectiveness[rotor] = factor.clamp(0.0, 1.0);
     }
 
     /// Advances rotor speeds toward normalized throttle commands
@@ -109,14 +129,16 @@ impl RotorSet {
         let mut electrical = 0.0;
         for i in 0..ROTOR_COUNT {
             let n = self.speeds[i];
-            let thrust = prop.thrust_newtons(n);
+            let eff = self.effectiveness[i];
+            let thrust = prop.thrust_newtons(n) * eff;
             total_thrust += thrust;
             // Thrust applied at the arm tip: τ = r × F with F = T·ẑ.
             let r = dirs[i] * arm;
             torque += r.cross(Vec3::Z * thrust);
             // Reaction torque about yaw, opposing spin direction.
-            torque += Vec3::Z * (-SPIN[i] * prop.torque_nm(n));
-            electrical += prop.shaft_power_watts(n) / drone_components::motor::MOTOR_EFFICIENCY;
+            torque += Vec3::Z * (-SPIN[i] * prop.torque_nm(n) * eff);
+            electrical +=
+                prop.shaft_power_watts(n) * eff / drone_components::motor::MOTOR_EFFICIENCY;
         }
         let electrical_power = Watts(electrical);
         RotorForces {
@@ -148,7 +170,11 @@ mod tests {
         let (params, rotors) = spun_up([0.6; 4]);
         let f = rotors.forces(&params);
         assert!(f.total_thrust > 0.0);
-        assert!(f.torque.norm() < 1e-9, "symmetric spin must cancel torque: {}", f.torque);
+        assert!(
+            f.torque.norm() < 1e-9,
+            "symmetric spin must cancel torque: {}",
+            f.torque
+        );
     }
 
     #[test]
@@ -159,8 +185,16 @@ mod tests {
         // +Y component = (−x)·T·(−1) … assert direction empirically.
         let (params, rotors) = spun_up([0.4, 0.4, 0.7, 0.7]);
         let f = rotors.forces(&params);
-        assert!(f.torque.y.abs() > 1e-3, "expected pitch torque, got {}", f.torque);
-        assert!(f.torque.x.abs() < 1e-9, "no roll torque expected: {}", f.torque);
+        assert!(
+            f.torque.y.abs() > 1e-3,
+            "expected pitch torque, got {}",
+            f.torque
+        );
+        assert!(
+            f.torque.x.abs() < 1e-9,
+            "no roll torque expected: {}",
+            f.torque
+        );
         // Rear-heavy thrust must rotate the nose down: for r=(−a, ±a, 0),
         // F=T ẑ, τ = r×F = (±a·T, a·T, 0) — pitch component is positive.
         assert!(f.torque.y > 0.0);
@@ -185,7 +219,11 @@ mod tests {
         // Speeding up the CCW pair (0,2) adds CW reaction torque (−Z).
         let (params, rotors) = spun_up([0.7, 0.4, 0.7, 0.4]);
         let f = rotors.forces(&params);
-        assert!(f.torque.z < 0.0, "CCW rotors must yaw the body CW: {}", f.torque);
+        assert!(
+            f.torque.z < 0.0,
+            "CCW rotors must yaw the body CW: {}",
+            f.torque
+        );
         assert!(f.torque.x.abs() < 1e-9 && f.torque.y.abs() < 1e-9);
     }
 
@@ -228,10 +266,40 @@ mod tests {
     }
 
     #[test]
+    fn rotor_out_kills_thrust_torque_and_power_of_that_rotor() {
+        let (params, mut rotors) = spun_up([0.6; 4]);
+        let healthy = rotors.forces(&params);
+        rotors.set_effectiveness(2, 0.0);
+        let faulted = rotors.forces(&params);
+        // One of four equal rotors gone: 3/4 thrust and power remain.
+        assert!((faulted.total_thrust - healthy.total_thrust * 0.75).abs() < 1e-9);
+        assert!((faulted.electrical_power.0 - healthy.electrical_power.0 * 0.75).abs() < 1e-9);
+        // The asymmetry now produces roll/pitch torque.
+        assert!(faulted.torque.norm() > 0.01, "torque {}", faulted.torque);
+    }
+
+    #[test]
+    fn degradation_scales_smoothly() {
+        let (params, mut rotors) = spun_up([0.6; 4]);
+        let healthy = rotors.forces(&params);
+        for i in 0..ROTOR_COUNT {
+            rotors.set_effectiveness(i, 0.5);
+        }
+        let derated = rotors.forces(&params);
+        assert!((derated.total_thrust - healthy.total_thrust * 0.5).abs() < 1e-9);
+        assert!(
+            derated.torque.norm() < 1e-9,
+            "symmetric derating keeps balance"
+        );
+    }
+
+    #[test]
     fn hover_power_is_realistic() {
         // The paper's 450 mm drone averages ~130 W in gentle flight.
         let params = QuadcopterParams::default_450mm();
-        let hover_n = params.propeller.rev_per_s_for_thrust(params.hover_thrust_per_motor());
+        let hover_n = params
+            .propeller
+            .rev_per_s_for_thrust(params.hover_thrust_per_motor());
         let mut rotors = RotorSet::new(&params);
         let throttle = hover_n / rotors.max_speed();
         for _ in 0..2000 {

@@ -34,7 +34,10 @@ impl RigidBodyState {
 
     /// A state at rest hovering at the given altitude (m).
     pub fn at_altitude(altitude: f64) -> RigidBodyState {
-        RigidBodyState { position: Vec3::new(0.0, 0.0, altitude), ..Default::default() }
+        RigidBodyState {
+            position: Vec3::new(0.0, 0.0, altitude),
+            ..Default::default()
+        }
     }
 
     /// The body +Z (thrust) axis expressed in the world frame.
@@ -50,7 +53,10 @@ impl RigidBodyState {
     /// Tilt angle from vertical, radians (the paper's "angle of attack"
     /// driver for horizontal speed).
     pub fn tilt_angle(&self) -> f64 {
-        self.thrust_axis_world().dot(Vec3::Z).clamp(-1.0, 1.0).acos()
+        self.thrust_axis_world()
+            .dot(Vec3::Z)
+            .clamp(-1.0, 1.0)
+            .acos()
     }
 
     /// `true` when every component is finite (diverged sims fail this).

@@ -139,10 +139,14 @@ fn bundle_adjust(
     for (dense, &id) in landmark_ids.iter().enumerate() {
         landmark_index[id] = dense;
     }
-    let base_poses: Vec<CameraPose> =
-        keyframe_ids.iter().map(|&k| map.keyframes()[k].pose).collect();
-    let base_landmarks: Vec<Vec3> =
-        landmark_ids.iter().map(|&l| map.landmarks()[l].position).collect();
+    let base_poses: Vec<CameraPose> = keyframe_ids
+        .iter()
+        .map(|&k| map.keyframes()[k].pose)
+        .collect();
+    let base_landmarks: Vec<Vec3> = landmark_ids
+        .iter()
+        .map(|&l| map.landmarks()[l].position)
+        .collect();
     let mut observations = Vec::new();
     for (pi, &kf) in keyframe_ids.iter().enumerate() {
         for obs in &map.keyframes()[kf].observations {
@@ -287,7 +291,13 @@ mod tests {
     ) -> (Map, Vec<CameraPose>, Vec<Vec3>, CameraIntrinsics) {
         let cam = CameraIntrinsics::euroc();
         let truth_landmarks: Vec<Vec3> = (0..n_lm)
-            .map(|_| Vec3::new(rng.uniform(-4.0, 4.0), rng.uniform(-3.0, 3.0), rng.uniform(5.0, 12.0)))
+            .map(|_| {
+                Vec3::new(
+                    rng.uniform(-4.0, 4.0),
+                    rng.uniform(-3.0, 3.0),
+                    rng.uniform(5.0, 12.0),
+                )
+            })
             .collect();
         let truth_poses: Vec<CameraPose> = (0..n_kf)
             .map(|i| {
@@ -301,12 +311,11 @@ mod tests {
         let ids: Vec<_> = truth_landmarks
             .iter()
             .map(|&p| {
-                let noisy = p
-                    + Vec3::new(
-                        rng.normal_with(0.0, lm_err),
-                        rng.normal_with(0.0, lm_err),
-                        rng.normal_with(0.0, lm_err),
-                    );
+                let noisy = p + Vec3::new(
+                    rng.normal_with(0.0, lm_err),
+                    rng.normal_with(0.0, lm_err),
+                    rng.normal_with(0.0, lm_err),
+                );
                 map.add_landmark(noisy, Descriptor::random(rng))
             })
             .collect();
@@ -316,7 +325,10 @@ mod tests {
                 .enumerate()
                 .filter_map(|(li, &lm)| {
                     let pix = cam.project(truth_pose.world_to_camera(lm))?;
-                    Some(KeyframeObservation { landmark: ids[li], pixel: pix })
+                    Some(KeyframeObservation {
+                        landmark: ids[li],
+                        pixel: pix,
+                    })
                 })
                 .collect();
             // First two poses exact (the scale-pinning gauge pair),
@@ -334,7 +346,11 @@ mod tests {
                     truth_pose.orientation,
                 )
             };
-            map.add_keyframe(Keyframe { pose: noisy_pose, timestamp: i as f64, observations });
+            map.add_keyframe(Keyframe {
+                pose: noisy_pose,
+                timestamp: i as f64,
+                observations,
+            });
         }
         (map, truth_poses, truth_landmarks, cam)
     }
@@ -344,7 +360,11 @@ mod tests {
         let mut rng = Pcg32::seed_from(1);
         let (mut map, _, _, cam) = noisy_map(4, 30, 0.10, 0.10, &mut rng);
         let report = local_bundle_adjustment(&mut map, &cam, 4, 30).expect("ran");
-        assert!(report.improvement() > 0.9, "improvement {}", report.improvement());
+        assert!(
+            report.improvement() > 0.9,
+            "improvement {}",
+            report.improvement()
+        );
         assert!(report.final_cost < report.initial_cost);
     }
 
@@ -382,7 +402,11 @@ mod tests {
         let mut rng = Pcg32::seed_from(4);
         let (mut map, _, _, cam) = noisy_map(10, 40, 0.06, 0.06, &mut rng);
         let report = global_bundle_adjustment(&mut map, &cam, 6, 40).expect("ran");
-        assert!(report.improvement() > 0.5, "improvement {}", report.improvement());
+        assert!(
+            report.improvement() > 0.5,
+            "improvement {}",
+            report.improvement()
+        );
         // Subsampling: no more than 6 poses optimized.
         assert!(report.parameter_count <= (6 - 1) * 6 + 40 * 3);
     }

@@ -45,7 +45,14 @@ pub struct CameraIntrinsics {
 impl CameraIntrinsics {
     /// EuRoC-like intrinsics.
     pub fn euroc() -> CameraIntrinsics {
-        CameraIntrinsics { fx: 460.0, fy: 460.0, cx: 376.0, cy: 240.0, width: 752, height: 480 }
+        CameraIntrinsics {
+            fx: 460.0,
+            fy: 460.0,
+            cx: 376.0,
+            cy: 240.0,
+            width: 752,
+            height: 480,
+        }
     }
 
     /// Projects a camera-frame point (+Z forward) to a pixel.
@@ -104,7 +111,10 @@ impl CameraPose {
 
     /// Creates a pose.
     pub fn new(position: Vec3, orientation: Quat) -> CameraPose {
-        CameraPose { position, orientation }
+        CameraPose {
+            position,
+            orientation,
+        }
     }
 
     /// A pose at `position` whose +Z axis looks toward `target`
@@ -113,16 +123,29 @@ impl CameraPose {
     pub fn looking_at(position: Vec3, target: Vec3) -> CameraPose {
         let forward = (target - position).normalized().unwrap_or(Vec3::X);
         // Build an orthonormal basis with +Z = forward.
-        let world_up = if forward.cross(Vec3::Z).norm() < 1e-6 { Vec3::X } else { Vec3::Z };
-        let right = forward.cross(world_up).normalized().expect("non-degenerate basis");
-        let down = forward.cross(right).normalized().expect("non-degenerate basis");
+        let world_up = if forward.cross(Vec3::Z).norm() < 1e-6 {
+            Vec3::X
+        } else {
+            Vec3::Z
+        };
+        let right = forward
+            .cross(world_up)
+            .normalized()
+            .expect("non-degenerate basis");
+        let down = forward
+            .cross(right)
+            .normalized()
+            .expect("non-degenerate basis");
         // Camera axes in world coordinates: X=right, Y=down, Z=forward.
         let m = drone_math::Mat3::from_rows(
             Vec3::new(right.x, down.x, forward.x),
             Vec3::new(right.y, down.y, forward.y),
             Vec3::new(right.z, down.z, forward.z),
         );
-        CameraPose { position, orientation: rotation_matrix_to_quat(&m) }
+        CameraPose {
+            position,
+            orientation: rotation_matrix_to_quat(&m),
+        }
     }
 
     /// Transforms a world point into the camera frame.
@@ -242,10 +265,7 @@ mod tests {
 
     #[test]
     fn world_camera_roundtrip() {
-        let pose = CameraPose::new(
-            Vec3::new(1.0, 2.0, 3.0),
-            Quat::from_euler(0.2, -0.4, 0.9),
-        );
+        let pose = CameraPose::new(Vec3::new(1.0, 2.0, 3.0), Quat::from_euler(0.2, -0.4, 0.9));
         let p = Vec3::new(-2.0, 0.5, 7.0);
         let back = pose.camera_to_world(pose.world_to_camera(p));
         assert!((back - p).norm() < 1e-12);

@@ -19,7 +19,11 @@ impl Descriptor {
 
     /// Hamming distance (0–256).
     pub fn hamming(&self, other: &Descriptor) -> u32 {
-        self.0.iter().zip(&other.0).map(|(a, b)| (a ^ b).count_ones()).sum()
+        self.0
+            .iter()
+            .zip(&other.0)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum()
     }
 
     /// A copy with each bit independently flipped with probability `p`

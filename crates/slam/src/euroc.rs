@@ -133,14 +133,31 @@ impl Sequence {
         };
         let intrinsics = CameraIntrinsics::euroc();
         let fps = 20.0; // the paper's Navion comparison runs EuRoC at 20 FPS
-        let radius = Vec3::new(half_extent.x * 0.45, half_extent.y * 0.45, half_extent.z * 0.25);
+        let radius = Vec3::new(
+            half_extent.x * 0.45,
+            half_extent.y * 0.45,
+            half_extent.z * 0.25,
+        );
         let mut frames_out = Vec::with_capacity(frames);
         for k in 0..frames {
             let t = k as f64 / fps;
             let pose = lissajous_pose(t, speed, radius);
-            frames_out.push(render_frame(&world, &intrinsics, &pose, &noise, t, &mut rng));
+            frames_out.push(render_frame(
+                &world,
+                &intrinsics,
+                &pose,
+                &noise,
+                t,
+                &mut rng,
+            ));
         }
-        Dataset { sequence: self, intrinsics, world, noise, frames: frames_out }
+        Dataset {
+            sequence: self,
+            intrinsics,
+            world,
+            noise,
+            frames: frames_out,
+        }
     }
 }
 
@@ -201,7 +218,12 @@ impl Dataset {
         let total: usize = self
             .frames
             .iter()
-            .map(|f| f.observations.iter().filter(|o| o.truth_landmark.is_some()).count())
+            .map(|f| {
+                f.observations
+                    .iter()
+                    .filter(|o| o.truth_landmark.is_some())
+                    .count()
+            })
             .sum();
         total as f64 / self.frames.len() as f64
     }
@@ -253,7 +275,12 @@ mod tests {
                 .map(|w| w[1].distance_to(&w[0]))
                 .sum::<f64>()
         };
-        assert!(dist(&hard) > 1.5 * dist(&easy), "speeds: {} vs {}", dist(&hard), dist(&easy));
+        assert!(
+            dist(&hard) > 1.5 * dist(&easy),
+            "speeds: {} vs {}",
+            dist(&hard),
+            dist(&easy)
+        );
     }
 
     #[test]
@@ -261,7 +288,10 @@ mod tests {
         let d = Sequence::MH03.generate_with_frames(200);
         for pose in d.truth_trajectory() {
             let p = pose.position;
-            assert!(p.x.abs() < 12.0 && p.y.abs() < 9.0 && p.z.abs() < 4.0, "{p} escaped");
+            assert!(
+                p.x.abs() < 12.0 && p.y.abs() < 9.0 && p.z.abs() < 4.0,
+                "{p} escaped"
+            );
         }
     }
 

@@ -51,7 +51,10 @@ impl World {
                 rng.uniform(-half_extent.z, half_extent.z),
             );
             p[axis] = sign * half_extent[axis];
-            landmarks.push(Landmark { position: p, descriptor: Descriptor::random(rng) });
+            landmarks.push(Landmark {
+                position: p,
+                descriptor: Descriptor::random(rng),
+            });
         }
         World { landmarks }
     }
@@ -152,7 +155,9 @@ pub fn render_frame(
         if p_cam.z > noise.max_range {
             continue;
         }
-        let Some(pixel) = intrinsics.project(p_cam) else { continue };
+        let Some(pixel) = intrinsics.project(p_cam) else {
+            continue;
+        };
         if rng.chance(noise.dropout) {
             continue;
         }
@@ -180,7 +185,11 @@ pub fn render_frame(
             truth_landmark: None,
         });
     }
-    Frame { timestamp, observations, truth_pose: *pose }
+    Frame {
+        timestamp,
+        observations,
+        truth_pose: *pose,
+    }
 }
 
 #[cfg(test)]
@@ -210,7 +219,11 @@ mod tests {
         let (world, cam, mut rng) = setup();
         let pose = CameraPose::looking_at(Vec3::ZERO, Vec3::new(8.0, 0.0, 0.0));
         let frame = render_frame(&world, &cam, &pose, &SensorNoise::easy(), 0.0, &mut rng);
-        let real = frame.observations.iter().filter(|o| o.truth_landmark.is_some()).count();
+        let real = frame
+            .observations
+            .iter()
+            .filter(|o| o.truth_landmark.is_some())
+            .count();
         assert!((30..500).contains(&real), "{real} features");
     }
 
@@ -219,7 +232,11 @@ mod tests {
         let (world, cam, mut rng) = setup();
         let pose = CameraPose::looking_at(Vec3::ZERO, Vec3::new(8.0, 0.0, 0.0));
         let frame = render_frame(&world, &cam, &pose, &SensorNoise::easy(), 0.0, &mut rng);
-        for obs in frame.observations.iter().filter(|o| o.truth_landmark.is_some()) {
+        for obs in frame
+            .observations
+            .iter()
+            .filter(|o| o.truth_landmark.is_some())
+        {
             let lm = world.landmarks[obs.truth_landmark.unwrap()];
             // Back-project through the truth pose: should land near the
             // true landmark.
@@ -235,7 +252,11 @@ mod tests {
         let pose = CameraPose::identity();
         let noise = SensorNoise::difficult();
         let frame = render_frame(&world, &cam, &pose, &noise, 0.0, &mut rng);
-        let clutter = frame.observations.iter().filter(|o| o.truth_landmark.is_none()).count();
+        let clutter = frame
+            .observations
+            .iter()
+            .filter(|o| o.truth_landmark.is_none())
+            .count();
         assert_eq!(clutter, noise.clutter);
     }
 

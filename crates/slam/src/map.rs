@@ -82,7 +82,11 @@ impl Map {
 
     /// Adds a landmark, returning its id.
     pub fn add_landmark(&mut self, position: Vec3, descriptor: Descriptor) -> LandmarkId {
-        self.landmarks.push(MapLandmark { position, descriptor, observation_count: 0 });
+        self.landmarks.push(MapLandmark {
+            position,
+            descriptor,
+            observation_count: 0,
+        });
         self.landmarks.len() - 1
     }
 
@@ -127,7 +131,10 @@ impl Map {
                 seen[obs.landmark] = true;
             }
         }
-        seen.iter().enumerate().filter_map(|(i, &s)| s.then_some(i)).collect()
+        seen.iter()
+            .enumerate()
+            .filter_map(|(i, &s)| s.then_some(i))
+            .collect()
     }
 
     /// Descriptor table of all landmarks (for frame-to-map matching).
@@ -156,8 +163,14 @@ mod tests {
             pose: CameraPose::identity(),
             timestamp: 0.0,
             observations: vec![
-                KeyframeObservation { landmark: a, pixel: Pixel::new(10.0, 10.0) },
-                KeyframeObservation { landmark: b, pixel: Pixel::new(20.0, 20.0) },
+                KeyframeObservation {
+                    landmark: a,
+                    pixel: Pixel::new(10.0, 10.0),
+                },
+                KeyframeObservation {
+                    landmark: b,
+                    pixel: Pixel::new(20.0, 20.0),
+                },
             ],
         };
         map.add_keyframe(kf);
@@ -184,20 +197,30 @@ mod tests {
     fn covisibility() {
         let mut rng = Pcg32::seed_from(2);
         let mut map = Map::new();
-        let ids: Vec<_> =
-            (0..5).map(|i| map.add_landmark(Vec3::splat(i as f64), descriptor(&mut rng))).collect();
+        let ids: Vec<_> = (0..5)
+            .map(|i| map.add_landmark(Vec3::splat(i as f64), descriptor(&mut rng)))
+            .collect();
         map.add_keyframe(Keyframe {
             pose: CameraPose::identity(),
             timestamp: 0.0,
             observations: vec![
-                KeyframeObservation { landmark: ids[0], pixel: Pixel::default() },
-                KeyframeObservation { landmark: ids[1], pixel: Pixel::default() },
+                KeyframeObservation {
+                    landmark: ids[0],
+                    pixel: Pixel::default(),
+                },
+                KeyframeObservation {
+                    landmark: ids[1],
+                    pixel: Pixel::default(),
+                },
             ],
         });
         map.add_keyframe(Keyframe {
             pose: CameraPose::identity(),
             timestamp: 1.0,
-            observations: vec![KeyframeObservation { landmark: ids[3], pixel: Pixel::default() }],
+            observations: vec![KeyframeObservation {
+                landmark: ids[3],
+                pixel: Pixel::default(),
+            }],
         });
         let cov = map.covisible_landmarks(&[0]);
         assert_eq!(cov, vec![ids[0], ids[1]]);
@@ -212,7 +235,10 @@ mod tests {
         map.add_keyframe(Keyframe {
             pose: CameraPose::identity(),
             timestamp: 0.0,
-            observations: vec![KeyframeObservation { landmark: 42, pixel: Pixel::default() }],
+            observations: vec![KeyframeObservation {
+                landmark: 42,
+                pixel: Pixel::default(),
+            }],
         });
     }
 }

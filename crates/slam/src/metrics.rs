@@ -51,7 +51,9 @@ mod tests {
     use drone_math::Vec3;
 
     fn line(n: usize, step: Vec3) -> Vec<CameraPose> {
-        (0..n).map(|i| CameraPose::new(step * i as f64, Default::default())).collect()
+        (0..n)
+            .map(|i| CameraPose::new(step * i as f64, Default::default()))
+            .collect()
     }
 
     #[test]
@@ -79,7 +81,10 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, p)| {
-                CameraPose::new(p.position + Vec3::new(0.0, 0.01 * i as f64, 0.0), p.orientation)
+                CameraPose::new(
+                    p.position + Vec3::new(0.0, 0.01 * i as f64, 0.0),
+                    p.orientation,
+                )
             })
             .collect();
         assert!(absolute_trajectory_error(&est, &truth) > 0.1);

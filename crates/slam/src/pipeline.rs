@@ -84,7 +84,11 @@ impl StageProfile {
         if t <= 0.0 {
             (0.0, 0.0, 0.0)
         } else {
-            (self.feature_matching_s / t, self.local_ba_s / t, self.global_ba_s / t)
+            (
+                self.feature_matching_s / t,
+                self.local_ba_s / t,
+                self.global_ba_s / t,
+            )
         }
     }
 
@@ -254,7 +258,10 @@ impl Pipeline {
                 .current_pose
                 .camera_to_world(dataset.intrinsics.unproject(obs.pixel, obs.depth));
             let id = self.map.add_landmark(world, obs.descriptor);
-            observations.push(KeyframeObservation { landmark: id, pixel: obs.pixel });
+            observations.push(KeyframeObservation {
+                landmark: id,
+                pixel: obs.pixel,
+            });
         }
         self.map.add_keyframe(Keyframe {
             pose: self.current_pose,
@@ -290,20 +297,20 @@ impl Pipeline {
         }
 
         // --- Pose optimization (tracking). ---
-        let mut tracked = match estimate_pose(&dataset.intrinsics, &self.current_pose, &correspondences)
-        {
-            Some(est) => {
-                self.profile.feature_matching_s +=
-                    cost::POSE_PER_ITER_MATCH * (est.iterations * correspondences.len()) as f64;
-                self.current_pose = est.pose;
-                self.consecutive_failures = 0;
-                true
-            }
-            None => {
-                self.consecutive_failures += 1;
-                false // constant-pose motion model carries on
-            }
-        };
+        let mut tracked =
+            match estimate_pose(&dataset.intrinsics, &self.current_pose, &correspondences) {
+                Some(est) => {
+                    self.profile.feature_matching_s +=
+                        cost::POSE_PER_ITER_MATCH * (est.iterations * correspondences.len()) as f64;
+                    self.current_pose = est.pose;
+                    self.consecutive_failures = 0;
+                    true
+                }
+                None => {
+                    self.consecutive_failures += 1;
+                    false // constant-pose motion model carries on
+                }
+            };
 
         // --- Relocalization (ORB-SLAM's recovery path): after repeated
         // tracking losses, recover the pose prior-free from 3D-3D
@@ -350,7 +357,10 @@ impl Pipeline {
     ) {
         let mut observations: Vec<KeyframeObservation> = matched
             .iter()
-            .map(|(id, obs)| KeyframeObservation { landmark: *id, pixel: obs.pixel })
+            .map(|(id, obs)| KeyframeObservation {
+                landmark: *id,
+                pixel: obs.pixel,
+            })
             .collect();
         // New landmarks from unmatched observations — but only those whose
         // descriptor is far from every existing landmark. A re-observation
@@ -374,7 +384,10 @@ impl Pipeline {
                 .current_pose
                 .camera_to_world(dataset.intrinsics.unproject(obs.pixel, obs.depth));
             let id = self.map.add_landmark(world, obs.descriptor);
-            observations.push(KeyframeObservation { landmark: id, pixel: obs.pixel });
+            observations.push(KeyframeObservation {
+                landmark: id,
+                pixel: obs.pixel,
+            });
         }
         self.map.add_keyframe(Keyframe {
             pose: self.current_pose,
@@ -440,22 +453,30 @@ mod tests {
         let dataset = Sequence::MH01.generate_with_frames(150);
         let result = Pipeline::new(PipelineConfig::default()).run(&dataset);
         let ba = result.profile.ba_fraction();
-        assert!((0.75..1.0).contains(&ba), "BA fraction {ba:.2}: {}", result.profile);
+        assert!(
+            (0.75..1.0).contains(&ba),
+            "BA fraction {ba:.2}: {}",
+            result.profile
+        );
     }
 
     #[test]
     fn difficult_sequences_are_less_accurate() {
-        let easy = Pipeline::new(PipelineConfig::default())
-            .run(&Sequence::V101.generate_with_frames(100));
-        let hard = Pipeline::new(PipelineConfig::default())
-            .run(&Sequence::V103.generate_with_frames(100));
+        let easy =
+            Pipeline::new(PipelineConfig::default()).run(&Sequence::V101.generate_with_frames(100));
+        let hard =
+            Pipeline::new(PipelineConfig::default()).run(&Sequence::V103.generate_with_frames(100));
         assert!(
             hard.ate_meters > easy.ate_meters * 0.8,
             "difficulty had no effect: easy {} vs hard {}",
             easy.ate_meters,
             hard.ate_meters
         );
-        assert!(hard.ate_meters < 3.0, "hard sequence diverged: {}", hard.ate_meters);
+        assert!(
+            hard.ate_meters < 3.0,
+            "hard sequence diverged: {}",
+            hard.ate_meters
+        );
     }
 
     #[test]
@@ -488,7 +509,11 @@ mod tests {
             result.tracked_frames,
             result.frames
         );
-        assert!(result.ate_meters < 1.0, "post-recovery ATE {}", result.ate_meters);
+        assert!(
+            result.ate_meters < 1.0,
+            "post-recovery ATE {}",
+            result.ate_meters
+        );
     }
 
     #[test]
@@ -502,7 +527,11 @@ mod tests {
 
     #[test]
     fn profile_display() {
-        let p = StageProfile { feature_matching_s: 1.0, local_ba_s: 4.5, global_ba_s: 4.5 };
+        let p = StageProfile {
+            feature_matching_s: 1.0,
+            local_ba_s: 4.5,
+            global_ba_s: 4.5,
+        };
         let s = p.to_string();
         assert!(s.contains("10%"), "{s}");
         assert!((p.ba_fraction() - 0.9).abs() < 1e-12);

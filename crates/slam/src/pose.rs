@@ -235,7 +235,10 @@ pub fn absolute_orientation(pairs: &[PointPair]) -> Option<CameraPose> {
         .sum::<f64>()
         / n)
         .sqrt();
-    let spread = pairs.iter().map(|p| (p.world - c_world).norm()).fold(0.0f64, f64::max);
+    let spread = pairs
+        .iter()
+        .map(|p| (p.world - c_world).norm())
+        .fold(0.0f64, f64::max);
     if rms > 0.5 * spread.max(1e-3) {
         return None;
     }
@@ -250,7 +253,13 @@ mod tests {
 
     fn scene(n: usize, rng: &mut Pcg32) -> Vec<Vec3> {
         (0..n)
-            .map(|_| Vec3::new(rng.uniform(-4.0, 4.0), rng.uniform(-3.0, 3.0), rng.uniform(4.0, 12.0)))
+            .map(|_| {
+                Vec3::new(
+                    rng.uniform(-4.0, 4.0),
+                    rng.uniform(-3.0, 3.0),
+                    rng.uniform(4.0, 12.0),
+                )
+            })
             .collect()
     }
 
@@ -281,11 +290,18 @@ mod tests {
         let cam = CameraIntrinsics::euroc();
         let mut rng = Pcg32::seed_from(1);
         let points = scene(40, &mut rng);
-        let truth = CameraPose::new(Vec3::new(0.3, -0.2, 0.5), Quat::from_euler(0.05, -0.03, 0.1));
+        let truth = CameraPose::new(
+            Vec3::new(0.3, -0.2, 0.5),
+            Quat::from_euler(0.05, -0.03, 0.1),
+        );
         let corr = observe(&cam, &truth, &points, 0.0, &mut rng);
         let initial = CameraPose::identity();
         let est = estimate_pose(&cam, &initial, &corr).expect("pose found");
-        assert!(est.pose.distance_to(&truth) < 1e-4, "pos err {}", est.pose.distance_to(&truth));
+        assert!(
+            est.pose.distance_to(&truth) < 1e-4,
+            "pos err {}",
+            est.pose.distance_to(&truth)
+        );
         assert!(est.pose.angle_to(&truth) < 1e-4);
         assert!(est.rms_reprojection < 1e-3);
     }
@@ -295,10 +311,17 @@ mod tests {
         let cam = CameraIntrinsics::euroc();
         let mut rng = Pcg32::seed_from(2);
         let points = scene(60, &mut rng);
-        let truth = CameraPose::new(Vec3::new(-0.4, 0.1, 0.2), Quat::from_euler(0.0, 0.08, -0.05));
+        let truth = CameraPose::new(
+            Vec3::new(-0.4, 0.1, 0.2),
+            Quat::from_euler(0.0, 0.08, -0.05),
+        );
         let corr = observe(&cam, &truth, &points, 1.0, &mut rng);
         let est = estimate_pose(&cam, &CameraPose::identity(), &corr).expect("pose found");
-        assert!(est.pose.distance_to(&truth) < 0.05, "pos err {}", est.pose.distance_to(&truth));
+        assert!(
+            est.pose.distance_to(&truth) < 0.05,
+            "pos err {}",
+            est.pose.distance_to(&truth)
+        );
         assert!(est.rms_reprojection < 3.0);
     }
 
@@ -315,7 +338,11 @@ mod tests {
             c.pixel = Pixel::new(rng.uniform(0.0, 752.0), rng.uniform(0.0, 480.0));
         }
         let est = estimate_pose(&cam, &CameraPose::identity(), &corr).expect("pose found");
-        assert!(est.pose.distance_to(&truth) < 0.08, "pos err {}", est.pose.distance_to(&truth));
+        assert!(
+            est.pose.distance_to(&truth) < 0.08,
+            "pos err {}",
+            est.pose.distance_to(&truth)
+        );
         assert!(est.inliers >= corr.len() - n_out - 8);
     }
 
@@ -323,7 +350,10 @@ mod tests {
     fn too_few_points_is_none() {
         let cam = CameraIntrinsics::euroc();
         let corr = vec![
-            Correspondence { world: Vec3::new(0.0, 0.0, 5.0), pixel: Pixel::new(376.0, 240.0) };
+            Correspondence {
+                world: Vec3::new(0.0, 0.0, 5.0),
+                pixel: Pixel::new(376.0, 240.0)
+            };
             3
         ];
         assert!(estimate_pose(&cam, &CameraPose::identity(), &corr).is_none());
@@ -332,10 +362,7 @@ mod tests {
     #[test]
     fn absolute_orientation_recovers_known_pose() {
         let mut rng = Pcg32::seed_from(9);
-        let truth = CameraPose::new(
-            Vec3::new(2.0, -1.0, 3.0),
-            Quat::from_euler(0.4, -0.3, 1.2),
-        );
+        let truth = CameraPose::new(Vec3::new(2.0, -1.0, 3.0), Quat::from_euler(0.4, -0.3, 1.2));
         let pairs: Vec<PointPair> = (0..30)
             .map(|_| {
                 let world = Vec3::new(
@@ -343,12 +370,23 @@ mod tests {
                     rng.uniform(-5.0, 5.0),
                     rng.uniform(-5.0, 5.0),
                 );
-                PointPair { camera: truth.world_to_camera(world), world }
+                PointPair {
+                    camera: truth.world_to_camera(world),
+                    world,
+                }
             })
             .collect();
         let pose = absolute_orientation(&pairs).expect("aligned");
-        assert!(pose.distance_to(&truth) < 1e-6, "pos err {}", pose.distance_to(&truth));
-        assert!(pose.angle_to(&truth) < 1e-6, "rot err {}", pose.angle_to(&truth));
+        assert!(
+            pose.distance_to(&truth) < 1e-6,
+            "pos err {}",
+            pose.distance_to(&truth)
+        );
+        assert!(
+            pose.angle_to(&truth) < 1e-6,
+            "rot err {}",
+            pose.angle_to(&truth)
+        );
     }
 
     #[test]
@@ -368,18 +406,32 @@ mod tests {
                         rng.normal_with(0.0, 0.05),
                         rng.normal_with(0.0, 0.05),
                     );
-                PointPair { camera: noisy_cam, world }
+                PointPair {
+                    camera: noisy_cam,
+                    world,
+                }
             })
             .collect();
         let pose = absolute_orientation(&pairs).expect("aligned");
-        assert!(pose.distance_to(&truth) < 0.1, "pos err {}", pose.distance_to(&truth));
-        assert!(pose.angle_to(&truth) < 0.05, "rot err {}", pose.angle_to(&truth));
+        assert!(
+            pose.distance_to(&truth) < 0.1,
+            "pos err {}",
+            pose.distance_to(&truth)
+        );
+        assert!(
+            pose.angle_to(&truth) < 0.05,
+            "rot err {}",
+            pose.angle_to(&truth)
+        );
     }
 
     #[test]
     fn absolute_orientation_rejects_tiny_sets() {
         assert!(absolute_orientation(&[]).is_none());
-        let p = PointPair { camera: Vec3::X, world: Vec3::Y };
+        let p = PointPair {
+            camera: Vec3::X,
+            world: Vec3::Y,
+        };
         assert!(absolute_orientation(&[p, p]).is_none());
     }
 

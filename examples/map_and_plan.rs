@@ -63,7 +63,11 @@ fn main() {
     for item in mission.items() {
         println!("  {item}");
     }
-    let waypoints = mission.items().iter().filter(|i| matches!(i, MissionItem::Waypoint { .. })).count();
+    let waypoints = mission
+        .items()
+        .iter()
+        .filter(|i| matches!(i, MissionItem::Waypoint { .. }))
+        .count();
 
     // Phase 3: fly it with the full stack.
     let params = QuadcopterParams::default_450mm();
@@ -82,7 +86,11 @@ fn main() {
         let readings = sensors.sample(quad.state(), accel, dt);
         let throttle = autopilot.update(&readings, quad.battery().remaining_fraction(), dt);
         quad.step(throttle, Vec3::ZERO, dt);
-        assert!(!world.collides(quad.state().position), "collision at {}", quad.state());
+        assert!(
+            !world.collides(quad.state().position),
+            "collision at {}",
+            quad.state()
+        );
         if autopilot.mode() == FlightMode::Disarmed && step as f64 * dt > 5.0 {
             println!(
                 "\nflew {waypoints} waypoints through the gap and landed at {} after {:.0} s — no collisions",

@@ -33,7 +33,10 @@ fn main() {
     let model = PowerModel::paper_defaults();
     let hover = model.average_power(&drone, FlyingLoad::Hover);
     println!("\nhover power: {hover}");
-    println!("hover flight time: {}", model.flight_time(&drone, FlyingLoad::Hover));
+    println!(
+        "hover flight time: {}",
+        model.flight_time(&drone, FlyingLoad::Hover)
+    );
     println!(
         "maneuver flight time: {}",
         model.flight_time(&drone, FlyingLoad::Maneuver)

@@ -43,7 +43,10 @@ fn main() {
 
     // The flight-time verdict (Table 5).
     println!("\nTable 5 — gained flight time vs the RPi baseline:");
-    println!("{:<6}{:>9}{:>12}{:>12}{:>13}{:>13}", "", "speedup", "power ovh", "weight ovh", "small drones", "large drones");
+    println!(
+        "{:<6}{:>9}{:>12}{:>12}{:>13}{:>13}",
+        "", "speedup", "power ovh", "weight ovh", "small drones", "large drones"
+    );
     for row in offload::table5(&profile) {
         println!(
             "{:<6}{:>8.2}x{:>10.2} W{:>10.0} g{:>9.1} min{:>9.1} min",

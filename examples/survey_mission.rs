@@ -50,7 +50,11 @@ fn main() {
         meter.record(t, out.total_power);
 
         if autopilot.mode() != last_mode {
-            println!("t={t:7.1}s  mode -> {}  at {}", autopilot.mode(), quad.state().position);
+            println!(
+                "t={t:7.1}s  mode -> {}  at {}",
+                autopilot.mode(),
+                quad.state().position
+            );
             last_mode = autopilot.mode();
         }
         // Downlink: encode every queued message onto the "radio".
@@ -58,7 +62,10 @@ fn main() {
             wire.extend_from_slice(&msg.encode(i as u8, 1, 1));
         }
         if autopilot.mode() == FlightMode::Disarmed && t > 5.0 {
-            println!("t={t:7.1}s  mission complete, landed at {}", quad.state().position);
+            println!(
+                "t={t:7.1}s  mission complete, landed at {}",
+                quad.state().position
+            );
             break;
         }
     }

@@ -89,7 +89,11 @@ fn full_stack_flies_the_planned_mission_without_collision() {
         .iter()
         .filter(|i| matches!(i, MissionItem::Waypoint { .. }))
         .count();
-    assert!(waypoints >= 2, "route should need turns: {:?}", mission.items());
+    assert!(
+        waypoints >= 2,
+        "route should need turns: {:?}",
+        mission.items()
+    );
 
     // Fly it with the full stack, starting at the mission start point.
     let params = QuadcopterParams::default_450mm();
@@ -117,8 +121,16 @@ fn full_stack_flies_the_planned_mission_without_collision() {
             break;
         }
     }
-    assert!(min_clearance_ok, "the drone hit the wall at {}", quad.state());
-    assert_eq!(autopilot.mode(), FlightMode::Disarmed, "mission did not complete");
+    assert!(
+        min_clearance_ok,
+        "the drone hit the wall at {}",
+        quad.state()
+    );
+    assert_eq!(
+        autopilot.mode(),
+        FlightMode::Disarmed,
+        "mission did not complete"
+    );
     // Landed near the goal.
     let final_pos = quad.state().position;
     assert!(

@@ -14,7 +14,9 @@ fn profiles(frames: usize) -> Vec<drone_slam::StageProfile> {
         .into_iter()
         .map(|seq| {
             let dataset = seq.generate_with_frames(frames);
-            Pipeline::new(PipelineConfig::default()).run(&dataset).profile
+            Pipeline::new(PipelineConfig::default())
+                .run(&dataset)
+                .profile
         })
         .collect()
 }
@@ -40,8 +42,14 @@ fn figure17_gmeans_track_the_paper() {
     }
     let g_tx2 = geometric_mean(&s_tx2).unwrap();
     let g_fpga = geometric_mean(&s_fpga).unwrap();
-    assert!((1.7..2.8).contains(&g_tx2), "TX2 GMean {g_tx2:.2} (paper 2.16)");
-    assert!((20.0..40.0).contains(&g_fpga), "FPGA GMean {g_fpga:.1} (paper 30.7)");
+    assert!(
+        (1.7..2.8).contains(&g_tx2),
+        "TX2 GMean {g_tx2:.2} (paper 2.16)"
+    );
+    assert!(
+        (20.0..40.0).contains(&g_fpga),
+        "FPGA GMean {g_fpga:.1} (paper 30.7)"
+    );
 }
 
 #[test]
@@ -55,7 +63,10 @@ fn table5_conclusions_hold_on_measured_profiles() {
         let delta = get("ASIC").gained_minutes_small - get("FPGA").gained_minutes_small;
         assert!((0.0..1.0).contains(&delta), "ASIC-FPGA delta {delta:.2}");
         // FPGA is the verdict once fabrication cost is considered.
-        assert_eq!(offload::most_cost_effective(&rows).unwrap().platform, "FPGA");
+        assert_eq!(
+            offload::most_cost_effective(&rows).unwrap().platform,
+            "FPGA"
+        );
     }
 }
 
@@ -63,7 +74,11 @@ fn table5_conclusions_hold_on_measured_profiles() {
 fn slam_stays_accurate_enough_to_trust_the_profile() {
     // The profile only means something if the pipeline actually tracks
     // ("while confirming SLAM key metrics", §5).
-    for (seq, max_ate) in [(Sequence::MH01, 0.6), (Sequence::V102, 1.2), (Sequence::V203, 3.0)] {
+    for (seq, max_ate) in [
+        (Sequence::MH01, 0.6),
+        (Sequence::V102, 1.2),
+        (Sequence::V203, 3.0),
+    ] {
         let dataset = seq.generate_with_frames(120);
         let result = Pipeline::new(PipelineConfig::default()).run(&dataset);
         assert!(

@@ -3,7 +3,7 @@
 //! a complete autonomous mission.
 
 use drone_estimation::SensorSuite;
-use drone_firmware::{Autopilot, FlightMode, Mission, Message, StreamParser};
+use drone_firmware::{Autopilot, FlightMode, Message, Mission, StreamParser};
 use drone_math::Vec3;
 use drone_sim::{PowerMeter, Quadcopter, QuadcopterParams, WindModel};
 
@@ -51,13 +51,23 @@ fn survey_mission_completes_in_gusty_wind() {
     let mission = Mission::survey_square(Vec3::new(0.0, 0.0, 12.0), 16.0);
     let wind = WindModel::gusty(Vec3::new(3.0, 1.0, 0.0), 1.0, 13);
     let (quad, autopilot, _, _) = fly(mission, wind, 150.0, 31);
-    assert_eq!(autopilot.mode(), FlightMode::Disarmed, "mission did not complete");
-    assert!(quad.state().position.z < 0.3, "not landed: {}", quad.state());
+    assert_eq!(
+        autopilot.mode(),
+        FlightMode::Disarmed,
+        "mission did not complete"
+    );
+    assert!(
+        quad.state().position.z < 0.3,
+        "not landed: {}",
+        quad.state()
+    );
     // The whole square was visited.
     let telemetry = autopilot.telemetry();
     for (sx, sy) in [(-1.0, -1.0), (1.0, -1.0), (1.0, 1.0), (-1.0, 1.0)] {
         assert!(
-            telemetry.iter().any(|t| t.position.x * sx > 4.0 && t.position.y * sy > 4.0),
+            telemetry
+                .iter()
+                .any(|t| t.position.x * sx > 4.0 && t.position.y * sy > 4.0),
             "quadrant ({sx},{sy}) never visited"
         );
     }
@@ -106,7 +116,10 @@ fn flight_power_matches_the_design_model() {
         drone_components::units::MilliampHours(3000.0),
     )
     .with_compute(drone_components::units::Grams(73.0), params.avionics_power)
-    .with_sensors(drone_components::units::Grams(106.0), drone_components::units::Watts(0.5));
+    .with_sensors(
+        drone_components::units::Grams(106.0),
+        drone_components::units::Watts(0.5),
+    );
     let drone = spec.size().expect("feasible");
     let model_hover = drone_dse::power::PowerModel::paper_defaults()
         .average_power(&drone, drone_dse::power::FlyingLoad::Hover)
@@ -151,5 +164,8 @@ fn estimator_tracks_through_the_whole_mission() {
     }
     // Transient peaks during aggressive corner turns (with blade-flapping
     // moments) reach ~3 m; divergence would be tens of metres.
-    assert!(worst_error < 4.0, "estimator diverged: worst error {worst_error:.2} m");
+    assert!(
+        worst_error < 4.0,
+        "estimator diverged: worst error {worst_error:.2} m"
+    );
 }

@@ -24,7 +24,10 @@ fn paper_rate_band_all_works() {
     // band must achieve the maneuver.
     for rate in [50.0, 100.0, 250.0, 500.0] {
         let rise = roll_rise_time(rate);
-        assert!(rise.is_some(), "{rate} Hz loop failed to reach the roll target");
+        assert!(
+            rise.is_some(),
+            "{rate} Hz loop failed to reach the roll target"
+        );
         let rise = rise.unwrap();
         assert!(
             rise < 1.0,

@@ -24,7 +24,12 @@ fn compute_share_spans_the_papers_2_to_30_percent() {
     let mut max = 0.0f64;
     for sweep in WheelbaseSweep::paper_figure10() {
         for p in &sweep.footprint {
-            for share in [p.basic_hover, p.basic_maneuver, p.advanced_hover, p.advanced_maneuver] {
+            for share in [
+                p.basic_hover,
+                p.basic_maneuver,
+                p.advanced_hover,
+                p.advanced_maneuver,
+            ] {
                 min = min.min(share);
                 max = max.max(share);
             }
@@ -32,7 +37,10 @@ fn compute_share_spans_the_papers_2_to_30_percent() {
     }
     assert!(min < 0.03, "minimum share {min:.3} should fall near 2%");
     assert!(max > 0.10, "maximum share {max:.3} should reach >10%");
-    assert!(max < 0.40, "maximum share {max:.3} should stay in the paper's range");
+    assert!(
+        max < 0.40,
+        "maximum share {max:.3} should stay in the paper's range"
+    );
 }
 
 #[test]
@@ -74,7 +82,10 @@ fn small_drones_can_gain_minutes_from_compute_savings() {
     let gained = model.gained_flight_time(&drone, FlyingLoad::Hover, Watts(4.5));
     let percent = gained.0 / baseline.0;
     assert!(gained.0 > 1.0, "gained only {gained}");
-    assert!((0.05..0.35).contains(&percent), "gain fraction {percent:.2}");
+    assert!(
+        (0.05..0.35).contains(&percent),
+        "gain fraction {percent:.2}"
+    );
 }
 
 #[test]
@@ -108,7 +119,10 @@ fn cell_count_jumps_appear_in_the_sweep() {
         .size()
         .map(|d| d.total_weight.0);
     if let (Ok(w1), Ok(w6)) = (w1, w6) {
-        assert!(w6 > w1 + 200.0, "6S build should jump in weight: {w1:.0} vs {w6:.0}");
+        assert!(
+            w6 > w1 + 200.0,
+            "6S build should jump in weight: {w1:.0} vs {w6:.0}"
+        );
     }
 }
 

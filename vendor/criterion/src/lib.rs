@@ -1,0 +1,166 @@
+//! In-tree minimal stand-in for the `criterion` benchmark harness.
+//!
+//! The build container has no network access, so crates.io criterion is
+//! unavailable. This crate keeps the workspace's `harness = false`
+//! benches compiling and running: each `bench_function` executes its
+//! routine for a short, fixed number of iterations and prints the
+//! per-iteration wall-clock time. There is no statistical analysis,
+//! warm-up modeling, or HTML report — it is a smoke-run harness that
+//! keeps bench code exercised and timed in CI.
+
+use std::hint::black_box as std_black_box;
+use std::time::Instant;
+
+/// Re-export so callers can use `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+const WARMUP_ITERS: u64 = 2;
+const MEASURE_ITERS: u64 = 8;
+
+/// Top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs one benchmark outside a group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one("", &id.into(), &mut f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this harness sizes runs itself.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&self.name, &id.into(), &mut f);
+        self
+    }
+
+    /// Ends the group (a no-op in this harness).
+    pub fn finish(self) {}
+}
+
+fn run_one(group: &str, id: &str, f: &mut impl FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        total_iters: 0,
+        elapsed_ns: 0,
+    };
+    f(&mut bencher);
+    let label = if group.is_empty() {
+        id.to_owned()
+    } else {
+        format!("{group}/{id}")
+    };
+    if bencher.total_iters == 0 {
+        println!("{label:<48} (no iterations)");
+    } else {
+        let per_iter = bencher.elapsed_ns / bencher.total_iters as u128;
+        println!(
+            "{label:<48} {per_iter:>12} ns/iter ({} iters)",
+            bencher.total_iters
+        );
+    }
+}
+
+/// Timing context passed to each benchmark closure.
+pub struct Bencher {
+    total_iters: u64,
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    /// Times a routine over a fixed iteration count.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        for _ in 0..WARMUP_ITERS {
+            std_black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..MEASURE_ITERS {
+            std_black_box(routine());
+        }
+        self.elapsed_ns += start.elapsed().as_nanos();
+        self.total_iters += MEASURE_ITERS;
+    }
+
+    /// Times a routine with a fresh input per iteration.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        for _ in 0..WARMUP_ITERS {
+            std_black_box(routine(setup()));
+        }
+        for _ in 0..MEASURE_ITERS {
+            let input = setup();
+            let start = Instant::now();
+            std_black_box(routine(input));
+            self.elapsed_ns += start.elapsed().as_nanos();
+        }
+        self.total_iters += MEASURE_ITERS;
+    }
+}
+
+/// Batch sizing hint; accepted and ignored by this harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

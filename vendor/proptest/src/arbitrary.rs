@@ -1,0 +1,60 @@
+//! `any::<T>()` strategies for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::{CaseError, Rng};
+use std::marker::PhantomData;
+
+/// Produces uniformly distributed values of `T` (see [`any`]).
+pub struct Any<T>(PhantomData<T>);
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary_value(rng: &mut Rng) -> Self;
+}
+
+/// Strategy producing any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut Rng) -> Result<T, CaseError> {
+        Ok(T::arbitrary_value(rng))
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {
+        $(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut Rng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*
+    };
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut Rng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary_value(rng: &mut Rng) -> f64 {
+        // Finite-only, wide dynamic range.
+        crate::num::sample_normal_f64(rng)
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary_value(rng: &mut Rng) -> f32 {
+        crate::num::sample_normal_f64(rng) as f32
+    }
+}

@@ -1,0 +1,27 @@
+//! Fixed-size array strategies (`prop::array`).
+
+use crate::strategy::{Strategy, UniformArray};
+use std::marker::PhantomData;
+
+macro_rules! uniform_fns {
+    ($($fn_name:ident => $n:literal),* $(,)?) => {
+        $(
+            /// Array of
+            #[doc = stringify!($n)]
+            /// values drawn from one element strategy.
+            pub fn $fn_name<S: Strategy>(element: S) -> UniformArray<S, $n> {
+                UniformArray { element, _marker: PhantomData }
+            }
+        )*
+    };
+}
+
+uniform_fns! {
+    uniform2 => 2,
+    uniform3 => 3,
+    uniform4 => 4,
+    uniform5 => 5,
+    uniform6 => 6,
+    uniform7 => 7,
+    uniform8 => 8,
+}

@@ -1,0 +1,31 @@
+//! Collection strategies (`prop::collection`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::{CaseError, Rng};
+use std::ops::Range;
+
+/// Strategy for vectors with a length drawn from a range.
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// Mirrors `proptest::collection::vec(element, size_range)`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "empty vec size range");
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut Rng) -> Result<Vec<S::Value>, CaseError> {
+        let span = (self.size.end - self.size.start) as u64;
+        let len = self.size.start + rng.below(span) as usize;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.element.generate(rng)?);
+        }
+        Ok(out)
+    }
+}

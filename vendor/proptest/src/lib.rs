@@ -1,0 +1,121 @@
+//! In-tree deterministic mini property-testing harness.
+//!
+//! The build container has no network access, so crates.io proptest is
+//! unavailable. This crate reimplements the subset of the proptest API
+//! that the workspace's test suites use: the [`proptest!`] macro,
+//! `prop_assert*` / `prop_assume!`, `prop_oneof!`, `any::<T>()`, range
+//! strategies, tuple/array/vec/select combinators, and the
+//! `prop::num::f64::NORMAL` strategy. Differences from the real crate:
+//!
+//! * Case generation is **fully deterministic** — the RNG stream is
+//!   seeded from a hash of the test name, so every run (and every CI
+//!   machine) sees identical cases. Persisted regression files are not
+//!   replayed; cover important regressions with explicit unit tests.
+//! * There is **no shrinking**: a failure reports the case index and the
+//!   assertion message.
+//! * Case count defaults to 64 and can be raised with the
+//!   `PROPTEST_CASES` environment variable.
+
+pub mod arbitrary;
+pub mod array;
+pub mod collection;
+pub mod num;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// One-stop imports mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Mirrors the `prop` module alias exported by proptest's prelude.
+    pub mod prop {
+        pub use crate::{array, collection, num, sample};
+    }
+}
+
+/// Defines deterministic property tests.
+///
+/// Supports the `#[test] fn name(pat in strategy, ...) { body }` form.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run(stringify!($name), |__pt_rng| {
+                    $(
+                        let $arg = match $crate::strategy::Strategy::generate(&($strat), __pt_rng) {
+                            Ok(v) => v,
+                            Err(r) => return Err(r),
+                        };
+                    )+
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::test_runner::CaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// Fails the current case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+}
+
+/// Discards the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::test_runner::CaseError::Reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,33 @@
+//! Numeric strategies (`prop::num`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::{CaseError, Rng};
+
+/// Draws a finite, normal (non-subnormal) double with a wide exponent
+/// spread, mimicking `proptest::num::f64::NORMAL`.
+pub(crate) fn sample_normal_f64(rng: &mut Rng) -> f64 {
+    let sign = if rng.next_u64() & 1 == 1 { -1.0 } else { 1.0 };
+    let mantissa = 1.0 + rng.unit_f64(); // [1, 2)
+    let exp = rng.below(601) as i32 - 300; // [-300, 300]
+    sign * mantissa * 2f64.powi(exp)
+}
+
+/// `f64` strategies.
+pub mod f64 {
+    use super::*;
+
+    /// Strategy for finite, normal (non-zero, non-subnormal) doubles.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Normal;
+
+    /// Mirrors `proptest::num::f64::NORMAL`.
+    pub const NORMAL: Normal = Normal;
+
+    impl Strategy for Normal {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut Rng) -> Result<f64, CaseError> {
+            Ok(sample_normal_f64(rng))
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Sampling strategies (`prop::sample`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::{CaseError, Rng};
+
+/// Strategy that picks uniformly from a fixed list.
+pub struct Select<T: Clone> {
+    choices: Vec<T>,
+}
+
+/// Mirrors `proptest::sample::select(choices)`.
+pub fn select<T: Clone>(choices: Vec<T>) -> Select<T> {
+    assert!(!choices.is_empty(), "select() needs at least one choice");
+    Select { choices }
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut Rng) -> Result<T, CaseError> {
+        Ok(self.choices[rng.below(self.choices.len() as u64) as usize].clone())
+    }
+}

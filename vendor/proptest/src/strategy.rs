@@ -1,0 +1,286 @@
+//! The [`Strategy`] trait and its combinators.
+
+use crate::test_runner::{CaseError, Rng};
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// A recipe for generating values of some type.
+///
+/// Unlike real proptest there is no value tree / shrinking: a strategy
+/// just draws a value from the deterministic RNG, or rejects the case
+/// (e.g. a filter miss).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut Rng) -> Result<Self::Value, CaseError>;
+
+    /// Maps generated values through a function.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Rejects values failing the predicate.
+    fn prop_filter<F>(self, reason: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason,
+            f,
+        }
+    }
+
+    /// Type-erases the strategy (needed by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut Rng) -> Result<T, CaseError> {
+        Ok(self.0.clone())
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut Rng) -> Result<U, CaseError> {
+        self.inner.generate(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut Rng) -> Result<S::Value, CaseError> {
+        // Retry locally a few times before rejecting the whole case; this
+        // keeps sparse filters from starving the runner.
+        for _ in 0..8 {
+            let v = self.inner.generate(rng)?;
+            if (self.f)(&v) {
+                return Ok(v);
+            }
+        }
+        Err(CaseError::Reject(self.reason))
+    }
+}
+
+/// Type-erased, cheaply clonable strategy.
+#[derive(Clone)]
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut Rng) -> Result<T, CaseError> {
+        self.0.generate(rng)
+    }
+}
+
+/// Uniform choice between type-erased strategies (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; panics on an empty arm list.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut Rng) -> Result<T, CaseError> {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut Rng) -> Result<$t, CaseError> {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = ((self.end as i128) - (self.start as i128)) as u128;
+                    let off = rng.below_u128(span) as i128;
+                    Ok(((self.start as i128) + off) as $t)
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut Rng) -> Result<$t, CaseError> {
+                    assert!(self.start() <= self.end(), "empty range strategy");
+                    let span = ((*self.end() as i128) - (*self.start() as i128) + 1) as u128;
+                    let off = rng.below_u128(span) as i128;
+                    Ok(((*self.start() as i128) + off) as $t)
+                }
+            }
+        )*
+    };
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut Rng) -> Result<f64, CaseError> {
+        assert!(self.start < self.end, "empty range strategy");
+        Ok(self.start + (self.end - self.start) * rng.unit_f64())
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut Rng) -> Result<f32, CaseError> {
+        assert!(self.start < self.end, "empty range strategy");
+        Ok(self.start + (self.end - self.start) * rng.unit_f64() as f32)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {
+        $(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut Rng) -> Result<Self::Value, CaseError> {
+                    let ($($name,)+) = self;
+                    Ok(($($name.generate(rng)?,)+))
+                }
+            }
+        )*
+    };
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
+}
+
+/// Minimal string strategy: supports patterns of the shape
+/// `[<class>]{<min>,<max>}` where the class lists literal characters and
+/// `a-z` style ranges (e.g. `"[ -~]{0,50}"` for printable ASCII).
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut Rng) -> Result<String, CaseError> {
+        let (chars, min, max) = parse_class_pattern(self)
+            .unwrap_or_else(|| panic!("unsupported string pattern in proptest stub: {self:?}"));
+        let len = min + rng.below((max - min + 1) as u64) as usize;
+        let mut out = String::with_capacity(len);
+        for _ in 0..len {
+            out.push(chars[rng.below(chars.len() as u64) as usize]);
+        }
+        Ok(out)
+    }
+}
+
+fn parse_class_pattern(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let class: Vec<char> = rest[..close].chars().collect();
+    let mut chars = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (lo, hi) = (class[i] as u32, class[i + 2] as u32);
+            for c in lo..=hi {
+                chars.push(char::from_u32(c)?);
+            }
+            i += 3;
+        } else {
+            chars.push(class[i]);
+            i += 1;
+        }
+    }
+    let counts = rest[close + 1..].strip_prefix('{')?.strip_suffix('}')?;
+    let (min, max) = match counts.split_once(',') {
+        Some((a, b)) => (a.parse().ok()?, b.parse().ok()?),
+        None => {
+            let n = counts.parse().ok()?;
+            (n, n)
+        }
+    };
+    if chars.is_empty() || max < min {
+        return None;
+    }
+    Some((chars, min, max))
+}
+
+/// Strategy for fixed-size arrays drawn element-wise from one strategy.
+pub struct UniformArray<S, const N: usize> {
+    pub(crate) element: S,
+    pub(crate) _marker: PhantomData<[(); N]>,
+}
+
+impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N>
+where
+    S::Value: Default + Copy,
+{
+    type Value = [S::Value; N];
+
+    fn generate(&self, rng: &mut Rng) -> Result<[S::Value; N], CaseError> {
+        let mut out = [S::Value::default(); N];
+        for slot in &mut out {
+            *slot = self.element.generate(rng)?;
+        }
+        Ok(out)
+    }
+}

@@ -1,0 +1,124 @@
+//! The deterministic case runner and its RNG.
+
+/// Why a generated case did not produce a verdict.
+#[derive(Debug)]
+pub enum CaseError {
+    /// The case was discarded (`prop_assume!` / filter miss); retried.
+    Reject(&'static str),
+    /// The property failed; the runner panics with this message.
+    Fail(String),
+}
+
+/// Deterministic splitmix64/xorshift RNG local to this harness.
+///
+/// Self-contained so the harness has no dependency on workspace crates
+/// (which use it as a dev-dependency).
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> Rng {
+        Rng {
+            state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// Next 64 uniform bits (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; panics on `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        // Modulo bias is negligible for the span sizes tests use.
+        self.next_u64() % n
+    }
+
+    /// Uniform value in `[0, n)` for wide spans.
+    pub fn below_u128(&mut self, n: u128) -> u128 {
+        assert!(n > 0, "below_u128(0)");
+        let wide = ((self.next_u64() as u128) << 64) | self.next_u64() as u128;
+        wide % n
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// FNV-1a hash of the test name; the per-test seed root.
+fn fnv1a(name: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn case_count() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Runs one property: draws cases until `PROPTEST_CASES` (default 64)
+/// cases pass, panicking on the first failure. Rejections are retried,
+/// bounded at 16× the case budget.
+pub fn run(name: &str, property: impl Fn(&mut Rng) -> Result<(), CaseError>) {
+    let cases = case_count();
+    let root = fnv1a(name);
+    let mut passed = 0u64;
+    let mut rejected = 0u64;
+    let mut case = 0u64;
+    while passed < cases {
+        let mut rng = Rng::new(root ^ case.wrapping_mul(0xA076_1D64_78BD_642F));
+        match property(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(CaseError::Reject(reason)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= cases * 16,
+                    "proptest stub: too many rejected cases in {name} (last: {reason})"
+                );
+            }
+            Err(CaseError::Fail(msg)) => {
+                panic!("property {name} failed on deterministic case {case}: {msg}")
+            }
+        }
+        case += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(1);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn unit_f64_in_range() {
+        let mut r = Rng::new(7);
+        for _ in 0..1000 {
+            let v = r.unit_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! In-tree stand-in for the `serde` facade.
+//!
+//! The container this workspace builds in has no network access and no
+//! registry cache, so crates.io serde cannot be resolved. The workspace
+//! uses serde exclusively as a *marker* — `#[derive(Serialize,
+//! Deserialize)]` on plain data types, never an actual serializer — so
+//! this crate provides the two trait names with blanket impls plus no-op
+//! derive macros. Swapping back to real serde is a one-line change in
+//! the workspace manifest.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,35 +1,84 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro list            # show available experiments
-//! repro fig7            # one experiment
+//! repro list                  # show available experiments
+//! repro fig7                  # one experiment
 //! repro fig10_power fig17
-//! repro all             # everything, in paper order
+//! repro all                   # everything, in paper order
+//! repro faults --json out/    # also write out/BENCH_faults.json
 //! ```
+//!
+//! With `--json <dir>`, each selected experiment additionally writes its
+//! machine-readable metrics to `<dir>/BENCH_<name>.json` — seeded runs
+//! with insertion-ordered keys, so the artifacts are byte-stable.
 
 use drone_bench::all_experiments;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let experiments = all_experiments();
-    if args.is_empty() || args[0] == "list" || args[0] == "--help" {
-        println!("usage: repro <experiment>... | all | list\n\navailable experiments:");
-        for (name, _) in &experiments {
-            println!("  {name}");
+
+    // Split off `--json <dir>` wherever it appears.
+    let mut names: Vec<&str> = Vec::new();
+    let mut json_dir: Option<PathBuf> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--json" {
+            match iter.next() {
+                Some(dir) => json_dir = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--json needs a directory argument");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            names.push(arg.as_str());
+        }
+    }
+
+    if names.is_empty() || names[0] == "list" || names[0] == "--help" {
+        println!(
+            "usage: repro <experiment>... | all | list [--json <dir>]\n\navailable experiments:"
+        );
+        let width = experiments.iter().map(|e| e.name.len()).max().unwrap_or(0);
+        for e in &experiments {
+            println!("  {:<width$}  {}", e.name, e.description);
         }
         return ExitCode::SUCCESS;
     }
-    let selected: Vec<&str> = if args.iter().any(|a| a == "all") {
-        experiments.iter().map(|(n, _)| *n).collect()
+    let selected: Vec<&str> = if names.contains(&"all") {
+        experiments.iter().map(|e| e.name).collect()
     } else {
-        args.iter().map(String::as_str).collect()
+        names
     };
+
+    if let Some(dir) = &json_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
     for name in selected {
-        match experiments.iter().find(|(n, _)| *n == name) {
-            Some((_, run)) => {
+        match experiments.iter().find(|e| e.name == name) {
+            Some(experiment) => {
                 println!("{:=^78}", format!(" {name} "));
-                println!("{}", run());
+                let report = (experiment.run)();
+                println!("{}", report.text);
+                if let Some(dir) = &json_dir {
+                    let path = dir.join(format!("BENCH_{name}.json"));
+                    let doc = drone_telemetry::Json::obj()
+                        .with("experiment", name)
+                        .with("description", experiment.description)
+                        .with("metrics", report.metrics);
+                    if let Err(e) = std::fs::write(&path, doc.render_pretty()) {
+                        eprintln!("cannot write {}: {e}", path.display());
+                        return ExitCode::FAILURE;
+                    }
+                    println!("wrote {}", path.display());
+                }
             }
             None => {
                 eprintln!("unknown experiment '{name}' (try `repro list`)");

@@ -1,6 +1,7 @@
 //! Figures 15 and 16: the micro-architecture interference study and the
 //! power traces.
 
+use crate::experiments::Report;
 use crate::table::{f, pct, Table};
 use drone_components::units::Watts;
 use drone_estimation::SensorSuite;
@@ -9,10 +10,11 @@ use drone_math::Vec3;
 use drone_platform::uarch::system::figure15_experiment;
 use drone_platform::{BoardPowerModel, ComputePhase};
 use drone_sim::{PowerMeter, Quadcopter, QuadcopterParams, WindModel};
+use drone_telemetry::Json;
 
 /// Figure 15: `perf`-style counters for the autopilot and SLAM, alone
 /// and co-scheduled on one core.
-pub fn figure15() -> String {
+pub fn figure15() -> Report {
     let (ap_alone, slam_alone, ap_shared, slam_shared) = figure15_experiment(2_000_000, 42);
     let mut t = Table::new(vec![
         "workload",
@@ -44,18 +46,24 @@ pub fn figure15() -> String {
     let system_mpki =
         (ap_shared.tlb_misses + slam_shared.tlb_misses) as f64 * 1000.0 / shared_instr as f64;
     let tlb_system = system_mpki / ap_alone.tlb_mpki().max(1e-9);
-    format!(
-        "Figure 15 — autopilot/SLAM perf counters (trace-driven core)\n{}\n\
-         autopilot IPC drop with SLAM co-located: {ipc_drop:.2}x (paper: 1.7x)\n\
-         system TLB miss rate with SLAM vs autopilot alone: {tlb_system:.1}x (paper: 4.5x as many misses)\n",
-        t.render()
+    Report::new(
+        format!(
+            "Figure 15 — autopilot/SLAM perf counters (trace-driven core)\n{}\n\
+             autopilot IPC drop with SLAM co-located: {ipc_drop:.2}x (paper: 1.7x)\n\
+             system TLB miss rate with SLAM vs autopilot alone: {tlb_system:.1}x (paper: 4.5x as many misses)\n",
+            t.render()
+        ),
+        Json::obj()
+            .with("table", t.to_json())
+            .with("ipc_drop", ipc_drop)
+            .with("tlb_system_ratio", tlb_system),
     )
 }
 
 /// Figure 16: power traces — (a) the companion computer through its
 /// phases, (b) the whole drone through a flight, driven by the actual
 /// simulation + firmware stack.
-pub fn figure16() -> String {
+pub fn figure16() -> Report {
     // --- (a) RPi power phases (BoardPowerModel). ---
     let rpi = BoardPowerModel::rpi_figure16();
     let segments = [
@@ -130,13 +138,19 @@ pub fn figure16() -> String {
         b.row(vec![phase, f(avg.0, 0)]);
     }
     let peak = meter.peak().unwrap_or(Watts(0.0));
-    format!(
-        "Figure 16a — companion computer power by phase\n{}\n\
-         Figure 16b — whole-drone power during a hover mission\n{}\n\
-         peak {} (paper: ~130 W average, 250 W peaks on the 450 mm build)\n",
-        a.render(),
-        b.render(),
-        peak
+    Report::new(
+        format!(
+            "Figure 16a — companion computer power by phase\n{}\n\
+             Figure 16b — whole-drone power during a hover mission\n{}\n\
+             peak {} (paper: ~130 W average, 250 W peaks on the 450 mm build)\n",
+            a.render(),
+            b.render(),
+            peak
+        ),
+        Json::obj()
+            .with("rpi_phases", a.to_json())
+            .with("flight_phases", b.to_json())
+            .with("peak_w", peak.0),
     )
 }
 
@@ -147,15 +161,17 @@ mod tests {
     #[test]
     fn figure15_report_shows_degradation() {
         let r = figure15();
-        assert!(r.contains("IPC drop"), "{r}");
-        assert!(r.contains("autopilot (w/ co-run)"), "{r}");
+        assert!(r.text.contains("IPC drop"), "{}", r.text);
+        assert!(r.text.contains("autopilot (w/ co-run)"), "{}", r.text);
+        assert!(r.metrics.get("ipc_drop").unwrap().as_f64().unwrap() > 1.0);
     }
 
     #[test]
     fn figure16_report_has_both_panels() {
         let r = figure16();
-        assert!(r.contains("Figure 16a"));
-        assert!(r.contains("Figure 16b"));
-        assert!(r.contains("hover"));
+        assert!(r.text.contains("Figure 16a"));
+        assert!(r.text.contains("Figure 16b"));
+        assert!(r.text.contains("hover"));
+        assert!(r.metrics.get("peak_w").unwrap().as_f64().unwrap() > 0.0);
     }
 }

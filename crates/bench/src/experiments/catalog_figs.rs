@@ -1,6 +1,7 @@
 //! Figures 7, 8a, 8b and 9: the component-catalog regressions and the
 //! motor-sizing landscape.
 
+use crate::experiments::Report;
 use crate::table::{f, Table};
 use drone_components::battery::CellCount;
 use drone_components::catalog::Catalog;
@@ -10,13 +11,14 @@ use drone_components::motor::Motor;
 use drone_components::paper;
 use drone_components::propeller::Propeller;
 use drone_components::units::{Grams, Millimeters};
+use drone_telemetry::Json;
 
 const CATALOG_SEED: u64 = 42;
 
 /// Figure 7: battery capacity→weight fits per cell configuration,
 /// re-derived from the synthetic 250-battery catalog and compared to the
 /// published coefficients.
-pub fn figure7() -> String {
+pub fn figure7() -> Report {
     let catalog = Catalog::synthesize_default(CATALOG_SEED);
     let mut t = Table::new(vec![
         "config",
@@ -42,15 +44,18 @@ pub fn figure7() -> String {
             fit.n.to_string(),
         ]);
     }
-    format!(
-        "Figure 7 — LiPo capacity vs weight per configuration (250 synthetic batteries)\n{}",
-        t.render()
+    Report::from_table(
+        format!(
+            "Figure 7 — LiPo capacity vs weight per configuration (250 synthetic batteries)\n{}",
+            t.render()
+        ),
+        &t,
     )
 }
 
 /// Figure 8a: ESC max continuous current → weight of four ESCs, by
 /// thermal class.
-pub fn figure8a() -> String {
+pub fn figure8a() -> Report {
     let catalog = Catalog::synthesize_default(CATALOG_SEED);
     let mut t = Table::new(vec![
         "class",
@@ -76,19 +81,22 @@ pub fn figure8a() -> String {
             fit.n.to_string(),
         ]);
     }
-    format!(
-        "Figure 8a — ESC current vs weight of 4x ESCs (40 synthetic ESCs)\n{}",
-        t.render()
+    Report::from_table(
+        format!(
+            "Figure 8a — ESC current vs weight of 4x ESCs (40 synthetic ESCs)\n{}",
+            t.render()
+        ),
+        &t,
     )
 }
 
 /// Figure 8b: frame wheelbase → weight fit above 200 mm.
-pub fn figure8b() -> String {
+pub fn figure8b() -> Report {
     let catalog = Catalog::synthesize_default(CATALOG_SEED);
     let mut out = String::from("Figure 8b — frame wheelbase vs weight (25 synthetic frames)\n");
+    let mut t = Table::new(vec!["", "slope", "intercept", "R^2"]);
     if let Some(fit) = catalog.frame_fit() {
         let reference = paper::frame_weight_fit();
-        let mut t = Table::new(vec!["", "slope", "intercept", "R^2"]);
         t.row(vec![
             "fitted".into(),
             f(fit.slope, 4),
@@ -104,13 +112,14 @@ pub fn figure8b() -> String {
         out.push_str(&t.render());
     }
     out.push_str("small frames (<200 mm): 50-200 g scatter band, no linear trend (paper note)\n");
-    out
+    Report::from_table(out, &t)
 }
 
 /// Figure 9: minimum per-motor max current draw vs basic weight, grouped
 /// by wheelbase (propeller) and supply voltage, at TWR 2 — with the Kv
 /// ratings the designs demand.
-pub fn figure9() -> String {
+pub fn figure9() -> Report {
+    let mut metrics = Json::obj();
     let mut out =
         String::from("Figure 9 — per-motor max current vs basic weight @ TWR 2 (Kv in brackets)\n");
     let configs = [
@@ -161,12 +170,13 @@ pub fn figure9() -> String {
             t.row(row);
         }
         out.push_str(&t.render());
+        metrics.insert(&format!("wheelbase_{wheelbase:.0}mm"), t.to_json());
     }
     out.push_str(
         "\ntrends: current grows with weight; more cells -> less current & lower Kv;\n\
          larger props -> lower Kv, heavier motors (paper Figure 9 discussion)\n",
     );
-    out
+    Report::new(out, metrics)
 }
 
 #[cfg(test)]
@@ -177,22 +187,23 @@ mod tests {
     fn figure7_report_contains_all_configs() {
         let r = figure7();
         for c in ["1S", "2S", "3S", "4S", "5S", "6S"] {
-            assert!(r.contains(c), "missing {c}:\n{r}");
+            assert!(r.text.contains(c), "missing {c}:\n{}", r.text);
         }
     }
 
     #[test]
     fn figure8_reports_render() {
-        assert!(figure8a().contains("long-flight"));
-        assert!(figure8b().contains("1.2767"));
+        assert!(figure8a().text.contains("long-flight"));
+        assert!(figure8b().text.contains("1.2767"));
     }
 
     #[test]
     fn figure9_report_covers_wheelbases() {
         let r = figure9();
         for wb in ["100 mm", "200 mm", "450 mm", "800 mm"] {
-            assert!(r.contains(wb), "missing {wb}");
+            assert!(r.text.contains(wb), "missing {wb}");
         }
-        assert!(r.contains("Kv"));
+        assert!(r.text.contains("Kv"));
+        assert!(r.metrics.get("wheelbase_450mm").is_some());
     }
 }

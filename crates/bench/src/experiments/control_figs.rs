@@ -1,6 +1,7 @@
 //! Table 2, the inner-loop saturation study (§2.1.3-D) and the §5.1
 //! deadline-miss experiment.
 
+use crate::experiments::Report;
 use crate::table::{f, Table};
 use drone_control::{CascadeController, ControlRates, Setpoint};
 use drone_estimation::sensors::rates;
@@ -9,10 +10,11 @@ use drone_firmware::scheduler::{autopilot_task_set, slam_task};
 use drone_firmware::RateScheduler;
 use drone_math::{Quat, Vec3};
 use drone_sim::{Quadcopter, QuadcopterParams, RigidBodyState};
+use drone_telemetry::Json;
 
 /// Table 2: sensor data frequencies (measured from the sensor suite) and
 /// controller update frequencies (measured from the cascade counters).
-pub fn table2() -> String {
+pub fn table2() -> Report {
     // (a) Sensor rates measured over 5 simulated seconds.
     let mut suite = SensorSuite::with_defaults(2);
     let truth = RigidBodyState::at_rest();
@@ -69,10 +71,15 @@ pub fn table2() -> String {
         f(c.position as f64 / seconds, 0),
         "40".into(),
     ]);
-    format!(
-        "Table 2a — sensor data frequencies\n{}\nTable 2b — controller update frequencies\n{}",
-        a.render(),
-        b.render()
+    Report::new(
+        format!(
+            "Table 2a — sensor data frequencies\n{}\nTable 2b — controller update frequencies\n{}",
+            a.render(),
+            b.render()
+        ),
+        Json::obj()
+            .with("sensor_rates", a.to_json())
+            .with("controller_rates", b.to_json()),
     )
 }
 
@@ -150,7 +157,7 @@ pub fn roll_overshoot(rate_hz: f64) -> f64 {
 /// §2.1.3-D: inner-loop response vs update rate — beyond a few hundred
 /// hertz the response time saturates at the airframe's physical limit,
 /// so extra compute buys nothing.
-pub fn inner_loop() -> String {
+pub fn inner_loop() -> Report {
     let mut t = Table::new(vec!["inner-loop rate (Hz)", "90% roll rise time (ms)"]);
     let mut results = Vec::new();
     for rate in [50.0, 100.0, 250.0, 500.0, 1000.0, 2000.0, 4000.0] {
@@ -176,9 +183,12 @@ pub fn inner_loop() -> String {
         ),
         _ => "saturation could not be evaluated".to_owned(),
     };
-    format!(
-        "S2.1.3 — inner-loop rate saturation (motor time constant 50 ms dominates)\n{}\n{msg}\n",
-        t.render()
+    Report::from_table(
+        format!(
+            "S2.1.3 — inner-loop rate saturation (motor time constant 50 ms dominates)\n{}\n{msg}\n",
+            t.render()
+        ),
+        &t,
     )
 }
 
@@ -216,7 +226,7 @@ fn gust_attitude_rms(gust: f64, seconds: f64, use_indi: bool) -> f64 {
 
 /// Ablation: the paper-cited INDI rate loop vs the PID rate loop under
 /// increasing gust intensity (both inside the same attitude cascade).
-pub fn gust_rejection() -> String {
+pub fn gust_rejection() -> Report {
     let mut t = Table::new(vec![
         "gust sigma (m/s)",
         "PID RMS (mrad)",
@@ -227,19 +237,22 @@ pub fn gust_rejection() -> String {
         let indi = gust_attitude_rms(gust, 6.0, true);
         t.row(vec![f(gust, 1), f(pid * 1e3, 1), f(indi * 1e3, 1)]);
     }
-    format!(
-        "Ablation — gust rejection: PID vs INDI rate loop (4 m/s mean wind + gusts)
+    Report::from_table(
+        format!(
+            "Ablation — gust rejection: PID vs INDI rate loop (4 m/s mean wind + gusts)
 {}
          the paper cites INDI [22] as the gust-rejection state of the art at 500 Hz;
          both loops hold attitude — confirming the rate, not the algorithm, is the binding constraint
 ",
-        t.render()
+            t.render()
+        ),
+        &t,
     )
 }
 
 /// §5.1: co-locating SLAM with the autopilot makes outer-loop deadlines
 /// slip while the (isolated, highest-priority) inner loop holds.
-pub fn deadlines() -> String {
+pub fn deadlines() -> Report {
     let mut alone = RateScheduler::new(autopilot_task_set());
     let report_alone = alone.simulate(30.0, 1.0);
 
@@ -263,13 +276,19 @@ pub fn deadlines() -> String {
             b.unwrap_or_else(|| "-".into()),
         ]);
     }
-    format!(
-        "S5.1 — deadline misses over 30 s, autopilot alone vs SLAM co-located (CPU derated 1.7x)\n{}\n\
-         cpu utilization: alone {:.0}%, shared {:.0}%\n\
-         paper: 'running a few additional workloads ... we will miss several outer-loop deadlines'\n",
-        t.render(),
-        report_alone.cpu_utilization * 100.0,
-        report_shared.cpu_utilization * 100.0
+    Report::new(
+        format!(
+            "S5.1 — deadline misses over 30 s, autopilot alone vs SLAM co-located (CPU derated 1.7x)\n{}\n\
+             cpu utilization: alone {:.0}%, shared {:.0}%\n\
+             paper: 'running a few additional workloads ... we will miss several outer-loop deadlines'\n",
+            t.render(),
+            report_alone.cpu_utilization * 100.0,
+            report_shared.cpu_utilization * 100.0
+        ),
+        Json::obj()
+            .with("table", t.to_json())
+            .with("alone", report_alone.to_json())
+            .with("shared", report_shared.to_json()),
     )
 }
 
@@ -280,20 +299,23 @@ mod tests {
     #[test]
     fn table2_rates_match() {
         let r = table2();
-        assert!(r.contains("accelerometer"));
-        assert!(r.contains("1000"));
+        assert!(r.text.contains("accelerometer"));
+        assert!(r.text.contains("1000"));
     }
 
     #[test]
     fn inner_loop_shows_saturation() {
         let r = inner_loop();
-        assert!(r.contains("physics-limited"), "{r}");
+        assert!(r.text.contains("physics-limited"), "{}", r.text);
     }
 
     #[test]
     fn deadlines_show_misses_with_slam() {
         let r = deadlines();
-        assert!(r.contains("inner-loop"));
-        assert!(r.contains("slam"));
+        assert!(r.text.contains("inner-loop"));
+        assert!(r.text.contains("slam"));
+        // The scheduler reports embed per-task response-time histograms.
+        let shared = r.metrics.get("shared").unwrap();
+        assert!(shared.get("tasks").unwrap().as_arr().unwrap().len() >= 5);
     }
 }

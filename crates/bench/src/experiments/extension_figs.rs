@@ -4,6 +4,7 @@
 //! the §3.1 LiDAR-payload study, and the fixed-point ablation behind the
 //! FPGA bundle-adjustment rationale.
 
+use crate::experiments::Report;
 use crate::table::{f, pct, Table};
 use drone_components::battery::CellCount;
 use drone_components::compute::ExternalSensor;
@@ -15,7 +16,7 @@ use drone_math::{Matrix, Pcg32};
 
 /// §7: the compute-power contribution shrinks as the target TWR grows —
 /// TWR 2 is the paper's deliberate upper bound on the contribution.
-pub fn twr_sweep() -> String {
+pub fn twr_sweep() -> Report {
     let model = PowerModel::paper_defaults();
     let mut t = Table::new(vec![
         "TWR",
@@ -41,17 +42,20 @@ pub fn twr_sweep() -> String {
             f(model.flight_time(&drone, FlyingLoad::Hover).0, 1),
         ]);
     }
-    format!(
-        "S7 extension — TWR sensitivity (450 mm, 4 Ah 3S, 20 W chip)\n{}\n\
-         paper: higher TWR values give 'a lower contribution of computation power consumption'\n",
-        t.render()
+    Report::from_table(
+        format!(
+            "S7 extension — TWR sensitivity (450 mm, 4 Ah 3S, 20 W chip)\n{}\n\
+             paper: higher TWR values give 'a lower contribution of computation power consumption'\n",
+            t.render()
+        ),
+        &t,
     )
 }
 
 /// §3.1: strapping a Table 4 LiDAR (self-powered, ~1-2 kg) onto a large
 /// drone shrinks the main computer's share of total power — the payload
 /// forces bigger motors whose draw dwarfs the chip.
-pub fn lidar_payload() -> String {
+pub fn lidar_payload() -> Report {
     let model = PowerModel::paper_defaults();
     let mut t = Table::new(vec![
         "payload",
@@ -90,17 +94,20 @@ pub fn lidar_payload() -> String {
             ]),
         }
     }
-    format!(
-        "S3.1 extension — LiDAR payloads on an 800 mm drone\n{}\n\
-         paper: sensor weight 'reduces the contribution boundary of main computation power in large drones'\n",
-        t.render()
+    Report::from_table(
+        format!(
+            "S3.1 extension — LiDAR payloads on an 800 mm drone\n{}\n\
+             paper: sensor weight 'reduces the contribution boundary of main computation power in large drones'\n",
+            t.render()
+        ),
+        &t,
     )
 }
 
 /// Fixed-point ablation: solve BA-style SPD normal equations in Q16.16
 /// (the FPGA datapath) vs f64, reporting the accuracy cost of the
 /// hardware-friendly format.
-pub fn fixed_point() -> String {
+pub fn fixed_point() -> Report {
     let mut rng = Pcg32::seed_from(20);
     let mut t = Table::new(vec![
         "system size",
@@ -151,11 +158,14 @@ pub fn fixed_point() -> String {
             ]),
         }
     }
-    format!(
-        "Ablation — fixed-point (Q16.16) vs f64 Cholesky on BA-style normal equations\n{}\n\
-         the FPGA's fixed-point datapath costs ~1e-3 relative accuracy — irrelevant next to\n\
-         pixel noise, which is why the paper's 'dense fixed-size matrix algebra' pipeline works\n",
-        t.render()
+    Report::from_table(
+        format!(
+            "Ablation — fixed-point (Q16.16) vs f64 Cholesky on BA-style normal equations\n{}\n\
+             the FPGA's fixed-point datapath costs ~1e-3 relative accuracy — irrelevant next to\n\
+             pixel noise, which is why the paper's 'dense fixed-size matrix algebra' pipeline works\n",
+            t.render()
+        ),
+        &t,
     )
 }
 
@@ -166,22 +176,22 @@ mod tests {
     #[test]
     fn twr_sweep_shows_decreasing_share() {
         let r = twr_sweep();
-        assert!(r.contains("TWR"), "{r}");
-        assert!(r.contains("lower contribution"));
+        assert!(r.text.contains("TWR"), "{}", r.text);
+        assert!(r.text.contains("lower contribution"));
     }
 
     #[test]
     fn lidar_payload_report_lists_table4_lidars() {
         let r = lidar_payload();
         for name in ["HoverMap", "YellowScan Surveyor", "Ultra Puck"] {
-            assert!(r.contains(name), "missing {name}:\n{r}");
+            assert!(r.text.contains(name), "missing {name}:\n{}", r.text);
         }
     }
 
     #[test]
     fn fixed_point_report_renders() {
         let r = fixed_point();
-        assert!(r.contains("Q16.16"));
-        assert!(r.contains("4x4"));
+        assert!(r.text.contains("Q16.16"));
+        assert!(r.text.contains("4x4"));
     }
 }

@@ -20,15 +20,25 @@
 //!
 //! [`Pcg32`]: drone_math::Pcg32
 
+use crate::experiments::Report;
 use crate::table::{f, Table};
 use drone_estimation::{SensorChannel, SensorFault, SensorFaultKind, SensorSuite};
-use drone_firmware::{Autopilot, FlightMode, Message, Mission};
+use drone_firmware::scheduler::{autopilot_task_set, slam_task};
+use drone_firmware::{Autopilot, FlightMode, Message, Mission, RateScheduler};
 use drone_math::Vec3;
 use drone_sim::{FaultEvent, FaultKind, FaultSchedule, Quadcopter, QuadcopterParams, WindModel};
+use drone_telemetry::{Clock, DumpReason, FlightRecorder, Json, Registry};
 use std::fmt;
 
 /// The campaign's base RNG seed (sensors, wind).
 pub const CAMPAIGN_SEED: u64 = 2021;
+
+/// Black-box decimation: one sample every 10th 1 kHz sim tick (100 Hz).
+const RECORD_EVERY: usize = 10;
+
+/// Black-box ring capacity: 300 samples × 10 ms = the last 3 s of
+/// flight leading up to (and including) the trigger.
+const RECORDER_CAPACITY: usize = 300;
 
 /// How one fault-injected flight ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -153,22 +163,74 @@ pub fn scenarios() -> Vec<Scenario> {
     ]
 }
 
+/// One scenario flight plus its forensic evidence: the black-box dump
+/// captured at the first failsafe/crash (if any fired) and the registry
+/// snapshot of the whole instrumented stack.
+#[derive(Debug, Clone)]
+pub struct RecordedFlight {
+    /// The flight classification (what [`fly_scenario`] returns).
+    pub report: FlightReport,
+    /// [`FlightRecorder::dump_json`] taken at the first failsafe or
+    /// crash trigger — the retained window ends at the trigger tick.
+    /// `None` when the flight stayed nominal.
+    pub black_box: Option<Json>,
+    /// Registry snapshot: sim step/fault counters, EKF phase timings and
+    /// NIS histogram, cascade level timings, failsafe counter.
+    pub metrics: Json,
+}
+
 /// Flies one scenario closed-loop (truth sim + sensors + full autopilot
 /// with failsafes armed) and classifies the ending. Deterministic per
 /// `(params, scenario, seed)`.
+///
+/// Telemetry is observability, not physics: this is
+/// [`fly_scenario_recorded`] with the evidence discarded, and produces
+/// bit-identical flights.
 pub fn fly_scenario(params: &QuadcopterParams, scenario: &Scenario, seed: u64) -> FlightReport {
+    fly_scenario_recorded(params, scenario, seed).report
+}
+
+/// [`fly_scenario`] with the full telemetry stack attached: a sim-clock
+/// registry over every layer and a 13-channel black-box recorder
+/// (attitude, altitude, motor commands, battery V/I/SoC, EKF NIS,
+/// failsafe flag) sampled at 100 Hz, dumped at the first failsafe or
+/// crash.
+pub fn fly_scenario_recorded(
+    params: &QuadcopterParams,
+    scenario: &Scenario,
+    seed: u64,
+) -> RecordedFlight {
+    let registry = Registry::new(Clock::sim());
     let mut quad = Quadcopter::new(params.clone());
     quad.inject_faults(FaultSchedule::scripted(scenario.faults.clone()));
+    quad.attach_telemetry(&registry);
     let mut sensors = SensorSuite::with_defaults(seed);
     for fault in &scenario.sensor_faults {
         sensors.inject_fault(*fault);
     }
     let mut ap = Autopilot::new(params);
+    ap.attach_telemetry(&registry);
     ap.align(quad.state());
     ap.upload_mission(Mission::hover_test(8.0, 10.0))
         .expect("hover mission is valid");
     ap.arm().expect("arming with a mission succeeds");
     let mut wind = WindModel::gusty(Vec3::new(1.0, 0.5, 0.0), 0.5, seed ^ 0x57ED);
+
+    // Black box: all channels registered up front, so the per-tick
+    // sampling path below never allocates.
+    let mut recorder = FlightRecorder::new(RECORDER_CAPACITY);
+    let ch_roll = recorder.channel("attitude.roll_rad");
+    let ch_pitch = recorder.channel("attitude.pitch_rad");
+    let ch_yaw = recorder.channel("attitude.yaw_rad");
+    let ch_alt = recorder.channel("position.z_m");
+    let ch_m: Vec<_> = (1..=4)
+        .map(|i| recorder.channel(&format!("motor.m{i}")))
+        .collect();
+    let ch_batt_v = recorder.channel("battery.volts");
+    let ch_batt_i = recorder.channel("battery.amps");
+    let ch_batt_soc = recorder.channel("battery.soc");
+    let ch_nis = recorder.channel("ekf.nis");
+    let ch_failsafe = recorder.channel("failsafe.active");
 
     let dt = 1e-3;
     let horizon = 60.0;
@@ -177,6 +239,7 @@ pub fn fly_scenario(params: &QuadcopterParams, scenario: &Scenario, seed: u64) -
     let mut max_tilt = 0.0f64;
     let mut crashed = false;
     let mut end_time = horizon;
+    let mut black_box = None;
     for step in 0..(horizon / dt) as usize {
         let t = step as f64 * dt;
         let gcs_alive = scenario.gcs_silence_after.is_none_or(|s| t < s);
@@ -192,15 +255,53 @@ pub fn fly_scenario(params: &QuadcopterParams, scenario: &Scenario, seed: u64) -
         prev_vel = quad.state().velocity;
         let readings = sensors.sample(quad.state(), accel, dt);
         let throttle = ap.update(&readings, quad.battery().remaining_fraction(), dt);
-        quad.step(throttle, wind.sample(dt), dt);
+        let out = quad.step(throttle, wind.sample(dt), dt);
 
         let s = quad.state();
-        let (roll, pitch, _) = s.euler();
+        let (roll, pitch, yaw) = s.euler();
         let tilt = roll.abs().max(pitch.abs());
         max_tilt = max_tilt.max(tilt);
         let lost_attitude = s.position.z > 0.3 && tilt > 1.2;
         let hard_impact = s.position.z < 0.05 && s.velocity.z < -2.0;
         let flyaway = s.position.norm() > 200.0;
+        let failsafe_now = ap.mode() == FlightMode::Failsafe;
+        let trigger =
+            black_box.is_none() && (lost_attitude || hard_impact || flyaway || failsafe_now);
+
+        // Sample on the decimated cadence, plus the trigger tick itself
+        // so the dump always ends on the state that tripped it.
+        if step % RECORD_EVERY == 0 || trigger {
+            let volts = quad.battery().voltage().0;
+            recorder.begin_tick(t);
+            recorder.set(ch_roll, roll);
+            recorder.set(ch_pitch, pitch);
+            recorder.set(ch_yaw, yaw);
+            recorder.set(ch_alt, s.position.z);
+            for (ch, cmd) in ch_m.iter().zip(throttle) {
+                recorder.set(*ch, cmd);
+            }
+            recorder.set(ch_batt_v, volts);
+            recorder.set(ch_batt_i, out.total_power.0 / volts.max(1e-6));
+            recorder.set(ch_batt_soc, quad.battery().remaining_fraction());
+            recorder.set(ch_nis, ap.estimator().last_nis());
+            recorder.set(ch_failsafe, f64::from(u8::from(failsafe_now)));
+            recorder.commit_tick();
+        }
+        if trigger {
+            let reason = if lost_attitude || hard_impact || flyaway {
+                let what = if flyaway {
+                    "fly-away"
+                } else if hard_impact {
+                    "hard ground impact"
+                } else {
+                    "attitude lost"
+                };
+                DumpReason::Crash(format!("{what} at t={t:.2} s"))
+            } else {
+                DumpReason::Failsafe(format!("failsafe engaged at t={t:.2} s"))
+            };
+            black_box = Some(recorder.dump_json(&reason));
+        }
         if lost_attitude || hard_impact || flyaway {
             crashed = true;
             end_time = t;
@@ -233,12 +334,16 @@ pub fn fly_scenario(params: &QuadcopterParams, scenario: &Scenario, seed: u64) -
     } else {
         Outcome::Survived
     };
-    FlightReport {
-        outcome,
-        flight_time: end_time,
-        failsafe_reason,
-        max_tilt_deg: max_tilt.to_degrees(),
-        drain_ratio: quad.battery().consumed().0 / quad.battery().effective_usable_energy().0,
+    RecordedFlight {
+        report: FlightReport {
+            outcome,
+            flight_time: end_time,
+            failsafe_reason,
+            max_tilt_deg: max_tilt.to_degrees(),
+            drain_ratio: quad.battery().consumed().0 / quad.battery().effective_usable_energy().0,
+        },
+        black_box,
+        metrics: registry.snapshot(),
     }
 }
 
@@ -252,8 +357,12 @@ pub fn design_points() -> Vec<(&'static str, QuadcopterParams)> {
 }
 
 /// Robustness campaign: fault scenarios × design points, deterministic
-/// outcome table (same seed → same table, bit for bit).
-pub fn faults() -> String {
+/// outcome table (same seed → same table, bit for bit). The JSON
+/// metrics additionally carry one representative black-box dump per
+/// design point (the first scenario whose flight tripped the recorder),
+/// the registry snapshot of that flight, and the per-task response-time
+/// histograms of the autopilot+SLAM scheduler co-simulation.
+pub fn faults() -> Report {
     let mut t = Table::new(vec![
         "design point",
         "scenario",
@@ -267,10 +376,23 @@ pub fn faults() -> String {
     let mut survived = 0usize;
     let mut safe = 0usize;
     let mut crashed = 0usize;
+    let mut black_boxes = Json::obj();
     for (name, params) in design_points() {
         let mut nominal_time = None;
+        let mut representative: Option<Json> = None;
         for scenario in scenarios() {
-            let report = fly_scenario(&params, &scenario, CAMPAIGN_SEED);
+            let flight = fly_scenario_recorded(&params, &scenario, CAMPAIGN_SEED);
+            let report = flight.report;
+            if representative.is_none() {
+                if let Some(dump) = flight.black_box {
+                    representative = Some(
+                        Json::obj()
+                            .with("scenario", scenario.name)
+                            .with("registry", flight.metrics)
+                            .with("dump", dump),
+                    );
+                }
+            }
             if scenario.name == "nominal" {
                 nominal_time = Some(report.flight_time);
             }
@@ -292,16 +414,45 @@ pub fn faults() -> String {
                 report.failsafe_reason.unwrap_or_else(|| "-".into()),
             ]);
         }
+        if let Some(bb) = representative {
+            black_boxes.insert(name, bb);
+        }
     }
-    format!(
-        "Fault-injection campaign — scripted faults x design points, all failsafes armed\n\
-         (seed {CAMPAIGN_SEED}: sensors, wind and fault draws all run on deterministic PCG streams)\n\
-         {}\n\
-         totals: {survived} survived, {safe} safe landings, {crashed} crashes\n\
-         link loss and battery exhaustion must end in a safe landing — the 85% drain limit\n\
-         (S2.1.1) and the heartbeat watchdog bound every flight; losing a whole rotor does not:\n\
-         a quadrotor has no control authority margin for it (the paper's hexacopter aside).\n",
-        t.render()
+
+    // The firmware task set co-simulated with SLAM (the §5.1 derating):
+    // where the per-task response-time histograms come from.
+    let mut tasks = autopilot_task_set();
+    tasks.push(slam_task());
+    let mut sched = RateScheduler::new(tasks);
+    let sched_report = sched.simulate(30.0, 1.0 / 1.7);
+
+    Report::new(
+        format!(
+            "Fault-injection campaign — scripted faults x design points, all failsafes armed\n\
+             (seed {CAMPAIGN_SEED}: sensors, wind and fault draws all run on deterministic PCG streams)\n\
+             {}\n\
+             totals: {survived} survived, {safe} safe landings, {crashed} crashes\n\
+             link loss and battery exhaustion must end in a safe landing — the 85% drain limit\n\
+             (S2.1.1) and the heartbeat watchdog bound every flight; losing a whole rotor does not:\n\
+             a quadrotor has no control authority margin for it (the paper's hexacopter aside).\n\
+             \n\
+             black-box dumps (one per design point, JSON artifact only) retain the last\n\
+             {RECORDER_CAPACITY} samples at 100 Hz — attitude, altitude, motor commands,\n\
+             battery V/I/SoC, EKF NIS and the failsafe flag — ending at the trigger tick.\n",
+            t.render()
+        ),
+        Json::obj()
+            .with("seed", CAMPAIGN_SEED)
+            .with("table", t.to_json())
+            .with(
+                "totals",
+                Json::obj()
+                    .with("survived", survived)
+                    .with("safe_landings", safe)
+                    .with("crashes", crashed),
+            )
+            .with("scheduler_with_slam", sched_report.to_json())
+            .with("black_boxes", black_boxes),
     )
 }
 
@@ -346,5 +497,69 @@ mod tests {
         let names: Vec<_> = scenarios().iter().map(|s| s.name).collect();
         assert!(names.contains(&"link-loss"));
         assert!(names.contains(&"battery-limit"));
+    }
+
+    #[test]
+    fn failsafe_flight_produces_a_black_box_dump() {
+        let params = QuadcopterParams::default_450mm();
+        let scenario = scenarios()
+            .into_iter()
+            .find(|s| s.name == "battery-limit")
+            .unwrap();
+        let flight = fly_scenario_recorded(&params, &scenario, CAMPAIGN_SEED);
+        assert_eq!(flight.report.outcome, Outcome::SafeLanding);
+        let dump = flight.black_box.expect("failsafe must trip the recorder");
+        assert_eq!(dump.get("reason").unwrap().as_str(), Some("failsafe"));
+        let channels: Vec<&str> = dump
+            .get("channels")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|c| c.as_str().unwrap())
+            .collect();
+        for ch in ["ekf.nis", "battery.volts", "battery.soc", "failsafe.active"] {
+            assert!(channels.contains(&ch), "missing channel {ch}");
+        }
+        let ticks = dump.get("ticks").unwrap().as_arr().unwrap();
+        assert!(ticks.len() > 10, "only {} ticks retained", ticks.len());
+        // The final retained tick is the trigger: failsafe flag set.
+        let fs_idx = channels
+            .iter()
+            .position(|c| *c == "failsafe.active")
+            .unwrap();
+        let last = ticks.last().unwrap().get("v").unwrap().as_arr().unwrap();
+        assert_eq!(last[fs_idx].as_f64(), Some(1.0));
+        // Ticks leading up to the trigger are retained too (pre-trigger
+        // history, not just the trigger sample).
+        let first = ticks.first().unwrap().get("v").unwrap().as_arr().unwrap();
+        assert_eq!(first[fs_idx].as_f64(), Some(0.0));
+    }
+
+    #[test]
+    fn nominal_flight_keeps_recording_without_a_dump() {
+        let params = QuadcopterParams::default_450mm();
+        let flight = fly_scenario_recorded(&params, &scenarios()[0], 7);
+        assert!(flight.black_box.is_none());
+        // The registry still saw the whole flight.
+        let steps = flight
+            .metrics
+            .get("counters")
+            .and_then(|c| c.get("sim.steps"))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0);
+        assert!(steps > 1000.0, "sim.steps = {steps}");
+    }
+
+    #[test]
+    fn recorded_and_plain_flights_agree() {
+        let params = QuadcopterParams::default_450mm();
+        let scenario = scenarios()
+            .into_iter()
+            .find(|s| s.name == "cell-sag")
+            .unwrap();
+        let plain = fly_scenario(&params, &scenario, CAMPAIGN_SEED);
+        let recorded = fly_scenario_recorded(&params, &scenario, CAMPAIGN_SEED);
+        assert_eq!(plain, recorded.report);
     }
 }

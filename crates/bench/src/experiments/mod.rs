@@ -18,32 +18,161 @@ pub use fault_figs::faults;
 pub use slam_figs::{figure17, profile_sequence, table5};
 pub use space_figs::{claims, figure10_footprint, figure10_power, figure11, figure14};
 
-/// An experiment entry: `(name, runner)`.
-pub type Experiment = (&'static str, fn() -> String);
+use crate::table::Table;
+use drone_telemetry::Json;
+
+/// The result of one experiment run: the human-readable report the
+/// `repro` binary prints, plus the same numbers as a JSON document for
+/// the `BENCH_<name>.json` artifacts (`repro --json <dir>`).
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// The plain-text report (tables, commentary).
+    pub text: String,
+    /// Machine-readable metrics; an insertion-ordered [`Json`] object,
+    /// so rendering is byte-stable run to run.
+    pub metrics: Json,
+}
+
+impl Report {
+    /// A report whose metrics are a single table.
+    pub fn from_table(text: String, table: &Table) -> Report {
+        Report {
+            text,
+            metrics: Json::obj().with("table", table.to_json()),
+        }
+    }
+
+    /// A report with explicit metrics.
+    pub fn new(text: String, metrics: Json) -> Report {
+        Report { text, metrics }
+    }
+}
+
+/// An experiment entry: name, one-line description, runner.
+#[derive(Debug, Clone, Copy)]
+pub struct Experiment {
+    /// CLI name (`repro <name>`), also the `BENCH_<name>.json` stem.
+    pub name: &'static str,
+    /// One-line description for `repro list`.
+    pub description: &'static str,
+    /// Runs the experiment.
+    pub run: fn() -> Report,
+}
 
 /// Every experiment in paper order.
 pub fn all_experiments() -> Vec<Experiment> {
+    fn e(name: &'static str, description: &'static str, run: fn() -> Report) -> Experiment {
+        Experiment {
+            name,
+            description,
+            run,
+        }
+    }
     vec![
-        ("fig7", figure7 as fn() -> String),
-        ("fig8a", figure8a),
-        ("fig8b", figure8b),
-        ("fig9", figure9),
-        ("fig10_power", figure10_power),
-        ("fig10_footprint", figure10_footprint),
-        ("fig11", figure11),
-        ("fig14", figure14),
-        ("fig15", figure15),
-        ("fig16", figure16),
-        ("fig17", figure17),
-        ("table2", table2),
-        ("table5", table5),
-        ("claims", claims),
-        ("inner_loop", inner_loop),
-        ("deadlines", deadlines),
-        ("gust_rejection", gust_rejection),
-        ("twr_sweep", twr_sweep),
-        ("lidar", lidar_payload),
-        ("fixed_point", fixed_point),
-        ("faults", faults),
+        e(
+            "fig7",
+            "LiPo capacity-to-weight fits per cell configuration",
+            figure7,
+        ),
+        e(
+            "fig8a",
+            "ESC current-to-weight fits by thermal class",
+            figure8a,
+        ),
+        e(
+            "fig8b",
+            "frame wheelbase-to-weight fit above 200 mm",
+            figure8b,
+        ),
+        e(
+            "fig9",
+            "per-motor max current vs basic weight at TWR 2",
+            figure9,
+        ),
+        e(
+            "fig10_power",
+            "total hover power vs weight per wheelbase sweep",
+            figure10_power,
+        ),
+        e(
+            "fig10_footprint",
+            "computation share of total power (3 W / 20 W chips)",
+            figure10_footprint,
+        ),
+        e(
+            "fig11",
+            "commercial small drones: heavy-compute power share",
+            figure11,
+        ),
+        e(
+            "fig14",
+            "the paper drone's weight breakdown, re-derived",
+            figure14,
+        ),
+        e(
+            "fig15",
+            "autopilot/SLAM perf-counter interference study",
+            figure15,
+        ),
+        e(
+            "fig16",
+            "companion-computer and whole-drone power traces",
+            figure16,
+        ),
+        e(
+            "fig17",
+            "SLAM speedup over RPi per EuRoC sequence (TX2/FPGA)",
+            figure17,
+        ),
+        e(
+            "table2",
+            "sensor data rates and controller update frequencies",
+            table2,
+        ),
+        e(
+            "table5",
+            "platform cost comparison for SLAM offload",
+            table5,
+        ),
+        e(
+            "claims",
+            "the paper's S3.2 headline claims, measured",
+            claims,
+        ),
+        e(
+            "inner_loop",
+            "inner-loop rate saturation (rise time vs Hz)",
+            inner_loop,
+        ),
+        e(
+            "deadlines",
+            "deadline misses with SLAM co-located (S5.1)",
+            deadlines,
+        ),
+        e(
+            "gust_rejection",
+            "PID vs INDI rate-loop gust rejection ablation",
+            gust_rejection,
+        ),
+        e(
+            "twr_sweep",
+            "TWR sensitivity of the compute power share (S7)",
+            twr_sweep,
+        ),
+        e(
+            "lidar",
+            "LiDAR payloads shrink the compute share (S3.1)",
+            lidar_payload,
+        ),
+        e(
+            "fixed_point",
+            "Q16.16 vs f64 Cholesky on BA normal equations",
+            fixed_point,
+        ),
+        e(
+            "faults",
+            "fault campaign with black-box flight recorder and task histograms",
+            faults,
+        ),
     ]
 }

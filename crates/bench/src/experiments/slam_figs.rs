@@ -1,11 +1,13 @@
 //! Figure 17 and Table 5: the SLAM offload landscape.
 
+use crate::experiments::Report;
 use crate::table::{f, Table};
 use drone_dse::offload;
 use drone_math::stats::geometric_mean;
 use drone_platform::model::Platform;
 use drone_slam::euroc::Sequence;
 use drone_slam::{Pipeline, PipelineConfig, StageProfile};
+use drone_telemetry::Json;
 
 /// Frames per sequence for the figure runs (full EuRoC sequences are
 /// thousands of frames; 150 keeps the repro run under a minute while
@@ -22,7 +24,7 @@ pub fn profile_sequence(seq: Sequence, frames: usize) -> StageProfile {
 
 /// Figure 17: per-sequence speedup of TX2 and FPGA over the RPi, by
 /// stage composition, with the GMean the paper reports (2.16× / 30.7×).
-pub fn figure17() -> String {
+pub fn figure17() -> Report {
     let tx2 = Platform::jetson_tx2();
     let fpga = Platform::zynq_fpga();
     let mut t = Table::new(vec![
@@ -51,16 +53,22 @@ pub fn figure17() -> String {
     }
     let g_tx2 = geometric_mean(&tx2_speedups).unwrap_or(f64::NAN);
     let g_fpga = geometric_mean(&fpga_speedups).unwrap_or(f64::NAN);
-    format!(
-        "Figure 17 — ORB-SLAM speedup over RPi per EuRoC sequence\n{}\n\
-         GMean: TX2 {g_tx2:.2}x (paper 2.16x), FPGA {g_fpga:.1}x (paper 30.7x)\n",
-        t.render()
+    Report::new(
+        format!(
+            "Figure 17 — ORB-SLAM speedup over RPi per EuRoC sequence\n{}\n\
+             GMean: TX2 {g_tx2:.2}x (paper 2.16x), FPGA {g_fpga:.1}x (paper 30.7x)\n",
+            t.render()
+        ),
+        Json::obj()
+            .with("table", t.to_json())
+            .with("gmean_tx2", g_tx2)
+            .with("gmean_fpga", g_fpga),
     )
 }
 
 /// Table 5: platform comparison for SLAM, computed from a measured
 /// pipeline profile.
-pub fn table5() -> String {
+pub fn table5() -> Report {
     let profile = profile_sequence(Sequence::MH01, FRAMES);
     let rows = offload::table5(&profile);
     let mut t = Table::new(vec![
@@ -91,13 +99,18 @@ pub fn table5() -> String {
         ]);
     }
     let winner = offload::most_cost_effective(&rows).map(|r| r.platform.clone());
-    format!(
-        "Table 5 — platform cost comparison for SLAM (15 min baseline)\n{}\n\
-         measured profile: {profile}\n\
-         most cost-effective (excluding fabrication): {}\n\
-         paper: FPGA wins — TX2 loses flight time, ASIC gains only seconds over FPGA\n",
-        t.render(),
-        winner.as_deref().unwrap_or("n/a"),
+    Report::new(
+        format!(
+            "Table 5 — platform cost comparison for SLAM (15 min baseline)\n{}\n\
+             measured profile: {profile}\n\
+             most cost-effective (excluding fabrication): {}\n\
+             paper: FPGA wins — TX2 loses flight time, ASIC gains only seconds over FPGA\n",
+            t.render(),
+            winner.as_deref().unwrap_or("n/a"),
+        ),
+        Json::obj()
+            .with("table", t.to_json())
+            .with("winner", winner.as_deref().unwrap_or("n/a")),
     )
 }
 
@@ -108,19 +121,20 @@ mod tests {
     #[test]
     fn figure17_gmeans_near_paper() {
         let r = figure17();
-        assert!(r.contains("GMean"), "{r}");
+        assert!(r.text.contains("GMean"), "{}", r.text);
         // All 11 sequences present.
         for seq in Sequence::ALL {
-            assert!(r.contains(seq.name()), "missing {seq}");
+            assert!(r.text.contains(seq.name()), "missing {seq}");
         }
+        assert!(r.metrics.get("gmean_fpga").unwrap().as_f64().unwrap() > 1.0);
     }
 
     #[test]
     fn table5_report_has_all_platforms() {
         let r = table5();
         for p in ["RPi", "TX2", "FPGA", "ASIC"] {
-            assert!(r.contains(p), "missing {p}");
+            assert!(r.text.contains(p), "missing {p}");
         }
-        assert!(r.contains("FPGA wins"));
+        assert!(r.text.contains("FPGA wins"));
     }
 }

@@ -1,17 +1,20 @@
 //! Figures 10, 11 and 14 plus the §3.2 headline claims: the design-space
 //! sweeps, commercial validation and the paper drone's weight breakdown.
 
+use crate::experiments::Report;
 use crate::table::{f, pct, Table};
 use drone_components::battery::CellCount;
 use drone_components::paper;
 use drone_dse::commercial::{figure11_points, validate_against_sweep};
 use drone_dse::reference_drone::{figure14_shares, model_papers_drone, paper_drone_total};
 use drone_dse::sweep::WheelbaseSweep;
+use drone_telemetry::Json;
 
 /// Figure 10a–c: total power vs take-off weight per wheelbase and cell
 /// configuration, with the best-configuration flight time and the
 /// commercial validation points.
-pub fn figure10_power() -> String {
+pub fn figure10_power() -> Report {
+    let mut metrics = Json::obj();
     let mut out = String::from("Figure 10a-c — total hover power vs weight (1S/3S/6S)\n");
     for sweep in WheelbaseSweep::paper_figure10() {
         out.push_str(&format!("\n{} mm wheelbase:\n", sweep.wheelbase_mm));
@@ -32,6 +35,7 @@ pub fn figure10_power() -> String {
             ]);
         }
         out.push_str(&t.render());
+        metrics.insert(&format!("wheelbase_{}mm", sweep.wheelbase_mm), t.to_json());
         if let Some(best) = sweep.best_configuration() {
             let expect = paper::best_flight_time_minutes(sweep.wheelbase_mm)
                 .map(|m| format!(" (paper best: {m:.0} min)"))
@@ -57,12 +61,13 @@ pub fn figure10_power() -> String {
             }
         }
     }
-    out
+    Report::new(out, metrics)
 }
 
 /// Figure 10d–f: computation power share for 3 W and 20 W chips at hover
 /// and maneuver, per wheelbase.
-pub fn figure10_footprint() -> String {
+pub fn figure10_footprint() -> Report {
+    let mut metrics = Json::obj();
     let mut out = String::from("Figure 10d-f — computation share of total power\n");
     for sweep in WheelbaseSweep::paper_figure10() {
         out.push_str(&format!("\n{} mm wheelbase:\n", sweep.wheelbase_mm));
@@ -83,14 +88,15 @@ pub fn figure10_footprint() -> String {
             ]);
         }
         out.push_str(&t.render());
+        metrics.insert(&format!("wheelbase_{}mm", sweep.wheelbase_mm), t.to_json());
     }
     out.push_str("\npaper claims: 3W chip <5%; 20W drops to ~10% when maneuvering\n");
-    out
+    Report::new(out, metrics)
 }
 
 /// Figure 11: nano/micro commercial drones — hover and maneuver power,
 /// heavy-computation share, flight time.
-pub fn figure11() -> String {
+pub fn figure11() -> Report {
     let mut t = Table::new(vec![
         "drone",
         "hover (W)",
@@ -107,31 +113,39 @@ pub fn figure11() -> String {
             f(p.flight_time_min, 0),
         ]);
     }
-    format!(
-        "Figure 11 — commercial small drones: heavy computation contribution\n{}\npaper: hover compute 2-7%, heavy computation reaches 10-20%\n",
-        t.render()
+    Report::from_table(
+        format!(
+            "Figure 11 — commercial small drones: heavy computation contribution\n{}\npaper: hover compute 2-7%, heavy computation reaches 10-20%\n",
+            t.render()
+        ),
+        &t,
     )
 }
 
 /// Figure 14: the paper drone's weight breakdown, plus the general
 /// model's re-derivation of the same build.
-pub fn figure14() -> String {
+pub fn figure14() -> Report {
     let mut t = Table::new(vec!["component", "grams", "share"]);
     for s in figure14_shares() {
         t.row(vec![s.component.clone(), f(s.grams, 0), pct(s.share)]);
     }
     let modeled = model_papers_drone();
-    format!(
-        "Figure 14 — our drone weight breakdown (total {})\n{}\nmodel re-derivation: {} (real {})\n",
-        paper_drone_total(),
-        t.render(),
-        modeled.total_weight,
-        paper_drone_total()
+    Report::new(
+        format!(
+            "Figure 14 — our drone weight breakdown (total {})\n{}\nmodel re-derivation: {} (real {})\n",
+            paper_drone_total(),
+            t.render(),
+            modeled.total_weight,
+            paper_drone_total()
+        ),
+        Json::obj()
+            .with("table", t.to_json())
+            .with("modeled_total_g", modeled.total_weight.0),
     )
 }
 
 /// §3.2 headline claims, measured over the full sweep.
-pub fn claims() -> String {
+pub fn claims() -> Report {
     let sweeps = WheelbaseSweep::paper_figure10();
     let mut shares = Vec::new();
     for sweep in &sweeps {
@@ -165,14 +179,20 @@ pub fn claims() -> String {
         .map(|m| m.0)
         .unwrap_or(f64::NAN);
 
-    format!(
-        "S3.2 claims, measured:\n\
-         - computation share across the sweep: {} .. {} (paper: 2-30%)\n\
-         - 3W chip stays under 5% hovering: see fig10_footprint\n\
-         - small-drone gained flight time by removing ~4.5 W of heavy compute: {:.1} min (paper: up to +5 min)\n",
-        pct(min),
-        pct(max),
-        gained_small
+    Report::new(
+        format!(
+            "S3.2 claims, measured:\n\
+             - computation share across the sweep: {} .. {} (paper: 2-30%)\n\
+             - 3W chip stays under 5% hovering: see fig10_footprint\n\
+             - small-drone gained flight time by removing ~4.5 W of heavy compute: {:.1} min (paper: up to +5 min)\n",
+            pct(min),
+            pct(max),
+            gained_small
+        ),
+        Json::obj()
+            .with("share_min", min)
+            .with("share_max", max)
+            .with("gained_minutes_small", gained_small),
     )
 }
 
@@ -184,11 +204,12 @@ mod tests {
     fn figure10_reports_cover_wheelbases() {
         let power = figure10_power();
         for wb in ["100 mm", "450 mm", "800 mm"] {
-            assert!(power.contains(wb), "missing {wb}");
+            assert!(power.text.contains(wb), "missing {wb}");
         }
-        assert!(power.contains("best configuration"));
+        assert!(power.text.contains("best configuration"));
+        assert!(power.metrics.get("wheelbase_450mm").is_some());
         let fp = figure10_footprint();
-        assert!(fp.contains("20W hover"));
+        assert!(fp.text.contains("20W hover"));
     }
 
     #[test]
@@ -202,20 +223,20 @@ mod tests {
             "Bebop 2",
             "Skydio 2",
         ] {
-            assert!(r.contains(name), "missing {name}");
+            assert!(r.text.contains(name), "missing {name}");
         }
     }
 
     #[test]
     fn figure14_totals_render() {
         let r = figure14();
-        assert!(r.contains("Frame"));
-        assert!(r.contains("PPM Encoder"));
+        assert!(r.text.contains("Frame"));
+        assert!(r.text.contains("PPM Encoder"));
     }
 
     #[test]
     fn claims_report_renders() {
         let r = claims();
-        assert!(r.contains("computation share"));
+        assert!(r.text.contains("computation share"));
     }
 }

@@ -1,5 +1,7 @@
 //! Minimal fixed-width table rendering for the experiment reports.
 
+use drone_telemetry::Json;
+
 /// A simple text table builder.
 ///
 /// # Example
@@ -41,6 +43,51 @@ impl Table {
     /// Whether the table has no data rows.
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()
+    }
+
+    /// The table as a JSON object: one entry per row keyed by header.
+    /// Cells that parse as numbers are emitted as numbers so downstream
+    /// tooling can plot them without re-parsing the text report.
+    ///
+    /// ```
+    /// use drone_bench::table::Table;
+    /// let mut t = Table::new(vec!["config", "slope"]);
+    /// t.row(vec!["3S".into(), "0.074".into()]);
+    /// let json = t.to_json();
+    /// let row = &json.get("rows").unwrap().as_arr().unwrap()[0];
+    /// assert_eq!(row.get("slope").unwrap().as_f64(), Some(0.074));
+    /// assert_eq!(row.get("config").unwrap().as_str(), Some("3S"));
+    /// ```
+    pub fn to_json(&self) -> Json {
+        let mut rows = Json::arr();
+        for row in &self.rows {
+            let mut obj = Json::obj();
+            for (header, cell) in self.headers.iter().zip(row) {
+                // `f64::from_str` accepts "inf"/"nan" spellings that the
+                // reports use as text; only promote plain finite numbers.
+                match cell.parse::<f64>() {
+                    Ok(n)
+                        if n.is_finite()
+                            && cell.starts_with(|c: char| c.is_ascii_digit() || c == '-') =>
+                    {
+                        obj.insert(header, n);
+                    }
+                    _ => obj.insert(header, cell.as_str()),
+                }
+            }
+            rows.push(obj);
+        }
+        Json::obj()
+            .with(
+                "headers",
+                Json::Arr(
+                    self.headers
+                        .iter()
+                        .map(|h| Json::from(h.as_str()))
+                        .collect(),
+                ),
+            )
+            .with("rows", rows)
     }
 
     /// Renders with aligned columns.

@@ -18,7 +18,9 @@ use drone_math::{Quat, Vec3};
 use drone_sim::params::QuadcopterParams;
 use drone_sim::rotor::ROTOR_COUNT;
 use drone_sim::RigidBodyState;
+use drone_telemetry::{Clock, Registry, SharedHistogram};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Update frequencies of the three cascade levels, Hz.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -120,6 +122,31 @@ pub struct CascadeController {
     time_since_position: f64,
     time_since_attitude: f64,
     updates: CascadeUpdateCounts,
+    telemetry: TelemetrySink,
+}
+
+/// Per-level timing histograms the cascade records into once attached
+/// via [`CascadeController::attach_telemetry`]. Under a wall-clock
+/// registry these measure real compute per level; under a sim clock
+/// they stay zero (control levels are instantaneous in sim time) but
+/// their counts still mirror [`CascadeUpdateCounts`].
+#[derive(Debug, Clone)]
+struct CascadeTelemetry {
+    clock: Clock,
+    position: Arc<SharedHistogram>,
+    attitude: Arc<SharedHistogram>,
+    rate: Arc<SharedHistogram>,
+}
+
+/// Optional telemetry attachment; always compares equal so attaching a
+/// registry never makes two otherwise-identical controllers differ.
+#[derive(Debug, Clone, Default)]
+struct TelemetrySink(Option<CascadeTelemetry>);
+
+impl PartialEq for TelemetrySink {
+    fn eq(&self, _: &TelemetrySink) -> bool {
+        true
+    }
 }
 
 /// Diagnostic counters: how often each level actually ran.
@@ -155,7 +182,21 @@ impl CascadeController {
             time_since_position: f64::INFINITY,
             time_since_attitude: f64::INFINITY,
             updates: CascadeUpdateCounts::default(),
+            telemetry: TelemetrySink(None),
         }
+    }
+
+    /// Attaches per-level timing telemetry: every subsequent
+    /// [`CascadeController::update`] records how long each cascade level
+    /// spent executing into `control.position.seconds`,
+    /// `control.attitude.seconds` and `control.rate.seconds`.
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.telemetry.0 = Some(CascadeTelemetry {
+            clock: registry.clock().clone(),
+            position: registry.histogram("control.position.seconds"),
+            attitude: registry.histogram("control.attitude.seconds"),
+            rate: registry.histogram("control.rate.seconds"),
+        });
     }
 
     /// Configured rates.
@@ -187,6 +228,7 @@ impl CascadeController {
         // High level at position_hz.
         let position_period = 1.0 / self.rates.position_hz;
         if self.time_since_position >= position_period {
+            let level_start = self.telemetry.0.as_ref().map(|t| t.clock.now());
             let step_dt = if self.time_since_position.is_finite() {
                 self.time_since_position
             } else {
@@ -217,24 +259,36 @@ impl CascadeController {
             }
             self.time_since_position = 0.0;
             self.updates.position += 1;
+            if let (Some(start), Some(tel)) = (level_start, &self.telemetry.0) {
+                tel.position.record(tel.clock.now() - start);
+            }
         }
 
         // Mid level at attitude_hz.
         let attitude_period = 1.0 / self.rates.attitude_hz;
         if self.time_since_attitude >= attitude_period {
+            let level_start = self.telemetry.0.as_ref().map(|t| t.clock.now());
             self.rate_setpoint = self
                 .attitude
                 .rate_setpoint(state.attitude, self.attitude_cmd);
             self.time_since_attitude = 0.0;
             self.updates.attitude += 1;
+            if let (Some(start), Some(tel)) = (level_start, &self.telemetry.0) {
+                tel.attitude.record(tel.clock.now() - start);
+            }
         }
 
         // Low level every tick.
+        let level_start = self.telemetry.0.as_ref().map(|t| t.clock.now());
         let torque = self
             .attitude
             .update_rate_only(state.angular_velocity, self.rate_setpoint, dt);
         self.updates.rate += 1;
-        self.mixer.mix(self.thrust_cmd, torque)
+        let throttle = self.mixer.mix(self.thrust_cmd, torque);
+        if let (Some(start), Some(tel)) = (level_start, &self.telemetry.0) {
+            tel.rate.record(tel.clock.now() - start);
+        }
+        throttle
     }
 
     /// Resets all controller history.
@@ -346,6 +400,41 @@ mod tests {
         let (quad, _) = fly(sp, 4.0, &mut WindModel::calm());
         let (_, _, yaw) = quad.state().euler();
         assert!((yaw - 1.0).abs() < 0.1, "yaw {yaw}");
+    }
+
+    #[test]
+    fn attached_telemetry_mirrors_update_counts() {
+        use drone_telemetry::Registry;
+        let registry = Registry::with_wall_clock();
+        let params = QuadcopterParams::default_450mm();
+        let mut quad = Quadcopter::hovering_at(params.clone(), 10.0);
+        let mut ctrl = CascadeController::new(&params);
+        ctrl.attach_telemetry(&registry);
+        let sp = Setpoint::position(Vec3::new(0.0, 0.0, 10.0), 0.0);
+        for _ in 0..2000 {
+            let throttle = ctrl.update(quad.state(), &sp, 1e-3);
+            quad.step(throttle, Vec3::ZERO, 1e-3);
+        }
+        let c = ctrl.update_counts();
+        assert_eq!(registry.histogram("control.rate.seconds").count(), c.rate);
+        assert_eq!(
+            registry.histogram("control.attitude.seconds").count(),
+            c.attitude
+        );
+        assert_eq!(
+            registry.histogram("control.position.seconds").count(),
+            c.position
+        );
+        // Telemetry attachment does not change control outputs: an
+        // identically-driven bare controller ends in the same state.
+        let mut bare_quad = Quadcopter::hovering_at(params.clone(), 10.0);
+        let mut bare = CascadeController::new(&params);
+        for _ in 0..2000 {
+            let throttle = bare.update(bare_quad.state(), &sp, 1e-3);
+            bare_quad.step(throttle, Vec3::ZERO, 1e-3);
+        }
+        assert_eq!(bare, ctrl);
+        assert_eq!(bare_quad, quad);
     }
 
     #[test]

@@ -46,6 +46,10 @@ pub struct NavigationEkf {
     rejected: u64,
     /// Consecutive rejections; drives covariance-inflation recovery.
     reject_streak: u32,
+    /// Normalized innovation squared of the most recent measurement
+    /// (0 until the first one). Computed whether or not the gate is
+    /// enabled — it is the primary filter-consistency diagnostic.
+    last_nis: f64,
 }
 
 /// χ² 99.9 % quantiles by degrees of freedom (1..=3).
@@ -76,6 +80,7 @@ impl NavigationEkf {
             accepted: 0,
             rejected: 0,
             reject_streak: 0,
+            last_nis: 0.0,
         }
     }
 
@@ -97,6 +102,15 @@ impl NavigationEkf {
     /// Measurements rejected by the gate since construction.
     pub fn innovations_rejected(&self) -> u64 {
         self.rejected
+    }
+
+    /// NIS (normalized innovation squared, `νᵀS⁻¹ν`) of the most recent
+    /// measurement; 0 until one arrives. A healthy measurement follows a
+    /// χ² distribution with the measurement's degrees of freedom, so
+    /// sustained large values flag filter inconsistency long before the
+    /// position estimate visibly diverges.
+    pub fn last_nis(&self) -> f64 {
+        self.last_nis
     }
 
     /// Position estimate.
@@ -171,9 +185,12 @@ impl NavigationEkf {
             return false; // numerically degenerate innovation; skip the update
         };
         let innovation = z - &h.matmul(&self.x);
+        // NIS = νᵀ S⁻¹ ν ~ χ²(dof) for a healthy measurement. Tracked
+        // unconditionally as the consistency diagnostic; the gate only
+        // decides whether to act on it.
+        let nis = innovation.transpose().matmul(&s_inv).matmul(&innovation)[(0, 0)];
+        self.last_nis = nis;
         if self.gate_enabled {
-            // NIS = νᵀ S⁻¹ ν ~ χ²(dof) for a healthy measurement.
-            let nis = innovation.transpose().matmul(&s_inv).matmul(&innovation)[(0, 0)];
             let dof = h.rows().min(CHI2_999.len());
             if nis > CHI2_999[dof - 1] {
                 self.rejected += 1;
@@ -371,6 +388,27 @@ mod tests {
         let ekf = NavigationEkf::new();
         assert!(!ekf.innovation_gating());
         assert_eq!(ekf.innovations_rejected(), 0);
+        assert_eq!(ekf.last_nis(), 0.0);
+    }
+
+    #[test]
+    fn nis_is_tracked_even_without_gating() {
+        let mut ekf = settled_at_origin();
+        assert!(!ekf.innovation_gating());
+        // A nominal fix: small NIS.
+        ekf.update_gps(Vec3::new(0.1, 0.0, 0.0));
+        let nominal = ekf.last_nis();
+        assert!(
+            nominal > 0.0 && nominal < CHI2_999[2],
+            "nominal NIS {nominal}"
+        );
+        // A gross outlier: NIS explodes (and, ungated, still fuses).
+        ekf.update_gps(Vec3::new(100.0, 0.0, 0.0));
+        assert!(
+            ekf.last_nis() > CHI2_999[2],
+            "outlier NIS {}",
+            ekf.last_nis()
+        );
     }
 
     #[test]

@@ -8,7 +8,9 @@ use crate::sensors::SensorReadings;
 use drone_components::units::STANDARD_GRAVITY;
 use drone_math::Vec3;
 use drone_sim::RigidBodyState;
+use drone_telemetry::{Clock, Counter, Registry, SharedHistogram};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Full-state estimator over the on-board sensor suite.
 ///
@@ -90,6 +92,30 @@ pub struct StateEstimator {
     last_accel_world: Vec3,
     /// Seconds since each channel last published (SensorChannel order).
     silence: [f64; 5],
+    telemetry: TelemetrySink,
+}
+
+/// Metrics the estimator records into once attached via
+/// [`StateEstimator::attach_telemetry`].
+#[derive(Debug, Clone)]
+struct EstimatorTelemetry {
+    clock: Clock,
+    predict: Arc<SharedHistogram>,
+    update: Arc<SharedHistogram>,
+    nis: Arc<SharedHistogram>,
+    health_transitions: Arc<Counter>,
+    last_health: SensorHealthReport,
+}
+
+/// Optional telemetry attachment; always compares equal so attaching a
+/// registry never makes two otherwise-identical estimators differ.
+#[derive(Debug, Clone, Default)]
+struct TelemetrySink(Option<EstimatorTelemetry>);
+
+impl PartialEq for TelemetrySink {
+    fn eq(&self, _: &TelemetrySink) -> bool {
+        true
+    }
 }
 
 impl StateEstimator {
@@ -101,7 +127,30 @@ impl StateEstimator {
             last_gyro: Vec3::ZERO,
             last_accel_world: Vec3::ZERO,
             silence: [0.0; 5],
+            telemetry: TelemetrySink(None),
         }
+    }
+
+    /// Attaches telemetry: every subsequent [`StateEstimator::ingest`]
+    /// times the EKF predict (`ekf.predict.seconds`) and measurement
+    /// fusion (`ekf.update.seconds`) phases, records the NIS of each
+    /// fused measurement (`ekf.nis`), and counts sensor-health state
+    /// changes (`estimator.health.transitions`).
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.telemetry.0 = Some(EstimatorTelemetry {
+            clock: registry.clock().clone(),
+            predict: registry.histogram("ekf.predict.seconds"),
+            update: registry.histogram("ekf.update.seconds"),
+            nis: registry.histogram("ekf.nis"),
+            health_transitions: registry.counter("estimator.health.transitions"),
+            last_health: self.health(),
+        });
+    }
+
+    /// NIS of the EKF's most recent fused measurement (see
+    /// [`NavigationEkf::last_nis`]).
+    pub fn last_nis(&self) -> f64 {
+        self.navigation.last_nis()
     }
 
     /// Enables EKF innovation gating (outlier rejection). Off by
@@ -147,6 +196,12 @@ impl StateEstimator {
             *s = if fresh { 0.0 } else { *s + dt };
         }
         let health = self.health();
+        if let Some(tel) = &mut self.telemetry.0 {
+            if health != tel.last_health {
+                tel.health_transitions.inc();
+                tel.last_health = health;
+            }
+        }
 
         // Holding the last rate bridges the gap between IMU samples, but
         // a dead gyro must not spin the attitude forever.
@@ -179,15 +234,39 @@ impl StateEstimator {
                 self.last_accel_world
             }
         };
+        let predict_start = self.telemetry.0.as_ref().map(|t| t.clock.now());
         self.navigation.predict(accel_world, dt);
+        if let (Some(start), Some(tel)) = (predict_start, &self.telemetry.0) {
+            tel.predict.record(tel.clock.now() - start);
+        }
+
+        let any_measurement = readings.gps.is_some()
+            || readings.gps_velocity.is_some()
+            || readings.barometer.is_some();
+        let update_start = self.telemetry.0.as_ref().map(|t| t.clock.now());
         if let Some(gps) = readings.gps {
             self.navigation.update_gps(gps);
+            self.record_nis();
         }
         if let Some(vel) = readings.gps_velocity {
             self.navigation.update_gps_velocity(vel);
+            self.record_nis();
         }
         if let Some(alt) = readings.barometer {
             self.navigation.update_baro(alt);
+            self.record_nis();
+        }
+        if any_measurement {
+            if let (Some(start), Some(tel)) = (update_start, &self.telemetry.0) {
+                tel.update.record(tel.clock.now() - start);
+            }
+        }
+    }
+
+    /// Records the EKF's latest NIS into the attached registry, if any.
+    fn record_nis(&self) {
+        if let Some(tel) = &self.telemetry.0 {
+            tel.nis.record(self.navigation.last_nis());
         }
     }
 
@@ -298,6 +377,36 @@ mod tests {
     fn uncertainty_reported() {
         let est = StateEstimator::new();
         assert!(est.position_uncertainty() > 0.0);
+    }
+
+    #[test]
+    fn attached_telemetry_times_the_filter_and_counts_health_changes() {
+        use drone_telemetry::Registry;
+        let registry = Registry::with_wall_clock();
+        let mut est = StateEstimator::new();
+        est.attach_telemetry(&registry);
+        let imu_and_gps = SensorReadings {
+            accelerometer: Some(Vec3::Z * 9.81),
+            gyroscope: Some(Vec3::ZERO),
+            gps: Some(Vec3::ZERO),
+            ..Default::default()
+        };
+        for _ in 0..100 {
+            est.ingest(&imu_and_gps, 0.005);
+        }
+        assert_eq!(registry.histogram("ekf.predict.seconds").count(), 100);
+        assert_eq!(registry.histogram("ekf.update.seconds").count(), 100);
+        assert_eq!(registry.histogram("ekf.nis").count(), 100);
+        // Mag/baro silent: one transition from all-ok once their
+        // timeouts expire. GPS keeps publishing.
+        assert_eq!(registry.counter("estimator.health.transitions").get(), 1);
+        assert!(!est.health().magnetometer_ok && !est.health().barometer_ok);
+        // Telemetry attachment does not perturb the estimate.
+        let mut bare = StateEstimator::new();
+        for _ in 0..100 {
+            bare.ingest(&imu_and_gps, 0.005);
+        }
+        assert_eq!(bare, est);
     }
 
     #[test]

@@ -12,8 +12,10 @@ use drone_estimation::{SensorReadings, StateEstimator};
 use drone_math::Vec3;
 use drone_sim::params::QuadcopterParams;
 use drone_sim::rotor::ROTOR_COUNT;
+use drone_telemetry::{Counter, Registry};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// Battery fraction below which the autopilot declares failsafe.
 pub const FAILSAFE_BATTERY_FRACTION: f64 = 0.20;
@@ -111,6 +113,8 @@ pub struct Autopilot {
     at_drain_limit: bool,
     /// How long the pack has been continuously under the threshold, s.
     low_voltage_for: f64,
+    /// Failsafe-activation counter, present when telemetry is attached.
+    failsafe_counter: Option<Arc<Counter>>,
 }
 
 impl Autopilot {
@@ -138,7 +142,24 @@ impl Autopilot {
             reported_voltage: None,
             at_drain_limit: false,
             low_voltage_for: 0.0,
+            failsafe_counter: None,
         }
+    }
+
+    /// Attaches the whole firmware stack to a telemetry registry: the
+    /// estimator times its EKF phases and records NIS, the control
+    /// cascade times its levels, and the autopilot itself counts
+    /// failsafe activations (`firmware.failsafes`).
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.estimator.attach_telemetry(registry);
+        self.cascade.attach_telemetry(registry);
+        self.failsafe_counter = Some(registry.counter("firmware.failsafes"));
+    }
+
+    /// The state estimator (filter diagnostics such as
+    /// [`StateEstimator::last_nis`]).
+    pub fn estimator(&self) -> &StateEstimator {
+        &self.estimator
     }
 
     /// The ground-station link watchdog.
@@ -323,6 +344,9 @@ impl Autopilot {
             if let Some(text) = reason {
                 let _ = self.mode.transition(FlightMode::Failsafe);
                 self.outbox.push(Message::StatusText { severity: 1, text });
+                if let Some(counter) = &self.failsafe_counter {
+                    counter.inc();
+                }
             }
         }
 
@@ -525,6 +549,51 @@ mod tests {
                 .any(|t| t.mode == FlightMode::Failsafe),
             "failsafe mode never recorded"
         );
+    }
+
+    #[test]
+    fn attached_telemetry_sees_the_whole_stack() {
+        let params = QuadcopterParams::default_450mm();
+        let mut quad = Quadcopter::new(params.clone());
+        let mut sensors = SensorSuite::with_defaults(21);
+        let mut ap = Autopilot::new(&params);
+        let registry = Registry::new(drone_telemetry::Clock::wall());
+        ap.attach_telemetry(&registry);
+        ap.align(quad.state());
+        ap.upload_mission(Mission::hover_test(10.0, 60.0)).unwrap();
+        ap.arm().unwrap();
+        let dt = 1e-3;
+        let mut prev_vel = quad.state().velocity;
+        for step in 0..30_000 {
+            let accel = (quad.state().velocity - prev_vel) / dt;
+            prev_vel = quad.state().velocity;
+            let readings = sensors.sample(quad.state(), accel, dt);
+            // Cut the battery 10 s in so the failsafe fires.
+            let battery = if step as f64 * dt > 10.0 {
+                0.10
+            } else {
+                quad.battery().remaining_fraction()
+            };
+            let throttle = ap.update(&readings, battery, dt);
+            quad.step(throttle, Vec3::ZERO, dt);
+            if ap.mode() == FlightMode::Disarmed && quad.state().position.z < 0.2 {
+                break;
+            }
+        }
+        assert_eq!(registry.counter("firmware.failsafes").get(), 1);
+        // The estimator and cascade handles registered by the autopilot
+        // saw every update.
+        // NIS only accumulates at the (much slower) GPS/baro update
+        // rates, the rest at the 1 kHz loop rate.
+        for (name, floor) in [
+            ("ekf.predict.seconds", 1_000),
+            ("ekf.nis", 100),
+            ("control.rate.seconds", 1_000),
+            ("control.position.seconds", 100),
+        ] {
+            let h = registry.histogram(name).snapshot();
+            assert!(h.count() > floor, "{name} only recorded {}", h.count());
+        }
     }
 
     #[test]

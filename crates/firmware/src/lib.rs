@@ -47,4 +47,6 @@ pub use link::{LinkEvent, LinkMonitor};
 pub use mavlink::{Message, StreamParser};
 pub use mission::{Mission, MissionItem, MissionRunner};
 pub use mode::FlightMode;
-pub use scheduler::{RateScheduler, SchedulerReport, ShedOutcome, ShedPolicy, Task};
+pub use scheduler::{
+    RateScheduler, SchedulerEvent, SchedulerReport, ShedOutcome, ShedPolicy, Task, TaskReport,
+};

@@ -8,6 +8,7 @@
 //! whose speed can be scaled, and reports per-task deadline misses and
 //! utilization.
 
+use drone_telemetry::{Histogram, Json};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -72,9 +73,24 @@ pub struct TaskReport {
     pub deadline_misses: u64,
     /// Worst observed response time, seconds.
     pub worst_response: f64,
+    /// Full response-time distribution (seconds) of completed jobs —
+    /// the per-task latency profile `worst_response` only summarized.
+    pub response_times: Histogram,
 }
 
 impl TaskReport {
+    /// An empty report for a task (nothing released yet).
+    pub fn empty(name: impl Into<String>) -> TaskReport {
+        TaskReport {
+            name: name.into(),
+            released: 0,
+            completed_on_time: 0,
+            deadline_misses: 0,
+            worst_response: 0.0,
+            response_times: Histogram::new(),
+        }
+    }
+
     /// Deadline-miss ratio in `[0, 1]`.
     pub fn miss_ratio(&self) -> f64 {
         if self.released == 0 {
@@ -82,6 +98,35 @@ impl TaskReport {
         } else {
             self.deadline_misses as f64 / self.released as f64
         }
+    }
+
+    /// Response-time quantile in seconds (`None` until a job completes).
+    pub fn response_quantile(&self, q: f64) -> Option<f64> {
+        self.response_times.quantile(q)
+    }
+
+    /// Serializes every field, histogram included.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("name", self.name.as_str())
+            .with("released", self.released)
+            .with("completed_on_time", self.completed_on_time)
+            .with("deadline_misses", self.deadline_misses)
+            .with("miss_ratio", self.miss_ratio())
+            .with("worst_response", self.worst_response)
+            .with("response_times", self.response_times.to_json())
+    }
+
+    /// Rebuilds a report from [`TaskReport::to_json`] output.
+    pub fn from_json(doc: &Json) -> Option<TaskReport> {
+        Some(TaskReport {
+            name: doc.get("name")?.as_str()?.to_owned(),
+            released: doc.get("released")?.as_f64()? as u64,
+            completed_on_time: doc.get("completed_on_time")?.as_f64()? as u64,
+            deadline_misses: doc.get("deadline_misses")?.as_f64()? as u64,
+            worst_response: doc.get("worst_response")?.as_f64()?,
+            response_times: Histogram::from_json(doc.get("response_times")?)?,
+        })
     }
 }
 
@@ -104,13 +149,37 @@ impl SchedulerReport {
     pub fn total_misses(&self) -> u64 {
         self.tasks.iter().map(|t| t.deadline_misses).sum()
     }
+
+    /// Serializes the whole report, per-task histograms included.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("cpu_utilization", self.cpu_utilization)
+            .with(
+                "tasks",
+                Json::Arr(self.tasks.iter().map(|t| t.to_json()).collect()),
+            )
+    }
+
+    /// Rebuilds a report from [`SchedulerReport::to_json`] output.
+    pub fn from_json(doc: &Json) -> Option<SchedulerReport> {
+        let tasks = doc
+            .get("tasks")?
+            .as_arr()?
+            .iter()
+            .map(TaskReport::from_json)
+            .collect::<Option<Vec<_>>>()?;
+        Some(SchedulerReport {
+            tasks,
+            cpu_utilization: doc.get("cpu_utilization")?.as_f64()?,
+        })
+    }
 }
 
 impl fmt::Display for SchedulerReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "cpu utilization {:.1}%", self.cpu_utilization * 100.0)?;
         for t in &self.tasks {
-            writeln!(
+            write!(
                 f,
                 "  {:<16} released {:>6}  on-time {:>6}  missed {:>5} ({:.1}%)  worst {:.1} ms",
                 t.name,
@@ -120,6 +189,10 @@ impl fmt::Display for SchedulerReport {
                 t.miss_ratio() * 100.0,
                 t.worst_response * 1e3
             )?;
+            if let (Some(p50), Some(p99)) = (t.response_quantile(0.50), t.response_quantile(0.99)) {
+                write!(f, "  p50 {:.2} ms  p99 {:.2} ms", p50 * 1e3, p99 * 1e3)?;
+            }
+            writeln!(f)?;
         }
         Ok(())
     }
@@ -156,6 +229,18 @@ impl ShedPolicy {
     }
 }
 
+/// One notable scheduling event: a shed firing, or a monitored window
+/// still breaching the threshold after the shed settled. The log gives
+/// the flight recorder (and post-mortem readers) the *when* that the
+/// aggregate report discards.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerEvent {
+    /// Simulation time of the event, seconds.
+    pub at: f64,
+    /// What happened, human-readable.
+    pub description: String,
+}
+
 /// Result of a simulation run under a [`ShedPolicy`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ShedOutcome {
@@ -173,6 +258,8 @@ pub struct ShedOutcome {
     /// their deadline at shed time still drain through that window and
     /// are not evidence against the policy.
     pub worst_window_after: f64,
+    /// Time-ordered log of shed firings and post-shed breaches.
+    pub events: Vec<SchedulerEvent>,
 }
 
 /// Fixed-priority preemptive scheduler simulation on one CPU.
@@ -267,13 +354,7 @@ impl RateScheduler {
         let mut reports: Vec<TaskReport> = self
             .tasks
             .iter()
-            .map(|t| TaskReport {
-                name: t.name.clone(),
-                released: 0,
-                completed_on_time: 0,
-                deadline_misses: 0,
-                worst_response: 0.0,
-            })
+            .map(|t| TaskReport::empty(t.name.clone()))
             .collect();
 
         let mut ready: Vec<Job> = Vec::new();
@@ -291,6 +372,7 @@ impl RateScheduler {
         let mut tasks_shed = Vec::new();
         let mut worst_before = 0.0f64;
         let mut worst_after = 0.0f64;
+        let mut events: Vec<SchedulerEvent> = Vec::new();
 
         while now < duration {
             // Close the monitoring window and apply the shed policy.
@@ -353,9 +435,32 @@ impl RateScheduler {
                                     j.remaining *= speed / p.restored_cpu_speed;
                                 }
                                 speed = p.restored_cpu_speed;
+                                events.push(SchedulerEvent {
+                                    at: window_end,
+                                    description: format!(
+                                        "shed [{}]: {} missed {:.0}% of deadlines in the \
+                                         last {:.1} s window (threshold {:.0}%)",
+                                        tasks_shed.join(", "),
+                                        p.monitor,
+                                        ratio * 100.0,
+                                        p.window,
+                                        p.miss_ratio_threshold * 100.0
+                                    ),
+                                });
                             }
                         } else if !settling {
                             worst_after = worst_after.max(ratio);
+                            if ratio >= p.miss_ratio_threshold {
+                                events.push(SchedulerEvent {
+                                    at: window_end,
+                                    description: format!(
+                                        "post-shed breach: {} still missing {:.0}% of \
+                                         deadlines after the shed",
+                                        p.monitor,
+                                        ratio * 100.0
+                                    ),
+                                });
+                            }
                         }
                     }
                     window_due = 0;
@@ -408,6 +513,7 @@ impl RateScheduler {
                     let response = now - job.release;
                     let r = &mut reports[job.task_index];
                     r.worst_response = r.worst_response.max(response);
+                    r.response_times.record(response);
                     if now <= job.deadline + 1e-9 {
                         r.completed_on_time += 1;
                     } else {
@@ -472,6 +578,7 @@ impl RateScheduler {
             tasks_shed,
             worst_window_before: worst_before,
             worst_window_after: worst_after,
+            events,
         }
     }
 }
@@ -594,14 +701,71 @@ mod tests {
 
     #[test]
     fn miss_ratio_bounds() {
-        let r = TaskReport {
-            name: "x".into(),
-            released: 10,
-            completed_on_time: 7,
-            deadline_misses: 3,
-            worst_response: 0.0,
-        };
+        let mut r = TaskReport::empty("x");
+        r.released = 10;
+        r.completed_on_time = 7;
+        r.deadline_misses = 3;
         assert!((r.miss_ratio() - 0.3).abs() < 1e-12);
+        // Pinned: a task that never released reports zero, not NaN, and
+        // a fresh report has no response-time quantiles.
+        let idle = TaskReport::empty("idle");
+        assert_eq!(idle.miss_ratio(), 0.0);
+        assert_eq!(idle.worst_response, 0.0);
+        assert_eq!(idle.response_quantile(0.99), None);
+    }
+
+    #[test]
+    fn response_histogram_matches_worst_response() {
+        let mut sched = RateScheduler::new(vec![
+            Task::new("hi", 0.01, 0.004, 0),
+            Task::new("lo", 0.1, 0.01, 1),
+        ]);
+        let report = sched.simulate(5.0, 1.0);
+        for t in &report.tasks {
+            assert_eq!(
+                t.response_times.count(),
+                t.completed_on_time + t.deadline_misses
+            );
+            // p100 of the histogram is the exact worst response.
+            assert_eq!(t.response_quantile(1.0), Some(t.worst_response));
+            // p50 ≤ p99 ≤ worst.
+            let p50 = t.response_quantile(0.5).unwrap();
+            let p99 = t.response_quantile(0.99).unwrap();
+            assert!(p50 <= p99 && p99 <= t.worst_response, "{report}");
+        }
+    }
+
+    #[test]
+    fn scheduler_report_round_trips_through_json() {
+        let mut tasks = autopilot_task_set();
+        tasks.push(slam_task());
+        let mut sched = RateScheduler::new(tasks);
+        let mut report = sched.simulate(10.0, 1.0 / 1.7);
+        // Include a never-released task to pin the released==0 edge.
+        report.tasks.push(TaskReport::empty("never-ran"));
+        let text = report.to_json().render();
+        let back = SchedulerReport::from_json(&Json::parse(&text).expect("report JSON parses"))
+            .expect("report JSON has all fields");
+        assert_eq!(back, report);
+        assert_eq!(back.task("never-ran").unwrap().miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn shed_outcome_logs_the_shed_event() {
+        let mut tasks = autopilot_task_set();
+        tasks.push(slam_task());
+        let policy = ShedPolicy::outer_loop_default();
+        let mut sched = RateScheduler::new(tasks);
+        let outcome = sched.simulate_with_shedding(30.0, 1.0 / 1.7, &policy);
+        let shed_at = outcome.shed_at.expect("overload sheds");
+        let event = outcome.events.first().expect("shed is logged");
+        assert_eq!(event.at, shed_at);
+        assert!(event.description.contains("slam"), "{}", event.description);
+        // A healthy run logs nothing.
+        let mut tasks = autopilot_task_set();
+        tasks.push(slam_task());
+        let calm = RateScheduler::new(tasks).simulate_with_shedding(20.0, 4.0, &policy);
+        assert!(calm.events.is_empty(), "{:?}", calm.events);
     }
 
     #[test]

@@ -11,7 +11,9 @@ use crate::rotor::{RotorForces, RotorSet, ROTOR_COUNT};
 use crate::state::RigidBodyState;
 use drone_components::units::{Grams, Watts};
 use drone_math::Vec3;
+use drone_telemetry::{Clock, Counter, Gauge, Registry, SharedHistogram};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Gravitational acceleration vector in the world frame (Z up), m/s².
 pub const GRAVITY: Vec3 = Vec3 {
@@ -49,6 +51,30 @@ pub struct Quadcopter {
     battery: BatterySim,
     elapsed: f64,
     faults: FaultSchedule,
+    telemetry: TelemetrySink,
+}
+
+/// Shared-handle metrics a quadcopter records into once attached via
+/// [`Quadcopter::attach_telemetry`].
+#[derive(Debug, Clone)]
+struct SimTelemetry {
+    clock: Clock,
+    steps: Arc<Counter>,
+    faults_fired: Arc<Counter>,
+    power: Arc<SharedHistogram>,
+    battery_soc: Arc<Gauge>,
+}
+
+/// Optional telemetry attachment. Where a quadcopter reports is
+/// observability, not physics, so every sink compares equal — attaching
+/// a registry must not make two otherwise-identical vehicles differ.
+#[derive(Debug, Clone, Default)]
+struct TelemetrySink(Option<SimTelemetry>);
+
+impl PartialEq for TelemetrySink {
+    fn eq(&self, _: &TelemetrySink) -> bool {
+        true
+    }
 }
 
 impl Quadcopter {
@@ -63,6 +89,7 @@ impl Quadcopter {
             battery,
             elapsed: 0.0,
             faults: FaultSchedule::none(),
+            telemetry: TelemetrySink(None),
         }
     }
 
@@ -121,6 +148,23 @@ impl Quadcopter {
         &self.faults
     }
 
+    /// Attaches this vehicle to a telemetry registry. Every subsequent
+    /// [`Quadcopter::step`] then counts itself (`sim.steps`), records
+    /// electrical power (`sim.power_w`), publishes battery state of
+    /// charge (`sim.battery.soc`), counts fault firings
+    /// (`sim.faults.fired`) and drives the registry's sim clock to the
+    /// vehicle's elapsed time, so spans anywhere in the stack measure
+    /// against simulation seconds.
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.telemetry.0 = Some(SimTelemetry {
+            clock: registry.clock().clone(),
+            steps: registry.counter("sim.steps"),
+            faults_fired: registry.counter("sim.faults.fired"),
+            power: registry.histogram("sim.power_w"),
+            battery_soc: registry.gauge("sim.battery.soc"),
+        });
+    }
+
     /// The normalized throttle at which total rotor thrust equals weight.
     pub fn hover_throttle(&self) -> f64 {
         let n = self
@@ -143,6 +187,7 @@ impl Quadcopter {
         );
         // Fire due fault events against the physical components and pick
         // up any active gust burst before integrating.
+        let faults_before = self.faults.remaining();
         let gust = self
             .faults
             .advance(self.elapsed, &mut self.rotors, &mut self.battery);
@@ -208,6 +253,17 @@ impl Quadcopter {
         let total_power = Watts(rotor.electrical_power.0 + self.params.avionics_power.0);
         self.battery.drain(total_power, dt);
         self.elapsed += dt;
+
+        if let Some(tel) = &self.telemetry.0 {
+            tel.steps.inc();
+            let fired = (faults_before - self.faults.remaining()) as u64;
+            if fired > 0 {
+                tel.faults_fired.add(fired);
+            }
+            tel.power.record(total_power.0);
+            tel.battery_soc.set(self.battery.remaining_fraction());
+            tel.clock.set(self.elapsed);
+        }
 
         StepOutput {
             rotor,
@@ -395,6 +451,49 @@ mod tests {
             "gust had no effect: {}",
             quad.state()
         );
+    }
+
+    #[test]
+    fn attached_telemetry_tracks_the_flight() {
+        use drone_telemetry::Registry;
+        let registry = Registry::with_sim_clock();
+        let mut quad = Quadcopter::hovering_at(QuadcopterParams::default_450mm(), 10.0);
+        quad.attach_telemetry(&registry);
+        let hover = quad.hover_throttle();
+        for _ in 0..500 {
+            quad.step([hover; 4], Vec3::ZERO, 1e-3);
+        }
+        assert_eq!(registry.counter("sim.steps").get(), 500);
+        assert_eq!(registry.histogram("sim.power_w").count(), 500);
+        let soc = registry.gauge("sim.battery.soc").get();
+        assert!(soc > 0.0 && soc < 1.0, "soc {soc}");
+        // The vehicle drives the registry's sim clock.
+        assert!((registry.clock().now() - quad.elapsed()).abs() < 1e-12);
+        // Telemetry is observability, not physics: attached and bare
+        // vehicles compare equal.
+        let mut bare = Quadcopter::hovering_at(QuadcopterParams::default_450mm(), 10.0);
+        for _ in 0..500 {
+            bare.step([hover; 4], Vec3::ZERO, 1e-3);
+        }
+        assert_eq!(bare, quad);
+    }
+
+    #[test]
+    fn attached_telemetry_counts_fault_firings() {
+        use crate::fault::{FaultEvent, FaultKind, FaultSchedule};
+        use drone_telemetry::Registry;
+        let registry = Registry::with_sim_clock();
+        let mut quad = Quadcopter::hovering_at(QuadcopterParams::default_450mm(), 30.0);
+        quad.attach_telemetry(&registry);
+        quad.inject_faults(FaultSchedule::scripted(vec![FaultEvent {
+            at: 0.1,
+            kind: FaultKind::RotorOut { rotor: 0 },
+        }]));
+        let hover = quad.hover_throttle();
+        for _ in 0..300 {
+            quad.step([hover; 4], Vec3::ZERO, 1e-3);
+        }
+        assert_eq!(registry.counter("sim.faults.fired").get(), 1);
     }
 
     #[test]

@@ -16,8 +16,10 @@ use crate::euroc::Dataset;
 use crate::map::{Keyframe, KeyframeObservation, Map};
 use crate::metrics::{absolute_trajectory_error, relative_pose_error};
 use crate::pose::{absolute_orientation, estimate_pose, Correspondence, PointPair};
+use drone_telemetry::{Clock, Counter, Registry, SharedHistogram};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// Pipeline tuning knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -172,6 +174,20 @@ pub struct Pipeline {
     keyframes_since_global_ba: usize,
     consecutive_failures: usize,
     relocalizations: usize,
+    telemetry: Option<SlamTelemetry>,
+}
+
+/// Per-stage metrics the pipeline records into once attached via
+/// [`Pipeline::attach_telemetry`]: real wall time per frame plus the
+/// modelled RPi-seconds each Figure 17 stage contributed.
+#[derive(Debug, Clone)]
+struct SlamTelemetry {
+    clock: Clock,
+    frame_seconds: Arc<SharedHistogram>,
+    feature: Arc<SharedHistogram>,
+    local_ba: Arc<SharedHistogram>,
+    global_ba: Arc<SharedHistogram>,
+    relocalizations: Arc<Counter>,
 }
 
 impl Pipeline {
@@ -186,7 +202,25 @@ impl Pipeline {
             keyframes_since_global_ba: 0,
             consecutive_failures: 0,
             relocalizations: 0,
+            telemetry: None,
         }
+    }
+
+    /// Attaches telemetry: every frame processed by [`Pipeline::run`]
+    /// then records its real wall time (`slam.frame.seconds`), the
+    /// modelled RPi-seconds added per stage (`slam.feature.rpi_s`,
+    /// `slam.local_ba.rpi_s`, `slam.global_ba.rpi_s` — the Figure 17
+    /// categories) and relocalization recoveries
+    /// (`slam.relocalizations`).
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.telemetry = Some(SlamTelemetry {
+            clock: registry.clock().clone(),
+            frame_seconds: registry.histogram("slam.frame.seconds"),
+            feature: registry.histogram("slam.feature.rpi_s"),
+            local_ba: registry.histogram("slam.local_ba.rpi_s"),
+            global_ba: registry.histogram("slam.global_ba.rpi_s"),
+            relocalizations: registry.counter("slam.relocalizations"),
+        });
     }
 
     /// How many times tracking was recovered by relocalization.
@@ -214,6 +248,9 @@ impl Pipeline {
         let mut trajectory = Vec::with_capacity(dataset.frames.len());
         let mut tracked = 0usize;
         for (i, frame) in dataset.frames.iter().enumerate() {
+            let frame_start = self.telemetry.as_ref().map(|t| t.clock.now());
+            let before = self.profile;
+            let relocs_before = self.relocalizations;
             if i == 0 {
                 // Anchor the estimate frame at the first camera pose (the
                 // usual dataset convention) and bootstrap the map from
@@ -223,12 +260,27 @@ impl Pipeline {
                 self.bootstrap(dataset, frame);
                 trajectory.push(self.current_pose);
                 tracked += 1;
-                continue;
+            } else {
+                if self.track(dataset, frame) {
+                    tracked += 1;
+                }
+                trajectory.push(self.current_pose);
             }
-            if self.track(dataset, frame) {
-                tracked += 1;
+            if let (Some(start), Some(tel)) = (frame_start, &self.telemetry) {
+                tel.frame_seconds.record(tel.clock.now() - start);
+                tel.feature
+                    .record(self.profile.feature_matching_s - before.feature_matching_s);
+                if self.profile.local_ba_s > before.local_ba_s {
+                    tel.local_ba
+                        .record(self.profile.local_ba_s - before.local_ba_s);
+                }
+                if self.profile.global_ba_s > before.global_ba_s {
+                    tel.global_ba
+                        .record(self.profile.global_ba_s - before.global_ba_s);
+                }
+                tel.relocalizations
+                    .add((self.relocalizations - relocs_before) as u64);
             }
-            trajectory.push(self.current_pose);
         }
         let truth = dataset.truth_trajectory();
         let ate = absolute_trajectory_error(&trajectory, &truth);
@@ -514,6 +566,28 @@ mod tests {
             "post-recovery ATE {}",
             result.ate_meters
         );
+    }
+
+    #[test]
+    fn attached_telemetry_splits_the_stage_profile() {
+        use drone_telemetry::Registry;
+        let registry = Registry::with_wall_clock();
+        let dataset = Sequence::MH01.generate_with_frames(120);
+        let mut pipeline = Pipeline::new(PipelineConfig::default());
+        pipeline.attach_telemetry(&registry);
+        let result = pipeline.run(&dataset);
+        // One wall-time sample and one feature-stage sample per frame.
+        let frames = registry.histogram("slam.frame.seconds").count();
+        assert_eq!(frames as usize, result.frames);
+        let feature = registry.histogram("slam.feature.rpi_s").snapshot();
+        assert_eq!(feature.count() as usize, result.frames);
+        // The per-frame stage samples sum back to the aggregate profile.
+        assert!((feature.sum() - result.profile.feature_matching_s).abs() < 1e-9);
+        let local = registry.histogram("slam.local_ba.rpi_s").snapshot();
+        assert!((local.sum() - result.profile.local_ba_s).abs() < 1e-9);
+        let global = registry.histogram("slam.global_ba.rpi_s").snapshot();
+        assert!((global.sum() - result.profile.global_ba_s).abs() < 1e-9);
+        assert!(local.count() > 0, "local BA must run on this sequence");
     }
 
     #[test]

@@ -1,0 +1,189 @@
+//! Property-based tests for the telemetry primitives: histogram
+//! quantile laws, flight-recorder ring-buffer eviction and dump
+//! integrity, and span nesting under the sim clock.
+
+use drone_telemetry::{DumpReason, FlightRecorder, Histogram, Json, Registry};
+use proptest::prelude::*;
+
+/// Positive magnitudes spanning the histogram's useful range.
+fn magnitude() -> impl Strategy<Value = f64> {
+    (-8.0f64..8.0).prop_map(|exp| 10f64.powf(exp))
+}
+
+fn samples() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(magnitude(), 1..200)
+}
+
+proptest! {
+    #[test]
+    fn quantiles_are_monotone_in_q(values in samples()) {
+        let mut hist = Histogram::new();
+        for &v in &values {
+            hist.record(v);
+        }
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1.0];
+        let mut last = f64::NEG_INFINITY;
+        for q in qs {
+            let value = hist.quantile(q).expect("non-empty");
+            prop_assert!(
+                value >= last,
+                "quantile({q}) = {value} < previous {last}"
+            );
+            last = value;
+        }
+    }
+
+    #[test]
+    fn p0_and_p100_are_exact_extremes(values in samples()) {
+        let mut hist = Histogram::new();
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &v in &values {
+            hist.record(v);
+            min = min.min(v);
+            max = max.max(v);
+        }
+        prop_assert_eq!(hist.quantile(0.0), Some(min));
+        prop_assert_eq!(hist.quantile(1.0), Some(max));
+        prop_assert_eq!(hist.count(), values.len() as u64);
+    }
+
+    #[test]
+    fn quantiles_stay_within_observed_range(values in samples(), q in 0.0f64..1.0) {
+        let mut hist = Histogram::new();
+        for &v in &values {
+            hist.record(v);
+        }
+        let value = hist.quantile(q).expect("non-empty");
+        prop_assert!(value >= hist.min().unwrap());
+        prop_assert!(value <= hist.max().unwrap());
+    }
+
+    #[test]
+    fn interior_quantiles_carry_bounded_relative_error(values in samples(), q in 0.05f64..0.95) {
+        let mut hist = Histogram::new();
+        let mut sorted = values.clone();
+        for &v in &values {
+            hist.record(v);
+        }
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // The exact order statistic the bucket walk targets.
+        let rank = ((q * sorted.len() as f64).ceil() as usize).max(1) - 1;
+        let exact = sorted[rank];
+        let approx = hist.quantile(q).expect("non-empty");
+        // One bucket of log-scale resolution: 10^(1/32) ≈ 7.5 %.
+        prop_assert!(
+            approx >= exact * 0.999 && approx <= exact * 1.08,
+            "quantile({q}) = {approx} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn one_sample_histograms_are_exact_everywhere(value in magnitude(), q in 0.0f64..1.0) {
+        let mut hist = Histogram::new();
+        hist.record(value);
+        prop_assert_eq!(hist.quantile(q), Some(value));
+        prop_assert_eq!(hist.mean(), Some(value));
+    }
+
+    #[test]
+    fn histogram_json_round_trips(values in prop::collection::vec(magnitude(), 0..100)) {
+        let mut hist = Histogram::new();
+        for &v in &values {
+            hist.record(v);
+        }
+        let text = hist.to_json().render();
+        let back = Histogram::from_json(&Json::parse(&text).unwrap()).unwrap();
+        prop_assert_eq!(back, hist);
+    }
+
+    #[test]
+    fn ring_buffer_retains_exactly_the_newest_window(
+        capacity in 1usize..64,
+        total in 0usize..200,
+    ) {
+        let mut recorder = FlightRecorder::new(capacity);
+        let value = recorder.channel("value");
+        for tick in 0..total {
+            recorder.begin_tick(tick as f64 * 1e-3);
+            recorder.set(value, tick as f64);
+            recorder.commit_tick();
+        }
+        prop_assert_eq!(recorder.len(), total.min(capacity));
+        let expect_first = total.saturating_sub(capacity);
+        let ticks: Vec<u64> = recorder.iter().map(|(id, _, _)| id).collect();
+        let expected: Vec<u64> = (expect_first as u64..total as u64).collect();
+        prop_assert_eq!(ticks, expected, "eviction must keep the newest window");
+        for (id, _, row) in recorder.iter() {
+            prop_assert_eq!(row[0], id as f64);
+        }
+    }
+
+    #[test]
+    fn dump_on_failsafe_contains_the_triggering_tick(
+        capacity in 2usize..64,
+        trigger in 1usize..300,
+    ) {
+        let mut recorder = FlightRecorder::new(capacity);
+        let failsafe = recorder.channel("failsafe.active");
+        // Fly ticks 0..=trigger; the failsafe fires on the last one.
+        for tick in 0..=trigger {
+            recorder.begin_tick(tick as f64 * 1e-3);
+            recorder.set(failsafe, if tick == trigger { 1.0 } else { 0.0 });
+            recorder.commit_tick();
+        }
+        let dump = recorder.dump_json(&DumpReason::Failsafe("battery".into()));
+        let ticks = dump.get("ticks").unwrap().as_arr().unwrap();
+        let last = ticks.last().expect("dump never empty after a commit");
+        prop_assert_eq!(last.get("tick").unwrap().as_f64(), Some(trigger as f64));
+        let flag = last.get("v").unwrap().as_arr().unwrap()[0].as_f64();
+        prop_assert_eq!(flag, Some(1.0), "triggering tick carries the failsafe flag");
+        // And the ticks leading up to it, oldest first, contiguous.
+        for pair in ticks.windows(2) {
+            let a = pair[0].get("tick").unwrap().as_f64().unwrap();
+            let b = pair[1].get("tick").unwrap().as_f64().unwrap();
+            prop_assert_eq!(b, a + 1.0);
+        }
+        // JSONL form parses line by line.
+        let jsonl = recorder.dump(&DumpReason::Failsafe("battery".into()));
+        for line in jsonl.lines() {
+            prop_assert!(Json::parse(line).is_ok(), "bad JSONL line: {line}");
+        }
+    }
+
+    #[test]
+    fn nested_spans_compose_under_the_sim_clock(
+        outer_head in 0.0f64..0.5,
+        inner in 0.0f64..0.5,
+        outer_tail in 0.0f64..0.5,
+    ) {
+        let registry = Registry::with_sim_clock();
+        {
+            let _outer = registry.span("outer");
+            registry.clock().advance(outer_head);
+            {
+                let _inner = registry.span("inner");
+                registry.clock().advance(inner);
+            }
+            registry.clock().advance(outer_tail);
+        }
+        let outer = registry.histogram("outer").snapshot();
+        let inner_hist = registry.histogram("inner").snapshot();
+        prop_assert_eq!(outer.count(), 1);
+        prop_assert_eq!(inner_hist.count(), 1);
+        let outer_t = outer.max().unwrap();
+        let inner_t = inner_hist.max().unwrap();
+        prop_assert!((inner_t - inner).abs() < 1e-12);
+        // The enclosing span contains its child plus its own work.
+        prop_assert!((outer_t - (outer_head + inner + outer_tail)).abs() < 1e-12);
+        prop_assert!(outer_t >= inner_t);
+    }
+}
+
+#[test]
+fn empty_histogram_has_no_quantiles() {
+    let hist = Histogram::new();
+    for q in [0.0, 0.5, 1.0] {
+        assert_eq!(hist.quantile(q), None);
+    }
+}

@@ -1,0 +1,107 @@
+//! The `BENCH_*.json` artifact contract: the fault campaign's metrics
+//! must parse as JSON, carry non-empty per-task response-time
+//! histograms, and embed a black-box dump with EKF NIS and battery
+//! channels leading up to a failsafe/crash trigger — the same
+//! guarantees the CI smoke step asserts on the built binary.
+
+use drone_bench::all_experiments;
+use drone_telemetry::{Histogram, Json};
+
+fn faults_metrics() -> Json {
+    let faults = all_experiments()
+        .into_iter()
+        .find(|e| e.name == "faults")
+        .expect("faults experiment registered");
+    (faults.run)().metrics
+}
+
+#[test]
+fn faults_artifact_round_trips_and_holds_the_evidence() {
+    let metrics = faults_metrics();
+
+    // The artifact must survive its own writer/parser pair byte-stably.
+    let rendered = Json::obj()
+        .with("experiment", "faults")
+        .with("metrics", metrics.clone())
+        .render_pretty();
+    let parsed = Json::parse(&rendered).expect("artifact parses");
+    let parsed_metrics = parsed.get("metrics").expect("metrics key");
+
+    // Per-task response-time histograms: at least the inner loop and the
+    // EKF must have real distributions with finite p50 <= p99.
+    let tasks = parsed_metrics
+        .get("scheduler_with_slam")
+        .and_then(|s| s.get("tasks"))
+        .and_then(Json::as_arr)
+        .expect("scheduler tasks");
+    for name in ["inner-loop", "ekf"] {
+        let task = tasks
+            .iter()
+            .find(|t| t.get("name").and_then(Json::as_str) == Some(name))
+            .unwrap_or_else(|| panic!("task {name} missing"));
+        let hist = Histogram::from_json(task.get("response_times").expect("histogram"))
+            .expect("histogram decodes");
+        assert!(hist.count() > 100, "{name} histogram near-empty");
+        let (p50, p99) = (
+            hist.quantile(0.5).expect("p50"),
+            hist.quantile(0.99).expect("p99"),
+        );
+        assert!(p50 <= p99, "{name}: p50 {p50} > p99 {p99}");
+    }
+
+    // At least one design point tripped the recorder, and its dump has
+    // the forensic channels with history before the trigger.
+    let black_boxes = parsed_metrics
+        .get("black_boxes")
+        .and_then(Json::as_obj)
+        .expect("black_boxes");
+    assert!(!black_boxes.is_empty(), "no flight tripped the recorder");
+    for (design_point, bb) in black_boxes {
+        let dump = bb.get("dump").expect("dump");
+        let kind = dump.get("reason").and_then(Json::as_str).unwrap();
+        assert!(
+            kind == "failsafe" || kind == "crash",
+            "{design_point}: unexpected reason {kind}"
+        );
+        let channels: Vec<&str> = dump
+            .get("channels")
+            .and_then(Json::as_arr)
+            .expect("channels")
+            .iter()
+            .filter_map(Json::as_str)
+            .collect();
+        for ch in ["ekf.nis", "battery.volts", "battery.soc", "failsafe.active"] {
+            assert!(channels.contains(&ch), "{design_point}: missing {ch}");
+        }
+        let ticks = dump.get("ticks").and_then(Json::as_arr).expect("ticks");
+        assert!(
+            ticks.len() > 10,
+            "{design_point}: only {} ticks of history",
+            ticks.len()
+        );
+        // The registry snapshot rode along with a non-empty NIS histogram.
+        let nis = bb
+            .get("registry")
+            .and_then(|r| r.get("histograms"))
+            .and_then(|h| h.get("ekf.nis"))
+            .and_then(Histogram::from_json)
+            .expect("ekf.nis histogram");
+        assert!(nis.count() > 0, "{design_point}: empty NIS histogram");
+    }
+}
+
+#[test]
+fn every_experiment_has_a_unique_name_and_description() {
+    let experiments = all_experiments();
+    let mut names: Vec<&str> = experiments.iter().map(|e| e.name).collect();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), experiments.len(), "duplicate experiment name");
+    for e in &experiments {
+        assert!(
+            !e.description.is_empty() && e.description.len() < 80,
+            "{}: description must be a non-empty one-liner",
+            e.name
+        );
+    }
+}

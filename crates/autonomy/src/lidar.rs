@@ -93,7 +93,7 @@ impl ObstacleWorld {
         self.obstacles
             .iter()
             .filter_map(|o| o.raycast(origin, dir, max_range))
-            .min_by(|a, b| a.partial_cmp(b).expect("finite distances"))
+            .min_by(f64::total_cmp)
     }
 }
 

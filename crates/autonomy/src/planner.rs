@@ -22,7 +22,7 @@ impl Eq for Node {}
 impl Ord for Node {
     fn cmp(&self, other: &Self) -> Ordering {
         // Min-heap on f.
-        other.f.partial_cmp(&self.f).expect("finite costs")
+        other.f.total_cmp(&self.f)
     }
 }
 

@@ -1,0 +1,82 @@
+//! Criterion benchmarks of the design-space exploration engine: the
+//! parallel executor against the serial path over a ≥ 10k-point sweep,
+//! and the memoized warm path against a cold cache.
+//!
+//! The acceptance bar for the subsystem — parallel ≥ 2× serial on a
+//! ≥ 4-core runner — is measured by `explore_10k/parallel` vs
+//! `explore_10k/serial`; the cached group shows the memoization win.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use drone_components::battery::CellCount;
+use drone_dse::eval::{evaluate, DesignQuery};
+use drone_explorer::{Explorer, GridRange, ParallelExecutor, QueryRanges};
+use std::hint::black_box;
+
+/// A 10,368-point grid over the paper's design axes.
+fn sweep_10k() -> Vec<DesignQuery> {
+    let ranges = QueryRanges {
+        wheelbase_mm: GridRange::new(100.0, 800.0, 24),
+        cells: vec![CellCount::S1, CellCount::S3, CellCount::S6],
+        capacity_mah: GridRange::new(1000.0, 8000.0, 24),
+        compute_power_w: GridRange::new(3.0, 20.0, 3),
+        twr: GridRange::fixed(drone_components::paper::PAPER_TWR),
+        payload_g: GridRange::new(0.0, 200.0, 2),
+    };
+    let grid = ranges.grid();
+    assert!(grid.len() >= 10_000, "bench grid shrank: {}", grid.len());
+    grid
+}
+
+fn bench_executor(c: &mut Criterion) {
+    let points = sweep_10k();
+    let serial = ParallelExecutor::new(1);
+    let parallel = ParallelExecutor::with_default_threads();
+    let mut g = c.benchmark_group("explore_10k");
+    g.sample_size(10);
+    g.bench_function("serial", |b| {
+        b.iter(|| serial.map(black_box(&points), |_, q| evaluate(q)))
+    });
+    g.bench_function("parallel", |b| {
+        b.iter(|| parallel.map(black_box(&points), |_, q| evaluate(q)))
+    });
+    g.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let points = sweep_10k();
+    let mut g = c.benchmark_group("explore_cache");
+    g.sample_size(10);
+    g.bench_function("cold", |b| {
+        b.iter_batched(
+            Explorer::with_default_threads,
+            |explorer| {
+                let results = explorer.evaluate_points(black_box(&points));
+                assert_eq!(explorer.cache().hit_count(), 0);
+                results
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    // Warm: the same batch through a pre-populated cache — every point a
+    // hit, demonstrating the memoized path the `explore` experiment and
+    // refinement rounds ride on.
+    let warm = Explorer::with_default_threads();
+    let _ = warm.evaluate_points(&points);
+    let cold_misses = warm.cache().miss_count();
+    g.bench_function("warm", |b| {
+        b.iter(|| warm.evaluate_points(black_box(&points)))
+    });
+    assert!(
+        warm.cache().hit_count() > 0,
+        "warm pass must report cache hits via telemetry counters"
+    );
+    assert_eq!(
+        warm.cache().miss_count(),
+        cold_misses,
+        "warm pass must not miss"
+    );
+    g.finish();
+}
+
+criterion_group!(benches, bench_executor, bench_cache);
+criterion_main!(benches);

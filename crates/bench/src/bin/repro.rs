@@ -6,11 +6,14 @@
 //! repro fig10_power fig17
 //! repro all                   # everything, in paper order
 //! repro faults --json out/    # also write out/BENCH_faults.json
+//! repro explore --threads 4   # pin the exploration worker count
 //! ```
 //!
 //! With `--json <dir>`, each selected experiment additionally writes its
 //! machine-readable metrics to `<dir>/BENCH_<name>.json` — seeded runs
 //! with insertion-ordered keys, so the artifacts are byte-stable.
+//! `--threads N` pins the `drone-explorer` worker count; the artifacts
+//! are byte-identical at any value (CI diffs `--threads 1` vs `4`).
 
 use drone_bench::all_experiments;
 use std::path::PathBuf;
@@ -33,6 +36,14 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             }
+        } else if arg == "--threads" {
+            match iter.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(threads) if threads >= 1 => drone_explorer::set_default_threads(threads),
+                _ => {
+                    eprintln!("--threads needs a positive integer argument");
+                    return ExitCode::FAILURE;
+                }
+            }
         } else {
             names.push(arg.as_str());
         }
@@ -40,10 +51,12 @@ fn main() -> ExitCode {
 
     if names.is_empty() || names[0] == "list" || names[0] == "--help" {
         println!(
-            "usage: repro <experiment>... | all | list [--json <dir>]\n\navailable experiments:"
+            "usage: repro <experiment>... | all | list [--json <dir>] [--threads <n>]\n\navailable experiments:"
         );
         let width = experiments.iter().map(|e| e.name.len()).max().unwrap_or(0);
-        for e in &experiments {
+        let mut listing: Vec<_> = experiments.iter().collect();
+        listing.sort_by_key(|e| e.name);
+        for e in listing {
             println!("  {:<width$}  {}", e.name, e.description);
         }
         return ExitCode::SUCCESS;

@@ -3,6 +3,7 @@
 mod arch_figs;
 mod catalog_figs;
 mod control_figs;
+mod explore_figs;
 mod extension_figs;
 pub mod fault_figs;
 mod slam_figs;
@@ -13,6 +14,7 @@ pub use catalog_figs::{figure7, figure8a, figure8b, figure9};
 pub use control_figs::{
     deadlines, gust_rejection, inner_loop, roll_overshoot, roll_rise_time, table2,
 };
+pub use explore_figs::explore;
 pub use extension_figs::{fixed_point, lidar_payload, twr_sweep};
 pub use fault_figs::faults;
 pub use slam_figs::{figure17, profile_sequence, table5};
@@ -173,6 +175,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             "faults",
             "fault campaign with black-box flight recorder and task histograms",
             faults,
+        ),
+        e(
+            "explore",
+            "parallel design-space queries: Pareto frontiers, memoized evaluation",
+            explore,
         ),
     ]
 }

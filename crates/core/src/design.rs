@@ -274,7 +274,7 @@ impl SizedDrone {
             ("payload", self.spec.payload_weight),
             ("wiring", self.wiring_weight),
         ];
-        items.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite weights"));
+        items.sort_by(|a, b| b.1 .0.total_cmp(&a.1 .0));
         items
     }
 }

@@ -1,0 +1,237 @@
+//! The shared evaluation kernel: one design point in, one figure of
+//! merit set out.
+//!
+//! Everything above the sizing equations — the Figure 10 sweeps, the
+//! `drone-explorer` engine, the `dse_query` example — funnels through
+//! [`evaluate`], so a design point means exactly the same thing to the
+//! serial paper reproduction and to the parallel exploration engine.
+//! The function is pure: no global state, no clocks, no allocator
+//! tricks, which is what makes memoization and deterministic parallel
+//! fan-out possible one layer up.
+
+use crate::design::{DesignError, DesignSpec};
+use crate::power::{FlyingLoad, PowerModel};
+use drone_components::battery::CellCount;
+use drone_components::units::{Grams, MilliampHours, Watts};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One design point: the six coordinates the paper's Equations 1–7 take
+/// as free variables.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignQuery {
+    /// Frame wheelbase, mm.
+    pub wheelbase_mm: f64,
+    /// Battery cell configuration.
+    pub cells: CellCount,
+    /// Battery capacity, mAh.
+    pub capacity_mah: f64,
+    /// On-board compute power, W (weight follows the Table 4 trend).
+    pub compute_power_w: f64,
+    /// Target thrust-to-weight ratio.
+    pub twr: f64,
+    /// Dead payload, g.
+    pub payload_g: f64,
+}
+
+impl DesignQuery {
+    /// A point with the sweep defaults: a 3 W chip, the paper's TWR,
+    /// no payload.
+    pub fn new(wheelbase_mm: f64, cells: CellCount, capacity_mah: f64) -> DesignQuery {
+        DesignQuery {
+            wheelbase_mm,
+            cells,
+            capacity_mah,
+            compute_power_w: 3.0,
+            twr: drone_components::paper::PAPER_TWR,
+            payload_g: 0.0,
+        }
+    }
+
+    /// Sets the compute board power.
+    pub fn with_compute_power(mut self, watts: f64) -> DesignQuery {
+        self.compute_power_w = watts;
+        self
+    }
+
+    /// Sets the thrust-to-weight target.
+    pub fn with_twr(mut self, twr: f64) -> DesignQuery {
+        self.twr = twr;
+        self
+    }
+
+    /// Sets the dead payload.
+    pub fn with_payload(mut self, grams: f64) -> DesignQuery {
+        self.payload_g = grams;
+        self
+    }
+
+    /// The [`DesignSpec`] this point sizes through.
+    pub fn to_spec(&self) -> DesignSpec {
+        DesignSpec::new(
+            self.wheelbase_mm,
+            self.cells,
+            MilliampHours(self.capacity_mah),
+        )
+        .with_compute_power(Watts(self.compute_power_w))
+        .with_twr(self.twr)
+        .with_payload(Grams(self.payload_g))
+    }
+}
+
+impl fmt::Display for DesignQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.0} mm / {} / {:.0} mAh / {:.0} W compute / TWR {:.2} / {:.0} g payload",
+            self.wheelbase_mm,
+            self.cells,
+            self.capacity_mah,
+            self.compute_power_w,
+            self.twr,
+            self.payload_g
+        )
+    }
+}
+
+/// Everything Equations 1–7 say about one feasible design point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignEval {
+    /// The evaluated point.
+    pub query: DesignQuery,
+    /// Take-off weight, g.
+    pub weight_g: f64,
+    /// Average hover power, W.
+    pub hover_power_w: f64,
+    /// Average maneuvering power, W.
+    pub maneuver_power_w: f64,
+    /// Hover flight time, min.
+    pub flight_time_min: f64,
+    /// Computation share of total power at hover.
+    pub compute_share_hover: f64,
+    /// Computation share of total power while maneuvering.
+    pub compute_share_maneuver: f64,
+}
+
+/// The exploration objectives, in [`DesignEval::objectives`] order.
+pub const OBJECTIVE_SENSES: [drone_math::Sense; 3] = [
+    drone_math::Sense::Maximize, // flight time
+    drone_math::Sense::Minimize, // take-off weight
+    drone_math::Sense::Minimize, // compute share at hover
+];
+
+impl DesignEval {
+    /// The objective vector `(flight time, weight, compute share)` the
+    /// Pareto frontier ranks, matching [`OBJECTIVE_SENSES`].
+    pub fn objectives(&self) -> [f64; 3] {
+        [
+            self.flight_time_min,
+            self.weight_g,
+            self.compute_share_hover,
+        ]
+    }
+}
+
+/// Evaluates one design point with the paper's power model: sizes the
+/// drone (Eq. 1–2) and derives power, flight time and compute share
+/// (Eq. 3–7).
+///
+/// # Errors
+///
+/// Returns [`DesignError`] when the point cannot fly (sizing diverges,
+/// the battery cannot discharge fast enough, or a parameter is out of
+/// the modelled range).
+pub fn evaluate(query: &DesignQuery) -> Result<DesignEval, DesignError> {
+    evaluate_with(&PowerModel::paper_defaults(), query)
+}
+
+/// [`evaluate`] with an explicit power model (ablation studies vary the
+/// efficiency and drain-limit constants).
+pub fn evaluate_with(model: &PowerModel, query: &DesignQuery) -> Result<DesignEval, DesignError> {
+    let drone = query.to_spec().size()?;
+    let hover = model.average_power(&drone, FlyingLoad::Hover);
+    let maneuver = model.average_power(&drone, FlyingLoad::Maneuver);
+    Ok(DesignEval {
+        query: query.clone(),
+        weight_g: drone.total_weight.0,
+        hover_power_w: hover.total().0,
+        maneuver_power_w: maneuver.total().0,
+        flight_time_min: model.flight_time(&drone, FlyingLoad::Hover).0,
+        compute_share_hover: model.compute_share(&drone, FlyingLoad::Hover),
+        compute_share_maneuver: model.compute_share(&drone, FlyingLoad::Maneuver),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::SizedDrone;
+
+    fn q450() -> DesignQuery {
+        DesignQuery::new(450.0, CellCount::S3, 4000.0)
+    }
+
+    #[test]
+    fn evaluate_matches_the_manual_pipeline() {
+        // The kernel must produce exactly what the pre-refactor sweep
+        // computed by hand: spec → size → power model.
+        let eval = evaluate(&q450()).expect("feasible");
+        let drone: SizedDrone = q450().to_spec().size().unwrap();
+        let model = PowerModel::paper_defaults();
+        assert_eq!(eval.weight_g, drone.total_weight.0);
+        assert_eq!(
+            eval.hover_power_w,
+            model.average_power(&drone, FlyingLoad::Hover).total().0
+        );
+        assert_eq!(
+            eval.flight_time_min,
+            model.flight_time(&drone, FlyingLoad::Hover).0
+        );
+        assert_eq!(
+            eval.compute_share_hover,
+            model.compute_share(&drone, FlyingLoad::Hover)
+        );
+    }
+
+    #[test]
+    fn evaluate_is_pure() {
+        let a = evaluate(&q450()).unwrap();
+        let b = evaluate(&q450()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn builders_reach_the_spec() {
+        let q = q450()
+            .with_compute_power(20.0)
+            .with_twr(3.0)
+            .with_payload(250.0);
+        let spec = q.to_spec();
+        assert_eq!(spec.compute_power.0, 20.0);
+        assert_eq!(spec.twr, 3.0);
+        assert_eq!(spec.payload_weight.0, 250.0);
+        // Table 4 trend: 10 g carrier + 4 g/W.
+        assert_eq!(spec.compute_weight.0, 90.0);
+    }
+
+    #[test]
+    fn infeasible_points_report_errors() {
+        let q = DesignQuery::new(450.0, CellCount::S3, 150.0).with_payload(800.0);
+        assert!(evaluate(&q).is_err());
+        let q = q450().with_twr(0.2);
+        assert!(matches!(
+            evaluate(&q),
+            Err(DesignError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn objectives_follow_the_senses() {
+        let eval = evaluate(&q450()).unwrap();
+        let objs = eval.objectives();
+        assert_eq!(objs[0], eval.flight_time_min);
+        assert_eq!(objs[1], eval.weight_g);
+        assert_eq!(objs[2], eval.compute_share_hover);
+        assert_eq!(OBJECTIVE_SENSES[0], drone_math::Sense::Maximize);
+    }
+}

@@ -10,6 +10,9 @@
 //! * [`design`] — component sizing at a target thrust-to-weight ratio,
 //!   including the Equation 1 fixed point (heavier motors need bigger
 //!   motors).
+//! * [`eval`] — the pure per-point evaluation kernel
+//!   ([`evaluate`]`(&DesignQuery) -> DesignEval`) every sweep and the
+//!   `drone-explorer` engine share.
 //! * [`power`] — flying loads, average power, flight time, computation
 //!   share and gained-flight-time conversions.
 //! * [`sweep`] — the Figure 10 design-space sweeps (total power vs
@@ -42,6 +45,7 @@
 
 pub mod commercial;
 pub mod design;
+pub mod eval;
 pub mod offload;
 pub mod power;
 pub mod procedure;
@@ -49,6 +53,7 @@ pub mod reference_drone;
 pub mod sweep;
 
 pub use design::{DesignSpec, SizedDrone};
+pub use eval::{evaluate, evaluate_with, DesignEval, DesignQuery, OBJECTIVE_SENSES};
 pub use power::{FlyingLoad, PowerBreakdown, PowerModel};
 pub use procedure::{Procedure, ProcedureReport, Requirements};
 pub use sweep::{FootprintPoint, SweepPoint, WheelbaseSweep};

@@ -5,10 +5,9 @@
 //! power vs take-off weight (Figures 10a–c) and the computation power
 //! share for 3 W and 20 W chips at hover and maneuver (Figures 10d–f).
 
-use crate::design::DesignSpec;
-use crate::power::{FlyingLoad, PowerModel};
+use crate::eval::{evaluate, DesignQuery};
 use drone_components::battery::CellCount;
-use drone_components::units::{MilliampHours, Minutes, Watts};
+use drone_components::units::Minutes;
 use serde::{Deserialize, Serialize};
 
 /// One Figure 10a–c point.
@@ -64,41 +63,39 @@ impl WheelbaseSweep {
     /// Panics if `steps < 2`.
     pub fn run(wheelbase_mm: f64, cells: &[CellCount], steps: usize) -> WheelbaseSweep {
         assert!(steps >= 2, "need at least two sweep steps");
-        let model = PowerModel::paper_defaults();
         let mut points = Vec::new();
         let mut footprint = Vec::new();
         for &cell in cells {
             for i in 0..steps {
                 let capacity = 1000.0 + (8000.0 - 1000.0) * i as f64 / (steps - 1) as f64;
-                let spec = DesignSpec::new(wheelbase_mm, cell, MilliampHours(capacity))
-                    .with_compute_power(Watts(3.0));
-                let Ok(drone) = spec.size() else { continue };
-                let hover = model.average_power(&drone, FlyingLoad::Hover);
+                // Both chips must be evaluated before either vector
+                // grows: a corner where only one sizes would otherwise
+                // desynchronize `points` and `footprint`.
+                let query = DesignQuery::new(wheelbase_mm, cell, capacity);
+                let Ok(basic) = evaluate(&query.clone().with_compute_power(3.0)) else {
+                    continue;
+                };
+                let Ok(advanced) = evaluate(&query.with_compute_power(20.0)) else {
+                    continue;
+                };
                 points.push(SweepPoint {
                     cells: cell,
                     capacity_mah: capacity,
-                    weight_g: drone.total_weight.0,
-                    hover_power_w: hover.total().0,
-                    flight_time_min: model.flight_time(&drone, FlyingLoad::Hover).0,
+                    weight_g: basic.weight_g,
+                    hover_power_w: basic.hover_power_w,
+                    flight_time_min: basic.flight_time_min,
                 });
-                // Footprint: re-size with the 20 W chip for its share.
-                let Ok(advanced) = DesignSpec::new(wheelbase_mm, cell, MilliampHours(capacity))
-                    .with_compute_power(Watts(20.0))
-                    .size()
-                else {
-                    continue;
-                };
                 footprint.push(FootprintPoint {
-                    weight_g: drone.total_weight.0,
-                    basic_hover: model.compute_share(&drone, FlyingLoad::Hover),
-                    basic_maneuver: model.compute_share(&drone, FlyingLoad::Maneuver),
-                    advanced_hover: model.compute_share(&advanced, FlyingLoad::Hover),
-                    advanced_maneuver: model.compute_share(&advanced, FlyingLoad::Maneuver),
+                    weight_g: basic.weight_g,
+                    basic_hover: basic.compute_share_hover,
+                    basic_maneuver: basic.compute_share_maneuver,
+                    advanced_hover: advanced.compute_share_hover,
+                    advanced_maneuver: advanced.compute_share_maneuver,
                 });
             }
         }
-        points.sort_by(|a, b| a.weight_g.partial_cmp(&b.weight_g).expect("finite"));
-        footprint.sort_by(|a, b| a.weight_g.partial_cmp(&b.weight_g).expect("finite"));
+        points.sort_by(|a, b| a.weight_g.total_cmp(&b.weight_g));
+        footprint.sort_by(|a, b| a.weight_g.total_cmp(&b.weight_g));
         WheelbaseSweep {
             wheelbase_mm,
             points,
@@ -117,11 +114,9 @@ impl WheelbaseSweep {
 
     /// The best (longest-hover) configuration in the sweep.
     pub fn best_configuration(&self) -> Option<&SweepPoint> {
-        self.points.iter().max_by(|a, b| {
-            a.flight_time_min
-                .partial_cmp(&b.flight_time_min)
-                .expect("finite")
-        })
+        self.points
+            .iter()
+            .max_by(|a, b| a.flight_time_min.total_cmp(&b.flight_time_min))
     }
 
     /// Best flight time, if any design was feasible.
@@ -140,6 +135,35 @@ mod tests {
         let sweep = WheelbaseSweep::run(450.0, &[CellCount::S3], 8);
         assert!(sweep.points.len() >= 6, "{} points", sweep.points.len());
         assert_eq!(sweep.points.len(), sweep.footprint.len());
+    }
+
+    #[test]
+    fn points_and_footprint_stay_in_lockstep_when_20w_resize_fails() {
+        // Regression: tiny 1S frames size fine with a 3 W chip but trip
+        // the battery discharge limit once the 20 W chip's 90 g board is
+        // added. The old loop kept the basic point and `continue`d past
+        // the footprint row, desynchronizing the two vectors.
+        let basic = evaluate(&DesignQuery::new(60.0, CellCount::S1, 1000.0));
+        let advanced =
+            evaluate(&DesignQuery::new(60.0, CellCount::S1, 1000.0).with_compute_power(20.0));
+        assert!(basic.is_ok(), "scenario needs a feasible 3 W point");
+        assert!(
+            advanced.is_err(),
+            "scenario needs an infeasible 20 W re-size"
+        );
+
+        let sweep = WheelbaseSweep::run(60.0, &[CellCount::S1], 8);
+        assert_eq!(sweep.points.len(), sweep.footprint.len());
+        assert!(
+            !sweep.points.is_empty(),
+            "some corners are feasible for both chips"
+        );
+        for (p, fp) in sweep.points.iter().zip(&sweep.footprint) {
+            assert_eq!(
+                p.weight_g, fp.weight_g,
+                "rows must describe the same design"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,352 @@
+//! The exploration engine: executor + cache + frontier + telemetry.
+//!
+//! [`Explorer::run`] answers one [`Query`] in rounds. Round 0 fans the
+//! materialized grid across the executor; each refinement round
+//! re-centres the swept coordinates on the incumbent optimum (one grid
+//! cell either side, resampled) and fans out again. Every round
+//! deduplicates its points against the cache *and* within itself before
+//! dispatch, so the hit/miss counters — and therefore the exported
+//! artifacts — are identical at any thread count: cache state only ever
+//! changes between rounds, on the coordinating thread, in point order.
+
+use crate::cache::{CacheKey, EvalCache};
+use crate::executor::ParallelExecutor;
+use crate::pareto::ParetoFrontier;
+use crate::query::{Query, QueryAnswer};
+use drone_dse::eval::{evaluate, DesignEval, DesignQuery, OBJECTIVE_SENSES};
+use drone_math::stats::{argmax, argmin};
+use drone_math::Sense;
+use drone_telemetry::{Clock, Registry, SharedHistogram};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Cached evaluation outcome (shared with [`EvalCache`]).
+pub type EvalResult = Result<DesignEval, drone_dse::design::DesignError>;
+
+struct QueryTelemetry {
+    latency: Arc<SharedHistogram>,
+    points: Arc<SharedHistogram>,
+    clock: Clock,
+}
+
+/// The parallel, memoizing design-space exploration engine.
+pub struct Explorer {
+    executor: ParallelExecutor,
+    cache: EvalCache,
+    telemetry: Option<QueryTelemetry>,
+}
+
+impl Explorer {
+    /// An engine with `threads` workers and the default cache.
+    pub fn new(threads: usize) -> Explorer {
+        Explorer {
+            executor: ParallelExecutor::new(threads),
+            cache: EvalCache::with_defaults(),
+            telemetry: None,
+        }
+    }
+
+    /// An engine sized by [`crate::executor::default_threads`] (the
+    /// `repro --threads` override, else the hardware).
+    pub fn with_default_threads() -> Explorer {
+        Explorer::new(crate::executor::default_threads())
+    }
+
+    /// Replaces the cache (tests shrink it to exercise eviction).
+    pub fn with_cache(mut self, cache: EvalCache) -> Explorer {
+        self.cache = cache;
+        self
+    }
+
+    /// Registers the engine's metrics: `explorer.cache.*` counters plus
+    /// `explorer.query.latency_s` / `explorer.query.points` histograms.
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.cache.attach_telemetry(registry);
+        self.telemetry = Some(QueryTelemetry {
+            latency: registry.histogram("explorer.query.latency_s"),
+            points: registry.histogram("explorer.query.points"),
+            clock: registry.clock().clone(),
+        });
+    }
+
+    /// The memoization cache (counters, occupancy).
+    pub fn cache(&self) -> &EvalCache {
+        &self.cache
+    }
+
+    /// The executor's worker count.
+    pub fn threads(&self) -> usize {
+        self.executor.threads()
+    }
+
+    /// Evaluates a batch of points — cache first, then one parallel
+    /// fan-out over the unique uncached remainder — returning results
+    /// in input order.
+    ///
+    /// Duplicate keys within the batch coalesce onto one evaluation
+    /// (counted as hits); fresh results enter the cache in input order
+    /// on the calling thread, keeping counters and eviction order
+    /// independent of the thread count.
+    pub fn evaluate_points(&self, points: &[DesignQuery]) -> Vec<EvalResult> {
+        let keys: Vec<CacheKey> = points.iter().map(CacheKey::quantize).collect();
+        let mut resolved: Vec<Option<EvalResult>> = vec![None; points.len()];
+        // Unique uncached keys → the index of their first occurrence.
+        let mut pending: HashMap<CacheKey, usize> = HashMap::new();
+        let mut work: Vec<usize> = Vec::new();
+        for (i, key) in keys.iter().enumerate() {
+            if pending.contains_key(key) {
+                self.cache.note_coalesced_hit();
+                continue;
+            }
+            match self.cache.get(key) {
+                Some(cached) => resolved[i] = Some(cached),
+                None => {
+                    pending.insert(*key, i);
+                    work.push(i);
+                }
+            }
+        }
+
+        let queries: Vec<&DesignQuery> = work.iter().map(|&i| &points[i]).collect();
+        let fresh = self.executor.map(&queries, |_, q| evaluate(q));
+        for (&i, result) in work.iter().zip(fresh) {
+            self.cache.insert(keys[i], result.clone());
+            resolved[i] = Some(result);
+        }
+
+        // Duplicates of a pending key were left unresolved: serve them
+        // from their first occurrence's (now resolved) slot.
+        for i in 0..resolved.len() {
+            if resolved[i].is_none() {
+                let first = pending[&keys[i]];
+                let value = resolved[first].clone().expect("first occurrence evaluated");
+                resolved[i] = Some(value);
+            }
+        }
+        resolved
+            .into_iter()
+            .map(|slot| slot.expect("every point resolved"))
+            .collect()
+    }
+
+    /// Answers one query: grid round, then adaptive refinement around
+    /// the incumbent optimum.
+    pub fn run(&self, query: &Query) -> QueryAnswer {
+        let started = self.telemetry.as_ref().map(|t| t.clock.now());
+
+        let mut feasible: Vec<DesignEval> = Vec::new();
+        let mut evaluated = 0usize;
+        let mut infeasible = 0usize;
+        let mut rounds = 0usize;
+        let mut ranges = query.ranges.clone();
+        // Refinement rounds revisit the incumbent's neighbourhood; each
+        // unique design enters the feasible pool (and so the frontier)
+        // once, however many rounds touch it.
+        let mut seen: HashSet<CacheKey> = HashSet::new();
+
+        for round in 0..=query.refine_rounds {
+            if round > 0 {
+                // Refinement needs an incumbent to centre on.
+                let Some(best) = self.best_of(query, &feasible) else {
+                    break;
+                };
+                ranges = query.ranges.refined_around(&best.query, query.refine_steps);
+            }
+            let grid = ranges.grid();
+            evaluated += grid.len();
+            for (point, result) in grid.iter().zip(self.evaluate_points(&grid)) {
+                if !seen.insert(CacheKey::quantize(point)) {
+                    continue;
+                }
+                match result {
+                    Ok(eval) if query.constraints.admits(&eval) => feasible.push(eval),
+                    _ => infeasible += 1,
+                }
+            }
+            rounds += 1;
+        }
+
+        let best = self.best_of(query, &feasible);
+        let mut frontier = ParetoFrontier::new(&OBJECTIVE_SENSES);
+        for (i, eval) in feasible.iter().enumerate() {
+            frontier.insert(i, &eval.objectives());
+        }
+        let frontier: Vec<DesignEval> = frontier
+            .members()
+            .iter()
+            .map(|m| feasible[m.id].clone())
+            .collect();
+
+        if let (Some(t), Some(start)) = (self.telemetry.as_ref(), started) {
+            t.latency.record(t.clock.now() - start);
+            t.points.record(evaluated as f64);
+        }
+        QueryAnswer {
+            name: query.name.clone(),
+            best,
+            frontier,
+            evaluated,
+            feasible: feasible.len(),
+            infeasible,
+            rounds,
+        }
+    }
+
+    /// Runs a batch of queries in order, sharing the cache across them.
+    pub fn run_batch(&self, queries: &[Query]) -> Vec<QueryAnswer> {
+        queries.iter().map(|q| self.run(q)).collect()
+    }
+
+    /// The incumbent under the query's objective; ties resolve to the
+    /// earliest evaluation, keeping refinement deterministic.
+    fn best_of(&self, query: &Query, feasible: &[DesignEval]) -> Option<DesignEval> {
+        let scores: Vec<f64> = feasible.iter().map(|e| query.objective.value(e)).collect();
+        let idx = match query.objective.sense() {
+            Sense::Maximize => argmax(&scores),
+            Sense::Minimize => argmin(&scores),
+        }?;
+        Some(feasible[idx].clone())
+    }
+}
+
+impl Default for Explorer {
+    fn default() -> Self {
+        Explorer::with_default_threads()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{Constraints, GridRange, Objective, QueryRanges};
+    use drone_components::battery::CellCount;
+
+    fn small_ranges() -> QueryRanges {
+        QueryRanges {
+            wheelbase_mm: GridRange::new(250.0, 450.0, 3),
+            cells: vec![CellCount::S3],
+            capacity_mah: GridRange::new(2000.0, 6000.0, 5),
+            compute_power_w: GridRange::fixed(3.0),
+            twr: GridRange::fixed(2.0),
+            payload_g: GridRange::fixed(0.0),
+        }
+    }
+
+    #[test]
+    fn grid_round_finds_the_serial_optimum() {
+        let explorer = Explorer::new(2);
+        let query = Query::new("t", small_ranges(), Objective::MaxFlightTime).with_refinement(0, 0);
+        let answer = explorer.run(&query);
+        // Serial reference: evaluate the same grid directly.
+        let serial_best = small_ranges()
+            .grid()
+            .iter()
+            .filter_map(|q| evaluate(q).ok())
+            .map(|e| e.flight_time_min)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let best = answer.best.expect("feasible grid");
+        assert_eq!(best.flight_time_min, serial_best);
+        assert_eq!(answer.rounds, 1);
+        assert_eq!(answer.evaluated, 15);
+        assert_eq!(answer.feasible + answer.infeasible, answer.evaluated);
+    }
+
+    #[test]
+    fn refinement_never_worsens_the_incumbent_and_hits_the_cache() {
+        let explorer = Explorer::new(2);
+        let coarse =
+            Query::new("c", small_ranges(), Objective::MaxFlightTime).with_refinement(0, 0);
+        let refined =
+            Query::new("r", small_ranges(), Objective::MaxFlightTime).with_refinement(2, 5);
+        let coarse_best = explorer.run(&coarse).best.unwrap().flight_time_min;
+        let refined_answer = explorer.run(&refined);
+        assert!(refined_answer.rounds >= 2);
+        assert!(refined_answer.best.unwrap().flight_time_min >= coarse_best);
+        // The refined grid re-visits the incumbent (and the whole
+        // coarse grid came from the first run): hits must have accrued.
+        assert!(explorer.cache().hit_count() > 0);
+    }
+
+    #[test]
+    fn constraints_are_respected() {
+        let explorer = Explorer::new(1);
+        let constraints = Constraints {
+            max_weight_g: Some(1200.0),
+            ..Constraints::default()
+        };
+        let query =
+            Query::new("w", small_ranges(), Objective::MaxFlightTime).with_constraints(constraints);
+        let answer = explorer.run(&query);
+        if let Some(best) = &answer.best {
+            assert!(best.weight_g <= 1200.0);
+        }
+        for member in &answer.frontier {
+            assert!(member.weight_g <= 1200.0);
+        }
+    }
+
+    #[test]
+    fn unsatisfiable_queries_answer_empty() {
+        let explorer = Explorer::new(2);
+        let constraints = Constraints {
+            min_flight_time_min: Some(10_000.0),
+            ..Constraints::default()
+        };
+        let query = Query::new("none", small_ranges(), Objective::MaxFlightTime)
+            .with_constraints(constraints);
+        let answer = explorer.run(&query);
+        assert!(answer.best.is_none());
+        assert!(answer.frontier.is_empty());
+        assert_eq!(answer.feasible, 0);
+        // No incumbent → refinement rounds cannot run.
+        assert_eq!(answer.rounds, 1);
+    }
+
+    #[test]
+    fn answers_are_identical_across_thread_counts() {
+        let query = Query::new("d", small_ranges(), Objective::MaxFlightTime);
+        let baseline = Explorer::new(1).run(&query);
+        for threads in [2, 8] {
+            let answer = Explorer::new(threads).run(&query);
+            assert_eq!(answer, baseline, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn batch_shares_the_cache_between_queries() {
+        let explorer = Explorer::new(2);
+        let a = Query::new("a", small_ranges(), Objective::MaxFlightTime).with_refinement(0, 0);
+        let b = Query::new("b", small_ranges(), Objective::MinWeight).with_refinement(0, 0);
+        let answers = explorer.run_batch(&[a, b]);
+        assert_eq!(answers.len(), 2);
+        // Query b's grid is exactly query a's: all 15 points hit.
+        assert_eq!(explorer.cache().hit_count(), 15);
+        assert_eq!(explorer.cache().miss_count(), 15);
+    }
+
+    #[test]
+    fn duplicate_points_coalesce_within_a_batch() {
+        let explorer = Explorer::new(4);
+        let q = DesignQuery::new(450.0, CellCount::S3, 3000.0);
+        let points = vec![q.clone(), q.clone(), q.clone(), q];
+        let results = explorer.evaluate_points(&points);
+        assert!(results.iter().all(|r| r == &results[0]));
+        assert_eq!(explorer.cache().miss_count(), 1);
+        assert_eq!(explorer.cache().hit_count(), 3);
+        assert_eq!(explorer.cache().len(), 1);
+    }
+
+    #[test]
+    fn telemetry_records_query_histograms() {
+        let registry = Registry::with_wall_clock();
+        let mut explorer = Explorer::new(2);
+        explorer.attach_telemetry(&registry);
+        let query = Query::new("t", small_ranges(), Objective::MaxFlightTime).with_refinement(0, 0);
+        let _ = explorer.run(&query);
+        assert_eq!(registry.histogram("explorer.query.latency_s").count(), 1);
+        let points = registry.histogram("explorer.query.points").snapshot();
+        assert_eq!(points.count(), 1);
+        assert_eq!(points.max(), Some(15.0));
+        assert!(registry.counter("explorer.cache.misses").get() > 0);
+    }
+}

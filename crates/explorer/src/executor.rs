@@ -1,0 +1,210 @@
+//! A deterministic work-stealing executor over `std::thread`.
+//!
+//! Design-point evaluation is embarrassingly parallel but wildly
+//! uneven: infeasible corners fail in microseconds while deep sizing
+//! fixed points iterate for a while. A static split would leave workers
+//! idle, so each worker owns a deque of contiguous index blocks, drains
+//! it from the front, and steals from the *back* of a victim's deque
+//! when its own runs dry — the classic Blumofe/Leiserson discipline,
+//! here with mutexed `VecDeque`s since blocks are coarse enough that
+//! queue traffic is negligible.
+//!
+//! **Determinism contract:** results are keyed by the input index, and
+//! the output vector is assembled from those keys — the caller sees
+//! byte-identical output at any thread count, no matter how the blocks
+//! were interleaved or stolen. Scheduling order is *not* deterministic;
+//! result placement is.
+
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Session-wide default thread count; 0 means "ask the OS". The `repro`
+/// binary's `--threads N` flag lands here.
+static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the default worker count used by
+/// [`ParallelExecutor::with_default_threads`]. Pass 0 to restore the
+/// hardware default.
+pub fn set_default_threads(threads: usize) {
+    DEFAULT_THREADS.store(threads, Ordering::Relaxed);
+}
+
+/// The worker count [`ParallelExecutor::with_default_threads`] will
+/// use: the [`set_default_threads`] override when set, otherwise the
+/// machine's available parallelism.
+pub fn default_threads() -> usize {
+    match DEFAULT_THREADS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        n => n,
+    }
+}
+
+/// A fixed-width pool that fans an indexed workload across cores.
+#[derive(Debug, Clone)]
+pub struct ParallelExecutor {
+    threads: usize,
+}
+
+impl ParallelExecutor {
+    /// An executor with exactly `threads` workers (clamped to ≥ 1).
+    pub fn new(threads: usize) -> ParallelExecutor {
+        ParallelExecutor {
+            threads: threads.max(1),
+        }
+    }
+
+    /// An executor sized by [`default_threads`].
+    pub fn with_default_threads() -> ParallelExecutor {
+        ParallelExecutor::new(default_threads())
+    }
+
+    /// The worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Applies `f` to every item and returns the results **in input
+    /// order**, regardless of which worker computed what.
+    ///
+    /// `f` receives `(index, &item)`; it must be pure with respect to
+    /// the output (side effects run in nondeterministic order).
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        if self.threads == 1 || items.len() <= 1 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+
+        // Coarse contiguous blocks: a few per worker so stealing has
+        // something to grab without making queue traffic the hot path.
+        let block = items.len().div_ceil(self.threads * 4).max(1);
+        let deques: Vec<Mutex<VecDeque<Range<usize>>>> = (0..self.threads)
+            .map(|_| Mutex::new(VecDeque::new()))
+            .collect();
+        for (b, start) in (0..items.len()).step_by(block).enumerate() {
+            let end = (start + block).min(items.len());
+            deques[b % self.threads]
+                .lock()
+                .expect("deque lock")
+                .push_back(start..end);
+        }
+
+        let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(items.len()).collect();
+        let locals = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.threads)
+                .map(|worker| {
+                    let deques = &deques;
+                    let f = &f;
+                    scope.spawn(move || {
+                        let mut local: Vec<(usize, R)> = Vec::new();
+                        loop {
+                            // Own work first (front), then steal from a
+                            // victim's back. No new blocks ever appear,
+                            // so one empty sweep over every deque means
+                            // this worker is done.
+                            let next = {
+                                let own = deques[worker].lock().expect("deque lock").pop_front();
+                                own.or_else(|| {
+                                    (1..deques.len()).find_map(|offset| {
+                                        let victim = (worker + offset) % deques.len();
+                                        deques[victim].lock().expect("deque lock").pop_back()
+                                    })
+                                })
+                            };
+                            let Some(range) = next else { break };
+                            for i in range {
+                                local.push((i, f(i, &items[i])));
+                            }
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("executor worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        for local in locals {
+            for (i, r) in local {
+                debug_assert!(slots[i].is_none(), "index {i} evaluated twice");
+                slots[i] = Some(r);
+            }
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every index evaluated exactly once"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn output_is_in_input_order_at_any_thread_count() {
+        let items: Vec<u64> = (0..1000).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 3, 8] {
+            let out = ParallelExecutor::new(threads).map(&items, |_, &x| x * x);
+            assert_eq!(out, expected, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let calls = AtomicU64::new(0);
+        let items: Vec<usize> = (0..777).collect();
+        let out = ParallelExecutor::new(4).map(&items, |i, &x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            assert_eq!(i, x);
+            i
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 777);
+        assert_eq!(out.len(), 777);
+    }
+
+    #[test]
+    fn uneven_workloads_still_key_by_index() {
+        // Early indices are much slower: the tail gets stolen.
+        let items: Vec<u64> = (0..64).collect();
+        let out = ParallelExecutor::new(8).map(&items, |i, &x| {
+            if i < 8 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            x + 1
+        });
+        assert_eq!(out, (1..=64).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let none: Vec<u32> = vec![];
+        assert!(ParallelExecutor::new(4).map(&none, |_, &x| x).is_empty());
+        assert_eq!(
+            ParallelExecutor::new(4).map(&[41u32], |_, &x| x + 1),
+            vec![42]
+        );
+    }
+
+    #[test]
+    fn thread_count_clamps_to_one() {
+        assert_eq!(ParallelExecutor::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn default_thread_override_round_trips() {
+        set_default_threads(3);
+        assert_eq!(default_threads(), 3);
+        assert_eq!(ParallelExecutor::with_default_threads().threads(), 3);
+        set_default_threads(0);
+        assert!(default_threads() >= 1);
+    }
+}

@@ -1,0 +1,189 @@
+//! Pareto frontier maintenance over exploration objectives.
+//!
+//! The engine ranks feasible designs on three axes — hover flight time
+//! (maximize), take-off weight (minimize), compute share (minimize) —
+//! and keeps the mutually non-dominated set incrementally as results
+//! stream out of the executor. Dominance itself is
+//! [`drone_math::pareto::dominates`]; this module owns the bookkeeping
+//! and the 2-D/3-D extraction helpers.
+
+use drone_math::pareto::{dominates, Sense};
+
+/// One frontier member: the caller's point id plus its objective vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontierEntry {
+    /// Caller-side identifier (typically an index into the evaluated
+    /// pool), which keeps extraction deterministic.
+    pub id: usize,
+    /// Objective coordinates, in the frontier's sense order.
+    pub objectives: Vec<f64>,
+}
+
+/// An incrementally maintained Pareto frontier.
+#[derive(Debug, Clone)]
+pub struct ParetoFrontier {
+    senses: Vec<Sense>,
+    members: Vec<FrontierEntry>,
+}
+
+impl ParetoFrontier {
+    /// An empty frontier over the given objective senses.
+    pub fn new(senses: &[Sense]) -> ParetoFrontier {
+        ParetoFrontier {
+            senses: senses.to_vec(),
+            members: Vec::new(),
+        }
+    }
+
+    /// Offers a point. Returns `true` when it joins the frontier
+    /// (evicting any members it dominates), `false` when an existing
+    /// member dominates it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the objective arity does not match the senses.
+    pub fn insert(&mut self, id: usize, objectives: &[f64]) -> bool {
+        assert_eq!(
+            objectives.len(),
+            self.senses.len(),
+            "objective arity mismatch"
+        );
+        if self
+            .members
+            .iter()
+            .any(|m| dominates(&m.objectives, objectives, &self.senses))
+        {
+            return false;
+        }
+        self.members
+            .retain(|m| !dominates(objectives, &m.objectives, &self.senses));
+        self.members.push(FrontierEntry {
+            id,
+            objectives: objectives.to_vec(),
+        });
+        true
+    }
+
+    /// The frontier members, in insertion order of their admission.
+    pub fn members(&self) -> &[FrontierEntry] {
+        &self.members
+    }
+
+    /// Member ids, ascending.
+    pub fn ids(&self) -> Vec<usize> {
+        let mut ids: Vec<usize> = self.members.iter().map(|m| m.id).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// The objective senses.
+    pub fn senses(&self) -> &[Sense] {
+        &self.senses
+    }
+
+    /// Member count.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when no point has been admitted.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+/// Extracts the non-dominated subset of `points` (full dimensionality),
+/// returning ascending indices into `points`.
+pub fn extract_frontier<P: AsRef<[f64]>>(points: &[P], senses: &[Sense]) -> Vec<usize> {
+    (0..points.len())
+        .filter(|&i| {
+            !points
+                .iter()
+                .enumerate()
+                .any(|(j, other)| j != i && dominates(other.as_ref(), points[i].as_ref(), senses))
+        })
+        .collect()
+}
+
+/// Extracts the 2-D frontier over the projection of `points` onto two
+/// objective axes. Note a 2-D frontier must be computed over the *full*
+/// point set: projection changes which points dominate, so it is not a
+/// subset of the 3-D frontier members in general.
+pub fn extract_frontier_2d<P: AsRef<[f64]>>(
+    points: &[P],
+    senses: &[Sense],
+    axes: (usize, usize),
+) -> Vec<usize> {
+    let projected: Vec<[f64; 2]> = points
+        .iter()
+        .map(|p| [p.as_ref()[axes.0], p.as_ref()[axes.1]])
+        .collect();
+    extract_frontier(&projected, &[senses[axes.0], senses[axes.1]])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SENSES: [Sense; 3] = [Sense::Maximize, Sense::Minimize, Sense::Minimize];
+
+    #[test]
+    fn dominated_points_are_rejected_and_evicted() {
+        let mut f = ParetoFrontier::new(&SENSES);
+        assert!(f.insert(0, &[10.0, 1000.0, 0.10]));
+        // Strictly better everywhere: evicts the first.
+        assert!(f.insert(1, &[12.0, 900.0, 0.08]));
+        assert_eq!(f.ids(), vec![1]);
+        // Strictly worse everywhere: rejected.
+        assert!(!f.insert(2, &[11.0, 950.0, 0.09]));
+        // Trades flight time for weight: joins.
+        assert!(f.insert(3, &[8.0, 500.0, 0.12]));
+        assert_eq!(f.ids(), vec![1, 3]);
+    }
+
+    #[test]
+    fn frontier_members_are_mutually_non_dominated() {
+        let mut f = ParetoFrontier::new(&SENSES);
+        let pts = [
+            [10.0, 1000.0, 0.10],
+            [12.0, 1200.0, 0.12],
+            [8.0, 800.0, 0.05],
+            [11.0, 1100.0, 0.04],
+            [9.0, 900.0, 0.20],
+        ];
+        for (i, p) in pts.iter().enumerate() {
+            f.insert(i, p);
+        }
+        for a in f.members() {
+            for b in f.members() {
+                assert!(!dominates(&a.objectives, &b.objectives, &SENSES) || a.id == b.id);
+            }
+        }
+    }
+
+    #[test]
+    fn extraction_matches_incremental_insertion() {
+        let pts: Vec<[f64; 3]> = vec![
+            [10.0, 1000.0, 0.10],
+            [12.0, 900.0, 0.08],
+            [11.0, 950.0, 0.09],
+            [8.0, 500.0, 0.12],
+            [8.0, 500.0, 0.12], // duplicate: both non-dominated (neither dominates the other)
+        ];
+        let mut f = ParetoFrontier::new(&SENSES);
+        for (i, p) in pts.iter().enumerate() {
+            f.insert(i, p);
+        }
+        let extracted = extract_frontier(&pts, &SENSES);
+        assert_eq!(f.ids(), extracted);
+    }
+
+    #[test]
+    fn two_d_projection_recomputes_dominance() {
+        // On (flight, weight) alone, point 1 dominates point 0; in 3-D
+        // point 0 survives thanks to its compute share.
+        let pts: Vec<[f64; 3]> = vec![[10.0, 1000.0, 0.01], [11.0, 900.0, 0.50]];
+        assert_eq!(extract_frontier(&pts, &SENSES), vec![0, 1]);
+        assert_eq!(extract_frontier_2d(&pts, &SENSES, (0, 1)), vec![1]);
+    }
+}

@@ -1,0 +1,362 @@
+//! The query vocabulary of the batch exploration service.
+//!
+//! A [`Query`] names a region of the design space (grid ranges over the
+//! six design coordinates), output constraints, and an objective; the
+//! engine answers with the constrained optimum, the Pareto frontier of
+//! the feasible set, and evaluation statistics. The ISSUE's running
+//! example — "max flight time for wheelbase ≤ 450 mm, payload ≥ 200 g,
+//! compute ≥ 20 W" — is a range upper/lower bound plus
+//! `Objective::MaxFlightTime`.
+
+use drone_components::battery::CellCount;
+use drone_dse::eval::{DesignEval, DesignQuery};
+use drone_math::Sense;
+use serde::{Deserialize, Serialize};
+
+/// An inclusive `[min, max]` interval sampled at `steps` evenly spaced
+/// values (`steps == 1` pins the coordinate at `min`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GridRange {
+    /// Lower bound.
+    pub min: f64,
+    /// Upper bound.
+    pub max: f64,
+    /// Sample count (≥ 1).
+    pub steps: usize,
+}
+
+impl GridRange {
+    /// A sampled interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `steps == 0` or `max < min`.
+    pub fn new(min: f64, max: f64, steps: usize) -> GridRange {
+        assert!(steps >= 1, "a range needs at least one sample");
+        assert!(max >= min, "range [{min}, {max}] is inverted");
+        GridRange { min, max, steps }
+    }
+
+    /// A coordinate pinned to a single value.
+    pub fn fixed(value: f64) -> GridRange {
+        GridRange::new(value, value, 1)
+    }
+
+    /// The sampled values, low to high.
+    pub fn values(&self) -> Vec<f64> {
+        if self.steps == 1 {
+            return vec![self.min];
+        }
+        (0..self.steps)
+            .map(|i| self.min + (self.max - self.min) * i as f64 / (self.steps - 1) as f64)
+            .collect()
+    }
+
+    /// Spacing between adjacent samples (0 for a pinned coordinate).
+    pub fn step_size(&self) -> f64 {
+        if self.steps <= 1 {
+            0.0
+        } else {
+            (self.max - self.min) / (self.steps - 1) as f64
+        }
+    }
+
+    /// A refined range: one grid cell either side of `center`, clamped
+    /// to this range's bounds, resampled at `steps` points. Used by the
+    /// adaptive refinement rounds; a pinned coordinate stays pinned.
+    pub fn refined_around(&self, center: f64, steps: usize) -> GridRange {
+        if self.steps <= 1 {
+            return *self;
+        }
+        let half = self.step_size();
+        GridRange::new(
+            (center - half).max(self.min),
+            (center + half).min(self.max),
+            steps.max(2),
+        )
+    }
+}
+
+/// The gridded region of design space a query covers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryRanges {
+    /// Wheelbase, mm.
+    pub wheelbase_mm: GridRange,
+    /// Candidate cell configurations.
+    pub cells: Vec<CellCount>,
+    /// Battery capacity, mAh.
+    pub capacity_mah: GridRange,
+    /// Compute power, W.
+    pub compute_power_w: GridRange,
+    /// Thrust-to-weight target.
+    pub twr: GridRange,
+    /// Dead payload, g.
+    pub payload_g: GridRange,
+}
+
+impl QueryRanges {
+    /// The paper's Figure 10 neighbourhood: 100–800 mm, 1S/3S/6S,
+    /// 1000–8000 mAh, a 3 W chip at TWR 2 with no payload.
+    pub fn figure10_defaults() -> QueryRanges {
+        QueryRanges {
+            wheelbase_mm: GridRange::new(100.0, 800.0, 8),
+            cells: vec![CellCount::S1, CellCount::S3, CellCount::S6],
+            capacity_mah: GridRange::new(1000.0, 8000.0, 15),
+            compute_power_w: GridRange::fixed(3.0),
+            twr: GridRange::fixed(drone_components::paper::PAPER_TWR),
+            payload_g: GridRange::fixed(0.0),
+        }
+    }
+
+    /// Materializes the full grid, cells outermost, in a fixed
+    /// deterministic order.
+    pub fn grid(&self) -> Vec<DesignQuery> {
+        let mut points = Vec::with_capacity(self.point_count());
+        for &cells in &self.cells {
+            for &wheelbase in &self.wheelbase_mm.values() {
+                for &capacity in &self.capacity_mah.values() {
+                    for &compute in &self.compute_power_w.values() {
+                        for &twr in &self.twr.values() {
+                            for &payload in &self.payload_g.values() {
+                                points.push(DesignQuery {
+                                    wheelbase_mm: wheelbase,
+                                    cells,
+                                    capacity_mah: capacity,
+                                    compute_power_w: compute,
+                                    twr,
+                                    payload_g: payload,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        points
+    }
+
+    /// How many points [`QueryRanges::grid`] will produce.
+    pub fn point_count(&self) -> usize {
+        self.cells.len()
+            * self.wheelbase_mm.steps
+            * self.capacity_mah.steps
+            * self.compute_power_w.steps
+            * self.twr.steps
+            * self.payload_g.steps
+    }
+
+    /// The ranges re-centred on one design point for a refinement
+    /// round: every swept coordinate shrinks to one grid cell around
+    /// the incumbent, the cell list collapses to the incumbent's.
+    pub fn refined_around(&self, best: &DesignQuery, steps: usize) -> QueryRanges {
+        QueryRanges {
+            wheelbase_mm: self.wheelbase_mm.refined_around(best.wheelbase_mm, steps),
+            cells: vec![best.cells],
+            capacity_mah: self.capacity_mah.refined_around(best.capacity_mah, steps),
+            compute_power_w: self
+                .compute_power_w
+                .refined_around(best.compute_power_w, steps),
+            twr: self.twr.refined_around(best.twr, steps),
+            payload_g: self.payload_g.refined_around(best.payload_g, steps),
+        }
+    }
+}
+
+/// Output-side feasibility constraints.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Constraints {
+    /// Take-off weight ceiling, g.
+    pub max_weight_g: Option<f64>,
+    /// Flight-time floor, min.
+    pub min_flight_time_min: Option<f64>,
+    /// Hover compute-share ceiling.
+    pub max_compute_share_hover: Option<f64>,
+    /// Hover power ceiling, W.
+    pub max_hover_power_w: Option<f64>,
+}
+
+impl Constraints {
+    /// True when the evaluated design satisfies every bound.
+    pub fn admits(&self, eval: &DesignEval) -> bool {
+        self.max_weight_g.is_none_or(|b| eval.weight_g <= b)
+            && self
+                .min_flight_time_min
+                .is_none_or(|b| eval.flight_time_min >= b)
+            && self
+                .max_compute_share_hover
+                .is_none_or(|b| eval.compute_share_hover <= b)
+            && self
+                .max_hover_power_w
+                .is_none_or(|b| eval.hover_power_w <= b)
+    }
+}
+
+/// What the query optimizes among constraint-feasible points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Objective {
+    /// Longest hover flight time.
+    MaxFlightTime,
+    /// Lightest take-off weight.
+    MinWeight,
+    /// Smallest hover compute share.
+    MinComputeShare,
+}
+
+impl Objective {
+    /// The scalar this objective ranks.
+    pub fn value(self, eval: &DesignEval) -> f64 {
+        match self {
+            Objective::MaxFlightTime => eval.flight_time_min,
+            Objective::MinWeight => eval.weight_g,
+            Objective::MinComputeShare => eval.compute_share_hover,
+        }
+    }
+
+    /// The optimization direction.
+    pub fn sense(self) -> Sense {
+        match self {
+            Objective::MaxFlightTime => Sense::Maximize,
+            Objective::MinWeight | Objective::MinComputeShare => Sense::Minimize,
+        }
+    }
+}
+
+/// One exploration request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Query {
+    /// Label carried into the answer and reports.
+    pub name: String,
+    /// The region to explore.
+    pub ranges: QueryRanges,
+    /// Feasibility bounds on the evaluated outputs.
+    pub constraints: Constraints,
+    /// What to optimize.
+    pub objective: Objective,
+    /// Adaptive refinement rounds around the incumbent (0 = grid only).
+    pub refine_rounds: usize,
+    /// Samples per swept coordinate in each refinement round.
+    pub refine_steps: usize,
+}
+
+impl Query {
+    /// A grid query with two refinement rounds of 5 samples per axis.
+    pub fn new(name: &str, ranges: QueryRanges, objective: Objective) -> Query {
+        Query {
+            name: name.to_owned(),
+            ranges,
+            constraints: Constraints::default(),
+            objective,
+            refine_rounds: 2,
+            refine_steps: 5,
+        }
+    }
+
+    /// Sets the constraints.
+    pub fn with_constraints(mut self, constraints: Constraints) -> Query {
+        self.constraints = constraints;
+        self
+    }
+
+    /// Sets the refinement schedule.
+    pub fn with_refinement(mut self, rounds: usize, steps: usize) -> Query {
+        self.refine_rounds = rounds;
+        self.refine_steps = steps;
+        self
+    }
+}
+
+/// The engine's answer to one [`Query`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryAnswer {
+    /// The query's label.
+    pub name: String,
+    /// The constrained optimum, when any point was feasible.
+    pub best: Option<DesignEval>,
+    /// Pareto frontier (flight time ↑, weight ↓, compute share ↓) of
+    /// the feasible set, in admission order.
+    pub frontier: Vec<DesignEval>,
+    /// Points dispatched, including ones served from the cache and
+    /// refinement-round revisits.
+    pub evaluated: usize,
+    /// Unique designs that sized and met the constraints.
+    pub feasible: usize,
+    /// Unique designs that failed to size or broke a constraint.
+    pub infeasible: usize,
+    /// Rounds run (1 grid round + refinements that had an incumbent).
+    pub rounds: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_ranges_sample_inclusively() {
+        let r = GridRange::new(0.0, 10.0, 5);
+        assert_eq!(r.values(), vec![0.0, 2.5, 5.0, 7.5, 10.0]);
+        assert_eq!(r.step_size(), 2.5);
+        assert_eq!(GridRange::fixed(4.0).values(), vec![4.0]);
+    }
+
+    #[test]
+    fn refinement_shrinks_around_the_center_and_clamps() {
+        let r = GridRange::new(0.0, 10.0, 5);
+        let refined = r.refined_around(5.0, 5);
+        assert_eq!((refined.min, refined.max), (2.5, 7.5));
+        let edge = r.refined_around(0.0, 5);
+        assert_eq!(edge.min, 0.0);
+        // Pinned coordinates never widen.
+        let pinned = GridRange::fixed(3.0).refined_around(3.0, 5);
+        assert_eq!(pinned.values(), vec![3.0]);
+    }
+
+    #[test]
+    fn grid_enumerates_the_product_space() {
+        let ranges = QueryRanges {
+            wheelbase_mm: GridRange::new(100.0, 450.0, 2),
+            cells: vec![CellCount::S1, CellCount::S3],
+            capacity_mah: GridRange::new(1000.0, 3000.0, 3),
+            compute_power_w: GridRange::fixed(3.0),
+            twr: GridRange::fixed(2.0),
+            payload_g: GridRange::fixed(0.0),
+        };
+        let grid = ranges.grid();
+        assert_eq!(grid.len(), ranges.point_count());
+        assert_eq!(grid.len(), 12);
+        // Deterministic order: first point is the all-minima corner of
+        // the first cell config.
+        assert_eq!(grid[0].cells, CellCount::S1);
+        assert_eq!(grid[0].wheelbase_mm, 100.0);
+        assert_eq!(grid[0].capacity_mah, 1000.0);
+    }
+
+    #[test]
+    fn constraints_gate_on_outputs() {
+        let eval = drone_dse::eval::evaluate(&DesignQuery::new(450.0, CellCount::S3, 4000.0))
+            .expect("feasible");
+        assert!(Constraints::default().admits(&eval));
+        let tight = Constraints {
+            max_weight_g: Some(eval.weight_g - 1.0),
+            ..Constraints::default()
+        };
+        assert!(!tight.admits(&eval));
+        let loose = Constraints {
+            min_flight_time_min: Some(eval.flight_time_min / 2.0),
+            max_hover_power_w: Some(eval.hover_power_w + 1.0),
+            ..Constraints::default()
+        };
+        assert!(loose.admits(&eval));
+    }
+
+    #[test]
+    fn objectives_rank_in_their_sense() {
+        assert_eq!(Objective::MaxFlightTime.sense(), Sense::Maximize);
+        assert_eq!(Objective::MinWeight.sense(), Sense::Minimize);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_range_panics() {
+        let _ = GridRange::new(5.0, 1.0, 3);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the exploration engine's two load-bearing
+//! guarantees: Pareto dominance is a strict partial order whose
+//! extracted frontier is exactly the maximal set, and the parallel
+//! executor is a drop-in for serial iteration at any thread count.
+
+use drone_explorer::{extract_frontier, ParallelExecutor, ParetoFrontier};
+use drone_math::{dominates, Sense};
+use proptest::prelude::*;
+
+/// A random 3-objective point.
+fn point() -> impl Strategy<Value = [f64; 3]> {
+    (0.0f64..100.0, 0.0f64..100.0, 0.0f64..100.0).prop_map(|(a, b, c)| [a, b, c])
+}
+
+fn points() -> impl Strategy<Value = Vec<[f64; 3]>> {
+    prop::collection::vec(point(), 1..40)
+}
+
+/// One of the eight max/min sense assignments over three axes.
+fn senses() -> impl Strategy<Value = [Sense; 3]> {
+    (0usize..8).prop_map(|bits| {
+        let pick = |bit: usize| {
+            if bits >> bit & 1 == 0 {
+                Sense::Maximize
+            } else {
+                Sense::Minimize
+            }
+        };
+        [pick(0), pick(1), pick(2)]
+    })
+}
+
+proptest! {
+    #[test]
+    fn dominance_is_irreflexive(p in point(), senses in senses()) {
+        prop_assert!(!dominates(&p, &p, &senses), "{p:?} dominates itself");
+    }
+
+    #[test]
+    fn dominance_is_antisymmetric(a in point(), b in point(), senses in senses()) {
+        prop_assert!(
+            !(dominates(&a, &b, &senses) && dominates(&b, &a, &senses)),
+            "{a:?} and {b:?} dominate each other"
+        );
+    }
+
+    #[test]
+    fn extracted_frontier_is_mutually_non_dominated(
+        points in points(),
+        senses in senses(),
+    ) {
+        let frontier = extract_frontier(&points, &senses);
+        prop_assert!(!frontier.is_empty(), "a non-empty finite set has maximal points");
+        for &i in &frontier {
+            for &j in &frontier {
+                prop_assert!(
+                    !dominates(&points[i], &points[j], &senses),
+                    "frontier member {i} dominates frontier member {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_dropped_point_is_dominated_by_a_frontier_member(
+        points in points(),
+        senses in senses(),
+    ) {
+        let frontier = extract_frontier(&points, &senses);
+        for i in 0..points.len() {
+            if frontier.contains(&i) {
+                continue;
+            }
+            prop_assert!(
+                frontier
+                    .iter()
+                    .any(|&k| dominates(&points[k], &points[i], &senses)),
+                "dropped point {i} ({:?}) is not dominated by any frontier member",
+                points[i]
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_frontier_matches_batch_extraction(
+        points in points(),
+        senses in senses(),
+    ) {
+        let mut incremental = ParetoFrontier::new(&senses);
+        for (i, p) in points.iter().enumerate() {
+            incremental.insert(i, p);
+        }
+        let mut ids = incremental.ids();
+        ids.sort_unstable();
+        let mut batch = extract_frontier(&points, &senses);
+        batch.sort_unstable();
+        prop_assert_eq!(ids, batch);
+    }
+
+    #[test]
+    fn parallel_executor_matches_serial_at_every_thread_count(
+        items in prop::collection::vec(-1.0e3f64..1.0e3, 0..120),
+    ) {
+        // A mapping that depends on both index and value, so any
+        // dropped, duplicated, or reordered item changes the output.
+        let f = |i: usize, x: &f64| (i, x * x + i as f64);
+        let serial = ParallelExecutor::new(1).map(&items, f);
+        for threads in [2usize, 8] {
+            let parallel = ParallelExecutor::new(threads).map(&items, f);
+            prop_assert_eq!(&parallel, &serial, "{} threads diverged", threads);
+        }
+    }
+}

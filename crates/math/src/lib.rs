@@ -20,6 +20,7 @@ pub mod angles;
 pub mod fixed;
 pub mod matrix;
 pub mod optimize;
+pub mod pareto;
 pub mod quat;
 pub mod regression;
 pub mod rng;
@@ -28,6 +29,7 @@ pub mod vec3;
 
 pub use matrix::Matrix;
 pub use optimize::{LevenbergMarquardt, LmOutcome, LmReport};
+pub use pareto::{dominates, Sense};
 pub use quat::Quat;
 pub use regression::{LinearFit, WeightedPoint};
 pub use rng::Pcg32;

@@ -39,7 +39,7 @@ pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
         return None;
     }
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    sorted.sort_by(f64::total_cmp);
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -50,6 +50,25 @@ pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
 /// Median (the 0.5 quantile).
 pub fn median(xs: &[f64]) -> Option<f64> {
     quantile(xs, 0.5)
+}
+
+/// Index of the largest element under [`f64::total_cmp`]; `None` for an
+/// empty slice. Ties resolve to the earliest index, so callers that key
+/// results by position stay deterministic.
+pub fn argmax(xs: &[f64]) -> Option<usize> {
+    xs.iter()
+        .enumerate()
+        .max_by(|(ia, a), (ib, b)| a.total_cmp(b).then(ib.cmp(ia)))
+        .map(|(i, _)| i)
+}
+
+/// Index of the smallest element under [`f64::total_cmp`]; `None` for an
+/// empty slice. Ties resolve to the earliest index.
+pub fn argmin(xs: &[f64]) -> Option<usize> {
+    xs.iter()
+        .enumerate()
+        .min_by(|(ia, a), (ib, b)| a.total_cmp(b).then(ia.cmp(ib)))
+        .map(|(i, _)| i)
 }
 
 /// Root mean square; `None` for an empty slice.
@@ -97,6 +116,15 @@ mod tests {
         assert!((quantile(&xs, 1.0).unwrap() - 4.0).abs() < 1e-12);
         assert!((median(&xs).unwrap() - 2.5).abs() < 1e-12);
         assert!(quantile(&xs, 1.5).is_none());
+    }
+
+    #[test]
+    fn argmax_argmin_break_ties_at_first_index() {
+        let xs = [1.0, 5.0, 5.0, -2.0, -2.0];
+        assert_eq!(argmax(&xs), Some(1));
+        assert_eq!(argmin(&xs), Some(3));
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmin(&[]), None);
     }
 
     #[test]

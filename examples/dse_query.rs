@@ -1,0 +1,122 @@
+//! `dse_query` — ask the exploration engine questions about the design
+//! space from the command line.
+//!
+//! ```sh
+//! cargo run --release --example dse_query
+//! cargo run --release --example dse_query -- \
+//!     --max-wheelbase 450 --min-payload 200 --min-compute 20 --threads 4
+//! ```
+//!
+//! The defaults reproduce the README question: *"what is the maximum
+//! flight time for wheelbase ≤ 450 mm, payload ≥ 200 g and a ≥ 20 W
+//! computer?"* — answered with the constrained optimum plus the Pareto
+//! frontier (flight time ↑, weight ↓, compute share ↓) around it.
+
+use drone_components::battery::CellCount;
+use drone_explorer::{Explorer, GridRange, Objective, Query, QueryRanges};
+use std::process::ExitCode;
+
+struct Args {
+    max_wheelbase_mm: f64,
+    min_payload_g: f64,
+    min_compute_w: f64,
+    threads: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        max_wheelbase_mm: 450.0,
+        min_payload_g: 200.0,
+        min_compute_w: 20.0,
+        threads: drone_explorer::default_threads(),
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let value = iter
+            .next()
+            .ok_or_else(|| format!("{flag} needs a value"))?
+            .parse::<f64>()
+            .map_err(|e| format!("{flag}: {e}"))?;
+        match flag.as_str() {
+            "--max-wheelbase" => args.max_wheelbase_mm = value,
+            "--min-payload" => args.min_payload_g = value,
+            "--min-compute" => args.min_compute_w = value,
+            "--threads" => args.threads = (value as usize).max(1),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!(
+                "{message}\nusage: dse_query [--max-wheelbase MM] [--min-payload G] \
+                 [--min-compute W] [--threads N]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let ranges = QueryRanges {
+        wheelbase_mm: GridRange::new(
+            (args.max_wheelbase_mm / 2.0).max(100.0),
+            args.max_wheelbase_mm,
+            4,
+        ),
+        cells: vec![CellCount::S3, CellCount::S6],
+        capacity_mah: GridRange::new(1000.0, 8000.0, 8),
+        compute_power_w: GridRange::new(args.min_compute_w, args.min_compute_w + 10.0, 3),
+        twr: GridRange::fixed(drone_components::paper::PAPER_TWR),
+        payload_g: GridRange::new(args.min_payload_g, args.min_payload_g + 200.0, 3),
+    };
+    let query = Query::new("cli", ranges, Objective::MaxFlightTime);
+    let explorer = Explorer::new(args.threads);
+    let answer = explorer.run(&query);
+
+    println!(
+        "evaluated {} design points in {} round(s) on {} thread(s); {} feasible",
+        answer.evaluated,
+        answer.rounds,
+        explorer.threads(),
+        answer.feasible
+    );
+    let Some(best) = &answer.best else {
+        println!(
+            "no design flies with wheelbase <= {:.0} mm, payload >= {:.0} g, compute >= {:.0} W",
+            args.max_wheelbase_mm, args.min_payload_g, args.min_compute_w
+        );
+        return ExitCode::SUCCESS;
+    };
+    println!(
+        "max flight time: {:.1} min  ({})",
+        best.flight_time_min, best.query
+    );
+    println!(
+        "  at {:.0} g take-off weight, {:.0} W hover, {:.1}% compute share",
+        best.weight_g,
+        best.hover_power_w,
+        best.compute_share_hover * 100.0
+    );
+
+    println!("\nPareto frontier (flight ^, weight v, compute share v):");
+    let mut frontier: Vec<_> = answer.frontier.iter().collect();
+    frontier.sort_by(|a, b| b.flight_time_min.total_cmp(&a.flight_time_min));
+    for member in frontier {
+        println!(
+            "  {:>5.1} min  {:>6.0} g  {:>4.1}% compute  <- {}",
+            member.flight_time_min,
+            member.weight_g,
+            member.compute_share_hover * 100.0,
+            member.query
+        );
+    }
+    println!(
+        "\ncache: {} hits / {} misses",
+        explorer.cache().hit_count(),
+        explorer.cache().miss_count()
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,91 @@
+//! Pins `WheelbaseSweep::paper_figure10()` bit-for-bit.
+//!
+//! The sweep was refactored onto the shared `drone_dse::eval::evaluate`
+//! kernel (the same function `drone-explorer` fans out in parallel);
+//! this snapshot guarantees the refactor — and any future change to the
+//! kernel — cannot silently move the paper's Figure 10 numbers. The
+//! expected values were captured from the evaluator-backed sweep after
+//! the `points`/`footprint` skew fix: a 3 W-feasible corner whose 20 W
+//! re-size fails is now dropped from *both* vectors, which removed the
+//! one desynchronized 800 mm point the pre-fix code kept (45 → 44 rows,
+//! previously 45 points vs 44 footprint rows).
+
+use drone_dse::sweep::WheelbaseSweep;
+
+/// FNV-1a over a canonical 9-decimal rendering of every sweep row:
+/// any change to a point, an ordering, or a count moves the digest.
+fn fingerprint(sweeps: &[WheelbaseSweep]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |s: &str| {
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for s in sweeps {
+        eat(&format!(
+            "{}:{}:{}\n",
+            s.wheelbase_mm,
+            s.points.len(),
+            s.footprint.len()
+        ));
+        for p in &s.points {
+            eat(&format!(
+                "{:?} {:.9} {:.9} {:.9} {:.9}\n",
+                p.cells, p.capacity_mah, p.weight_g, p.hover_power_w, p.flight_time_min
+            ));
+        }
+        for p in &s.footprint {
+            eat(&format!(
+                "{:.9} {:.9} {:.9} {:.9} {:.9}\n",
+                p.weight_g, p.basic_hover, p.basic_maneuver, p.advanced_hover, p.advanced_maneuver
+            ));
+        }
+    }
+    h
+}
+
+#[test]
+fn paper_figure10_is_byte_stable() {
+    let sweeps = WheelbaseSweep::paper_figure10();
+
+    // Shape: three wheelbases; points and footprint in lockstep. The
+    // 800 mm panel drops the one corner (1S) whose 20 W re-size trips
+    // the battery discharge limit.
+    let shape: Vec<(f64, usize, usize)> = sweeps
+        .iter()
+        .map(|s| (s.wheelbase_mm, s.points.len(), s.footprint.len()))
+        .collect();
+    assert_eq!(
+        shape,
+        vec![(100.0, 45, 45), (450.0, 45, 45), (800.0, 44, 44)]
+    );
+
+    // Spot values, readable on failure.
+    let best: Vec<f64> = sweeps
+        .iter()
+        .map(|s| s.best_flight_time().expect("feasible designs").0)
+        .collect();
+    for (got, expected) in best.iter().zip([14.229203043, 39.966307256, 44.779325872]) {
+        assert!(
+            (got - expected).abs() < 1e-9,
+            "best {got} vs pinned {expected}"
+        );
+    }
+    assert!((sweeps[0].points[0].weight_g - 215.79612104904555).abs() < 1e-12);
+    assert!((sweeps[2].points[0].hover_power_w - 70.06487799274299).abs() < 1e-12);
+
+    // The full-precision digest over every row.
+    assert_eq!(
+        fingerprint(&sweeps),
+        0x4704_d584_9323_0880,
+        "paper_figure10 output moved — the Figure 10 snapshot must be re-pinned deliberately"
+    );
+}
+
+#[test]
+fn run_is_deterministic_call_to_call() {
+    let a = WheelbaseSweep::run(450.0, &[drone_components::battery::CellCount::S3], 10);
+    let b = WheelbaseSweep::run(450.0, &[drone_components::battery::CellCount::S3], 10);
+    assert_eq!(a, b);
+}

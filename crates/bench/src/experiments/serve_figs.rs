@@ -1,0 +1,311 @@
+//! The `serve` experiment: the batched DSE query server under a
+//! deterministic multi-client workload, plus a staged overload drill.
+//!
+//! Two phases against one live loopback server:
+//!
+//! 1. **Overload drill** — workers paused, connections opened until
+//!    the bounded queue fills; the surplus must be shed with a
+//!    structured `overloaded` reply, then the admitted backlog drains
+//!    once workers resume. Accept order is FIFO, so the shed count is
+//!    exact, not statistical.
+//! 2. **Throughput run** — N client threads each pipeline a seeded
+//!    [`Workload`] stream and read back one reply per request.
+//!
+//! The JSON artifact holds only scheduling-independent numbers:
+//! request counts, per-request *cost units* (grid points dispatched —
+//! the sim-deterministic latency proxy), the exact shed/error
+//! counters, drain stats and an FNV digest of the sorted ok replies.
+//! `BENCH_serve.json` is therefore byte-identical at `--threads 1`
+//! and `--threads 4`; CI diffs exactly that. Wall-clock latency lives
+//! in the `serve.request.latency_s` histogram and is reported as a
+//! count only.
+
+use crate::experiments::Report;
+use crate::table::{f, Table};
+use drone_explorer::Explorer;
+use drone_serve::{Server, ServerConfig, Workload};
+use drone_telemetry::{Histogram, Json, Registry};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+const SEED: u64 = 7;
+const CLIENTS: u64 = 3;
+const REQUESTS_PER_CLIENT: usize = 12;
+const DRILL_QUEUE_CAPACITY: usize = 4;
+const DRILL_OVERFLOW: usize = 3;
+
+/// FNV-1a over the sorted reply lines: a strong, order-independent
+/// fingerprint that any two runs (at any thread count) must share.
+fn fnv_digest(lines: &mut [String]) -> String {
+    lines.sort();
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for line in lines {
+        for byte in line.bytes().chain(std::iter::once(b'\n')) {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    format!("{hash:016x}")
+}
+
+/// One pipelined client: write every request, half-close, read every
+/// reply line back.
+fn run_client(addr: std::net::SocketAddr, client: u64) -> Vec<String> {
+    let mut workload = Workload::new(SEED, client);
+    let mut stream = TcpStream::connect(addr).expect("connect to serve benchmark server");
+    let mut payload = String::new();
+    for _ in 0..REQUESTS_PER_CLIENT {
+        payload.push_str(&workload.next_request_line());
+    }
+    stream
+        .write_all(payload.as_bytes())
+        .expect("write workload");
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+    BufReader::new(stream)
+        .lines()
+        .map(|l| l.expect("read reply line"))
+        .collect()
+}
+
+/// Workers paused, the queue admits exactly `queue_capacity`
+/// connections and sheds the rest with structured replies; resuming
+/// drains the backlog. Returns (admitted, shed) counts.
+fn overload_drill(server: &Server) -> (usize, usize) {
+    server.pause_workers();
+    let mut admitted: Vec<TcpStream> = Vec::new();
+    let mut shed = 0usize;
+    for i in 0..DRILL_QUEUE_CAPACITY + DRILL_OVERFLOW {
+        let stream = TcpStream::connect(server.addr()).expect("connect during drill");
+        if i < DRILL_QUEUE_CAPACITY {
+            let mut workload = Workload::new(SEED + 1, i as u64);
+            let mut stream = stream;
+            stream
+                .write_all(workload.next_request_line().as_bytes())
+                .expect("write drill request");
+            stream
+                .shutdown(std::net::Shutdown::Write)
+                .expect("half-close drill connection");
+            admitted.push(stream);
+        } else {
+            // Overflow connections are shed at accept: one overloaded
+            // line, then close. Block until that reply arrives so the
+            // drill stays in lockstep with the acceptor.
+            let mut line = String::new();
+            BufReader::new(stream)
+                .read_line(&mut line)
+                .expect("read shed reply");
+            let doc = Json::parse(&line).expect("shed reply is JSON");
+            assert_eq!(
+                doc.get("error").and_then(|e| e.get("kind")),
+                Some(&Json::Str("overloaded".into())),
+                "shed reply must be structured: {line}"
+            );
+            shed += 1;
+        }
+    }
+    server.resume_workers();
+    let drained = admitted.len();
+    for stream in admitted {
+        let mut line = String::new();
+        BufReader::new(stream)
+            .read_line(&mut line)
+            .expect("read drill reply");
+        let doc = Json::parse(&line).expect("drill reply is JSON");
+        assert_eq!(doc.get("ok"), Some(&Json::Bool(true)), "{line}");
+    }
+    (drained, shed)
+}
+
+/// Runs the server benchmark and reports deterministic throughput,
+/// cost-unit latency quantiles, shed and drain behaviour.
+pub fn serve() -> Report {
+    let registry = Registry::with_wall_clock();
+    let mut engine = Explorer::with_default_threads();
+    engine.attach_telemetry(&registry);
+    let engine_threads = engine.threads();
+    let config = ServerConfig {
+        workers: 2,
+        queue_capacity: DRILL_QUEUE_CAPACITY,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(engine, config, &registry).expect("bind loopback server");
+
+    let (drill_admitted, drill_shed) = overload_drill(&server);
+
+    let clients: Vec<std::thread::JoinHandle<Vec<String>>> = (0..CLIENTS)
+        .map(|c| {
+            let addr = server.addr();
+            std::thread::spawn(move || run_client(addr, c))
+        })
+        .collect();
+    let mut replies: Vec<String> = Vec::new();
+    for client in clients {
+        replies.extend(client.join().expect("client thread"));
+    }
+
+    // Per-request cost units come from the replies themselves (keyed
+    // by the globally unique request ids), so the latency histogram is
+    // identical however the server interleaved the work.
+    let mut by_id: Vec<(u64, u64)> = replies
+        .iter()
+        .map(|line| {
+            let doc = Json::parse(line).expect("reply is JSON");
+            assert_eq!(doc.get("ok"), Some(&Json::Bool(true)), "{line}");
+            let id = doc.get("id").and_then(Json::as_f64).expect("reply id") as u64;
+            let cost = doc
+                .get("answer")
+                .and_then(|a| a.get("cost_units"))
+                .and_then(Json::as_f64)
+                .expect("reply cost units") as u64;
+            (id, cost)
+        })
+        .collect();
+    by_id.sort();
+    let mut latency_units = Histogram::new();
+    let mut cost_total = 0u64;
+    for &(_, cost) in &by_id {
+        latency_units.record(cost as f64);
+        cost_total += cost;
+    }
+    let digest = fnv_digest(&mut replies);
+
+    let stats = server.drain();
+    let requests = registry.counter("serve.requests").get();
+    let sheds = registry.counter("serve.sheds").get();
+    let protocol_errors = registry.counter("serve.errors.protocol").get();
+    let query_errors = registry.counter("serve.errors.query").get();
+    let wall_latency = registry.histogram("serve.request.latency_s").snapshot();
+
+    let quantile = |q: f64| latency_units.quantile(q).unwrap_or(0.0);
+    let mut out = format!(
+        "DSE query server — {} worker(s) over a {}-thread engine\n\n",
+        config.workers, engine_threads
+    );
+    out.push_str(&format!(
+        "overload drill: {drill_admitted} admitted, {drill_shed} shed with structured replies\n"
+    ));
+    out.push_str(&format!(
+        "throughput run: {CLIENTS} clients x {REQUESTS_PER_CLIENT} pipelined requests, {} replies\n",
+        by_id.len()
+    ));
+    out.push_str(&format!(
+        "served {requests} requests total; {protocol_errors} protocol errors, {query_errors} query errors\n\n"
+    ));
+    let mut table = Table::new(vec!["metric", "value"]);
+    table.row(vec!["requests answered".into(), f(by_id.len() as f64, 0)]);
+    table.row(vec!["cost units total".into(), f(cost_total as f64, 0)]);
+    table.row(vec!["cost units p50".into(), f(quantile(0.5), 0)]);
+    table.row(vec!["cost units p99".into(), f(quantile(0.99), 0)]);
+    table.row(vec![
+        "cost units max".into(),
+        f(latency_units.max().unwrap_or(0.0), 0),
+    ]);
+    table.row(vec!["connections shed".into(), f(drill_shed as f64, 0)]);
+    out.push_str(&table.render());
+    out.push_str(&format!(
+        "\nwall-clock latency histogram: {} batches timed (values in telemetry, not printed)\n",
+        wall_latency.count()
+    ));
+    out.push_str(&format!(
+        "drain: {} thread(s) joined, clean={}\n",
+        stats.threads_joined, stats.clean
+    ));
+    out.push_str(&format!("reply digest: {digest}\n"));
+
+    let metrics = Json::obj()
+        .with(
+            "workload",
+            Json::obj()
+                .with("seed", SEED)
+                .with("clients", CLIENTS)
+                .with("requests_per_client", REQUESTS_PER_CLIENT),
+        )
+        .with(
+            "throughput",
+            Json::obj()
+                .with("requests", requests)
+                .with("cost_units_total", cost_total),
+        )
+        .with(
+            "latency_units",
+            Json::obj()
+                .with("count", latency_units.count())
+                .with("p50", quantile(0.5))
+                .with("p99", quantile(0.99))
+                .with("max", latency_units.max().unwrap_or(0.0)),
+        )
+        .with(
+            "shed",
+            Json::obj()
+                .with("admitted", drill_admitted)
+                .with("connections_shed", drill_shed)
+                .with("sheds_counter", sheds),
+        )
+        .with(
+            "errors",
+            Json::obj()
+                .with("protocol", protocol_errors)
+                .with("query", query_errors),
+        )
+        .with(
+            "drain",
+            Json::obj()
+                .with("threads_joined", stats.threads_joined)
+                .with("abandoned_connections", stats.abandoned_connections)
+                .with("clean", stats.clean),
+        )
+        .with("reply_digest", digest);
+    Report::new(out, metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_answers_everything_and_sheds_exactly_the_overflow() {
+        let report = serve();
+        let m = &report.metrics;
+        let num = |path: &[&str]| {
+            let mut doc = m;
+            for key in path {
+                doc = doc.get(key).unwrap();
+            }
+            doc.as_f64().unwrap()
+        };
+        assert_eq!(
+            num(&["throughput", "requests"]),
+            (CLIENTS as usize * REQUESTS_PER_CLIENT + DRILL_QUEUE_CAPACITY) as f64
+        );
+        assert_eq!(
+            num(&["latency_units", "count"]),
+            (CLIENTS as usize * REQUESTS_PER_CLIENT) as f64
+        );
+        assert!(num(&["latency_units", "p99"]) >= num(&["latency_units", "p50"]));
+        assert_eq!(num(&["shed", "connections_shed"]), DRILL_OVERFLOW as f64);
+        assert_eq!(num(&["shed", "sheds_counter"]), DRILL_OVERFLOW as f64);
+        assert_eq!(num(&["errors", "protocol"]), 0.0);
+        assert_eq!(num(&["errors", "query"]), 0.0);
+        assert_eq!(
+            num(&["drain", "threads_joined"]),
+            3.0,
+            "2 workers + acceptor"
+        );
+        assert_eq!(
+            m.get("drain").unwrap().get("clean"),
+            Some(&Json::Bool(true))
+        );
+    }
+
+    #[test]
+    fn serve_metrics_are_thread_count_invariant() {
+        drone_explorer::set_default_threads(1);
+        let serial = serve().metrics.render_pretty();
+        drone_explorer::set_default_threads(3);
+        let parallel = serve().metrics.render_pretty();
+        drone_explorer::set_default_threads(0);
+        assert_eq!(serial, parallel, "artifact must not depend on thread count");
+    }
+}

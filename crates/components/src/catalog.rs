@@ -142,15 +142,19 @@ impl Catalog {
 /// Capacity range the paper sweeps (Figure 7 x-axis), mAh.
 const CAPACITY_RANGE: (f64, f64) = (100.0, 10_000.0);
 
+/// Discharge-rate families on the market: 20C to 120C in steps of 5.
+const DISCHARGE_C_RANGE: (f64, f64) = (20.0, 120.0);
+const DISCHARGE_C_STEP: f64 = 5.0;
+
 fn synthesize_batteries(rng: &mut Pcg32, count: usize) -> Vec<Battery> {
+    let families = ((DISCHARGE_C_RANGE.1 - DISCHARGE_C_RANGE.0) / DISCHARGE_C_STEP) as u32 + 1;
     let mut out = Vec::with_capacity(count);
     for _ in 0..count {
-        let cells = CellCount::ALL[rng.below(6) as usize];
+        let cells = CellCount::ALL[rng.below(CellCount::ALL.len() as u32) as usize];
         // Higher cell counts skew toward larger packs, as on the market.
         let lo = CAPACITY_RANGE.0 + 200.0 * f64::from(cells.cells());
         let capacity = rng.uniform(lo, CAPACITY_RANGE.1);
-        // Discharge-rate families: 20C to 120C in steps of 5.
-        let discharge_c = 20.0 + 5.0 * f64::from(rng.below(21));
+        let discharge_c = DISCHARGE_C_RANGE.0 + DISCHARGE_C_STEP * f64::from(rng.below(families));
         let line = crate::paper::battery_weight_fit(cells).predict(capacity);
         // Product scatter: ±8 % around the line plus heavier packs for
         // extreme discharge rates (the paper notes these do not deviate

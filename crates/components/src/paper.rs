@@ -209,8 +209,16 @@ pub fn figure11_drones() -> Vec<CommercialDrone> {
 
 /// Paper-reported best-configuration flight times (§3.2 validation): the
 /// model's best design per wheelbase should fly roughly this long, minutes.
+///
+/// Wheelbases within 0.25 mm of a studied point match it, so grid
+/// coordinates that arrive with float error (449.999…) still look up;
+/// `as u32` truncation used to send those to `None`.
 pub fn best_flight_time_minutes(wheelbase_mm: f64) -> Option<f64> {
-    match wheelbase_mm as u32 {
+    let rounded = wheelbase_mm.round();
+    if !rounded.is_finite() || (wheelbase_mm - rounded).abs() > 0.25 {
+        return None;
+    }
+    match rounded as i64 {
         100 => Some(23.0),
         450 => Some(19.0),
         800 => Some(22.0),
@@ -530,5 +538,19 @@ mod tests {
         assert_eq!(best_flight_time_minutes(450.0), Some(19.0));
         assert_eq!(best_flight_time_minutes(800.0), Some(22.0));
         assert_eq!(best_flight_time_minutes(333.0), None);
+    }
+
+    #[test]
+    fn best_flight_times_tolerate_grid_float_error() {
+        // Truncation used to map 449.999 -> 449 -> None.
+        assert_eq!(best_flight_time_minutes(449.999), Some(19.0));
+        assert_eq!(best_flight_time_minutes(450.001), Some(19.0));
+        assert_eq!(best_flight_time_minutes(99.76), Some(23.0));
+        // Half a millimetre off is a different design point, not noise.
+        assert_eq!(best_flight_time_minutes(100.5), None);
+        assert_eq!(best_flight_time_minutes(449.6), None);
+        assert_eq!(best_flight_time_minutes(f64::NAN), None);
+        assert_eq!(best_flight_time_minutes(f64::INFINITY), None);
+        assert_eq!(best_flight_time_minutes(-450.0), None);
     }
 }

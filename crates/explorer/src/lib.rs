@@ -51,4 +51,6 @@ pub use cache::{CacheKey, CachedEval, EvalCache};
 pub use engine::{EvalResult, Explorer};
 pub use executor::{default_threads, set_default_threads, ParallelExecutor};
 pub use pareto::{extract_frontier, extract_frontier_2d, FrontierEntry, ParetoFrontier};
-pub use query::{Constraints, GridRange, Objective, Query, QueryAnswer, QueryRanges};
+pub use query::{
+    Constraints, GridRange, Objective, Query, QueryAnswer, QueryError, QueryLimits, QueryRanges,
+};

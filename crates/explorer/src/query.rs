@@ -12,6 +12,7 @@ use drone_components::battery::CellCount;
 use drone_dse::eval::{DesignEval, DesignQuery};
 use drone_math::Sense;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// An inclusive `[min, max]` interval sampled at `steps` evenly spaced
 /// values (`steps == 1` pins the coordinate at `min`).
@@ -68,6 +69,9 @@ impl GridRange {
         if self.steps <= 1 {
             return *self;
         }
+        // The incumbent always lies on the grid, but clamp anyway so an
+        // unvalidated caller-supplied center cannot invert the range.
+        let center = center.clamp(self.min, self.max);
         let half = self.step_size();
         GridRange::new(
             (center - half).max(self.min),
@@ -75,7 +79,170 @@ impl GridRange {
             steps.max(2),
         )
     }
+
+    /// Validates one axis against the service limits: finite, ordered,
+    /// bounded magnitude, and a sane sample count.
+    pub fn validate(&self, field: &'static str, limits: &QueryLimits) -> Result<(), QueryError> {
+        for value in [self.min, self.max] {
+            if !value.is_finite() {
+                return Err(QueryError::NonFinite { field, value });
+            }
+            if value.abs() > limits.max_coordinate {
+                return Err(QueryError::OutOfRange {
+                    field,
+                    value,
+                    bound: limits.max_coordinate,
+                });
+            }
+        }
+        if self.max < self.min {
+            return Err(QueryError::InvertedRange {
+                field,
+                min: self.min,
+                max: self.max,
+            });
+        }
+        if self.steps == 0 || self.steps > limits.max_steps {
+            return Err(QueryError::BadStepCount {
+                field,
+                steps: self.steps,
+                max: limits.max_steps,
+            });
+        }
+        Ok(())
+    }
 }
+
+/// Resource bounds a query must respect before the engine will touch
+/// it. Untrusted traffic (the `drone-serve` request path) validates
+/// against these; the defaults bound a query to a grid the engine
+/// answers in well under a second.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueryLimits {
+    /// Largest per-axis sample count.
+    pub max_steps: usize,
+    /// Largest total grid size, counting worst-case refinement rounds.
+    pub max_points: usize,
+    /// Largest absolute coordinate value accepted on any axis.
+    pub max_coordinate: f64,
+    /// Most refinement rounds a query may request.
+    pub max_refine_rounds: usize,
+    /// Most per-axis samples a refinement round may request.
+    pub max_refine_steps: usize,
+    /// Longest accepted query name, bytes.
+    pub max_name_bytes: usize,
+}
+
+impl Default for QueryLimits {
+    fn default() -> QueryLimits {
+        QueryLimits {
+            max_steps: 64,
+            max_points: 20_000,
+            max_coordinate: 1.0e6,
+            max_refine_rounds: 4,
+            max_refine_steps: 9,
+            max_name_bytes: 200,
+        }
+    }
+}
+
+/// Why a query was rejected before evaluation. Unlike [`DesignQuery`]
+/// infeasibility (a modelled answer), these are request-shape errors:
+/// the engine never sees the query. Every variant is a typed, printable
+/// error — the serving layer must never panic on untrusted input.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// A coordinate bound is NaN or infinite.
+    NonFinite {
+        /// Offending axis.
+        field: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// A coordinate bound exceeds the service's magnitude cap.
+    OutOfRange {
+        /// Offending axis.
+        field: &'static str,
+        /// Offending value.
+        value: f64,
+        /// The configured `max_coordinate`.
+        bound: f64,
+    },
+    /// `max < min` on an axis.
+    InvertedRange {
+        /// Offending axis.
+        field: &'static str,
+        /// Lower bound supplied.
+        min: f64,
+        /// Upper bound supplied.
+        max: f64,
+    },
+    /// A step count of zero or beyond the per-axis cap.
+    BadStepCount {
+        /// Offending axis.
+        field: &'static str,
+        /// Steps supplied.
+        steps: usize,
+        /// The configured `max_steps`.
+        max: usize,
+    },
+    /// The cell-configuration list is empty.
+    NoCells,
+    /// The grid (plus worst-case refinement) exceeds the point budget.
+    TooManyPoints {
+        /// Points the query would evaluate.
+        points: usize,
+        /// The configured `max_points`.
+        max: usize,
+    },
+    /// The refinement schedule exceeds the configured caps.
+    RefinementTooDeep {
+        /// Rounds requested.
+        rounds: usize,
+        /// Per-axis samples requested.
+        steps: usize,
+    },
+    /// The query name is longer than the service accepts.
+    NameTooLong {
+        /// Name length, bytes.
+        len: usize,
+        /// The configured `max_name_bytes`.
+        max: usize,
+    },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::NonFinite { field, value } => {
+                write!(f, "{field}: bound {value} is not finite")
+            }
+            QueryError::OutOfRange {
+                field,
+                value,
+                bound,
+            } => write!(f, "{field}: |{value}| exceeds the coordinate cap {bound}"),
+            QueryError::InvertedRange { field, min, max } => {
+                write!(f, "{field}: range [{min}, {max}] is inverted")
+            }
+            QueryError::BadStepCount { field, steps, max } => {
+                write!(f, "{field}: step count {steps} outside 1..={max}")
+            }
+            QueryError::NoCells => f.write_str("cells: at least one cell configuration required"),
+            QueryError::TooManyPoints { points, max } => {
+                write!(f, "grid of {points} points exceeds the budget of {max}")
+            }
+            QueryError::RefinementTooDeep { rounds, steps } => {
+                write!(f, "refinement {rounds} round(s) x {steps} step(s) too deep")
+            }
+            QueryError::NameTooLong { len, max } => {
+                write!(f, "query name of {len} bytes exceeds {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
 
 /// The gridded region of design space a query covers.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -143,6 +310,33 @@ impl QueryRanges {
             * self.compute_power_w.steps
             * self.twr.steps
             * self.payload_g.steps
+    }
+
+    /// How many axes are actually swept (more than one sample).
+    pub fn swept_axes(&self) -> usize {
+        [
+            self.wheelbase_mm.steps,
+            self.capacity_mah.steps,
+            self.compute_power_w.steps,
+            self.twr.steps,
+            self.payload_g.steps,
+        ]
+        .iter()
+        .filter(|&&s| s > 1)
+        .count()
+    }
+
+    /// Validates every axis and the cell list against the limits.
+    pub fn validate(&self, limits: &QueryLimits) -> Result<(), QueryError> {
+        self.wheelbase_mm.validate("wheelbase_mm", limits)?;
+        self.capacity_mah.validate("capacity_mah", limits)?;
+        self.compute_power_w.validate("compute_power_w", limits)?;
+        self.twr.validate("twr", limits)?;
+        self.payload_g.validate("payload_g", limits)?;
+        if self.cells.is_empty() {
+            return Err(QueryError::NoCells);
+        }
+        Ok(())
     }
 
     /// The ranges re-centred on one design point for a refinement
@@ -263,6 +457,48 @@ impl Query {
         self.refine_steps = steps;
         self
     }
+
+    /// Validates the whole request against the service limits: axis
+    /// sanity, refinement depth, and the total evaluation budget
+    /// (the base grid plus the worst-case refinement rounds).
+    ///
+    /// This is the gate the serving layer runs on untrusted input;
+    /// a query that passes cannot panic the engine or blow the point
+    /// budget.
+    pub fn validate(&self, limits: &QueryLimits) -> Result<(), QueryError> {
+        if self.name.len() > limits.max_name_bytes {
+            return Err(QueryError::NameTooLong {
+                len: self.name.len(),
+                max: limits.max_name_bytes,
+            });
+        }
+        self.ranges.validate(limits)?;
+        if self.refine_rounds > limits.max_refine_rounds
+            || (self.refine_rounds > 0 && self.refine_steps > limits.max_refine_steps)
+        {
+            return Err(QueryError::RefinementTooDeep {
+                rounds: self.refine_rounds,
+                steps: self.refine_steps,
+            });
+        }
+        // Worst-case refinement grid: every swept axis resampled at
+        // `refine_steps` (engine floors each round at 2 per swept axis).
+        let per_round = self
+            .refine_steps
+            .max(2)
+            .saturating_pow(self.ranges.swept_axes() as u32);
+        let points = self
+            .ranges
+            .point_count()
+            .saturating_add(self.refine_rounds.saturating_mul(per_round));
+        if points > limits.max_points {
+            return Err(QueryError::TooManyPoints {
+                points,
+                max: limits.max_points,
+            });
+        }
+        Ok(())
+    }
 }
 
 /// The engine's answer to one [`Query`].
@@ -358,5 +594,147 @@ mod tests {
     #[should_panic(expected = "inverted")]
     fn inverted_range_panics() {
         let _ = GridRange::new(5.0, 1.0, 3);
+    }
+
+    #[test]
+    fn refinement_clamps_an_out_of_range_center() {
+        // An unvalidated center outside the range must not invert it.
+        let r = GridRange::new(0.0, 10.0, 5);
+        let refined = r.refined_around(99.0, 3);
+        assert!(refined.min <= refined.max);
+        assert_eq!(refined.max, 10.0);
+        let nan = r.refined_around(f64::NAN, 3);
+        assert!(nan.min <= nan.max);
+    }
+
+    fn valid_query() -> Query {
+        Query::new(
+            "ok",
+            QueryRanges {
+                wheelbase_mm: GridRange::new(250.0, 450.0, 3),
+                cells: vec![CellCount::S3],
+                capacity_mah: GridRange::new(2000.0, 6000.0, 5),
+                compute_power_w: GridRange::fixed(3.0),
+                twr: GridRange::fixed(2.0),
+                payload_g: GridRange::fixed(0.0),
+            },
+            Objective::MaxFlightTime,
+        )
+    }
+
+    #[test]
+    fn validation_accepts_the_running_example() {
+        assert_eq!(valid_query().validate(&QueryLimits::default()), Ok(()));
+    }
+
+    #[test]
+    fn validation_rejects_every_malformed_shape_with_a_typed_error() {
+        let limits = QueryLimits::default();
+
+        let mut q = valid_query();
+        q.ranges.wheelbase_mm = GridRange {
+            min: f64::NAN,
+            max: 450.0,
+            steps: 3,
+        };
+        assert!(matches!(
+            q.validate(&limits),
+            Err(QueryError::NonFinite {
+                field: "wheelbase_mm",
+                ..
+            })
+        ));
+
+        let mut q = valid_query();
+        q.ranges.capacity_mah = GridRange {
+            min: 6000.0,
+            max: 2000.0,
+            steps: 5,
+        };
+        assert!(matches!(
+            q.validate(&limits),
+            Err(QueryError::InvertedRange {
+                field: "capacity_mah",
+                ..
+            })
+        ));
+
+        let mut q = valid_query();
+        q.ranges.payload_g = GridRange {
+            min: 0.0,
+            max: 100.0,
+            steps: 0,
+        };
+        assert!(matches!(
+            q.validate(&limits),
+            Err(QueryError::BadStepCount {
+                field: "payload_g",
+                ..
+            })
+        ));
+
+        let mut q = valid_query();
+        q.ranges.twr = GridRange {
+            min: 2.0,
+            max: 1.0e9,
+            steps: 2,
+        };
+        assert!(matches!(
+            q.validate(&limits),
+            Err(QueryError::OutOfRange { .. })
+        ));
+
+        let mut q = valid_query();
+        q.ranges.cells.clear();
+        assert_eq!(q.validate(&limits), Err(QueryError::NoCells));
+
+        let mut q = valid_query();
+        q.ranges.capacity_mah.steps = 64;
+        q.ranges.wheelbase_mm.steps = 64;
+        q.ranges.payload_g = GridRange::new(0.0, 100.0, 10);
+        assert!(matches!(
+            q.validate(&limits),
+            Err(QueryError::TooManyPoints { .. })
+        ));
+
+        let q = valid_query().with_refinement(100, 5);
+        assert!(matches!(
+            q.validate(&limits),
+            Err(QueryError::RefinementTooDeep { .. })
+        ));
+
+        let mut q = valid_query();
+        q.name = "n".repeat(1000);
+        assert!(matches!(
+            q.validate(&limits),
+            Err(QueryError::NameTooLong { .. })
+        ));
+    }
+
+    #[test]
+    fn validation_budget_counts_refinement_rounds() {
+        // 15-point grid, but 2 rounds x 5^2 samples on the two swept
+        // axes add 50 more: a 40-point budget must reject it.
+        let q = valid_query().with_refinement(2, 5);
+        let tight = QueryLimits {
+            max_points: 40,
+            ..QueryLimits::default()
+        };
+        assert!(matches!(
+            q.validate(&tight),
+            Err(QueryError::TooManyPoints { points: 65, .. })
+        ));
+        assert_eq!(q.validate(&QueryLimits::default()), Ok(()));
+    }
+
+    #[test]
+    fn query_errors_render_for_humans() {
+        let err = QueryError::InvertedRange {
+            field: "twr",
+            min: 3.0,
+            max: 1.0,
+        };
+        assert!(err.to_string().contains("twr"));
+        assert!(QueryError::NoCells.to_string().contains("cells"));
     }
 }

@@ -2,7 +2,7 @@
 //! messages and survives arbitrary corruption; the scheduler's
 //! accounting is conserved.
 
-use drone_firmware::mavlink::{Message, StreamParser};
+use drone_firmware::mavlink::{crc_x25, Message, StreamParser};
 use drone_firmware::{RateScheduler, Task};
 use proptest::prelude::*;
 
@@ -156,6 +156,33 @@ proptest! {
     }
 
     #[test]
+    fn truncated_frames_interleaved_with_valid_ones_lose_nothing_else(
+        msgs in prop::collection::vec(arb_message(), 2..5),
+        cut_frac in 0.1f64..0.9,
+    ) {
+        // Alternate truncated-frame / valid-frame and require every
+        // valid frame back: each truncation must cost at most the one
+        // frame it mangled.
+        let mut stream = Vec::new();
+        for (i, m) in msgs.iter().enumerate() {
+            let wire = m.encode(i as u8, 1, 1).to_vec();
+            let cut = 1 + ((wire.len() - 2) as f64 * cut_frac) as usize;
+            stream.extend_from_slice(&wire[..cut]);
+            stream.extend_from_slice(&m.encode((i + 100) as u8, 1, 1));
+        }
+        stream.extend_from_slice(&[0u8; 300]);
+        let mut parser = StreamParser::new();
+        let frames = parser.push(&stream);
+        let mut it = frames.iter();
+        for (i, m) in msgs.iter().enumerate() {
+            prop_assert!(
+                it.any(|f| f.seq == (i + 100) as u8 && &f.message == m),
+                "valid frame {i} lost behind a truncated twin"
+            );
+        }
+    }
+
+    #[test]
     fn parser_counters_are_monotonic_under_arbitrary_input(
         chunks in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 1..12),
     ) {
@@ -193,4 +220,76 @@ proptest! {
             prop_assert_eq!(t.deadline_misses, 0, "{}", report);
         }
     }
+}
+
+/// A frame whose X25 checksum is internally consistent but was sealed
+/// with the wrong CRC-extra byte (a peer compiled against a different
+/// message schema) must be rejected as a CRC failure — and must not
+/// take the following good frame down with it.
+#[test]
+fn crc_extra_mismatch_is_rejected_without_losing_the_next_frame() {
+    let msg = Message::Heartbeat {
+        mode: 4,
+        armed: true,
+    };
+    let mut wire = msg.encode(7, 1, 1).to_vec();
+    let body_end = wire.len() - 2;
+    let original_crc = u16::from_le_bytes([wire[body_end], wire[body_end + 1]]);
+    // Re-seal the CRC over the same bytes but a wrong extra byte; if a
+    // candidate collides with the true CRC, the next one cannot.
+    let resealed = [0x00u8, 0x01]
+        .iter()
+        .map(|&extra| crc_x25(&[&wire[1..body_end], &[extra][..]].concat(), 0xFFFF))
+        .find(|&crc| crc != original_crc)
+        .expect("two candidate extras cannot both collide");
+    wire[body_end..].copy_from_slice(&resealed.to_le_bytes());
+
+    let follow = Message::BatteryStatus {
+        voltage_mv: 11_100,
+        remaining_pct: 80,
+    };
+    let mut stream = wire;
+    stream.extend_from_slice(&follow.encode(8, 1, 1));
+    stream.extend_from_slice(&[0u8; 300]);
+
+    let mut parser = StreamParser::new();
+    let frames = parser.push(&stream);
+    assert!(
+        frames.iter().all(|f| f.message != msg),
+        "schema-mismatched frame must not decode"
+    );
+    assert!(
+        frames.iter().any(|f| f.message == follow),
+        "good frame lost behind the schema mismatch"
+    );
+    assert!(
+        parser.crc_failures() >= 1,
+        "mismatch must be accounted as a CRC failure"
+    );
+}
+
+/// Deterministic pin of the resync cost: one truncated frame between
+/// two good ones costs exactly the truncated frame, nothing more.
+#[test]
+fn resync_after_truncation_costs_exactly_one_frame() {
+    let a = Message::Attitude {
+        time_ms: 1,
+        roll: 0.1,
+        pitch: 0.2,
+        yaw: 0.3,
+    };
+    let b = Message::Heartbeat {
+        mode: 2,
+        armed: false,
+    };
+    let truncated = &a.encode(1, 1, 1)[..6]; // header only, payload cut
+    let mut stream = a.encode(0, 1, 1).to_vec();
+    stream.extend_from_slice(truncated);
+    stream.extend_from_slice(&b.encode(2, 1, 1));
+    stream.extend_from_slice(&[0u8; 300]);
+    let mut parser = StreamParser::new();
+    let frames = parser.push(&stream);
+    let decoded: Vec<&Message> = frames.iter().map(|f| &f.message).collect();
+    assert_eq!(decoded, vec![&a, &b], "exactly the two intact frames");
+    assert!(parser.resyncs() >= 1, "truncation must be counted a resync");
 }

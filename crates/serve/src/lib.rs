@@ -1,0 +1,42 @@
+//! A batched design-space-exploration query server.
+//!
+//! `drone-serve` puts the [`drone_explorer`] engine behind a TCP
+//! socket speaking newline-delimited JSON: one request per line, one
+//! reply per request, in order. It is the serving tier the
+//! paper's methodology implies but never builds — once the
+//! cycle-accurate model is replaced by closed-form sizing, a
+//! design-space query is cheap enough to answer interactively, and the
+//! interesting systems problems move to admission control, batching
+//! and tail latency.
+//!
+//! The crate is three layers, each usable on its own:
+//!
+//! - [`protocol`] — pure request/reply code: strict parsing into
+//!   validated [`drone_explorer::Query`] values, typed
+//!   [`protocol::RequestError`]s for every malformed shape, and
+//!   [`protocol::handle_batch`], which coalesces a batch of request
+//!   lines into **one** [`drone_explorer::Explorer::run_batch`] call
+//!   so pipelined queries share the memoization cache.
+//! - [`server`] — the threaded front-end: a single acceptor feeding a
+//!   bounded connection queue drained by a worker pool, structured
+//!   `overloaded` sheds once the queue fills, and a graceful
+//!   [`server::Server::drain`] that joins every thread.
+//! - [`workload`] — deterministic seeded client workloads, so the
+//!   `repro serve` benchmark replays the same byte stream every run
+//!   and its artifact stays byte-stable across thread counts.
+//!
+//! Nothing in the request path may panic on untrusted input;
+//! `tests/properties.rs` feeds arbitrary bytes and adversarial grids
+//! through both the pure batch handler and a live socket to keep that
+//! true.
+
+pub mod protocol;
+pub mod server;
+pub mod workload;
+
+pub use protocol::{
+    answer_to_json, cost_units, error_reply, handle_batch, ok_reply, parse_request,
+    request_to_json, BatchOutcome, ErrorKind, Request, RequestError,
+};
+pub use server::{DrainStats, Server, ServerConfig};
+pub use workload::Workload;

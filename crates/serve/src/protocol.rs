@@ -1,0 +1,615 @@
+//! The wire vocabulary: newline-delimited JSON requests and replies.
+//!
+//! One request per line, one reply line per request, always in request
+//! order. The parser is **strict** — unknown keys, wrong types, missing
+//! required fields and out-of-budget grids all produce a typed
+//! [`RequestError`] that renders as a structured error reply; no input,
+//! however malformed, may panic the server (`tests/properties.rs` feeds
+//! arbitrary bytes through [`handle_batch`] to pin exactly that).
+//!
+//! ```text
+//! -> {"id":1,"query":{"ranges":{"wheelbase_mm":{"min":250,"max":450,"steps":3},
+//!      "cells":["3S"],"capacity_mah":{"min":2000,"max":6000,"steps":5}},
+//!      "objective":"max_flight_time"}}
+//! <- {"id":1,"ok":true,"answer":{"name":"query","evaluated":15,...}}
+//! -> not json
+//! <- {"id":null,"ok":false,"error":{"kind":"parse","message":"..."}}
+//! ```
+
+use drone_components::battery::CellCount;
+use drone_dse::eval::DesignEval;
+use drone_explorer::{
+    Constraints, Explorer, GridRange, Objective, Query, QueryAnswer, QueryLimits, QueryRanges,
+};
+use drone_telemetry::Json;
+use std::fmt;
+
+/// What went wrong with a request, as reported on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The line is not a JSON document.
+    Parse,
+    /// The document does not have the request shape.
+    BadRequest,
+    /// The query failed [`Query::validate`] against the service limits.
+    InvalidQuery,
+    /// The request line exceeded the size cap before a newline arrived.
+    TooLarge,
+    /// The server shed the connection under load.
+    Overloaded,
+}
+
+impl ErrorKind {
+    /// The wire spelling (`error.kind`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::Parse => "parse",
+            ErrorKind::BadRequest => "bad_request",
+            ErrorKind::InvalidQuery => "invalid_query",
+            ErrorKind::TooLarge => "too_large",
+            ErrorKind::Overloaded => "overloaded",
+        }
+    }
+}
+
+/// A typed request failure: the reply's `error` object.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestError {
+    /// Machine-readable category.
+    pub kind: ErrorKind,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl RequestError {
+    fn bad(message: impl Into<String>) -> RequestError {
+        RequestError {
+            kind: ErrorKind::BadRequest,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for RequestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind.as_str(), self.message)
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+/// A parsed request: the echoed `id` and the validated query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client correlation id, echoed verbatim in the reply (`null` when
+    /// absent).
+    pub id: Json,
+    /// The validated exploration query.
+    pub query: Query,
+}
+
+fn expect_keys(obj: &Json, allowed: &[&str], what: &str) -> Result<(), RequestError> {
+    let pairs = obj
+        .as_obj()
+        .ok_or_else(|| RequestError::bad(format!("{what} must be an object")))?;
+    for (key, _) in pairs {
+        if !allowed.contains(&key.as_str()) {
+            return Err(RequestError::bad(format!("{what}: unknown key '{key}'")));
+        }
+    }
+    Ok(())
+}
+
+fn number(doc: &Json, what: &str) -> Result<f64, RequestError> {
+    doc.as_f64()
+        .ok_or_else(|| RequestError::bad(format!("{what} must be a number")))
+}
+
+fn steps(doc: &Json, what: &str) -> Result<usize, RequestError> {
+    let n = number(doc, what)?;
+    if n.fract() != 0.0 || !(0.0..=1e9).contains(&n) {
+        return Err(RequestError::bad(format!(
+            "{what} must be a small non-negative integer"
+        )));
+    }
+    Ok(n as usize)
+}
+
+/// A range is either `{"min":..,"max":..,"steps":..}` or a bare number
+/// (a pinned coordinate).
+fn grid_range(doc: &Json, what: &str) -> Result<GridRange, RequestError> {
+    if let Some(v) = doc.as_f64() {
+        return Ok(GridRange {
+            min: v,
+            max: v,
+            steps: 1,
+        });
+    }
+    expect_keys(doc, &["min", "max", "steps"], what)?;
+    let field = |key: &str| {
+        doc.get(key)
+            .ok_or_else(|| RequestError::bad(format!("{what}: missing '{key}'")))
+    };
+    Ok(GridRange {
+        min: number(field("min")?, &format!("{what}.min"))?,
+        max: number(field("max")?, &format!("{what}.max"))?,
+        steps: steps(field("steps")?, &format!("{what}.steps"))?,
+    })
+}
+
+/// Cells parse from `"3S"` strings or bare cell counts (`3`).
+fn cell(doc: &Json) -> Result<CellCount, RequestError> {
+    let count = match doc {
+        Json::Num(n) if n.fract() == 0.0 && (0.0..=255.0).contains(n) => *n as u8,
+        Json::Str(s) => {
+            let trimmed = s.strip_suffix('S').or_else(|| s.strip_suffix('s'));
+            trimmed
+                .and_then(|t| t.parse::<u8>().ok())
+                .ok_or_else(|| RequestError::bad(format!("cells: unknown config '{s}'")))?
+        }
+        _ => {
+            return Err(RequestError::bad(
+                "cells entries must be \"<n>S\" or a count",
+            ))
+        }
+    };
+    CellCount::from_cells(count)
+        .ok_or_else(|| RequestError::bad(format!("cells: no {count}-cell configuration")))
+}
+
+fn ranges_from_json(doc: &Json) -> Result<QueryRanges, RequestError> {
+    expect_keys(
+        doc,
+        &[
+            "wheelbase_mm",
+            "cells",
+            "capacity_mah",
+            "compute_power_w",
+            "twr",
+            "payload_g",
+        ],
+        "ranges",
+    )?;
+    let required = |key: &'static str| {
+        doc.get(key)
+            .ok_or_else(|| RequestError::bad(format!("ranges: missing '{key}'")))
+    };
+    let optional = |key: &'static str, default: f64| -> Result<GridRange, RequestError> {
+        match doc.get(key) {
+            Some(r) => grid_range(r, key),
+            None => Ok(GridRange {
+                min: default,
+                max: default,
+                steps: 1,
+            }),
+        }
+    };
+    let cells_doc = required("cells")?;
+    let cells = cells_doc
+        .as_arr()
+        .ok_or_else(|| RequestError::bad("cells must be an array"))?
+        .iter()
+        .map(cell)
+        .collect::<Result<Vec<CellCount>, RequestError>>()?;
+    Ok(QueryRanges {
+        wheelbase_mm: grid_range(required("wheelbase_mm")?, "wheelbase_mm")?,
+        cells,
+        capacity_mah: grid_range(required("capacity_mah")?, "capacity_mah")?,
+        compute_power_w: optional("compute_power_w", 3.0)?,
+        twr: optional("twr", drone_components::paper::PAPER_TWR)?,
+        payload_g: optional("payload_g", 0.0)?,
+    })
+}
+
+fn constraints_from_json(doc: &Json) -> Result<Constraints, RequestError> {
+    expect_keys(
+        doc,
+        &[
+            "max_weight_g",
+            "min_flight_time_min",
+            "max_compute_share_hover",
+            "max_hover_power_w",
+        ],
+        "constraints",
+    )?;
+    let bound = |key: &str| -> Result<Option<f64>, RequestError> {
+        doc.get(key).map(|v| number(v, key)).transpose()
+    };
+    Ok(Constraints {
+        max_weight_g: bound("max_weight_g")?,
+        min_flight_time_min: bound("min_flight_time_min")?,
+        max_compute_share_hover: bound("max_compute_share_hover")?,
+        max_hover_power_w: bound("max_hover_power_w")?,
+    })
+}
+
+fn objective_from_json(doc: &Json) -> Result<Objective, RequestError> {
+    match doc.as_str() {
+        Some("max_flight_time") => Ok(Objective::MaxFlightTime),
+        Some("min_weight") => Ok(Objective::MinWeight),
+        Some("min_compute_share") => Ok(Objective::MinComputeShare),
+        Some(other) => Err(RequestError::bad(format!("unknown objective '{other}'"))),
+        None => Err(RequestError::bad("objective must be a string")),
+    }
+}
+
+fn objective_to_str(objective: Objective) -> &'static str {
+    match objective {
+        Objective::MaxFlightTime => "max_flight_time",
+        Objective::MinWeight => "min_weight",
+        Objective::MinComputeShare => "min_compute_share",
+    }
+}
+
+/// Parses one request line, validating the query against `limits`.
+///
+/// # Errors
+///
+/// Every failure mode is a [`RequestError`]; this function never
+/// panics, whatever the bytes.
+pub fn parse_request(line: &str, limits: &QueryLimits) -> Result<Request, RequestError> {
+    let doc = Json::parse(line).map_err(|e| RequestError {
+        kind: ErrorKind::Parse,
+        message: e.to_string(),
+    })?;
+    expect_keys(&doc, &["id", "query"], "request")?;
+    let id = doc.get("id").cloned().unwrap_or(Json::Null);
+    let query_doc = doc
+        .get("query")
+        .ok_or_else(|| RequestError::bad("request: missing 'query'"))?;
+    expect_keys(
+        query_doc,
+        &[
+            "name",
+            "ranges",
+            "constraints",
+            "objective",
+            "refine_rounds",
+            "refine_steps",
+        ],
+        "query",
+    )?;
+    let name = match query_doc.get("name") {
+        Some(n) => n
+            .as_str()
+            .ok_or_else(|| RequestError::bad("name must be a string"))?
+            .to_owned(),
+        None => "query".to_owned(),
+    };
+    let ranges_doc = query_doc
+        .get("ranges")
+        .ok_or_else(|| RequestError::bad("query: missing 'ranges'"))?;
+    let constraints = match query_doc.get("constraints") {
+        Some(c) => constraints_from_json(c)?,
+        None => Constraints::default(),
+    };
+    let objective = objective_from_json(
+        query_doc
+            .get("objective")
+            .ok_or_else(|| RequestError::bad("query: missing 'objective'"))?,
+    )?;
+    let fetch_steps = |key: &str| -> Result<usize, RequestError> {
+        query_doc.get(key).map_or(Ok(0), |v| steps(v, key))
+    };
+    let query = Query {
+        name,
+        ranges: ranges_from_json(ranges_doc)?,
+        constraints,
+        objective,
+        refine_rounds: fetch_steps("refine_rounds")?,
+        refine_steps: fetch_steps("refine_steps")?,
+    };
+    query.validate(limits).map_err(|e| RequestError {
+        kind: ErrorKind::InvalidQuery,
+        message: e.to_string(),
+    })?;
+    Ok(Request { id, query })
+}
+
+/// Renders a query as a request line body (the client-side inverse of
+/// [`parse_request`]).
+pub fn request_to_json(id: u64, query: &Query) -> Json {
+    let range = |r: &GridRange| {
+        Json::obj()
+            .with("min", r.min)
+            .with("max", r.max)
+            .with("steps", r.steps)
+    };
+    let mut cells = Json::arr();
+    for c in &query.ranges.cells {
+        cells.push(c.to_string());
+    }
+    let ranges = Json::obj()
+        .with("wheelbase_mm", range(&query.ranges.wheelbase_mm))
+        .with("cells", cells)
+        .with("capacity_mah", range(&query.ranges.capacity_mah))
+        .with("compute_power_w", range(&query.ranges.compute_power_w))
+        .with("twr", range(&query.ranges.twr))
+        .with("payload_g", range(&query.ranges.payload_g));
+    let mut constraints = Json::obj();
+    for (key, bound) in [
+        ("max_weight_g", query.constraints.max_weight_g),
+        ("min_flight_time_min", query.constraints.min_flight_time_min),
+        (
+            "max_compute_share_hover",
+            query.constraints.max_compute_share_hover,
+        ),
+        ("max_hover_power_w", query.constraints.max_hover_power_w),
+    ] {
+        if let Some(b) = bound {
+            constraints.insert(key, b);
+        }
+    }
+    let query_json = Json::obj()
+        .with("name", query.name.as_str())
+        .with("ranges", ranges)
+        .with("constraints", constraints)
+        .with("objective", objective_to_str(query.objective))
+        .with("refine_rounds", query.refine_rounds)
+        .with("refine_steps", query.refine_steps);
+    Json::obj().with("id", id).with("query", query_json)
+}
+
+fn eval_to_json(eval: &DesignEval) -> Json {
+    Json::obj()
+        .with("wheelbase_mm", eval.query.wheelbase_mm)
+        .with("cells", eval.query.cells.to_string())
+        .with("capacity_mah", eval.query.capacity_mah)
+        .with("compute_w", eval.query.compute_power_w)
+        .with("twr", eval.query.twr)
+        .with("payload_g", eval.query.payload_g)
+        .with("weight_g", eval.weight_g)
+        .with("flight_min", eval.flight_time_min)
+        .with("hover_w", eval.hover_power_w)
+        .with("compute_share_hover", eval.compute_share_hover)
+}
+
+/// Deterministic per-request work units: points dispatched to the
+/// engine (cache hits included). This is the "latency" the byte-stable
+/// benchmark artifact reports — sim-deterministic, unlike wall time.
+pub fn cost_units(answer: &QueryAnswer) -> u64 {
+    answer.evaluated as u64
+}
+
+/// Renders an answer. Frontier members sort by (flight time desc,
+/// weight asc) so the reply bytes are stable however the feasible set
+/// was admitted.
+pub fn answer_to_json(answer: &QueryAnswer) -> Json {
+    let mut members: Vec<&DesignEval> = answer.frontier.iter().collect();
+    members.sort_by(|a, b| {
+        b.flight_time_min
+            .total_cmp(&a.flight_time_min)
+            .then(a.weight_g.total_cmp(&b.weight_g))
+    });
+    let mut frontier = Json::arr();
+    for m in members {
+        frontier.push(eval_to_json(m));
+    }
+    Json::obj()
+        .with("name", answer.name.as_str())
+        .with("evaluated", answer.evaluated)
+        .with("feasible", answer.feasible)
+        .with("infeasible", answer.infeasible)
+        .with("rounds", answer.rounds)
+        .with("cost_units", cost_units(answer))
+        .with(
+            "best",
+            answer.best.as_ref().map_or(Json::Null, eval_to_json),
+        )
+        .with("frontier", frontier)
+}
+
+/// A success reply line body.
+pub fn ok_reply(id: &Json, answer: &QueryAnswer) -> Json {
+    Json::obj()
+        .with("id", id.clone())
+        .with("ok", true)
+        .with("answer", answer_to_json(answer))
+}
+
+/// An error reply line body.
+pub fn error_reply(id: &Json, error: &RequestError) -> Json {
+    Json::obj().with("id", id.clone()).with("ok", false).with(
+        "error",
+        Json::obj()
+            .with("kind", error.kind.as_str())
+            .with("message", error.message.as_str()),
+    )
+}
+
+/// What one batch did, for the caller's accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Requests answered with `ok: true`.
+    pub answered: usize,
+    /// Lines rejected for not speaking the protocol (parse/shape).
+    pub protocol_errors: usize,
+    /// Well-formed requests whose query failed the service limits.
+    pub query_errors: usize,
+    /// Deterministic work units across the answered requests.
+    pub cost_units: u64,
+}
+
+impl BatchOutcome {
+    /// All rejections, whatever the kind.
+    pub fn rejected(&self) -> usize {
+        self.protocol_errors + self.query_errors
+    }
+}
+
+/// Processes a batch of request lines against one engine: parse and
+/// validate each line, coalesce every valid query into **one**
+/// [`Explorer::run_batch`] call (so the memoization cache and Pareto
+/// passes are shared), and return one compact reply line per input, in
+/// input order. Never panics, whatever the lines contain.
+pub fn handle_batch(
+    engine: &Explorer,
+    lines: &[&str],
+    limits: &QueryLimits,
+) -> (Vec<String>, BatchOutcome) {
+    let parsed: Vec<Result<Request, RequestError>> = lines
+        .iter()
+        .map(|line| parse_request(line, limits))
+        .collect();
+    let queries: Vec<Query> = parsed
+        .iter()
+        .filter_map(|r| r.as_ref().ok())
+        .map(|r| r.query.clone())
+        .collect();
+    let answers = engine.run_batch(&queries);
+    let mut answers = answers.iter();
+    let mut outcome = BatchOutcome::default();
+    let replies = parsed
+        .iter()
+        .map(|result| {
+            match result {
+                Ok(request) => {
+                    let answer = answers.next().expect("one answer per valid request");
+                    outcome.answered += 1;
+                    outcome.cost_units += cost_units(answer);
+                    ok_reply(&request.id, answer)
+                }
+                Err(error) => {
+                    if error.kind == ErrorKind::InvalidQuery {
+                        outcome.query_errors += 1;
+                    } else {
+                        outcome.protocol_errors += 1;
+                    }
+                    error_reply(&Json::Null, error)
+                }
+            }
+            .render()
+        })
+        .collect();
+    (replies, outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> Explorer {
+        Explorer::new(2)
+    }
+
+    fn minimal_line() -> String {
+        r#"{"id":7,"query":{"ranges":{"wheelbase_mm":{"min":250,"max":450,"steps":3},"cells":["3S"],"capacity_mah":{"min":2000,"max":6000,"steps":5}},"objective":"max_flight_time"}}"#.to_owned()
+    }
+
+    #[test]
+    fn minimal_request_parses_with_defaults() {
+        let req = parse_request(&minimal_line(), &QueryLimits::default()).unwrap();
+        assert_eq!(req.id, Json::Num(7.0));
+        assert_eq!(req.query.name, "query");
+        assert_eq!(req.query.ranges.compute_power_w.values(), vec![3.0]);
+        assert_eq!(req.query.refine_rounds, 0);
+        assert_eq!(req.query.objective, Objective::MaxFlightTime);
+    }
+
+    #[test]
+    fn request_round_trips_through_the_client_renderer() {
+        let query = Query::new(
+            "rt",
+            QueryRanges {
+                wheelbase_mm: GridRange::new(250.0, 450.0, 3),
+                cells: vec![CellCount::S3, CellCount::S6],
+                capacity_mah: GridRange::new(2000.0, 6000.0, 5),
+                compute_power_w: GridRange::fixed(20.0),
+                twr: GridRange::fixed(2.0),
+                payload_g: GridRange::new(0.0, 200.0, 2),
+            },
+            Objective::MinWeight,
+        )
+        .with_constraints(Constraints {
+            max_weight_g: Some(2000.0),
+            ..Constraints::default()
+        })
+        .with_refinement(1, 3);
+        let line = request_to_json(42, &query).render();
+        let parsed = parse_request(&line, &QueryLimits::default()).unwrap();
+        assert_eq!(parsed.id, Json::Num(42.0));
+        assert_eq!(parsed.query, query);
+    }
+
+    #[test]
+    fn strictness_rejects_unknown_keys_and_bad_shapes() {
+        let limits = QueryLimits::default();
+        let cases = [
+            ("not json at all", ErrorKind::Parse),
+            ("{\"nope\":1}", ErrorKind::BadRequest),
+            ("{\"query\":{\"objective\":\"max_flight_time\"}}", ErrorKind::BadRequest),
+            (
+                "{\"query\":{\"ranges\":{\"wheelbase_mm\":100,\"cells\":[3],\"capacity_mah\":1000,\"bogus\":1},\"objective\":\"max_flight_time\"}}",
+                ErrorKind::BadRequest,
+            ),
+            (
+                "{\"query\":{\"ranges\":{\"wheelbase_mm\":100,\"cells\":[\"9S\"],\"capacity_mah\":1000},\"objective\":\"max_flight_time\"}}",
+                ErrorKind::BadRequest,
+            ),
+            (
+                "{\"query\":{\"ranges\":{\"wheelbase_mm\":100,\"cells\":[3],\"capacity_mah\":1000},\"objective\":\"fastest\"}}",
+                ErrorKind::BadRequest,
+            ),
+        ];
+        for (line, kind) in cases {
+            let err = parse_request(line, &limits).unwrap_err();
+            assert_eq!(err.kind, kind, "{line}");
+        }
+    }
+
+    #[test]
+    fn limit_violations_surface_as_invalid_query() {
+        let line = r#"{"query":{"ranges":{"wheelbase_mm":{"min":450,"max":250,"steps":3},"cells":["3S"],"capacity_mah":2000},"objective":"max_flight_time"}}"#;
+        let err = parse_request(line, &QueryLimits::default()).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::InvalidQuery);
+        assert!(err.message.contains("inverted"), "{}", err.message);
+    }
+
+    #[test]
+    fn handle_batch_replies_in_input_order_and_coalesces() {
+        let bad = "garbage";
+        let good = minimal_line();
+        let lines = [good.as_str(), bad, good.as_str()];
+        let (replies, outcome) = handle_batch(&engine(), &lines, &QueryLimits::default());
+        assert_eq!(replies.len(), 3);
+        let first = Json::parse(&replies[0]).unwrap();
+        assert_eq!(first.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(first.get("id"), Some(&Json::Num(7.0)));
+        let second = Json::parse(&replies[1]).unwrap();
+        assert_eq!(second.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(
+            second.get("error").and_then(|e| e.get("kind")),
+            Some(&Json::Str("parse".into()))
+        );
+        assert_eq!(outcome.answered, 2);
+        assert_eq!(outcome.protocol_errors, 1);
+        assert_eq!(outcome.query_errors, 0);
+        assert_eq!(outcome.rejected(), 1);
+        assert_eq!(outcome.cost_units, 30, "15 grid points per good request");
+        // Identical replies for identical requests.
+        assert_eq!(replies[0], replies[2]);
+    }
+
+    #[test]
+    fn answers_report_a_sorted_frontier_and_null_best_when_empty() {
+        let line = minimal_line();
+        let (replies, _) = handle_batch(&engine(), &[line.as_str()], &QueryLimits::default());
+        let doc = Json::parse(&replies[0]).unwrap();
+        let answer = doc.get("answer").unwrap();
+        let frontier = answer.get("frontier").and_then(Json::as_arr).unwrap();
+        assert!(!frontier.is_empty());
+        let flights: Vec<f64> = frontier
+            .iter()
+            .map(|m| m.get("flight_min").and_then(Json::as_f64).unwrap())
+            .collect();
+        assert!(flights.windows(2).all(|w| w[0] >= w[1]), "{flights:?}");
+
+        // An unsatisfiable query answers ok with best: null.
+        let none = r#"{"id":1,"query":{"ranges":{"wheelbase_mm":250,"cells":["3S"],"capacity_mah":2000},"constraints":{"min_flight_time_min":10000},"objective":"max_flight_time"}}"#;
+        let (replies, outcome) = handle_batch(&engine(), &[none], &QueryLimits::default());
+        let doc = Json::parse(&replies[0]).unwrap();
+        assert_eq!(doc.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(doc.get("answer").unwrap().get("best"), Some(&Json::Null));
+        assert_eq!(outcome.answered, 1);
+    }
+}

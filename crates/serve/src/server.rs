@@ -1,0 +1,540 @@
+//! The threaded TCP front-end: a single acceptor feeding a bounded
+//! connection queue drained by a fixed worker pool.
+//!
+//! Admission control happens at the front door. When the queue is
+//! full the acceptor does not block and does not buffer: it writes one
+//! structured `overloaded` reply on the fresh connection and closes
+//! it — the TCP analogue of the firmware scheduler's shed policy
+//! (drop the newest work, keep the pipeline moving). Everything past
+//! admission is deterministic protocol code from [`crate::protocol`].
+//!
+//! Shutdown is a **drain**: stop admitting, let every worker finish
+//! the connection it holds, then join every thread. [`DrainStats`]
+//! reports the join count so tests (and CI) can pin "no thread leaked"
+//! as an invariant rather than a hope.
+
+use crate::protocol::{self, ErrorKind, RequestError};
+use drone_explorer::{Explorer, QueryLimits};
+use drone_telemetry::{Clock, Counter, Gauge, Json, Registry, SharedHistogram};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Worker threads draining the connection queue.
+    pub workers: usize,
+    /// Connections admitted but not yet picked up; beyond this the
+    /// acceptor sheds.
+    pub queue_capacity: usize,
+    /// Most pipelined requests coalesced into one engine batch.
+    pub max_batch: usize,
+    /// Per-line byte cap; a longer line gets a `too_large` reply and
+    /// the connection closes.
+    pub max_line_bytes: usize,
+    /// Query validation limits applied to every request.
+    pub limits: QueryLimits,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 2,
+            queue_capacity: 16,
+            max_batch: 32,
+            max_line_bytes: 64 * 1024,
+            limits: QueryLimits::default(),
+        }
+    }
+}
+
+/// What a completed drain looked like.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainStats {
+    /// Threads joined: the acceptor plus every worker.
+    pub threads_joined: usize,
+    /// Queued connections closed unserved during the drain.
+    pub abandoned_connections: usize,
+    /// True when every thread joined without panicking.
+    pub clean: bool,
+}
+
+struct Metrics {
+    requests: Arc<Counter>,
+    batches: Arc<Counter>,
+    sheds: Arc<Counter>,
+    protocol_errors: Arc<Counter>,
+    query_errors: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+    batch_size: Arc<SharedHistogram>,
+    cost_units: Arc<SharedHistogram>,
+    latency_s: Arc<SharedHistogram>,
+}
+
+impl Metrics {
+    fn new(registry: &Registry) -> Metrics {
+        Metrics {
+            requests: registry.counter("serve.requests"),
+            batches: registry.counter("serve.batches"),
+            sheds: registry.counter("serve.sheds"),
+            protocol_errors: registry.counter("serve.errors.protocol"),
+            query_errors: registry.counter("serve.errors.query"),
+            queue_depth: registry.gauge("serve.queue.depth"),
+            batch_size: registry.histogram("serve.batch.size"),
+            cost_units: registry.histogram("serve.request.cost_units"),
+            latency_s: registry.histogram("serve.request.latency_s"),
+        }
+    }
+}
+
+struct QueueState {
+    connections: VecDeque<TcpStream>,
+    shutdown: bool,
+    paused: bool,
+}
+
+struct Shared {
+    engine: Explorer,
+    config: ServerConfig,
+    queue: Mutex<QueueState>,
+    wakeup: Condvar,
+    clock: Clock,
+    metrics: Metrics,
+    draining: AtomicBool,
+}
+
+impl Shared {
+    /// Admits a connection, or hands it back when the queue is full;
+    /// never blocks.
+    fn try_admit(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut queue = self.queue.lock().expect("serve queue poisoned");
+        if queue.shutdown || queue.connections.len() >= self.config.queue_capacity {
+            return Err(stream);
+        }
+        queue.connections.push_back(stream);
+        self.metrics.queue_depth.set(queue.connections.len() as f64);
+        drop(queue);
+        self.wakeup.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a connection is available or shutdown is flagged.
+    fn next_connection(&self) -> Option<TcpStream> {
+        let mut queue = self.queue.lock().expect("serve queue poisoned");
+        loop {
+            if queue.shutdown {
+                return None;
+            }
+            if !queue.paused {
+                if let Some(stream) = queue.connections.pop_front() {
+                    self.metrics.queue_depth.set(queue.connections.len() as f64);
+                    return Some(stream);
+                }
+            }
+            queue = self.wakeup.wait(queue).expect("serve queue poisoned");
+        }
+    }
+}
+
+/// A running server plus the handles needed to stop it.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds a loopback port and spins up the acceptor and worker
+    /// threads. The engine is shared by all workers, so every batch
+    /// benefits from one memoization cache.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the listener cannot bind.
+    pub fn start(
+        engine: Explorer,
+        config: ServerConfig,
+        registry: &Registry,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            engine,
+            config,
+            queue: Mutex::new(QueueState {
+                connections: VecDeque::new(),
+                shutdown: false,
+                paused: false,
+            }),
+            wakeup: Condvar::new(),
+            clock: registry.clock().clone(),
+            metrics: Metrics::new(registry),
+            draining: AtomicBool::new(false),
+        });
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("serve-acceptor".into())
+                .spawn(move || accept_loop(&listener, &shared))?
+        };
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+        Ok(Server {
+            shared,
+            addr,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound loopback address clients should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Holds workers back from picking up queued connections. The
+    /// acceptor keeps admitting until the queue fills, so a test can
+    /// stage a deterministic overload.
+    pub fn pause_workers(&self) {
+        self.shared
+            .queue
+            .lock()
+            .expect("serve queue poisoned")
+            .paused = true;
+    }
+
+    /// Releases [`Server::pause_workers`].
+    pub fn resume_workers(&self) {
+        self.shared
+            .queue
+            .lock()
+            .expect("serve queue poisoned")
+            .paused = false;
+        self.shared.wakeup.notify_all();
+    }
+
+    /// Stops admitting, lets in-flight connections finish, closes any
+    /// still-queued connections unserved, and joins every thread.
+    pub fn drain(mut self) -> DrainStats {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        let abandoned = {
+            let mut queue = self.shared.queue.lock().expect("serve queue poisoned");
+            queue.shutdown = true;
+            queue.paused = false;
+            let abandoned = queue.connections.len();
+            queue.connections.clear();
+            self.shared.metrics.queue_depth.set(0.0);
+            abandoned
+        };
+        self.shared.wakeup.notify_all();
+        // The acceptor blocks in accept(); one throwaway connection
+        // unblocks it so it can observe the shutdown flag.
+        let _ = TcpStream::connect(self.addr);
+        let mut joined = 0usize;
+        let mut clean = true;
+        if let Some(acceptor) = self.acceptor.take() {
+            clean &= acceptor.join().is_ok();
+            joined += 1;
+        }
+        for worker in self.workers.drain(..) {
+            clean &= worker.join().is_ok();
+            joined += 1;
+        }
+        DrainStats {
+            threads_joined: joined,
+            abandoned_connections: abandoned,
+            clean,
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // Belt and braces for early returns in tests: a dropped server
+        // must not leak threads. drain() leaves both handles empty.
+        if self.acceptor.is_some() || !self.workers.is_empty() {
+            let server = Server {
+                shared: Arc::clone(&self.shared),
+                addr: self.addr,
+                acceptor: self.acceptor.take(),
+                workers: std::mem::take(&mut self.workers),
+            };
+            server.drain();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    for stream in listener.incoming() {
+        if shared.draining.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        if let Err(refused) = shared.try_admit(stream) {
+            shed(refused, shared);
+        }
+    }
+}
+
+/// Writes the structured shed reply and closes the connection.
+fn shed(mut stream: TcpStream, shared: &Shared) {
+    shared.metrics.sheds.inc();
+    let reply = protocol::error_reply(
+        &Json::Null,
+        &RequestError {
+            kind: ErrorKind::Overloaded,
+            message: "queue full; retry later".into(),
+        },
+    );
+    let _ = writeln!(stream, "{}", reply.render());
+    let _ = stream.flush();
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(stream) = shared.next_connection() {
+        serve_connection(stream, shared);
+    }
+}
+
+/// One reply line, used when the connection itself misbehaves (a line
+/// over the byte cap).
+fn refuse(stream: &mut TcpStream, shared: &Shared, kind: ErrorKind, message: &str) {
+    shared.metrics.protocol_errors.inc();
+    let reply = protocol::error_reply(
+        &Json::Null,
+        &RequestError {
+            kind,
+            message: message.into(),
+        },
+    );
+    let _ = writeln!(stream, "{}", reply.render());
+    let _ = stream.flush();
+}
+
+/// Reads newline-delimited requests until EOF, answering each batch of
+/// complete lines with one engine run. A drain lets the current batch
+/// finish, then closes even if the client would send more.
+fn serve_connection(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let _ = stream.set_nodelay(true);
+    let mut buffer: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                // EOF: a trailing unterminated line still gets served.
+                if !buffer.is_empty() {
+                    buffer.push(b'\n');
+                    process_complete_lines(&mut buffer, &mut stream, shared);
+                }
+                return;
+            }
+            Ok(n) => {
+                buffer.extend_from_slice(&chunk[..n]);
+                process_complete_lines(&mut buffer, &mut stream, shared);
+                if buffer.len() > shared.config.max_line_bytes {
+                    refuse(
+                        &mut stream,
+                        shared,
+                        ErrorKind::TooLarge,
+                        "request line exceeds size cap",
+                    );
+                    return;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shared.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Splits off every complete line in `buffer` and answers them in
+/// batches of at most `max_batch`.
+fn process_complete_lines(buffer: &mut Vec<u8>, stream: &mut TcpStream, shared: &Shared) {
+    let Some(last_newline) = buffer.iter().rposition(|&b| b == b'\n') else {
+        return;
+    };
+    let complete: Vec<u8> = buffer.drain(..=last_newline).collect();
+    // Lossy decoding keeps invalid UTF-8 on the structured-error path
+    // (the parser rejects it) instead of killing the connection.
+    let text = String::from_utf8_lossy(&complete);
+    let lines: Vec<&str> = text
+        .split('\n')
+        .map(|l| l.strip_suffix('\r').unwrap_or(l))
+        .filter(|l| !l.trim().is_empty())
+        .collect();
+    for batch in lines.chunks(shared.config.max_batch.max(1)) {
+        let started = shared.clock.now();
+        let (replies, outcome) =
+            protocol::handle_batch(&shared.engine, batch, &shared.config.limits);
+        let elapsed = shared.clock.now() - started;
+        let m = &shared.metrics;
+        m.batches.inc();
+        m.requests.add(batch.len() as u64);
+        m.protocol_errors.add(outcome.protocol_errors as u64);
+        m.query_errors.add(outcome.query_errors as u64);
+        m.batch_size.record(batch.len() as f64);
+        m.cost_units.record(outcome.cost_units as f64);
+        if !batch.is_empty() {
+            m.latency_s.record(elapsed / batch.len() as f64);
+        }
+        let mut out = String::new();
+        for reply in &replies {
+            out.push_str(reply);
+            out.push('\n');
+        }
+        if stream.write_all(out.as_bytes()).is_err() {
+            return;
+        }
+        let _ = stream.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+
+    fn request_line(id: u64) -> String {
+        format!(
+            r#"{{"id":{id},"query":{{"ranges":{{"wheelbase_mm":{{"min":250,"max":450,"steps":3}},"cells":["3S"],"capacity_mah":{{"min":2000,"max":6000,"steps":5}}}},"objective":"max_flight_time"}}}}"#
+        )
+    }
+
+    fn start(config: ServerConfig) -> (Server, Registry) {
+        let registry = Registry::with_wall_clock();
+        let server = Server::start(Explorer::new(2), config, &registry).expect("bind loopback");
+        (server, registry)
+    }
+
+    #[test]
+    fn serves_pipelined_requests_in_order_and_drains_cleanly() {
+        let (server, registry) = start(ServerConfig::default());
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        let mut payload = String::new();
+        for id in 0..5 {
+            payload.push_str(&request_line(id));
+            payload.push('\n');
+        }
+        payload.push_str("junk line\n");
+        stream.write_all(payload.as_bytes()).unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let reader = BufReader::new(stream);
+        let replies: Vec<String> = reader.lines().map(|l| l.unwrap()).collect();
+        assert_eq!(replies.len(), 6);
+        for (id, line) in replies[..5].iter().enumerate() {
+            let doc = Json::parse(line).unwrap();
+            assert_eq!(doc.get("ok"), Some(&Json::Bool(true)), "{line}");
+            assert_eq!(doc.get("id"), Some(&Json::Num(id as f64)));
+        }
+        let junk = Json::parse(&replies[5]).unwrap();
+        assert_eq!(junk.get("ok"), Some(&Json::Bool(false)));
+
+        assert_eq!(registry.counter("serve.requests").get(), 6);
+        assert_eq!(registry.counter("serve.errors.protocol").get(), 1);
+        assert_eq!(registry.counter("serve.errors.query").get(), 0);
+
+        let stats = server.drain();
+        assert_eq!(stats.threads_joined, ServerConfig::default().workers + 1);
+        assert!(stats.clean);
+    }
+
+    #[test]
+    fn sheds_with_a_structured_reply_once_the_queue_fills() {
+        let config = ServerConfig {
+            workers: 1,
+            queue_capacity: 2,
+            ..ServerConfig::default()
+        };
+        let (server, registry) = start(config);
+        server.pause_workers();
+        // With workers held, the queue admits exactly `queue_capacity`
+        // connections; the next ones are shed in accept order.
+        let mut held: Vec<TcpStream> = Vec::new();
+        let mut shed_replies = 0usize;
+        for i in 0..4 {
+            let mut stream = TcpStream::connect(server.addr()).unwrap();
+            if i < 2 {
+                stream
+                    .write_all(format!("{}\n", request_line(i)).as_bytes())
+                    .unwrap();
+                held.push(stream);
+            } else {
+                // The server sheds without waiting for a request; the
+                // socket may already be closing, so don't write to it.
+                // Shed connections get exactly one overloaded line.
+                let mut reader = BufReader::new(stream);
+                let mut line = String::new();
+                reader.read_line(&mut line).unwrap();
+                let doc = Json::parse(&line).unwrap();
+                assert_eq!(doc.get("ok"), Some(&Json::Bool(false)));
+                assert_eq!(
+                    doc.get("error").and_then(|e| e.get("kind")),
+                    Some(&Json::Str("overloaded".into()))
+                );
+                shed_replies += 1;
+            }
+        }
+        assert_eq!(shed_replies, 2);
+        assert_eq!(registry.counter("serve.sheds").get(), 2);
+
+        server.resume_workers();
+        for stream in held {
+            stream.shutdown(std::net::Shutdown::Write).unwrap();
+            let mut reader = BufReader::new(stream);
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let doc = Json::parse(&line).unwrap();
+            assert_eq!(doc.get("ok"), Some(&Json::Bool(true)));
+        }
+        let stats = server.drain();
+        assert_eq!(stats.threads_joined, 2);
+        assert!(stats.clean);
+        assert_eq!(stats.abandoned_connections, 0);
+    }
+
+    #[test]
+    fn oversized_lines_get_refused_not_buffered_forever() {
+        let config = ServerConfig {
+            max_line_bytes: 512,
+            ..ServerConfig::default()
+        };
+        let (server, _registry) = start(config);
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.write_all(&vec![b'x'; 4096]).unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let doc = Json::parse(&line).unwrap();
+        assert_eq!(
+            doc.get("error").and_then(|e| e.get("kind")),
+            Some(&Json::Str("too_large".into()))
+        );
+        server.drain();
+    }
+
+    #[test]
+    fn dropping_an_undrained_server_joins_its_threads() {
+        let (server, _registry) = start(ServerConfig::default());
+        drop(server); // must not hang or leak; nothing to assert beyond returning.
+    }
+}

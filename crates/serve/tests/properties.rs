@@ -1,0 +1,156 @@
+//! Property-based tests for the server request path: no input —
+//! arbitrary bytes, adversarial grids, hostile nesting — may panic
+//! it, and every rejection must be a parseable structured error.
+
+use drone_explorer::{Explorer, QueryLimits};
+use drone_serve::protocol::{handle_batch, parse_request};
+use drone_serve::{Server, ServerConfig, Workload};
+use drone_telemetry::{Json, Registry};
+use proptest::prelude::*;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+fn engine() -> Explorer {
+    Explorer::new(1)
+}
+
+/// Every reply line must itself be valid JSON with an `ok` bool and,
+/// when `ok` is false, a structured `error` object.
+fn assert_reply_shape(reply: &str) {
+    let doc = Json::parse(reply).expect("reply must be valid JSON");
+    match doc.get("ok") {
+        Some(&Json::Bool(true)) => {
+            assert!(doc.get("answer").is_some(), "ok reply missing answer");
+        }
+        Some(&Json::Bool(false)) => {
+            let error = doc.get("error").expect("error reply missing error object");
+            assert!(error.get("kind").and_then(Json::as_str).is_some());
+            assert!(error.get("message").and_then(Json::as_str).is_some());
+        }
+        other => panic!("reply has no ok bool: {other:?} in {reply}"),
+    }
+}
+
+proptest! {
+    /// Arbitrary byte junk (decoded lossily, as the server does)
+    /// through the batch handler: one structured reply per line, no
+    /// panics.
+    #[test]
+    fn arbitrary_bytes_get_structured_errors(raw in prop::collection::vec(any::<u8>(), 0..400)) {
+        let text = String::from_utf8_lossy(&raw);
+        let lines: Vec<&str> = text.split('\n').filter(|l| !l.trim().is_empty()).collect();
+        let (replies, outcome) = handle_batch(&engine(), &lines, &QueryLimits::default());
+        prop_assert_eq!(replies.len(), lines.len());
+        for reply in &replies {
+            assert_reply_shape(reply);
+        }
+        prop_assert_eq!(outcome.answered + outcome.rejected(), lines.len());
+    }
+
+    /// JSON-shaped junk: fuzz the numeric fields of an otherwise valid
+    /// request with extreme magnitudes, NaN-producing strings, inverted
+    /// ranges and absurd step counts. Never panics; either answers or
+    /// rejects with a typed error.
+    #[test]
+    fn hostile_grids_never_panic(
+        min in prop_oneof![any::<f64>(), -1.0e12..1.0e12, Just(f64::NAN), Just(f64::INFINITY)],
+        max in prop_oneof![any::<f64>(), -1.0e12..1.0e12, Just(f64::NEG_INFINITY)],
+        steps in prop_oneof![0u64..10, Just(u64::MAX / 2), 1_000_000u64..2_000_000],
+        capacity in -1.0e9f64..1.0e9,
+        rounds in 0u64..200,
+    ) {
+        let fmt = |v: f64| if v.is_finite() { format!("{v}") } else { "null".to_owned() };
+        let line = format!(
+            r#"{{"id":1,"query":{{"ranges":{{"wheelbase_mm":{{"min":{},"max":{},"steps":{}}},"cells":["3S"],"capacity_mah":{}}},"objective":"max_flight_time","refine_rounds":{}}}}}"#,
+            fmt(min), fmt(max), steps, fmt(capacity), rounds,
+        );
+        let (replies, _) = handle_batch(&engine(), &[line.as_str()], &QueryLimits::default());
+        prop_assert_eq!(replies.len(), 1);
+        assert_reply_shape(&replies[0]);
+    }
+
+    /// The workload generator and the wire protocol agree: every
+    /// generated request parses back to the query that produced it.
+    #[test]
+    fn workload_requests_round_trip(seed in any::<u64>(), client in 0u64..64) {
+        let mut workload = Workload::new(seed, client);
+        for _ in 0..4 {
+            let line = workload.next_request_line();
+            let parsed = parse_request(line.trim_end(), &QueryLimits::default());
+            prop_assert!(parsed.is_ok(), "workload produced invalid request: {:?}", parsed);
+        }
+    }
+}
+
+/// End-to-end: junk bytes and valid requests interleaved over a real
+/// socket. The server answers the valid ones, rejects the junk with
+/// structured errors, and drains with every thread joined.
+#[test]
+fn socket_survives_junk_interleaved_with_valid_requests() {
+    let registry = Registry::with_wall_clock();
+    let server =
+        Server::start(Explorer::new(2), ServerConfig::default(), &registry).expect("bind loopback");
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    let mut workload = Workload::new(9, 0);
+    let mut expected_ok = 0usize;
+    let mut expected_err = 0usize;
+    let mut payload: Vec<u8> = Vec::new();
+    for i in 0..12 {
+        if i % 3 == 0 {
+            payload.extend_from_slice(b"\x00\xffgarbage {]\n");
+            expected_err += 1;
+        } else {
+            payload.extend_from_slice(workload.next_request_line().as_bytes());
+            expected_ok += 1;
+        }
+    }
+    stream.write_all(&payload).unwrap();
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut replies = String::new();
+    BufReader::new(stream).read_to_string(&mut replies).unwrap();
+    let lines: Vec<&str> = replies.lines().collect();
+    assert_eq!(lines.len(), expected_ok + expected_err);
+    let oks = lines
+        .iter()
+        .filter(|l| Json::parse(l).unwrap().get("ok") == Some(&Json::Bool(true)))
+        .count();
+    assert_eq!(oks, expected_ok);
+    for line in &lines {
+        assert_reply_shape(line);
+    }
+    let stats = server.drain();
+    assert_eq!(
+        stats.threads_joined,
+        ServerConfig::default().workers + 1,
+        "drain must join the acceptor and every worker"
+    );
+    assert!(stats.clean);
+}
+
+/// A client that opens a connection, sends nothing and hangs up must
+/// not wedge a worker or leave threads behind.
+#[test]
+fn silent_clients_do_not_wedge_the_pool() {
+    let registry = Registry::with_wall_clock();
+    let server =
+        Server::start(Explorer::new(1), ServerConfig::default(), &registry).expect("bind loopback");
+    for _ in 0..3 {
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        drop(stream);
+    }
+    // A real request still gets through afterwards.
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    let mut workload = Workload::new(1, 0);
+    stream
+        .write_all(workload.next_request_line().as_bytes())
+        .unwrap();
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut line = String::new();
+    BufReader::new(stream).read_line(&mut line).unwrap();
+    assert_eq!(
+        Json::parse(&line).unwrap().get("ok"),
+        Some(&Json::Bool(true))
+    );
+    let stats = server.drain();
+    assert!(stats.clean);
+}

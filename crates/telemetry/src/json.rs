@@ -179,10 +179,16 @@ impl Json {
     }
 
     /// Parses a JSON document.
+    ///
+    /// Nesting is limited to [`MAX_PARSE_DEPTH`] levels so untrusted
+    /// input (the `drone-serve` request path feeds network bytes here)
+    /// cannot overflow the stack with `[[[[…`; deeper documents return
+    /// a [`ParseError`] instead.
     pub fn parse(text: &str) -> Result<Json, ParseError> {
         let mut p = Parser {
             bytes: text.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let value = p.value()?;
@@ -249,9 +255,15 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Deepest container nesting [`Json::parse`] accepts. The recursive-
+/// descent parser burns one stack frame per level, so this bound is
+/// what keeps arbitrary network bytes from overflowing the stack.
+pub const MAX_PARSE_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -303,12 +315,22 @@ impl Parser<'_> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            return Err(self.error("nesting deeper than MAX_PARSE_DEPTH"));
+        }
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<Json, ParseError> {
         self.eat(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -319,6 +341,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(self.error("expected ',' or ']'")),
@@ -328,10 +351,12 @@ impl Parser<'_> {
 
     fn object(&mut self) -> Result<Json, ParseError> {
         self.eat(b'{')?;
+        self.enter()?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(pairs));
         }
         loop {
@@ -346,6 +371,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(pairs));
                 }
                 _ => return Err(self.error("expected ',' or '}'")),
@@ -532,6 +558,24 @@ mod tests {
         for bad in ["", "{", "[1,", "{\"a\":}", "tru", "1.2.3", "[1] x"] {
             assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing_the_stack() {
+        // 200k unterminated opens: without the depth cap this is a
+        // stack overflow (an abort, not a catchable panic).
+        for open in ["[", "{\"k\":"] {
+            let bomb = open.repeat(200_000);
+            assert!(Json::parse(&bomb).is_err());
+        }
+        // Depth within the cap still parses, and siblings do not
+        // accumulate depth.
+        let ok = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(Json::parse(&ok).is_ok());
+        let siblings = format!("[{}]", vec!["[[1]]"; 200].join(","));
+        assert!(Json::parse(&siblings).is_ok());
+        let too_deep = format!("{}1{}", "[".repeat(129), "]".repeat(129));
+        assert!(Json::parse(&too_deep).is_err());
     }
 
     #[test]

@@ -1,0 +1,149 @@
+//! `dse_client` — spin up the DSE query server on a loopback port and
+//! talk to it over TCP, end to end.
+//!
+//! ```sh
+//! cargo run --release --example dse_client
+//! cargo run --release --example dse_client -- --clients 4 --requests 8
+//! ```
+//!
+//! The example starts a [`drone_serve::Server`] in-process, drives it
+//! with N concurrent clients replaying a deterministic seeded
+//! [`drone_serve::Workload`], sends one deliberately malformed line to
+//! show the structured error path, and finishes with a graceful drain
+//! that joins every server thread.
+
+use drone_explorer::Explorer;
+use drone_serve::{Server, ServerConfig, Workload};
+use drone_telemetry::{Json, Registry};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+
+struct Args {
+    clients: u64,
+    requests: usize,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        clients: 3,
+        requests: 5,
+        seed: 7,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value"))?
+                .parse::<u64>()
+                .map_err(|e| format!("{name}: {e}"))
+        };
+        match arg.as_str() {
+            "--clients" => args.clients = value("--clients")?.max(1),
+            "--requests" => args.requests = value("--requests")?.max(1) as usize,
+            "--seed" => args.seed = value("--seed")?,
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn run_client(addr: std::net::SocketAddr, seed: u64, client: u64, requests: usize) -> Vec<String> {
+    let mut workload = Workload::new(seed, client);
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let mut payload = String::new();
+    for _ in 0..requests {
+        payload.push_str(&workload.next_request_line());
+    }
+    stream.write_all(payload.as_bytes()).expect("send requests");
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+    BufReader::new(stream)
+        .lines()
+        .map(|l| l.expect("read reply"))
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            eprintln!("usage: dse_client [--clients N] [--requests N] [--seed N]");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let registry = Registry::with_wall_clock();
+    let mut engine = Explorer::with_default_threads();
+    engine.attach_telemetry(&registry);
+    let server =
+        Server::start(engine, ServerConfig::default(), &registry).expect("bind loopback port");
+    println!("server listening on {}", server.addr());
+
+    let handles: Vec<_> = (0..args.clients)
+        .map(|c| {
+            let addr = server.addr();
+            let (seed, requests) = (args.seed, args.requests);
+            std::thread::spawn(move || run_client(addr, seed, c, requests))
+        })
+        .collect();
+    let mut answered = 0usize;
+    for (c, handle) in handles.into_iter().enumerate() {
+        let replies = handle.join().expect("client thread");
+        answered += replies.len();
+        // Show the first reply of each client, compactly.
+        if let Some(line) = replies.first() {
+            let doc = Json::parse(line).expect("reply is JSON");
+            let answer = doc.get("answer").expect("ok reply");
+            let best = answer.get("best").expect("best field");
+            let describe = |key: &str| {
+                best.get(key)
+                    .and_then(Json::as_f64)
+                    .map_or("-".to_owned(), |v| format!("{v:.1}"))
+            };
+            println!(
+                "client {c}: {} replies; first answer evaluated {} points, best flight {} min at {} g",
+                replies.len(),
+                answer.get("evaluated").and_then(Json::as_f64).unwrap_or(0.0),
+                describe("flight_min"),
+                describe("weight_g"),
+            );
+        }
+    }
+
+    // The error path is structured too: a malformed line gets a typed
+    // reply, not a dropped connection.
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    stream
+        .write_all(b"this is not a request\n")
+        .expect("send junk");
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+    let mut line = String::new();
+    BufReader::new(stream)
+        .read_line(&mut line)
+        .expect("read error reply");
+    let doc = Json::parse(&line).expect("error reply is JSON");
+    let kind = doc
+        .get("error")
+        .and_then(|e| e.get("kind"))
+        .and_then(Json::as_str)
+        .unwrap_or("?")
+        .to_owned();
+    println!("malformed line answered with a structured '{kind}' error");
+
+    let stats = server.drain();
+    println!(
+        "{answered} requests answered; drain joined {} thread(s), clean={}",
+        stats.threads_joined, stats.clean
+    );
+    if answered == args.clients as usize * args.requests && stats.clean && kind == "parse" {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

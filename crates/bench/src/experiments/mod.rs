@@ -2,6 +2,7 @@
 
 mod arch_figs;
 mod catalog_figs;
+mod chaos_figs;
 mod control_figs;
 mod explore_figs;
 mod extension_figs;
@@ -12,6 +13,7 @@ mod space_figs;
 
 pub use arch_figs::{figure15, figure16};
 pub use catalog_figs::{figure7, figure8a, figure8b, figure9};
+pub use chaos_figs::chaos;
 pub use control_figs::{
     deadlines, gust_rejection, inner_loop, roll_overshoot, roll_rise_time, table2,
 };
@@ -187,6 +189,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             "serve",
             "batched DSE query server: throughput, shed drill, graceful drain",
             serve,
+        ),
+        e(
+            "chaos",
+            "seeded network-fault campaign: survival, retries, sheds, panic isolation",
+            chaos,
         ),
     ]
 }

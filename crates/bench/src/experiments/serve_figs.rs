@@ -36,7 +36,8 @@ const DRILL_OVERFLOW: usize = 3;
 
 /// FNV-1a over the sorted reply lines: a strong, order-independent
 /// fingerprint that any two runs (at any thread count) must share.
-fn fnv_digest(lines: &mut [String]) -> String {
+/// Shared with the chaos campaign (`chaos_figs`).
+pub(crate) fn fnv_digest(lines: &mut [String]) -> String {
     lines.sort();
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for line in lines {

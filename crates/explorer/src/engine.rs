@@ -10,7 +10,7 @@
 //! changes between rounds, on the coordinating thread, in point order.
 
 use crate::cache::{CacheKey, EvalCache};
-use crate::executor::ParallelExecutor;
+use crate::executor::{ParallelExecutor, TaskPanic};
 use crate::pareto::ParetoFrontier;
 use crate::query::{Query, QueryAnswer};
 use drone_dse::eval::{evaluate, DesignEval, DesignQuery, OBJECTIVE_SENSES};
@@ -23,6 +23,12 @@ use std::sync::Arc;
 /// Cached evaluation outcome (shared with [`EvalCache`]).
 pub type EvalResult = Result<DesignEval, drone_dse::design::DesignError>;
 
+/// A pre-evaluation hook run on every *fresh* (uncached) design point.
+/// This is the chaos-engineering seam: tests and the `repro chaos`
+/// campaign install a hook that panics on a marker coordinate to prove
+/// the panic-isolation path end to end.
+pub type EvalHook = Arc<dyn Fn(&DesignQuery) + Send + Sync>;
+
 struct QueryTelemetry {
     latency: Arc<SharedHistogram>,
     points: Arc<SharedHistogram>,
@@ -34,6 +40,7 @@ pub struct Explorer {
     executor: ParallelExecutor,
     cache: EvalCache,
     telemetry: Option<QueryTelemetry>,
+    eval_hook: Option<EvalHook>,
 }
 
 impl Explorer {
@@ -43,6 +50,7 @@ impl Explorer {
             executor: ParallelExecutor::new(threads),
             cache: EvalCache::with_defaults(),
             telemetry: None,
+            eval_hook: None,
         }
     }
 
@@ -55,6 +63,15 @@ impl Explorer {
     /// Replaces the cache (tests shrink it to exercise eviction).
     pub fn with_cache(mut self, cache: EvalCache) -> Explorer {
         self.cache = cache;
+        self
+    }
+
+    /// Installs an [`EvalHook`] called before every fresh evaluation —
+    /// the fault-injection seam for chaos tests. A hook that panics
+    /// turns the whole query into a caught [`TaskPanic`] (see
+    /// [`Explorer::try_run`]); it never kills worker threads.
+    pub fn with_eval_hook(mut self, hook: EvalHook) -> Explorer {
+        self.eval_hook = Some(hook);
         self
     }
 
@@ -87,7 +104,29 @@ impl Explorer {
     /// (counted as hits); fresh results enter the cache in input order
     /// on the calling thread, keeping counters and eviction order
     /// independent of the thread count.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first caught evaluation panic (see
+    /// [`Explorer::try_evaluate_points`] for the non-panicking form).
     pub fn evaluate_points(&self, points: &[DesignQuery]) -> Vec<EvalResult> {
+        match self.try_evaluate_points(points) {
+            Ok(results) => results,
+            Err(caught) => panic!("{caught}"),
+        }
+    }
+
+    /// [`Explorer::evaluate_points`] with panic isolation: a panicking
+    /// evaluation (via the [`EvalHook`] or a model bug) is caught in
+    /// the executor and surfaces as one `Err(TaskPanic)` for the whole
+    /// batch — deterministically the first panic by input index.
+    /// Panicked points never enter the cache; every successfully
+    /// evaluated point in the same fan-out still does, in input order,
+    /// so cache counters stay thread-count independent.
+    pub fn try_evaluate_points(
+        &self,
+        points: &[DesignQuery],
+    ) -> Result<Vec<EvalResult>, TaskPanic> {
         let keys: Vec<CacheKey> = points.iter().map(CacheKey::quantize).collect();
         let mut resolved: Vec<Option<EvalResult>> = vec![None; points.len()];
         // Unique uncached keys → the index of their first occurrence.
@@ -108,10 +147,29 @@ impl Explorer {
         }
 
         let queries: Vec<&DesignQuery> = work.iter().map(|&i| &points[i]).collect();
-        let fresh = self.executor.map(&queries, |_, q| evaluate(q));
+        let hook = self.eval_hook.as_deref();
+        let fresh = self.executor.try_map(&queries, |_, q| {
+            if let Some(hook) = hook {
+                hook(q);
+            }
+            evaluate(q)
+        });
+        let mut first_panic: Option<TaskPanic> = None;
         for (&i, result) in work.iter().zip(fresh) {
-            self.cache.insert(keys[i], result.clone());
-            resolved[i] = Some(result);
+            match result {
+                Ok(result) => {
+                    self.cache.insert(keys[i], result.clone());
+                    resolved[i] = Some(result);
+                }
+                Err(caught) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(caught);
+                    }
+                }
+            }
+        }
+        if let Some(caught) = first_panic {
+            return Err(caught);
         }
 
         // Duplicates of a pending key were left unresolved: serve them
@@ -123,15 +181,32 @@ impl Explorer {
                 resolved[i] = Some(value);
             }
         }
-        resolved
+        Ok(resolved
             .into_iter()
             .map(|slot| slot.expect("every point resolved"))
-            .collect()
+            .collect())
     }
 
     /// Answers one query: grid round, then adaptive refinement around
     /// the incumbent optimum.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a caught evaluation panic; serving layers use
+    /// [`Explorer::try_run`] to turn it into a structured reply
+    /// instead.
     pub fn run(&self, query: &Query) -> QueryAnswer {
+        match self.try_run(query) {
+            Ok(answer) => answer,
+            Err(caught) => panic!("{caught}"),
+        }
+    }
+
+    /// [`Explorer::run`] with panic isolation: a panicking evaluation
+    /// anywhere in the query's rounds aborts *this query only* with a
+    /// caught [`TaskPanic`]. The engine, its cache, its locks and its
+    /// worker threads all stay healthy for the next query.
+    pub fn try_run(&self, query: &Query) -> Result<QueryAnswer, TaskPanic> {
         let started = self.telemetry.as_ref().map(|t| t.clock.now());
 
         let mut feasible: Vec<DesignEval> = Vec::new();
@@ -154,7 +229,7 @@ impl Explorer {
             }
             let grid = ranges.grid();
             evaluated += grid.len();
-            for (point, result) in grid.iter().zip(self.evaluate_points(&grid)) {
+            for (point, result) in grid.iter().zip(self.try_evaluate_points(&grid)?) {
                 if !seen.insert(CacheKey::quantize(point)) {
                     continue;
                 }
@@ -181,7 +256,7 @@ impl Explorer {
             t.latency.record(t.clock.now() - start);
             t.points.record(evaluated as f64);
         }
-        QueryAnswer {
+        Ok(QueryAnswer {
             name: query.name.clone(),
             best,
             frontier,
@@ -189,12 +264,24 @@ impl Explorer {
             feasible: feasible.len(),
             infeasible,
             rounds,
-        }
+        })
     }
 
     /// Runs a batch of queries in order, sharing the cache across them.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first caught evaluation panic (see
+    /// [`Explorer::try_run_batch`]).
     pub fn run_batch(&self, queries: &[Query]) -> Vec<QueryAnswer> {
         queries.iter().map(|q| self.run(q)).collect()
+    }
+
+    /// [`Explorer::run_batch`] with per-query panic isolation: each
+    /// query gets its own `Result`, so one poisoned query never takes
+    /// down its batch-mates.
+    pub fn try_run_batch(&self, queries: &[Query]) -> Vec<Result<QueryAnswer, TaskPanic>> {
+        queries.iter().map(|q| self.try_run(q)).collect()
     }
 
     /// The incumbent under the query's objective; ties resolve to the
@@ -334,6 +421,50 @@ mod tests {
         assert_eq!(explorer.cache().miss_count(), 1);
         assert_eq!(explorer.cache().hit_count(), 3);
         assert_eq!(explorer.cache().len(), 1);
+    }
+
+    #[test]
+    fn a_panicking_evaluation_fails_only_its_query() {
+        let poison = 350.0;
+        let explorer = Explorer::new(4).with_eval_hook(Arc::new(move |q: &DesignQuery| {
+            assert!(
+                (q.wheelbase_mm - poison).abs() > 1e-9,
+                "chaos hook: poisoned wheelbase"
+            );
+        }));
+        // The 3-step grid hits 350.0; the healthy 2-step one does not.
+        let poisoned = Query::new("bad", small_ranges(), Objective::MaxFlightTime);
+        // Refinement could resample onto 350.0, so pin to the grid round.
+        let healthy = Query::new(
+            "good",
+            QueryRanges {
+                wheelbase_mm: GridRange::new(250.0, 450.0, 2),
+                ..small_ranges()
+            },
+            Objective::MaxFlightTime,
+        )
+        .with_refinement(0, 0);
+        let results = explorer.try_run_batch(&[poisoned, healthy.clone()]);
+        let caught = results[0].as_ref().unwrap_err();
+        assert!(caught.message.contains("poisoned wheelbase"), "{caught}");
+        assert!(results[1].as_ref().unwrap().best.is_some());
+        // The engine survives: the same poisoned-free query still runs,
+        // and the panicked point never entered the cache.
+        let again = explorer.run(&healthy);
+        assert_eq!(again, *results[1].as_ref().unwrap());
+    }
+
+    #[test]
+    fn panicked_points_are_not_cached_but_healthy_batchmates_are() {
+        let explorer = Explorer::new(2).with_eval_hook(Arc::new(|q: &DesignQuery| {
+            assert!(q.capacity_mah != 2000.0, "poisoned capacity");
+        }));
+        let grid = small_ranges().grid(); // capacities 2000..6000 in 5 steps
+        let err = explorer.try_evaluate_points(&grid).unwrap_err();
+        assert!(err.message.contains("poisoned capacity"));
+        // 3 of 15 points (capacity 2000 at each wheelbase) panicked;
+        // the other 12 were evaluated and cached.
+        assert_eq!(explorer.cache().len(), 12);
     }
 
     #[test]

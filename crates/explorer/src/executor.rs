@@ -14,11 +14,21 @@
 //! byte-identical output at any thread count, no matter how the blocks
 //! were interleaved or stolen. Scheduling order is *not* deterministic;
 //! result placement is.
+//!
+//! **Panic isolation contract:** every task body runs inside
+//! [`std::panic::catch_unwind`], so one panicking item cannot kill a
+//! worker thread, poison a deque lock, or take down the other items in
+//! the batch. [`ParallelExecutor::try_map`] surfaces each panic as a
+//! per-index [`TaskPanic`]; [`ParallelExecutor::map`] keeps its classic
+//! contract by re-raising the first one on the calling thread *after*
+//! every worker has parked cleanly. Deque locks recover from poisoning
+//! via `into_inner` semantics as a second line of defense.
 
 use std::collections::VecDeque;
 use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// Session-wide default thread count; 0 means "ask the OS". The `repro`
 /// binary's `--threads N` flag lands here.
@@ -39,6 +49,40 @@ pub fn default_threads() -> usize {
         0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
         n => n,
     }
+}
+
+/// One task body panicked: the caught payload, rendered as text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskPanic {
+    /// The panic payload (`&str`/`String` payloads verbatim, anything
+    /// else a placeholder).
+    pub message: String,
+}
+
+impl std::fmt::Display for TaskPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for TaskPanic {}
+
+/// Renders a caught panic payload as text.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Locks a deque, recovering the guard if a previous holder panicked.
+/// Task bodies are unwind-caught so this should never trigger, but a
+/// poisoned queue must degrade to "keep scheduling", not abort the map.
+fn lock_deque<T>(deque: &Mutex<T>) -> MutexGuard<'_, T> {
+    deque.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// A fixed-width pool that fans an indexed workload across cores.
@@ -70,14 +114,51 @@ impl ParallelExecutor {
     ///
     /// `f` receives `(index, &item)`; it must be pure with respect to
     /// the output (side effects run in nondeterministic order).
+    ///
+    /// # Panics
+    ///
+    /// If any task body panics, the first panic (by input index) is
+    /// re-raised here on the calling thread — but only after every
+    /// worker has finished and parked, so no thread leaks and no lock
+    /// stays poisoned. Callers that want the panic as data use
+    /// [`ParallelExecutor::try_map`].
     pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
     where
         T: Sync,
         R: Send,
         F: Fn(usize, &T) -> R + Sync,
     {
+        self.try_map(items, f)
+            .into_iter()
+            .map(|slot| match slot {
+                Ok(value) => value,
+                Err(caught) => panic!("{caught}"),
+            })
+            .collect()
+    }
+
+    /// [`ParallelExecutor::map`] with per-item panic isolation: each
+    /// task body runs inside `catch_unwind`, so a panicking item
+    /// becomes `Err(TaskPanic)` in its own slot while every other item
+    /// still evaluates. Workers never die and deques never poison,
+    /// whatever `f` does.
+    pub fn try_map<T, R, F>(&self, items: &[T], f: F) -> Vec<Result<R, TaskPanic>>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let guarded = |i: usize, item: &T| -> Result<R, TaskPanic> {
+            catch_unwind(AssertUnwindSafe(|| f(i, item))).map_err(|payload| TaskPanic {
+                message: panic_message(payload.as_ref()),
+            })
+        };
         if self.threads == 1 || items.len() <= 1 {
-            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+            return items
+                .iter()
+                .enumerate()
+                .map(|(i, t)| guarded(i, t))
+                .collect();
         }
 
         // Coarse contiguous blocks: a few per worker so stealing has
@@ -88,37 +169,35 @@ impl ParallelExecutor {
             .collect();
         for (b, start) in (0..items.len()).step_by(block).enumerate() {
             let end = (start + block).min(items.len());
-            deques[b % self.threads]
-                .lock()
-                .expect("deque lock")
-                .push_back(start..end);
+            lock_deque(&deques[b % self.threads]).push_back(start..end);
         }
 
-        let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(items.len()).collect();
+        let mut slots: Vec<Option<Result<R, TaskPanic>>> =
+            std::iter::repeat_with(|| None).take(items.len()).collect();
         let locals = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..self.threads)
                 .map(|worker| {
                     let deques = &deques;
-                    let f = &f;
+                    let guarded = &guarded;
                     scope.spawn(move || {
-                        let mut local: Vec<(usize, R)> = Vec::new();
+                        let mut local: Vec<(usize, Result<R, TaskPanic>)> = Vec::new();
                         loop {
                             // Own work first (front), then steal from a
                             // victim's back. No new blocks ever appear,
                             // so one empty sweep over every deque means
                             // this worker is done.
                             let next = {
-                                let own = deques[worker].lock().expect("deque lock").pop_front();
+                                let own = lock_deque(&deques[worker]).pop_front();
                                 own.or_else(|| {
                                     (1..deques.len()).find_map(|offset| {
                                         let victim = (worker + offset) % deques.len();
-                                        deques[victim].lock().expect("deque lock").pop_back()
+                                        lock_deque(&deques[victim]).pop_back()
                                     })
                                 })
                             };
                             let Some(range) = next else { break };
                             for i in range {
-                                local.push((i, f(i, &items[i])));
+                                local.push((i, guarded(i, &items[i])));
                             }
                         }
                         local
@@ -127,7 +206,12 @@ impl ParallelExecutor {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("executor worker panicked"))
+                .map(|h| {
+                    // Task bodies are unwind-caught, so a worker thread
+                    // itself cannot panic; keep the join non-fatal
+                    // anyway so a scheduling bug degrades per item.
+                    h.join().unwrap_or_default()
+                })
                 .collect::<Vec<_>>()
         });
         for local in locals {
@@ -138,7 +222,14 @@ impl ParallelExecutor {
         }
         slots
             .into_iter()
-            .map(|slot| slot.expect("every index evaluated exactly once"))
+            .enumerate()
+            .map(|(i, slot)| {
+                slot.unwrap_or_else(|| {
+                    Err(TaskPanic {
+                        message: format!("index {i} was never evaluated (worker died)"),
+                    })
+                })
+            })
             .collect()
     }
 }
@@ -197,6 +288,63 @@ mod tests {
     #[test]
     fn thread_count_clamps_to_one() {
         assert_eq!(ParallelExecutor::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn try_map_isolates_panics_to_their_own_slot() {
+        let items: Vec<u64> = (0..200).collect();
+        for threads in [1, 4] {
+            let out = ParallelExecutor::new(threads).try_map(&items, |_, &x| {
+                if x % 50 == 7 {
+                    panic!("poisoned item {x}");
+                }
+                x * 2
+            });
+            assert_eq!(out.len(), 200);
+            for (i, slot) in out.iter().enumerate() {
+                if i % 50 == 7 {
+                    let err = slot.as_ref().unwrap_err();
+                    assert_eq!(
+                        err.message,
+                        format!("poisoned item {i}"),
+                        "{threads} threads"
+                    );
+                } else {
+                    assert_eq!(slot.as_ref().unwrap(), &(i as u64 * 2), "{threads} threads");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn map_reraises_the_first_panic_after_workers_park() {
+        let result = std::panic::catch_unwind(|| {
+            ParallelExecutor::new(4).map(&[1u32, 2, 3], |_, &x| {
+                if x == 2 {
+                    panic!("boom");
+                }
+                x
+            })
+        });
+        let payload = result.unwrap_err();
+        let message = payload.downcast_ref::<String>().expect("string payload");
+        assert!(message.contains("boom"), "{message}");
+    }
+
+    #[test]
+    fn a_panicking_batch_leaves_the_executor_reusable() {
+        let pool = ParallelExecutor::new(4);
+        let items: Vec<u32> = (0..64).collect();
+        let first = pool.try_map(&items, |_, &x| {
+            if x % 2 == 0 {
+                panic!("even");
+            }
+            x
+        });
+        assert_eq!(first.iter().filter(|r| r.is_err()).count(), 32);
+        // The pool (and a fresh map on it) still works normally.
+        let second = pool.map(&items, |_, &x| x + 1);
+        assert_eq!(second, (1..=64).collect::<Vec<u32>>());
     }
 
     #[test]

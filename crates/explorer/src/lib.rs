@@ -48,8 +48,8 @@ pub mod pareto;
 pub mod query;
 
 pub use cache::{CacheKey, CachedEval, EvalCache};
-pub use engine::{EvalResult, Explorer};
-pub use executor::{default_threads, set_default_threads, ParallelExecutor};
+pub use engine::{EvalHook, EvalResult, Explorer};
+pub use executor::{default_threads, set_default_threads, ParallelExecutor, TaskPanic};
 pub use pareto::{extract_frontier, extract_frontier_2d, FrontierEntry, ParetoFrontier};
 pub use query::{
     Constraints, GridRange, Objective, Query, QueryAnswer, QueryError, QueryLimits, QueryRanges,

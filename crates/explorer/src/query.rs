@@ -481,23 +481,29 @@ impl Query {
                 steps: self.refine_steps,
             });
         }
-        // Worst-case refinement grid: every swept axis resampled at
-        // `refine_steps` (engine floors each round at 2 per swept axis).
-        let per_round = self
-            .refine_steps
-            .max(2)
-            .saturating_pow(self.ranges.swept_axes() as u32);
-        let points = self
-            .ranges
-            .point_count()
-            .saturating_add(self.refine_rounds.saturating_mul(per_round));
-        if points > limits.max_points {
+        let points = self.estimated_cost_units();
+        if points as usize > limits.max_points {
             return Err(QueryError::TooManyPoints {
-                points,
+                points: points as usize,
                 max: limits.max_points,
             });
         }
         Ok(())
+    }
+
+    /// Worst-case evaluation budget in cost units (grid points): the
+    /// base grid plus every refinement round resampling each swept axis
+    /// at `refine_steps` (the engine floors each round at 2 per swept
+    /// axis). This is the number the serving layer's per-request
+    /// deadline sheds against *before* any evaluation starts.
+    pub fn estimated_cost_units(&self) -> u64 {
+        let per_round = self
+            .refine_steps
+            .max(2)
+            .saturating_pow(self.ranges.swept_axes() as u32);
+        self.ranges
+            .point_count()
+            .saturating_add(self.refine_rounds.saturating_mul(per_round)) as u64
     }
 }
 

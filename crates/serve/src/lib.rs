@@ -30,13 +30,17 @@
 //! through both the pure batch handler and a live socket to keep that
 //! true.
 
+pub mod chaos;
+pub mod client;
 pub mod protocol;
 pub mod server;
 pub mod workload;
 
+pub use chaos::{ChaosProxy, Fault, FaultSchedule, ProxyStats};
+pub use client::{CallError, CallSuccess, Client, ClientConfig};
 pub use protocol::{
-    answer_to_json, cost_units, error_reply, handle_batch, ok_reply, parse_request,
-    request_to_json, BatchOutcome, ErrorKind, Request, RequestError,
+    answer_to_json, cost_units, error_reply, handle_batch, handle_batch_with, ok_reply,
+    parse_request, request_to_json, BatchOutcome, BatchPolicy, ErrorKind, Request, RequestError,
 };
 pub use server::{DrainStats, Server, ServerConfig};
 pub use workload::Workload;

@@ -37,6 +37,11 @@ pub enum ErrorKind {
     TooLarge,
     /// The server shed the connection under load.
     Overloaded,
+    /// The query's worst-case cost exceeds the per-request deadline;
+    /// the server shed it before evaluation started.
+    DeadlineExceeded,
+    /// The evaluation panicked; the fault was isolated to this request.
+    Internal,
 }
 
 impl ErrorKind {
@@ -48,6 +53,23 @@ impl ErrorKind {
             ErrorKind::InvalidQuery => "invalid_query",
             ErrorKind::TooLarge => "too_large",
             ErrorKind::Overloaded => "overloaded",
+            ErrorKind::DeadlineExceeded => "deadline_exceeded",
+            ErrorKind::Internal => "internal_error",
+        }
+    }
+
+    /// The inverse of [`ErrorKind::as_str`], for clients classifying
+    /// replies off the wire.
+    pub fn from_wire(kind: &str) -> Option<ErrorKind> {
+        match kind {
+            "parse" => Some(ErrorKind::Parse),
+            "bad_request" => Some(ErrorKind::BadRequest),
+            "invalid_query" => Some(ErrorKind::InvalidQuery),
+            "too_large" => Some(ErrorKind::TooLarge),
+            "overloaded" => Some(ErrorKind::Overloaded),
+            "deadline_exceeded" => Some(ErrorKind::DeadlineExceeded),
+            "internal_error" => Some(ErrorKind::Internal),
+            _ => None,
         }
     }
 }
@@ -248,11 +270,31 @@ fn objective_to_str(objective: Objective) -> &'static str {
 /// Every failure mode is a [`RequestError`]; this function never
 /// panics, whatever the bytes.
 pub fn parse_request(line: &str, limits: &QueryLimits) -> Result<Request, RequestError> {
-    let doc = Json::parse(line).map_err(|e| RequestError {
-        kind: ErrorKind::Parse,
-        message: e.to_string(),
+    parse_request_with_id(line, limits).map_err(|(_, error)| error)
+}
+
+/// [`parse_request`], but failures carry the client's `id` whenever
+/// the line parsed far enough to have one — so error replies can echo
+/// it and a correlating client can attribute the rejection.
+fn parse_request_with_id(
+    line: &str,
+    limits: &QueryLimits,
+) -> Result<Request, (Json, RequestError)> {
+    let doc = Json::parse(line).map_err(|e| {
+        (
+            Json::Null,
+            RequestError {
+                kind: ErrorKind::Parse,
+                message: e.to_string(),
+            },
+        )
     })?;
-    expect_keys(&doc, &["id", "query"], "request")?;
+    let id = doc.get("id").cloned().unwrap_or(Json::Null);
+    request_from_doc(&doc, limits).map_err(|error| (id, error))
+}
+
+fn request_from_doc(doc: &Json, limits: &QueryLimits) -> Result<Request, RequestError> {
+    expect_keys(doc, &["id", "query"], "request")?;
     let id = doc.get("id").cloned().unwrap_or(Json::Null);
     let query_doc = doc
         .get("query")
@@ -426,6 +468,12 @@ pub struct BatchOutcome {
     pub protocol_errors: usize,
     /// Well-formed requests whose query failed the service limits.
     pub query_errors: usize,
+    /// Valid requests shed before evaluation: their worst-case cost
+    /// exceeded the batch policy's deadline.
+    pub deadline_sheds: usize,
+    /// Valid requests whose evaluation panicked; each got a typed
+    /// `internal_error` reply and the fault went no further.
+    pub internal_errors: usize,
     /// Deterministic work units across the answered requests.
     pub cost_units: u64,
 }
@@ -433,49 +481,117 @@ pub struct BatchOutcome {
 impl BatchOutcome {
     /// All rejections, whatever the kind.
     pub fn rejected(&self) -> usize {
-        self.protocol_errors + self.query_errors
+        self.protocol_errors + self.query_errors + self.deadline_sheds + self.internal_errors
     }
+}
+
+/// Degradation knobs applied per batch, mirroring the firmware
+/// `ShedPolicy`: work the server refuses *before* spending cycles.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Largest worst-case [`Query::estimated_cost_units`] a single
+    /// request may carry; anything above is shed with a typed
+    /// `deadline_exceeded` reply before evaluation starts. `None`
+    /// disables shedding.
+    pub cost_deadline: Option<u64>,
+}
+
+/// How one parsed line will be handled, decided before the engine runs.
+enum Disposition {
+    /// Valid and within deadline: evaluated by the engine.
+    Run(Request),
+    /// Valid but over the cost deadline: shed with a typed reply.
+    Shed(Request, RequestError),
+    /// Never reached the engine: parse/shape/limit failure. Carries
+    /// the client id when the line parsed far enough to have one.
+    Reject(Json, RequestError),
 }
 
 /// Processes a batch of request lines against one engine: parse and
 /// validate each line, coalesce every valid query into **one**
-/// [`Explorer::run_batch`] call (so the memoization cache and Pareto
-/// passes are shared), and return one compact reply line per input, in
-/// input order. Never panics, whatever the lines contain.
+/// [`Explorer::try_run_batch`] call (so the memoization cache and
+/// Pareto passes are shared), and return one compact reply line per
+/// input, in input order. Never panics, whatever the lines contain —
+/// even an evaluation that panics is caught and answered with a typed
+/// `internal_error` reply for that request alone.
 pub fn handle_batch(
     engine: &Explorer,
     lines: &[&str],
     limits: &QueryLimits,
 ) -> (Vec<String>, BatchOutcome) {
-    let parsed: Vec<Result<Request, RequestError>> = lines
+    handle_batch_with(engine, lines, limits, BatchPolicy::default())
+}
+
+/// [`handle_batch`] with explicit degradation policy.
+pub fn handle_batch_with(
+    engine: &Explorer,
+    lines: &[&str],
+    limits: &QueryLimits,
+    policy: BatchPolicy,
+) -> (Vec<String>, BatchOutcome) {
+    let dispositions: Vec<Disposition> = lines
         .iter()
-        .map(|line| parse_request(line, limits))
+        .map(|line| match parse_request_with_id(line, limits) {
+            Ok(request) => {
+                let estimated = request.query.estimated_cost_units();
+                match policy.cost_deadline {
+                    Some(deadline) if estimated > deadline => {
+                        let error = RequestError {
+                            kind: ErrorKind::DeadlineExceeded,
+                            message: format!(
+                                "estimated {estimated} cost units exceeds the {deadline}-unit deadline"
+                            ),
+                        };
+                        Disposition::Shed(request, error)
+                    }
+                    _ => Disposition::Run(request),
+                }
+            }
+            Err((id, error)) => Disposition::Reject(id, error),
+        })
         .collect();
-    let queries: Vec<Query> = parsed
+    let queries: Vec<Query> = dispositions
         .iter()
-        .filter_map(|r| r.as_ref().ok())
-        .map(|r| r.query.clone())
+        .filter_map(|d| match d {
+            Disposition::Run(request) => Some(request.query.clone()),
+            _ => None,
+        })
         .collect();
-    let answers = engine.run_batch(&queries);
+    let answers = engine.try_run_batch(&queries);
     let mut answers = answers.iter();
     let mut outcome = BatchOutcome::default();
-    let replies = parsed
+    let replies = dispositions
         .iter()
-        .map(|result| {
-            match result {
-                Ok(request) => {
-                    let answer = answers.next().expect("one answer per valid request");
-                    outcome.answered += 1;
-                    outcome.cost_units += cost_units(answer);
-                    ok_reply(&request.id, answer)
+        .map(|disposition| {
+            match disposition {
+                Disposition::Run(request) => {
+                    match answers.next().expect("one result per valid request") {
+                        Ok(answer) => {
+                            outcome.answered += 1;
+                            outcome.cost_units += cost_units(answer);
+                            ok_reply(&request.id, answer)
+                        }
+                        Err(panic) => {
+                            outcome.internal_errors += 1;
+                            let error = RequestError {
+                                kind: ErrorKind::Internal,
+                                message: panic.to_string(),
+                            };
+                            error_reply(&request.id, &error)
+                        }
+                    }
                 }
-                Err(error) => {
+                Disposition::Shed(request, error) => {
+                    outcome.deadline_sheds += 1;
+                    error_reply(&request.id, error)
+                }
+                Disposition::Reject(id, error) => {
                     if error.kind == ErrorKind::InvalidQuery {
                         outcome.query_errors += 1;
                     } else {
                         outcome.protocol_errors += 1;
                     }
-                    error_reply(&Json::Null, error)
+                    error_reply(id, error)
                 }
             }
             .render()
@@ -588,6 +704,78 @@ mod tests {
         assert_eq!(outcome.cost_units, 30, "15 grid points per good request");
         // Identical replies for identical requests.
         assert_eq!(replies[0], replies[2]);
+    }
+
+    #[test]
+    fn over_deadline_requests_shed_before_evaluation() {
+        // The minimal request sweeps a 15-point grid; a 10-unit
+        // deadline sheds it, a 15-unit one lets it through.
+        let line = minimal_line();
+        let policy = BatchPolicy {
+            cost_deadline: Some(10),
+        };
+        let (replies, outcome) =
+            handle_batch_with(&engine(), &[line.as_str()], &QueryLimits::default(), policy);
+        let doc = Json::parse(&replies[0]).unwrap();
+        assert_eq!(doc.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(doc.get("id"), Some(&Json::Num(7.0)), "shed echoes the id");
+        assert_eq!(
+            doc.get("error").and_then(|e| e.get("kind")),
+            Some(&Json::Str("deadline_exceeded".into()))
+        );
+        assert_eq!(outcome.deadline_sheds, 1);
+        assert_eq!(outcome.answered, 0);
+        assert_eq!(outcome.cost_units, 0, "shed work costs nothing");
+        assert_eq!(outcome.rejected(), 1);
+
+        let relaxed = BatchPolicy {
+            cost_deadline: Some(15),
+        };
+        let (replies, outcome) = handle_batch_with(
+            &engine(),
+            &[line.as_str()],
+            &QueryLimits::default(),
+            relaxed,
+        );
+        let doc = Json::parse(&replies[0]).unwrap();
+        assert_eq!(doc.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(outcome.answered, 1);
+        assert_eq!(outcome.deadline_sheds, 0);
+    }
+
+    #[test]
+    fn a_panicking_evaluation_answers_internal_error_for_that_line_only() {
+        use drone_explorer::Explorer;
+        use std::sync::Arc;
+
+        // Poison exactly the 350 mm wheelbase sample; the minimal
+        // request's 3-step 250..450 grid hits it, a pinned 250 mm
+        // request does not.
+        let engine = Explorer::new(2).with_eval_hook(Arc::new(|q| {
+            assert!(
+                (q.wheelbase_mm - 350.0).abs() > 1e-9,
+                "chaos hook: poisoned wheelbase"
+            );
+        }));
+        let healthy = r#"{"id":1,"query":{"ranges":{"wheelbase_mm":250,"cells":["3S"],"capacity_mah":2000},"objective":"max_flight_time"}}"#;
+        let poisoned = minimal_line();
+        let lines = [healthy, poisoned.as_str(), healthy];
+        let (replies, outcome) = handle_batch(&engine, &lines, &QueryLimits::default());
+        assert_eq!(replies.len(), 3);
+        for healthy_reply in [&replies[0], &replies[2]] {
+            let doc = Json::parse(healthy_reply).unwrap();
+            assert_eq!(doc.get("ok"), Some(&Json::Bool(true)));
+        }
+        let doc = Json::parse(&replies[1]).unwrap();
+        assert_eq!(doc.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(doc.get("id"), Some(&Json::Num(7.0)), "panic echoes the id");
+        assert_eq!(
+            doc.get("error").and_then(|e| e.get("kind")),
+            Some(&Json::Str("internal_error".into()))
+        );
+        assert_eq!(outcome.answered, 2);
+        assert_eq!(outcome.internal_errors, 1);
+        assert_eq!(outcome.rejected(), 1);
     }
 
     #[test]

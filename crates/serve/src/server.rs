@@ -13,16 +13,17 @@
 //! reports the join count so tests (and CI) can pin "no thread leaked"
 //! as an invariant rather than a hope.
 
-use crate::protocol::{self, ErrorKind, RequestError};
+use crate::protocol::{self, BatchPolicy, ErrorKind, RequestError};
 use drone_explorer::{Explorer, QueryLimits};
 use drone_telemetry::{Clock, Counter, Gauge, Json, Registry, SharedHistogram};
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Tuning knobs for [`Server::start`].
 #[derive(Debug, Clone, Copy)]
@@ -35,8 +36,16 @@ pub struct ServerConfig {
     /// Most pipelined requests coalesced into one engine batch.
     pub max_batch: usize,
     /// Per-line byte cap; a longer line gets a `too_large` reply and
-    /// the connection closes.
+    /// the parser resynchronizes at the next newline.
     pub max_line_bytes: usize,
+    /// Slow-loris defense: a connection that sends no bytes for this
+    /// long gets a typed `deadline_exceeded` reply and closes. `None`
+    /// (the default) waits forever, as before.
+    pub idle_timeout: Option<Duration>,
+    /// Per-request cost-unit deadline: a request whose worst-case
+    /// budget exceeds this is shed with a typed `deadline_exceeded`
+    /// reply before evaluation starts. `None` disables shedding.
+    pub cost_deadline: Option<u64>,
     /// Query validation limits applied to every request.
     pub limits: QueryLimits,
 }
@@ -48,6 +57,8 @@ impl Default for ServerConfig {
             queue_capacity: 16,
             max_batch: 32,
             max_line_bytes: 64 * 1024,
+            idle_timeout: None,
+            cost_deadline: None,
             limits: QueryLimits::default(),
         }
     }
@@ -70,6 +81,9 @@ struct Metrics {
     sheds: Arc<Counter>,
     protocol_errors: Arc<Counter>,
     query_errors: Arc<Counter>,
+    panics_caught: Arc<Counter>,
+    deadline_sheds: Arc<Counter>,
+    idle_timeouts: Arc<Counter>,
     queue_depth: Arc<Gauge>,
     batch_size: Arc<SharedHistogram>,
     cost_units: Arc<SharedHistogram>,
@@ -84,6 +98,9 @@ impl Metrics {
             sheds: registry.counter("serve.sheds"),
             protocol_errors: registry.counter("serve.errors.protocol"),
             query_errors: registry.counter("serve.errors.query"),
+            panics_caught: registry.counter("serve.panics_caught"),
+            deadline_sheds: registry.counter("serve.deadline_sheds"),
+            idle_timeouts: registry.counter("serve.idle_timeouts"),
             queue_depth: registry.gauge("serve.queue.depth"),
             batch_size: registry.histogram("serve.batch.size"),
             cost_units: registry.histogram("serve.request.cost_units"),
@@ -109,10 +126,18 @@ struct Shared {
 }
 
 impl Shared {
+    /// Locks the connection queue, shrugging off poison: the state is
+    /// a plain deque plus two flags, valid whatever a panicking holder
+    /// was doing, so one caught panic must not cascade into aborts
+    /// across acceptor, workers and drain.
+    fn lock_queue(&self) -> MutexGuard<'_, QueueState> {
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Admits a connection, or hands it back when the queue is full;
     /// never blocks.
     fn try_admit(&self, stream: TcpStream) -> Result<(), TcpStream> {
-        let mut queue = self.queue.lock().expect("serve queue poisoned");
+        let mut queue = self.lock_queue();
         if queue.shutdown || queue.connections.len() >= self.config.queue_capacity {
             return Err(stream);
         }
@@ -125,7 +150,7 @@ impl Shared {
 
     /// Blocks until a connection is available or shutdown is flagged.
     fn next_connection(&self) -> Option<TcpStream> {
-        let mut queue = self.queue.lock().expect("serve queue poisoned");
+        let mut queue = self.lock_queue();
         loop {
             if queue.shutdown {
                 return None;
@@ -136,7 +161,10 @@ impl Shared {
                     return Some(stream);
                 }
             }
-            queue = self.wakeup.wait(queue).expect("serve queue poisoned");
+            queue = self
+                .wakeup
+                .wait(queue)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 }
@@ -208,20 +236,12 @@ impl Server {
     /// acceptor keeps admitting until the queue fills, so a test can
     /// stage a deterministic overload.
     pub fn pause_workers(&self) {
-        self.shared
-            .queue
-            .lock()
-            .expect("serve queue poisoned")
-            .paused = true;
+        self.shared.lock_queue().paused = true;
     }
 
     /// Releases [`Server::pause_workers`].
     pub fn resume_workers(&self) {
-        self.shared
-            .queue
-            .lock()
-            .expect("serve queue poisoned")
-            .paused = false;
+        self.shared.lock_queue().paused = false;
         self.shared.wakeup.notify_all();
     }
 
@@ -230,7 +250,7 @@ impl Server {
     pub fn drain(mut self) -> DrainStats {
         self.shared.draining.store(true, Ordering::SeqCst);
         let abandoned = {
-            let mut queue = self.shared.queue.lock().expect("serve queue poisoned");
+            let mut queue = self.shared.lock_queue();
             queue.shutdown = true;
             queue.paused = false;
             let abandoned = queue.connections.len();
@@ -304,14 +324,23 @@ fn shed(mut stream: TcpStream, shared: &Shared) {
 
 fn worker_loop(shared: &Shared) {
     while let Some(stream) = shared.next_connection() {
-        serve_connection(stream, shared);
+        // Panic isolation, outermost layer: whatever a connection does
+        // to this worker, the pool keeps draining the queue.
+        if catch_unwind(AssertUnwindSafe(|| serve_connection(stream, shared))).is_err() {
+            shared.metrics.panics_caught.inc();
+        }
     }
 }
 
 /// One reply line, used when the connection itself misbehaves (a line
-/// over the byte cap).
+/// over the byte cap, an idle read deadline), charged to the given
+/// counter.
 fn refuse(stream: &mut TcpStream, shared: &Shared, kind: ErrorKind, message: &str) {
-    shared.metrics.protocol_errors.inc();
+    let counter = match kind {
+        ErrorKind::DeadlineExceeded => &shared.metrics.idle_timeouts,
+        _ => &shared.metrics.protocol_errors,
+    };
+    counter.inc();
     let reply = protocol::error_reply(
         &Json::Null,
         &RequestError {
@@ -331,18 +360,34 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
     let _ = stream.set_nodelay(true);
     let mut buffer: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 4096];
+    // After a too_large refusal the parser discards bytes until the
+    // next newline, then picks the conversation back up — an oversized
+    // request costs one error reply, not the connection.
+    let mut resyncing = false;
+    let mut last_activity = Instant::now();
     loop {
         match stream.read(&mut chunk) {
             Ok(0) => {
                 // EOF: a trailing unterminated line still gets served.
-                if !buffer.is_empty() {
+                if !buffer.is_empty() && !resyncing {
                     buffer.push(b'\n');
                     process_complete_lines(&mut buffer, &mut stream, shared);
                 }
                 return;
             }
             Ok(n) => {
-                buffer.extend_from_slice(&chunk[..n]);
+                last_activity = Instant::now();
+                let mut data = &chunk[..n];
+                if resyncing {
+                    match data.iter().position(|&b| b == b'\n') {
+                        Some(newline) => {
+                            data = &data[newline + 1..];
+                            resyncing = false;
+                        }
+                        None => continue,
+                    }
+                }
+                buffer.extend_from_slice(data);
                 process_complete_lines(&mut buffer, &mut stream, shared);
                 if buffer.len() > shared.config.max_line_bytes {
                     refuse(
@@ -351,7 +396,8 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
                         ErrorKind::TooLarge,
                         "request line exceeds size cap",
                     );
-                    return;
+                    buffer.clear();
+                    resyncing = true;
                 }
             }
             Err(e)
@@ -360,6 +406,17 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
             {
                 if shared.draining.load(Ordering::SeqCst) {
                     return;
+                }
+                if let Some(limit) = shared.config.idle_timeout {
+                    if last_activity.elapsed() >= limit {
+                        refuse(
+                            &mut stream,
+                            shared,
+                            ErrorKind::DeadlineExceeded,
+                            "connection idle past the read deadline",
+                        );
+                        return;
+                    }
                 }
             }
             Err(_) => return,
@@ -382,16 +439,41 @@ fn process_complete_lines(buffer: &mut Vec<u8>, stream: &mut TcpStream, shared: 
         .map(|l| l.strip_suffix('\r').unwrap_or(l))
         .filter(|l| !l.trim().is_empty())
         .collect();
+    let policy = BatchPolicy {
+        cost_deadline: shared.config.cost_deadline,
+    };
     for batch in lines.chunks(shared.config.max_batch.max(1)) {
         let started = shared.clock.now();
-        let (replies, outcome) =
-            protocol::handle_batch(&shared.engine, batch, &shared.config.limits);
+        // handle_batch_with already converts evaluation panics into
+        // per-request internal_error replies; this second layer covers
+        // the protocol code itself, answering the whole batch with
+        // typed errors rather than dropping the connection.
+        let (replies, outcome) = catch_unwind(AssertUnwindSafe(|| {
+            protocol::handle_batch_with(&shared.engine, batch, &shared.config.limits, policy)
+        }))
+        .unwrap_or_else(|_| {
+            let error = RequestError {
+                kind: ErrorKind::Internal,
+                message: "batch processing panicked".into(),
+            };
+            let replies = batch
+                .iter()
+                .map(|_| protocol::error_reply(&Json::Null, &error).render())
+                .collect();
+            let outcome = protocol::BatchOutcome {
+                internal_errors: batch.len(),
+                ..protocol::BatchOutcome::default()
+            };
+            (replies, outcome)
+        });
         let elapsed = shared.clock.now() - started;
         let m = &shared.metrics;
         m.batches.inc();
         m.requests.add(batch.len() as u64);
         m.protocol_errors.add(outcome.protocol_errors as u64);
         m.query_errors.add(outcome.query_errors as u64);
+        m.panics_caught.add(outcome.internal_errors as u64);
+        m.deadline_sheds.add(outcome.deadline_sheds as u64);
         m.batch_size.record(batch.len() as f64);
         m.cost_units.record(outcome.cost_units as f64);
         if !batch.is_empty() {
@@ -536,5 +618,163 @@ mod tests {
     fn dropping_an_undrained_server_joins_its_threads() {
         let (server, _registry) = start(ServerConfig::default());
         drop(server); // must not hang or leak; nothing to assert beyond returning.
+    }
+
+    #[test]
+    fn a_poisoned_queue_mutex_degrades_gracefully() {
+        let (server, _registry) = start(ServerConfig::default());
+        // Poison the queue mutex the hard way: panic while holding it.
+        let shared = Arc::clone(&server.shared);
+        let poisoner = std::thread::spawn(move || {
+            let _guard = shared.queue.lock().unwrap();
+            panic!("deliberate poison");
+        });
+        assert!(poisoner.join().is_err());
+        assert!(server.shared.queue.is_poisoned());
+
+        // Every lock site must recover: pause/resume, admission, a
+        // served round trip, and the drain.
+        server.pause_workers();
+        server.resume_workers();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream
+            .write_all(format!("{}\n", request_line(1)).as_bytes())
+            .unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut line = String::new();
+        BufReader::new(stream).read_line(&mut line).unwrap();
+        let doc = Json::parse(&line).unwrap();
+        assert_eq!(doc.get("ok"), Some(&Json::Bool(true)));
+
+        let stats = server.drain();
+        assert!(stats.clean);
+        assert_eq!(stats.threads_joined, ServerConfig::default().workers + 1);
+    }
+
+    #[test]
+    fn too_large_lines_resynchronize_instead_of_closing() {
+        let config = ServerConfig {
+            max_line_bytes: 512,
+            ..ServerConfig::default()
+        };
+        let (server, registry) = start(config);
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        // An oversized un-newlined blob, then its terminating newline,
+        // then two normal pipelined requests on the same connection.
+        stream.write_all(&vec![b'x'; 4096]).unwrap();
+        std::thread::sleep(Duration::from_millis(80));
+        stream.write_all(b"more oversized tail\n").unwrap();
+        stream
+            .write_all(format!("{}\n{}\n", request_line(1), request_line(2)).as_bytes())
+            .unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let reader = BufReader::new(stream);
+        let replies: Vec<String> = reader.lines().map(|l| l.unwrap()).collect();
+        assert_eq!(replies.len(), 3, "{replies:?}");
+        let refusal = Json::parse(&replies[0]).unwrap();
+        assert_eq!(
+            refusal.get("error").and_then(|e| e.get("kind")),
+            Some(&Json::Str("too_large".into()))
+        );
+        for (reply, id) in replies[1..].iter().zip([1.0, 2.0]) {
+            let doc = Json::parse(reply).unwrap();
+            assert_eq!(doc.get("ok"), Some(&Json::Bool(true)), "{reply}");
+            assert_eq!(doc.get("id"), Some(&Json::Num(id)));
+        }
+        assert_eq!(registry.counter("serve.requests").get(), 2);
+        assert!(server.drain().clean);
+    }
+
+    #[test]
+    fn a_panicking_evaluation_never_kills_the_server() {
+        let registry = Registry::with_wall_clock();
+        // Poison the 350 mm wheelbase sample: request_line's 3-step
+        // 250..450 grid hits it.
+        let engine = Explorer::new(2).with_eval_hook(Arc::new(|q| {
+            assert!(
+                (q.wheelbase_mm - 350.0).abs() > 1e-9,
+                "chaos hook: poisoned wheelbase"
+            );
+        }));
+        let server =
+            Server::start(engine, ServerConfig::default(), &registry).expect("bind loopback");
+        let healthy = r#"{"id":9,"query":{"ranges":{"wheelbase_mm":250,"cells":["3S"],"capacity_mah":2000},"objective":"max_flight_time"}}"#;
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream
+            .write_all(format!("{}\n{healthy}\n", request_line(1)).as_bytes())
+            .unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let reader = BufReader::new(stream);
+        let replies: Vec<String> = reader.lines().map(|l| l.unwrap()).collect();
+        assert_eq!(replies.len(), 2);
+        let poisoned = Json::parse(&replies[0]).unwrap();
+        assert_eq!(poisoned.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(
+            poisoned.get("error").and_then(|e| e.get("kind")),
+            Some(&Json::Str("internal_error".into()))
+        );
+        let ok = Json::parse(&replies[1]).unwrap();
+        assert_eq!(ok.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(registry.counter("serve.panics_caught").get(), 1);
+
+        // The server is still fully alive for the next connection.
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.write_all(format!("{healthy}\n").as_bytes()).unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut line = String::new();
+        BufReader::new(stream).read_line(&mut line).unwrap();
+        assert_eq!(
+            Json::parse(&line).unwrap().get("ok"),
+            Some(&Json::Bool(true))
+        );
+        let stats = server.drain();
+        assert!(stats.clean);
+        assert_eq!(stats.threads_joined, ServerConfig::default().workers + 1);
+    }
+
+    #[test]
+    fn idle_connections_hit_the_read_deadline() {
+        let config = ServerConfig {
+            idle_timeout: Some(Duration::from_millis(100)),
+            ..ServerConfig::default()
+        };
+        let (server, registry) = start(config);
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        // A partial line, then silence: the slow-loris shape.
+        stream.write_all(b"{\"id\":1,").unwrap();
+        let mut line = String::new();
+        BufReader::new(&stream).read_line(&mut line).unwrap();
+        let doc = Json::parse(&line).unwrap();
+        assert_eq!(
+            doc.get("error").and_then(|e| e.get("kind")),
+            Some(&Json::Str("deadline_exceeded".into()))
+        );
+        assert_eq!(registry.counter("serve.idle_timeouts").get(), 1);
+        assert!(server.drain().clean);
+    }
+
+    #[test]
+    fn over_budget_requests_shed_before_the_engine_runs() {
+        let config = ServerConfig {
+            cost_deadline: Some(10),
+            ..ServerConfig::default()
+        };
+        let (server, registry) = start(config);
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        // request_line sweeps 15 points; the 10-unit deadline sheds it.
+        stream
+            .write_all(format!("{}\n", request_line(3)).as_bytes())
+            .unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut line = String::new();
+        BufReader::new(stream).read_line(&mut line).unwrap();
+        let doc = Json::parse(&line).unwrap();
+        assert_eq!(doc.get("id"), Some(&Json::Num(3.0)));
+        assert_eq!(
+            doc.get("error").and_then(|e| e.get("kind")),
+            Some(&Json::Str("deadline_exceeded".into()))
+        );
+        assert_eq!(registry.counter("serve.deadline_sheds").get(), 1);
+        assert!(server.drain().clean);
     }
 }

@@ -82,6 +82,89 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Mid-line disconnects and partial-UTF-8 writes: an arbitrary
+    /// prefix of a valid pipelined payload, delivered in arbitrarily
+    /// split chunks, must yield exactly one in-order ok reply per
+    /// fully-delivered request — never losing or reordering them —
+    /// plus at most one structured error for the truncated tail. One
+    /// request carries a multi-byte name, so cuts can land inside a
+    /// UTF-8 sequence.
+    #[test]
+    fn split_payloads_never_lose_or_reorder_delivered_requests(
+        keep_permille in 0u32..=1000,
+        cuts in prop::collection::vec(0usize..4000, 0..6),
+    ) {
+        use drone_components::battery::CellCount;
+        use drone_explorer::{GridRange, Objective, Query, QueryRanges};
+        use drone_serve::request_to_json;
+
+        let registry = Registry::with_wall_clock();
+        let server = Server::start(Explorer::new(2), ServerConfig::default(), &registry)
+            .expect("bind loopback");
+        let mut payload: Vec<u8> = Vec::new();
+        let mut line_ends: Vec<usize> = Vec::new();
+        for id in 0..5u64 {
+            let query = Query::new(
+                &format!("sweep-π-{id}"),
+                QueryRanges {
+                    wheelbase_mm: GridRange::new(250.0, 450.0, 3),
+                    cells: vec![CellCount::S3],
+                    capacity_mah: GridRange::new(2000.0, 6000.0, 3),
+                    compute_power_w: GridRange::fixed(20.0),
+                    twr: GridRange::fixed(2.0),
+                    payload_g: GridRange::fixed(0.0),
+                },
+                Objective::MaxFlightTime,
+            );
+            payload.extend_from_slice(request_to_json(id, &query).render().as_bytes());
+            payload.push(b'\n');
+            line_ends.push(payload.len());
+        }
+        let keep = (payload.len() as u64 * u64::from(keep_permille) / 1000) as usize;
+        let fully_delivered = line_ends.iter().filter(|&&end| end <= keep).count();
+
+        let mut points: Vec<usize> = cuts.into_iter().map(|c| c % (keep + 1)).collect();
+        points.sort_unstable();
+        points.dedup();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        let mut sent = 0usize;
+        for point in points.into_iter().chain(std::iter::once(keep)) {
+            stream.write_all(&payload[sent..point]).unwrap();
+            stream.flush().unwrap();
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            sent = point;
+        }
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+
+        let replies: Vec<String> = BufReader::new(stream)
+            .lines()
+            .map(|l| l.unwrap())
+            .collect();
+        prop_assert!(
+            replies.len() == fully_delivered || replies.len() == fully_delivered + 1,
+            "{} complete requests sent, {} replies", fully_delivered, replies.len()
+        );
+        for (id, reply) in replies.iter().take(fully_delivered).enumerate() {
+            assert_reply_shape(reply);
+            let doc = Json::parse(reply).unwrap();
+            prop_assert_eq!(doc.get("ok"), Some(&Json::Bool(true)), "{}", reply);
+            prop_assert_eq!(doc.get("id"), Some(&Json::Num(id as f64)), "{}", reply);
+        }
+        // The truncated tail, if it produced anything, produced one
+        // structured error — never a bogus answer.
+        if replies.len() == fully_delivered + 1 {
+            assert_reply_shape(&replies[fully_delivered]);
+            let doc = Json::parse(&replies[fully_delivered]).unwrap();
+            prop_assert_eq!(doc.get("ok"), Some(&Json::Bool(false)));
+        }
+        let stats = server.drain();
+        prop_assert!(stats.clean);
+    }
+}
+
 /// End-to-end: junk bytes and valid requests interleaved over a real
 /// socket. The server answers the valid ones, rejects the junk with
 /// structured errors, and drains with every thread joined.

@@ -4,16 +4,21 @@
 //! ```sh
 //! cargo run --release --example dse_client
 //! cargo run --release --example dse_client -- --clients 4 --requests 8
+//! cargo run --release --example dse_client -- --retries 3 --backoff-ms 10 --deadline 200
 //! ```
 //!
-//! The example starts a [`drone_serve::Server`] in-process, drives it
-//! with N concurrent clients replaying a deterministic seeded
-//! [`drone_serve::Workload`], sends one deliberately malformed line to
-//! show the structured error path, and finishes with a graceful drain
-//! that joins every server thread.
+//! The example starts a [`drone_serve::Server`] in-process and drives
+//! it with N concurrent resilient [`drone_serve::Client`]s replaying a
+//! deterministic seeded [`drone_serve::Workload`]. `--retries` and
+//! `--backoff-ms` configure the clients' retry/backoff policy;
+//! `--deadline` arms the server's per-request cost-unit budget, so
+//! over-budget queries come back as typed `deadline_exceeded`
+//! rejections instead of answers. A deliberately malformed line shows
+//! the structured error path, and the run finishes with a graceful
+//! drain that joins every server thread.
 
 use drone_explorer::Explorer;
-use drone_serve::{Server, ServerConfig, Workload};
+use drone_serve::{CallError, Client, ClientConfig, Server, ServerConfig, Workload};
 use drone_telemetry::{Json, Registry};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -23,6 +28,9 @@ struct Args {
     clients: u64,
     requests: usize,
     seed: u64,
+    retries: u32,
+    backoff_ms: u64,
+    deadline: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -30,6 +38,9 @@ fn parse_args() -> Result<Args, String> {
         clients: 3,
         requests: 5,
         seed: 7,
+        retries: 2,
+        backoff_ms: 25,
+        deadline: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -43,27 +54,71 @@ fn parse_args() -> Result<Args, String> {
             "--clients" => args.clients = value("--clients")?.max(1),
             "--requests" => args.requests = value("--requests")?.max(1) as usize,
             "--seed" => args.seed = value("--seed")?,
+            "--retries" => args.retries = value("--retries")? as u32,
+            "--backoff-ms" => args.backoff_ms = value("--backoff-ms")?.max(1),
+            "--deadline" => args.deadline = Some(value("--deadline")?),
             other => return Err(format!("unknown argument {other}")),
         }
     }
     Ok(args)
 }
 
-fn run_client(addr: std::net::SocketAddr, seed: u64, client: u64, requests: usize) -> Vec<String> {
-    let mut workload = Workload::new(seed, client);
-    let mut stream = TcpStream::connect(addr).expect("connect");
-    let mut payload = String::new();
-    for _ in 0..requests {
-        payload.push_str(&workload.next_request_line());
+/// What one client thread saw: per-call outcomes plus the first ok
+/// reply for display.
+struct ClientRun {
+    answered: usize,
+    deadline_sheds: usize,
+    failed: usize,
+    attempts: u32,
+    first_ok: Option<Json>,
+}
+
+fn run_client(addr: std::net::SocketAddr, args: &Args, client_index: u64) -> ClientRun {
+    let registry = Registry::with_wall_clock();
+    let config = ClientConfig {
+        retries: args.retries,
+        backoff_initial_ms: args.backoff_ms,
+        backoff_max_ms: args.backoff_ms.saturating_mul(16),
+        jitter_seed: args.seed ^ client_index,
+        ..ClientConfig::default()
+    };
+    let mut client = Client::new(addr, config, &registry);
+    let mut workload = Workload::new(args.seed, client_index);
+    let mut run = ClientRun {
+        answered: 0,
+        deadline_sheds: 0,
+        failed: 0,
+        attempts: 0,
+        first_ok: None,
+    };
+    for _ in 0..args.requests {
+        let query = workload.next_query();
+        match client.call(&query) {
+            Ok(success) => {
+                run.answered += 1;
+                run.attempts += success.attempts;
+                if run.first_ok.is_none() {
+                    run.first_ok = Some(success.reply);
+                }
+            }
+            Err(CallError::Rejected { error, attempts })
+                if error.kind == drone_serve::protocol::ErrorKind::DeadlineExceeded =>
+            {
+                run.deadline_sheds += 1;
+                run.attempts += attempts;
+            }
+            Err(CallError::Rejected { attempts, .. }) => {
+                run.failed += 1;
+                run.attempts += attempts;
+            }
+            Err(CallError::Exhausted { attempts, .. }) => {
+                run.failed += 1;
+                run.attempts += attempts;
+            }
+            Err(CallError::BreakerOpen) => run.failed += 1,
+        }
     }
-    stream.write_all(payload.as_bytes()).expect("send requests");
-    stream
-        .shutdown(std::net::Shutdown::Write)
-        .expect("half-close");
-    BufReader::new(stream)
-        .lines()
-        .map(|l| l.expect("read reply"))
-        .collect()
+    run
 }
 
 fn main() -> ExitCode {
@@ -71,7 +126,10 @@ fn main() -> ExitCode {
         Ok(args) => args,
         Err(message) => {
             eprintln!("{message}");
-            eprintln!("usage: dse_client [--clients N] [--requests N] [--seed N]");
+            eprintln!(
+                "usage: dse_client [--clients N] [--requests N] [--seed N] \
+                 [--retries N] [--backoff-ms MS] [--deadline COST_UNITS]"
+            );
             return ExitCode::FAILURE;
         }
     };
@@ -79,24 +137,35 @@ fn main() -> ExitCode {
     let registry = Registry::with_wall_clock();
     let mut engine = Explorer::with_default_threads();
     engine.attach_telemetry(&registry);
-    let server =
-        Server::start(engine, ServerConfig::default(), &registry).expect("bind loopback port");
+    let config = ServerConfig {
+        cost_deadline: args.deadline,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(engine, config, &registry).expect("bind loopback port");
     println!("server listening on {}", server.addr());
+    match args.deadline {
+        Some(units) => println!("per-request deadline armed at {units} cost units"),
+        None => println!("no per-request deadline"),
+    }
 
+    let args = std::sync::Arc::new(args);
     let handles: Vec<_> = (0..args.clients)
         .map(|c| {
             let addr = server.addr();
-            let (seed, requests) = (args.seed, args.requests);
-            std::thread::spawn(move || run_client(addr, seed, c, requests))
+            let args = std::sync::Arc::clone(&args);
+            std::thread::spawn(move || run_client(addr, &args, c))
         })
         .collect();
     let mut answered = 0usize;
+    let mut deadline_sheds = 0usize;
+    let mut failed = 0usize;
     for (c, handle) in handles.into_iter().enumerate() {
-        let replies = handle.join().expect("client thread");
-        answered += replies.len();
+        let run = handle.join().expect("client thread");
+        answered += run.answered;
+        deadline_sheds += run.deadline_sheds;
+        failed += run.failed;
         // Show the first reply of each client, compactly.
-        if let Some(line) = replies.first() {
-            let doc = Json::parse(line).expect("reply is JSON");
+        if let Some(doc) = run.first_ok {
             let answer = doc.get("answer").expect("ok reply");
             let best = answer.get("best").expect("best field");
             let describe = |key: &str| {
@@ -105,11 +174,18 @@ fn main() -> ExitCode {
                     .map_or("-".to_owned(), |v| format!("{v:.1}"))
             };
             println!(
-                "client {c}: {} replies; first answer evaluated {} points, best flight {} min at {} g",
-                replies.len(),
+                "client {c}: {} ok / {} shed over {} attempt(s); first answer evaluated {} points, best flight {} min at {} g",
+                run.answered,
+                run.deadline_sheds,
+                run.attempts,
                 answer.get("evaluated").and_then(Json::as_f64).unwrap_or(0.0),
                 describe("flight_min"),
                 describe("weight_g"),
+            );
+        } else {
+            println!(
+                "client {c}: {} ok / {} shed / {} failed over {} attempt(s)",
+                run.answered, run.deadline_sheds, run.failed, run.attempts
             );
         }
     }
@@ -137,11 +213,14 @@ fn main() -> ExitCode {
     println!("malformed line answered with a structured '{kind}' error");
 
     let stats = server.drain();
+    let total = args.clients as usize * args.requests;
     println!(
-        "{answered} requests answered; drain joined {} thread(s), clean={}",
+        "{answered} answered + {deadline_sheds} deadline-shed of {total} requests; \
+         drain joined {} thread(s), clean={}",
         stats.threads_joined, stats.clean
     );
-    if answered == args.clients as usize * args.requests && stats.clean && kind == "parse" {
+    let all_accounted = answered + deadline_sheds == total && failed == 0;
+    if all_accounted && stats.clean && kind == "parse" {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

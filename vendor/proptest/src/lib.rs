@@ -28,6 +28,7 @@ pub mod test_runner;
 pub mod prelude {
     pub use crate::arbitrary::any;
     pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
     pub use crate::{
         prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
     };
@@ -40,9 +41,29 @@ pub mod prelude {
 
 /// Defines deterministic property tests.
 ///
-/// Supports the `#[test] fn name(pat in strategy, ...) { body }` form.
+/// Supports the `#[test] fn name(pat in strategy, ...) { body }` form,
+/// optionally prefixed by `#![proptest_config(...)]` to override the
+/// case count for every test in the block.
 #[macro_export]
 macro_rules! proptest {
+    (#![proptest_config($config:expr)]
+     $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run_with_config(&($config), stringify!($name), |__pt_rng| {
+                    $(
+                        let $arg = match $crate::strategy::Strategy::generate(&($strat), __pt_rng) {
+                            Ok(v) => v,
+                            Err(r) => return Err(r),
+                        };
+                    )+
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
     ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
         $(
             $(#[$meta])*

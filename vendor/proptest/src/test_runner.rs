@@ -72,11 +72,41 @@ fn case_count() -> u64 {
         .unwrap_or(64)
 }
 
+/// The subset of proptest's runner configuration the workspace uses.
+/// Built via [`ProptestConfig::with_cases`] and applied with the
+/// `#![proptest_config(...)]` attribute inside a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// How many cases must pass for the property to pass.
+    pub cases: u64,
+}
+
+impl ProptestConfig {
+    /// A config that runs exactly `cases` cases, ignoring the
+    /// `PROPTEST_CASES` environment variable. Use for expensive
+    /// properties (e.g. one live server per case).
+    pub fn with_cases(cases: u64) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
 /// Runs one property: draws cases until `PROPTEST_CASES` (default 64)
 /// cases pass, panicking on the first failure. Rejections are retried,
 /// bounded at 16× the case budget.
 pub fn run(name: &str, property: impl Fn(&mut Rng) -> Result<(), CaseError>) {
-    let cases = case_count();
+    run_cases(case_count(), name, property);
+}
+
+/// [`run`] with an explicit config instead of the environment default.
+pub fn run_with_config(
+    config: &ProptestConfig,
+    name: &str,
+    property: impl Fn(&mut Rng) -> Result<(), CaseError>,
+) {
+    run_cases(config.cases, name, property);
+}
+
+fn run_cases(cases: u64, name: &str, property: impl Fn(&mut Rng) -> Result<(), CaseError>) {
     let root = fnv1a(name);
     let mut passed = 0u64;
     let mut rejected = 0u64;

@@ -256,6 +256,7 @@ fn client_config() -> ClientConfig {
         breaker_threshold: 0,
         breaker_cooldown: 0,
         reply_timeout: Duration::from_millis(2000),
+        trace_seed: SEED,
     }
 }
 
@@ -370,11 +371,12 @@ fn queries(class: &str) -> Vec<Query> {
         .collect()
 }
 
-/// Silences the default panic hook's stderr spew for the campaign's
-/// *intentional* poison panics only; every other panic still reports.
-/// Installed once and never restored, so concurrent campaign runs
-/// (the tests) cannot race on the global hook.
-fn silence_poison_panics() {
+/// Silences the default panic hook's stderr spew for *intentional*
+/// poison panics only (shared with the `trace` campaign); every other
+/// panic still reports. Installed once and never restored, so
+/// concurrent campaign runs (the tests) cannot race on the global
+/// hook.
+pub(crate) fn silence_poison_panics() {
     static ONCE: std::sync::Once = std::sync::Once::new();
     ONCE.call_once(|| {
         let previous = std::panic::take_hook();

@@ -10,6 +10,7 @@ pub mod fault_figs;
 mod serve_figs;
 mod slam_figs;
 mod space_figs;
+mod trace_figs;
 
 pub use arch_figs::{figure15, figure16};
 pub use catalog_figs::{figure7, figure8a, figure8b, figure9};
@@ -23,6 +24,7 @@ pub use fault_figs::faults;
 pub use serve_figs::serve;
 pub use slam_figs::{figure17, profile_sequence, table5};
 pub use space_figs::{claims, figure10_footprint, figure10_power, figure11, figure14};
+pub use trace_figs::trace;
 
 use crate::table::Table;
 use drone_telemetry::Json;
@@ -194,6 +196,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             "chaos",
             "seeded network-fault campaign: survival, retries, sheds, panic isolation",
             chaos,
+        ),
+        e(
+            "trace",
+            "causal span trees + live stats/trace introspection over the serving stack",
+            trace,
         ),
     ]
 }

@@ -13,6 +13,7 @@ use crate::design::{DesignError, DesignSpec};
 use crate::power::{FlyingLoad, PowerModel};
 use drone_components::battery::CellCount;
 use drone_components::units::{Grams, MilliampHours, Watts};
+use drone_telemetry::trace::Span;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -145,10 +146,42 @@ pub fn evaluate(query: &DesignQuery) -> Result<DesignEval, DesignError> {
     evaluate_with(&PowerModel::paper_defaults(), query)
 }
 
+/// [`evaluate`], recording the kernel's two stages — the sizing
+/// fixed-point (`eval.size`) and the power/flight-time derivation
+/// (`eval.power`) — as leaf spans under `parent` when tracing is on.
+/// With `parent = None` this *is* [`evaluate`]: the result is
+/// identical and nothing is recorded.
+pub fn evaluate_traced(
+    query: &DesignQuery,
+    parent: Option<&Span>,
+) -> Result<DesignEval, DesignError> {
+    evaluate_with_traced(&PowerModel::paper_defaults(), query, parent)
+}
+
 /// [`evaluate`] with an explicit power model (ablation studies vary the
 /// efficiency and drain-limit constants).
 pub fn evaluate_with(model: &PowerModel, query: &DesignQuery) -> Result<DesignEval, DesignError> {
-    let drone = query.to_spec().size()?;
+    evaluate_with_traced(model, query, None)
+}
+
+/// [`evaluate_with`] with optional leaf-span tracing. The spans carry
+/// fixed orders (`eval.size` = 0, `eval.power` = 1), so their ids are a
+/// pure function of the trace id — identical at any thread count.
+pub fn evaluate_with_traced(
+    model: &PowerModel,
+    query: &DesignQuery,
+    parent: Option<&Span>,
+) -> Result<DesignEval, DesignError> {
+    let sizing = {
+        let mut span = parent.map(|p| p.child("eval.size", 0));
+        let sizing = query.to_spec().size();
+        if let Some(span) = span.as_mut() {
+            span.tag("feasible", sizing.is_ok());
+        }
+        sizing
+    };
+    let drone = sizing?;
+    let _power_span = parent.map(|p| p.child("eval.power", 1));
     let hover = model.average_power(&drone, FlyingLoad::Hover);
     let maneuver = model.average_power(&drone, FlyingLoad::Maneuver);
     Ok(DesignEval {
@@ -198,6 +231,36 @@ mod tests {
         let a = evaluate(&q450()).unwrap();
         let b = evaluate(&q450()).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn traced_evaluate_matches_untraced_and_records_leaves() {
+        use drone_telemetry::{derive_trace_id, Clock, TraceBuilder};
+        let builder = TraceBuilder::new(derive_trace_id(1, 1), Clock::sim());
+        let traced = {
+            let root = builder.root("test");
+            evaluate_traced(&q450(), Some(&root)).unwrap()
+        };
+        assert_eq!(traced, evaluate(&q450()).unwrap());
+        let trace = builder.finish();
+        assert_eq!(trace.count_named("eval.size"), 1);
+        assert_eq!(trace.count_named("eval.power"), 1);
+        assert_eq!(trace.count_tagged("feasible", "true"), 0); // bool tag, not str
+        assert_eq!(trace.open_at_finish, 0);
+    }
+
+    #[test]
+    fn traced_evaluate_of_infeasible_point_skips_power_stage() {
+        use drone_telemetry::{derive_trace_id, Clock, TraceBuilder};
+        let builder = TraceBuilder::new(derive_trace_id(1, 2), Clock::sim());
+        {
+            let root = builder.root("test");
+            let q = DesignQuery::new(450.0, CellCount::S3, 150.0).with_payload(800.0);
+            assert!(evaluate_traced(&q, Some(&root)).is_err());
+        }
+        let trace = builder.finish();
+        assert_eq!(trace.count_named("eval.size"), 1);
+        assert_eq!(trace.count_named("eval.power"), 0);
     }
 
     #[test]

@@ -53,7 +53,10 @@ pub mod reference_drone;
 pub mod sweep;
 
 pub use design::{DesignSpec, SizedDrone};
-pub use eval::{evaluate, evaluate_with, DesignEval, DesignQuery, OBJECTIVE_SENSES};
+pub use eval::{
+    evaluate, evaluate_traced, evaluate_with, evaluate_with_traced, DesignEval, DesignQuery,
+    OBJECTIVE_SENSES,
+};
 pub use power::{FlyingLoad, PowerBreakdown, PowerModel};
 pub use procedure::{Procedure, ProcedureReport, Requirements};
 pub use sweep::{FootprintPoint, SweepPoint, WheelbaseSweep};

@@ -13,9 +13,10 @@ use crate::cache::{CacheKey, EvalCache};
 use crate::executor::{ParallelExecutor, TaskPanic};
 use crate::pareto::ParetoFrontier;
 use crate::query::{Query, QueryAnswer};
-use drone_dse::eval::{evaluate, DesignEval, DesignQuery, OBJECTIVE_SENSES};
+use drone_dse::eval::{evaluate_traced, DesignEval, DesignQuery, OBJECTIVE_SENSES};
 use drone_math::stats::{argmax, argmin};
 use drone_math::Sense;
+use drone_telemetry::trace::Span;
 use drone_telemetry::{Clock, Registry, SharedHistogram};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -127,6 +128,20 @@ impl Explorer {
         &self,
         points: &[DesignQuery],
     ) -> Result<Vec<EvalResult>, TaskPanic> {
+        self.try_evaluate_points_spanned(points, None)
+    }
+
+    /// [`Explorer::try_evaluate_points`] with per-point tracing: when
+    /// `parent` is a span, every point opens a `point` child whose
+    /// order is its input index (so span ids are thread-count
+    /// independent), tagged with its cache outcome
+    /// (`hit`/`coalesced`/`miss`), its feasibility, and — for fresh
+    /// evaluations — the worker it ran on plus `eval.*` leaf spans.
+    pub fn try_evaluate_points_spanned(
+        &self,
+        points: &[DesignQuery],
+        parent: Option<&Span>,
+    ) -> Result<Vec<EvalResult>, TaskPanic> {
         let keys: Vec<CacheKey> = points.iter().map(CacheKey::quantize).collect();
         let mut resolved: Vec<Option<EvalResult>> = vec![None; points.len()];
         // Unique uncached keys → the index of their first occurrence.
@@ -135,10 +150,21 @@ impl Explorer {
         for (i, key) in keys.iter().enumerate() {
             if pending.contains_key(key) {
                 self.cache.note_coalesced_hit();
+                if let Some(parent) = parent {
+                    let mut span = parent.child("point", i as u64);
+                    span.tag("cache", "coalesced");
+                }
                 continue;
             }
             match self.cache.get(key) {
-                Some(cached) => resolved[i] = Some(cached),
+                Some(cached) => {
+                    if let Some(parent) = parent {
+                        let mut span = parent.child("point", i as u64);
+                        span.tag("cache", "hit");
+                        span.tag("feasible", cached.is_ok());
+                    }
+                    resolved[i] = Some(cached);
+                }
                 None => {
                     pending.insert(*key, i);
                     work.push(i);
@@ -148,11 +174,27 @@ impl Explorer {
 
         let queries: Vec<&DesignQuery> = work.iter().map(|&i| &points[i]).collect();
         let hook = self.eval_hook.as_deref();
-        let fresh = self.executor.try_map(&queries, |_, q| {
+        let work_ref = &work;
+        let fresh = self.executor.try_map_located(&queries, |worker, j, q| {
+            // The span order is the point's *input* index, not the
+            // dispatch index: identical across thread counts. It is
+            // created before the hook runs so a panicking evaluation
+            // still records its span (tagged as far as it got) during
+            // unwind.
+            let mut span = parent.map(|p| {
+                let mut span = p.child("point", work_ref[j] as u64);
+                span.set_worker(worker);
+                span.tag("cache", "miss");
+                span
+            });
             if let Some(hook) = hook {
                 hook(q);
             }
-            evaluate(q)
+            let result = evaluate_traced(q, span.as_ref());
+            if let Some(span) = span.as_mut() {
+                span.tag("feasible", result.is_ok());
+            }
+            result
         });
         let mut first_panic: Option<TaskPanic> = None;
         for (&i, result) in work.iter().zip(fresh) {
@@ -207,6 +249,19 @@ impl Explorer {
     /// caught [`TaskPanic`]. The engine, its cache, its locks and its
     /// worker threads all stay healthy for the next query.
     pub fn try_run(&self, query: &Query) -> Result<QueryAnswer, TaskPanic> {
+        self.try_run_spanned(query, None)
+    }
+
+    /// [`Explorer::try_run`] with causal tracing: each round opens an
+    /// `explore.round` child span (order = round number) under
+    /// `parent`, and every point traces through
+    /// [`Explorer::try_evaluate_points_spanned`]. With `parent = None`
+    /// this *is* `try_run` — the answer is byte-identical either way.
+    pub fn try_run_spanned(
+        &self,
+        query: &Query,
+        parent: Option<&Span>,
+    ) -> Result<QueryAnswer, TaskPanic> {
         let started = self.telemetry.as_ref().map(|t| t.clock.now());
 
         let mut feasible: Vec<DesignEval> = Vec::new();
@@ -229,7 +284,14 @@ impl Explorer {
             }
             let grid = ranges.grid();
             evaluated += grid.len();
-            for (point, result) in grid.iter().zip(self.try_evaluate_points(&grid)?) {
+            let round_span = parent.map(|p| {
+                let mut span = p.child("explore.round", round as u64);
+                span.tag("round", round as u64);
+                span.tag("points", grid.len());
+                span
+            });
+            let results = self.try_evaluate_points_spanned(&grid, round_span.as_ref())?;
+            for (point, result) in grid.iter().zip(results) {
                 if !seen.insert(CacheKey::quantize(point)) {
                     continue;
                 }
@@ -307,6 +369,7 @@ mod tests {
     use super::*;
     use crate::query::{Constraints, GridRange, Objective, QueryRanges};
     use drone_components::battery::CellCount;
+    use drone_dse::eval::evaluate;
 
     fn small_ranges() -> QueryRanges {
         QueryRanges {
@@ -465,6 +528,81 @@ mod tests {
         // 3 of 15 points (capacity 2000 at each wheelbase) panicked;
         // the other 12 were evaluated and cached.
         assert_eq!(explorer.cache().len(), 12);
+    }
+
+    #[test]
+    fn traced_runs_answer_identically_and_attribute_cache_outcomes() {
+        use drone_telemetry::{derive_trace_id, Clock, TraceBuilder};
+        let run_traced = |threads: usize| {
+            let explorer = Explorer::new(threads);
+            let query =
+                Query::new("t", small_ranges(), Objective::MaxFlightTime).with_refinement(1, 3);
+            let builder = TraceBuilder::new(derive_trace_id(7, 1), Clock::sim());
+            let answer = {
+                let root = builder.root("serve.request");
+                explorer.try_run_spanned(&query, Some(&root)).unwrap()
+            };
+            let trace = builder.finish();
+            // Attribution parity: span tallies must equal the cache's
+            // own counters (coalesced duplicates count as hits).
+            let hits =
+                trace.count_tagged("cache", "hit") + trace.count_tagged("cache", "coalesced");
+            let misses = trace.count_tagged("cache", "miss");
+            assert_eq!(
+                hits as u64,
+                explorer.cache().hit_count(),
+                "{threads} threads"
+            );
+            assert_eq!(
+                misses as u64,
+                explorer.cache().miss_count(),
+                "{threads} threads"
+            );
+            assert_eq!(trace.count_named("point"), answer.evaluated);
+            assert_eq!(trace.count_named("explore.round"), answer.rounds);
+            assert_eq!(trace.open_at_finish, 0);
+            assert_eq!(trace.dropped_spans, 0);
+            (answer, trace.deterministic_json().render())
+        };
+        let (answer1, json1) = run_traced(1);
+        for threads in [2, 8] {
+            let (answer, json) = run_traced(threads);
+            assert_eq!(answer, answer1, "{threads} threads");
+            assert_eq!(
+                json, json1,
+                "deterministic trace differs at {threads} threads"
+            );
+        }
+        // And the untraced answer is byte-identical to the traced one.
+        let untraced = Explorer::new(2)
+            .run(&Query::new("t", small_ranges(), Objective::MaxFlightTime).with_refinement(1, 3));
+        assert_eq!(untraced, answer1);
+    }
+
+    #[test]
+    fn a_traced_panic_still_records_its_span() {
+        use drone_telemetry::{derive_trace_id, Clock, TraceBuilder};
+        let explorer = Explorer::new(2).with_eval_hook(Arc::new(|q: &DesignQuery| {
+            assert!(q.capacity_mah != 2000.0, "poisoned capacity");
+        }));
+        let builder = TraceBuilder::new(derive_trace_id(7, 2), Clock::sim());
+        {
+            let root = builder.root("serve.request");
+            let query =
+                Query::new("bad", small_ranges(), Objective::MaxFlightTime).with_refinement(0, 0);
+            assert!(explorer.try_run_spanned(&query, Some(&root)).is_err());
+        }
+        let trace = builder.finish();
+        // All 15 grid points were dispatched fresh; the poisoned ones
+        // unwound through their span guards, which still recorded.
+        assert_eq!(trace.count_named("point"), 15);
+        assert_eq!(trace.open_at_finish, 0);
+        // Poisoned points panicked before eval: they carry the miss tag
+        // but no feasibility verdict.
+        assert_eq!(trace.count_tagged("cache", "miss"), 15);
+        assert_eq!(trace.count_tagged("feasible", "true"), 0); // bool tags
+        let healthy_evals = trace.count_named("eval.size");
+        assert_eq!(healthy_evals, 12, "3 of 15 points panicked in the hook");
     }
 
     #[test]

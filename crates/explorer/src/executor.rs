@@ -148,8 +148,22 @@ impl ParallelExecutor {
         R: Send,
         F: Fn(usize, &T) -> R + Sync,
     {
-        let guarded = |i: usize, item: &T| -> Result<R, TaskPanic> {
-            catch_unwind(AssertUnwindSafe(|| f(i, item))).map_err(|payload| TaskPanic {
+        self.try_map_located(items, |_, i, item| f(i, item))
+    }
+
+    /// [`ParallelExecutor::try_map`] where the task body also learns
+    /// *which worker* it runs on: `f` receives
+    /// `(worker, index, &item)`. The worker index is scheduling
+    /// -dependent — tracing annotates spans with it but must never let
+    /// it influence the output.
+    pub fn try_map_located<T, R, F>(&self, items: &[T], f: F) -> Vec<Result<R, TaskPanic>>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, usize, &T) -> R + Sync,
+    {
+        let guarded = |worker: usize, i: usize, item: &T| -> Result<R, TaskPanic> {
+            catch_unwind(AssertUnwindSafe(|| f(worker, i, item))).map_err(|payload| TaskPanic {
                 message: panic_message(payload.as_ref()),
             })
         };
@@ -157,7 +171,7 @@ impl ParallelExecutor {
             return items
                 .iter()
                 .enumerate()
-                .map(|(i, t)| guarded(i, t))
+                .map(|(i, t)| guarded(0, i, t))
                 .collect();
         }
 
@@ -197,7 +211,7 @@ impl ParallelExecutor {
                             };
                             let Some(range) = next else { break };
                             for i in range {
-                                local.push((i, guarded(i, &items[i])));
+                                local.push((i, guarded(worker, i, &items[i])));
                             }
                         }
                         local
@@ -345,6 +359,23 @@ mod tests {
         // The pool (and a fresh map on it) still works normally.
         let second = pool.map(&items, |_, &x| x + 1);
         assert_eq!(second, (1..=64).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn located_map_reports_in_range_workers_without_changing_output() {
+        let items: Vec<u64> = (0..300).collect();
+        for threads in [1, 4] {
+            let pool = ParallelExecutor::new(threads);
+            let out = pool.try_map_located(&items, |worker, i, &x| {
+                assert!(worker < threads, "worker {worker} out of range");
+                if threads == 1 {
+                    assert_eq!(worker, 0, "serial path pins worker 0");
+                }
+                (worker, x + i as u64)
+            });
+            let values: Vec<u64> = out.into_iter().map(|r| r.unwrap().1).collect();
+            assert_eq!(values, (0..300).map(|x| x * 2).collect::<Vec<u64>>());
+        }
     }
 
     #[test]

@@ -27,10 +27,10 @@
 //!   A rejection also resets the breaker's failure count, since it
 //!   proves the server is alive and speaking the protocol.
 
-use crate::protocol::{self, ErrorKind, RequestError};
+use crate::protocol::{self, ErrorKind, RequestError, TraceQuery};
 use drone_explorer::Query;
 use drone_math::rng::Pcg32;
-use drone_telemetry::{Counter, Json, Registry};
+use drone_telemetry::{derive_trace_id, Counter, Json, Registry};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
@@ -57,6 +57,11 @@ pub struct ClientConfig {
     pub breaker_cooldown: u32,
     /// Per-connection read timeout while waiting for the reply.
     pub reply_timeout: Duration,
+    /// Seed for the causal trace ids stamped on every query call
+    /// ([`drone_telemetry::derive_trace_id`] over the call id). Give
+    /// concurrent clients distinct seeds so their trace ids never
+    /// collide.
+    pub trace_seed: u64,
 }
 
 impl Default for ClientConfig {
@@ -69,6 +74,7 @@ impl Default for ClientConfig {
             breaker_threshold: 4,
             breaker_cooldown: 4,
             reply_timeout: Duration::from_secs(2),
+            trace_seed: 0,
         }
     }
 }
@@ -118,6 +124,10 @@ pub struct CallSuccess {
     pub reply: Json,
     /// Connections dialed for this call (1 = no retries needed).
     pub attempts: u32,
+    /// The causal trace id stamped on the request, for fetching its
+    /// span tree later via [`Client::fetch_trace`]. `None` for
+    /// introspection calls, which are not traced.
+    pub trace_id: Option<u64>,
 }
 
 /// Circuit-breaker state, counted in calls for determinism.
@@ -175,7 +185,11 @@ impl Client {
     }
 
     /// Sends one query and returns the correlated reply, retrying
-    /// transient failures within the configured budget.
+    /// transient failures within the configured budget. The request
+    /// carries a deterministic causal `trace_id` (derived from the
+    /// configured seed and the call id) which the server uses to label
+    /// the span tree it records; [`CallSuccess::trace_id`] echoes it
+    /// so the tree can be fetched with [`Client::fetch_trace`].
     ///
     /// # Errors
     ///
@@ -183,6 +197,56 @@ impl Client {
     /// [`CallError::Exhausted`] when the retry budget runs out,
     /// [`CallError::BreakerOpen`] while the breaker blocks dialing.
     pub fn call(&mut self, query: &Query) -> Result<CallSuccess, CallError> {
+        let id = self.fresh_id();
+        let trace_id = derive_trace_id(self.config.trace_seed, id);
+        let line = protocol::request_to_json_traced(id, trace_id, query).render();
+        self.call_line(&line, id, Some(trace_id))
+    }
+
+    /// Asks the server for its live stats snapshot (registry metrics,
+    /// queue depth, trace-ring bookkeeping), through the same retry
+    /// and breaker machinery as [`Client::call`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::call`].
+    pub fn stats(&mut self) -> Result<CallSuccess, CallError> {
+        let id = self.fresh_id();
+        let line = protocol::stats_request_json(id).render();
+        self.call_line(&line, id, None)
+    }
+
+    /// Fetches the completed span tree for `trace_id` from the
+    /// server's trace ring. The reply's `traces` array is empty when
+    /// the trace has been evicted (or never existed).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::call`].
+    pub fn fetch_trace(&mut self, trace_id: u64) -> Result<CallSuccess, CallError> {
+        let id = self.fresh_id();
+        let fetch = TraceQuery {
+            last: 1,
+            trace_id: Some(trace_id),
+        };
+        let line = protocol::trace_request_json(id, &fetch).render();
+        self.call_line(&line, id, None)
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// The shared retry/breaker engine behind every call kind: sends
+    /// one rendered request line and returns the correlated reply.
+    fn call_line(
+        &mut self,
+        line: &str,
+        id: u64,
+        trace_id: Option<u64>,
+    ) -> Result<CallSuccess, CallError> {
         self.metrics.calls.inc();
         let attempts_allowed = match self.admit() {
             Admit::FastFail => {
@@ -192,22 +256,20 @@ impl Client {
             Admit::Probe => 1,
             Admit::Normal => 1 + self.config.retries,
         };
-        let id = self.next_id;
-        self.next_id += 1;
-        let line = protocol::request_to_json(id, query).render();
         let mut last = String::new();
         for attempt in 1..=attempts_allowed {
             if attempt > 1 {
                 self.metrics.retries.inc();
                 std::thread::sleep(self.backoff_delay(attempt - 1));
             }
-            match self.attempt(&line, id) {
+            match self.attempt(line, id) {
                 Ok(reply) => {
                     if reply.get("ok") == Some(&Json::Bool(true)) {
                         self.on_success();
                         return Ok(CallSuccess {
                             reply,
                             attempts: attempt,
+                            trace_id,
                         });
                     }
                     let error = reply_error(&reply);
@@ -524,6 +586,39 @@ mod tests {
         assert!(matches!(client.breaker, Breaker::Closed { failures: 0 }));
         // And the circuit stays closed for normal calls.
         assert!(client.call(&query).is_ok());
+        assert!(server.drain().clean);
+    }
+
+    #[test]
+    fn a_call_stamps_a_trace_the_client_can_fetch_back() {
+        let registry = Registry::with_wall_clock();
+        let server = Server::start(Explorer::new(2), ServerConfig::default(), &registry).unwrap();
+        let config = ClientConfig {
+            trace_seed: 99,
+            ..fast_config()
+        };
+        let mut client = Client::new(server.addr(), config, &registry);
+        let success = client.call(&small_query("traced")).unwrap();
+        let trace_id = success.trace_id.expect("query calls are traced");
+        assert_eq!(trace_id, drone_telemetry::derive_trace_id(99, 1));
+
+        let fetched = client.fetch_trace(trace_id).unwrap();
+        assert_eq!(fetched.trace_id, None, "introspection is not traced");
+        let traces = fetched.reply.get("traces").and_then(Json::as_arr).unwrap();
+        assert_eq!(traces.len(), 1);
+        assert_eq!(
+            traces[0].get("trace_id").and_then(Json::as_str),
+            Some(drone_telemetry::id_hex(trace_id).as_str())
+        );
+
+        let stats = client.stats().unwrap();
+        let counters = stats
+            .reply
+            .get("stats")
+            .and_then(|s| s.get("registry"))
+            .and_then(|r| r.get("counters"))
+            .expect("registry counters");
+        assert_eq!(counters.get("serve.admin_requests"), Some(&Json::Num(2.0)));
         assert!(server.drain().clean);
     }
 }

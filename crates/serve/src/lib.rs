@@ -29,6 +29,13 @@
 //! `tests/properties.rs` feeds arbitrary bytes and adversarial grids
 //! through both the pure batch handler and a live socket to keep that
 //! true.
+//!
+//! On top of the request path sits the **introspection plane**: every
+//! served request records a causal span tree (deterministic trace ids,
+//! client-stamped or server-derived) into a bounded ring, and two
+//! additional wire request kinds — `{"id":..,"stats":{}}` and
+//! `{"id":..,"trace":{"last":N}}` — let a live client snapshot the
+//! metrics registry, queue depth and recent span trees mid-workload.
 
 pub mod chaos;
 pub mod client;
@@ -39,8 +46,10 @@ pub mod workload;
 pub use chaos::{ChaosProxy, Fault, FaultSchedule, ProxyStats};
 pub use client::{CallError, CallSuccess, Client, ClientConfig};
 pub use protocol::{
-    answer_to_json, cost_units, error_reply, handle_batch, handle_batch_with, ok_reply,
-    parse_request, request_to_json, BatchOutcome, BatchPolicy, ErrorKind, Request, RequestError,
+    answer_to_json, cost_units, error_reply, handle_batch, handle_batch_traced, handle_batch_with,
+    ok_reply, parse_request, request_to_json, request_to_json_traced, stats_request_json,
+    trace_request_json, AdminRequest, BatchOutcome, BatchPolicy, BatchTracing, ErrorKind,
+    ReplySlot, Request, RequestBody, RequestError, TraceQuery, MAX_TRACE_FETCH,
 };
 pub use server::{DrainStats, Server, ServerConfig};
 pub use workload::Workload;

@@ -21,8 +21,14 @@ use drone_dse::eval::DesignEval;
 use drone_explorer::{
     Constraints, Explorer, GridRange, Objective, Query, QueryAnswer, QueryLimits, QueryRanges,
 };
-use drone_telemetry::Json;
+use drone_telemetry::trace::{
+    derive_trace_id_bytes, id_hex, parse_id_hex, TraceBuilder, TraceRing,
+};
+use drone_telemetry::{Clock, Json};
 use std::fmt;
+
+/// Most completed span trees one `trace` request may fetch.
+pub const MAX_TRACE_FETCH: usize = 16;
 
 /// What went wrong with a request, as reported on the wire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -100,14 +106,62 @@ impl fmt::Display for RequestError {
 
 impl std::error::Error for RequestError {}
 
-/// A parsed request: the echoed `id` and the validated query.
+/// A `trace` introspection request: fetch completed span trees from
+/// the server's bounded ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceQuery {
+    /// How many of the newest traces to return (capped at
+    /// [`MAX_TRACE_FETCH`]). Ignored when `trace_id` is set.
+    pub last: usize,
+    /// Fetch one specific trace by its hex id instead.
+    pub trace_id: Option<u64>,
+}
+
+impl Default for TraceQuery {
+    fn default() -> TraceQuery {
+        TraceQuery {
+            last: 1,
+            trace_id: None,
+        }
+    }
+}
+
+/// What a request asks for: a query evaluation, or one of the live
+/// introspection kinds.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(clippy::large_enum_variant)] // one short-lived value per request; boxing buys nothing
+pub enum RequestBody {
+    /// Evaluate a validated exploration query.
+    Query(Query),
+    /// Return the server's registry snapshot, queue depth and trace
+    /// ring bookkeeping.
+    Stats,
+    /// Return completed span trees from the server's trace ring.
+    Trace(TraceQuery),
+}
+
+/// A parsed request: the echoed `id`, the optional client-stamped
+/// trace id, and the request body.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Request {
     /// Client correlation id, echoed verbatim in the reply (`null` when
     /// absent).
     pub id: Json,
-    /// The validated exploration query.
-    pub query: Query,
+    /// Client-stamped causal trace id (16 hex chars on the wire).
+    /// Absent requests get a deterministic server-derived id.
+    pub trace_id: Option<u64>,
+    /// What the request asks for.
+    pub body: RequestBody,
+}
+
+impl Request {
+    /// The exploration query, when this is a query request.
+    pub fn query(&self) -> Option<&Query> {
+        match &self.body {
+            RequestBody::Query(query) => Some(query),
+            _ => None,
+        }
+    }
 }
 
 fn expect_keys(obj: &Json, allowed: &[&str], what: &str) -> Result<(), RequestError> {
@@ -293,9 +347,68 @@ fn parse_request_with_id(
     request_from_doc(&doc, limits).map_err(|error| (id, error))
 }
 
+fn trace_query_from_json(doc: &Json) -> Result<TraceQuery, RequestError> {
+    expect_keys(doc, &["last", "trace_id"], "trace")?;
+    let last = match doc.get("last") {
+        Some(v) => {
+            let n = steps(v, "trace.last")?;
+            if !(1..=MAX_TRACE_FETCH).contains(&n) {
+                return Err(RequestError::bad(format!(
+                    "trace.last must be between 1 and {MAX_TRACE_FETCH}"
+                )));
+            }
+            n
+        }
+        None => 1,
+    };
+    let trace_id = doc
+        .get("trace_id")
+        .map(|v| trace_id_from_json(v, "trace.trace_id"))
+        .transpose()?;
+    Ok(TraceQuery { last, trace_id })
+}
+
+fn trace_id_from_json(doc: &Json, what: &str) -> Result<u64, RequestError> {
+    let text = doc
+        .as_str()
+        .ok_or_else(|| RequestError::bad(format!("{what} must be a hex string")))?;
+    parse_id_hex(text)
+        .ok_or_else(|| RequestError::bad(format!("{what} must be 16 lower-case hex characters")))
+}
+
 fn request_from_doc(doc: &Json, limits: &QueryLimits) -> Result<Request, RequestError> {
-    expect_keys(doc, &["id", "query"], "request")?;
+    expect_keys(
+        doc,
+        &["id", "trace_id", "query", "stats", "trace"],
+        "request",
+    )?;
     let id = doc.get("id").cloned().unwrap_or(Json::Null);
+    let trace_id = doc
+        .get("trace_id")
+        .map(|v| trace_id_from_json(v, "trace_id"))
+        .transpose()?;
+    let kinds = [doc.get("query"), doc.get("stats"), doc.get("trace")];
+    if kinds.iter().filter(|k| k.is_some()).count() != 1 {
+        return Err(RequestError::bad(
+            "request: needs exactly one of 'query', 'stats' or 'trace'",
+        ));
+    }
+    if let Some(stats_doc) = doc.get("stats") {
+        // Strict like everything else: `stats` takes no parameters.
+        expect_keys(stats_doc, &[], "stats")?;
+        return Ok(Request {
+            id,
+            trace_id,
+            body: RequestBody::Stats,
+        });
+    }
+    if let Some(trace_doc) = doc.get("trace") {
+        return Ok(Request {
+            id,
+            trace_id,
+            body: RequestBody::Trace(trace_query_from_json(trace_doc)?),
+        });
+    }
     let query_doc = doc
         .get("query")
         .ok_or_else(|| RequestError::bad("request: missing 'query'"))?;
@@ -345,7 +458,11 @@ fn request_from_doc(doc: &Json, limits: &QueryLimits) -> Result<Request, Request
         kind: ErrorKind::InvalidQuery,
         message: e.to_string(),
     })?;
-    Ok(Request { id, query })
+    Ok(Request {
+        id,
+        trace_id,
+        body: RequestBody::Query(query),
+    })
 }
 
 /// Renders a query as a request line body (the client-side inverse of
@@ -390,6 +507,28 @@ pub fn request_to_json(id: u64, query: &Query) -> Json {
         .with("refine_rounds", query.refine_rounds)
         .with("refine_steps", query.refine_steps);
     Json::obj().with("id", id).with("query", query_json)
+}
+
+/// [`request_to_json`] with a client-stamped causal trace id — what a
+/// tracing [`crate::Client`] sends.
+pub fn request_to_json_traced(id: u64, trace_id: u64, query: &Query) -> Json {
+    let mut doc = request_to_json(id, query);
+    doc.insert("trace_id", id_hex(trace_id));
+    doc
+}
+
+/// Renders a `stats` introspection request line body.
+pub fn stats_request_json(id: u64) -> Json {
+    Json::obj().with("id", id).with("stats", Json::obj())
+}
+
+/// Renders a `trace` introspection request line body.
+pub fn trace_request_json(id: u64, trace: &TraceQuery) -> Json {
+    let mut body = Json::obj().with("last", trace.last);
+    if let Some(trace_id) = trace.trace_id {
+        body.insert("trace_id", id_hex(trace_id));
+    }
+    Json::obj().with("id", id).with("trace", body)
 }
 
 fn eval_to_json(eval: &DesignEval) -> Json {
@@ -474,6 +613,9 @@ pub struct BatchOutcome {
     /// Valid requests whose evaluation panicked; each got a typed
     /// `internal_error` reply and the fault went no further.
     pub internal_errors: usize,
+    /// Introspection (`stats`/`trace`) requests. Answered live by the
+    /// server; rejected with `bad_request` on the pure batch path.
+    pub admin_requests: usize,
     /// Deterministic work units across the answered requests.
     pub cost_units: u64,
 }
@@ -496,24 +638,69 @@ pub struct BatchPolicy {
     pub cost_deadline: Option<u64>,
 }
 
+/// The tracing context the server threads through a traced batch: the
+/// ring completed span trees land in, the clock spans time against,
+/// and the seed used to derive trace ids for requests that did not
+/// stamp their own.
+pub struct BatchTracing<'a> {
+    /// Where finished traces go (the `trace` request reads from here).
+    pub ring: &'a TraceRing,
+    /// The clock spans measure against.
+    pub clock: Clock,
+    /// Seed for server-derived trace ids (requests without a
+    /// client-stamped `trace_id`).
+    pub seed: u64,
+}
+
+/// An introspection request the pure batch handler cannot answer — it
+/// has no registry, queue or ring. The server resolves these slots
+/// against its live state, in input order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdminRequest {
+    /// Registry snapshot + queue depth + trace-ring bookkeeping.
+    Stats,
+    /// Completed span trees from the ring.
+    Trace(TraceQuery),
+}
+
+/// One reply slot from [`handle_batch_traced`]: either a finished
+/// reply line or an introspection request for the server to resolve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplySlot {
+    /// A rendered reply line.
+    Line(String),
+    /// A live-introspection request; the server renders the reply.
+    Admin {
+        /// The echoed client id.
+        id: Json,
+        /// What to introspect.
+        request: AdminRequest,
+    },
+}
+
 /// How one parsed line will be handled, decided before the engine runs.
+#[allow(clippy::large_enum_variant)] // at most max_batch of these live at once
 enum Disposition {
     /// Valid and within deadline: evaluated by the engine.
-    Run(Request),
+    Run(Request, Query),
     /// Valid but over the cost deadline: shed with a typed reply.
     Shed(Request, RequestError),
+    /// A live-introspection request for the server to resolve.
+    Admin(Json, AdminRequest),
     /// Never reached the engine: parse/shape/limit failure. Carries
     /// the client id when the line parsed far enough to have one.
     Reject(Json, RequestError),
 }
 
 /// Processes a batch of request lines against one engine: parse and
-/// validate each line, coalesce every valid query into **one**
-/// [`Explorer::try_run_batch`] call (so the memoization cache and
-/// Pareto passes are shared), and return one compact reply line per
-/// input, in input order. Never panics, whatever the lines contain —
-/// even an evaluation that panics is caught and answered with a typed
-/// `internal_error` reply for that request alone.
+/// validate each line, evaluate every valid query against the shared
+/// engine (one memoization cache across the batch, queries in input
+/// order), and return one compact reply line per input, in input
+/// order. Never panics, whatever the lines contain — even an
+/// evaluation that panics is caught and answered with a typed
+/// `internal_error` reply for that request alone. Introspection
+/// requests (`stats`/`trace`) are rejected here with `bad_request`;
+/// only a live server ([`handle_batch_traced`]) can answer them.
 pub fn handle_batch(
     engine: &Explorer,
     lines: &[&str],
@@ -529,75 +716,155 @@ pub fn handle_batch_with(
     limits: &QueryLimits,
     policy: BatchPolicy,
 ) -> (Vec<String>, BatchOutcome) {
+    let (slots, outcome) = handle_batch_core(engine, lines, limits, policy, None);
+    let replies = slots
+        .into_iter()
+        .map(|slot| match slot {
+            ReplySlot::Line(line) => line,
+            // Unreachable: without tracing, admin requests were
+            // rejected at disposition time.
+            ReplySlot::Admin { id, .. } => error_reply(
+                &id,
+                &RequestError::bad("introspection requires a live server"),
+            )
+            .render(),
+        })
+        .collect();
+    (replies, outcome)
+}
+
+/// [`handle_batch_with`] plus causal tracing: every evaluated (or
+/// shed) request builds a span tree pushed into `tracing.ring`, and
+/// introspection requests come back as [`ReplySlot::Admin`] for the
+/// server to resolve against its live state — *after* it has done its
+/// own metric accounting, so a `stats` reply observes the batch it
+/// rode in on.
+pub fn handle_batch_traced(
+    engine: &Explorer,
+    lines: &[&str],
+    limits: &QueryLimits,
+    policy: BatchPolicy,
+    tracing: &BatchTracing<'_>,
+) -> (Vec<ReplySlot>, BatchOutcome) {
+    handle_batch_core(engine, lines, limits, policy, Some(tracing))
+}
+
+fn handle_batch_core(
+    engine: &Explorer,
+    lines: &[&str],
+    limits: &QueryLimits,
+    policy: BatchPolicy,
+    tracing: Option<&BatchTracing<'_>>,
+) -> (Vec<ReplySlot>, BatchOutcome) {
     let dispositions: Vec<Disposition> = lines
         .iter()
         .map(|line| match parse_request_with_id(line, limits) {
-            Ok(request) => {
-                let estimated = request.query.estimated_cost_units();
-                match policy.cost_deadline {
-                    Some(deadline) if estimated > deadline => {
-                        let error = RequestError {
-                            kind: ErrorKind::DeadlineExceeded,
-                            message: format!(
-                                "estimated {estimated} cost units exceeds the {deadline}-unit deadline"
-                            ),
-                        };
-                        Disposition::Shed(request, error)
-                    }
-                    _ => Disposition::Run(request),
+            Ok(request) => match request.body.clone() {
+                RequestBody::Stats if tracing.is_some() => {
+                    Disposition::Admin(request.id, AdminRequest::Stats)
                 }
-            }
+                RequestBody::Trace(fetch) if tracing.is_some() => {
+                    Disposition::Admin(request.id, AdminRequest::Trace(fetch))
+                }
+                RequestBody::Stats | RequestBody::Trace(_) => Disposition::Reject(
+                    request.id,
+                    RequestError::bad("introspection requires a live server"),
+                ),
+                RequestBody::Query(query) => {
+                    let estimated = query.estimated_cost_units();
+                    match policy.cost_deadline {
+                        Some(deadline) if estimated > deadline => {
+                            let error = RequestError {
+                                kind: ErrorKind::DeadlineExceeded,
+                                message: format!(
+                                    "estimated {estimated} cost units exceeds the {deadline}-unit deadline"
+                                ),
+                            };
+                            Disposition::Shed(request, error)
+                        }
+                        _ => Disposition::Run(request, query),
+                    }
+                }
+            },
             Err((id, error)) => Disposition::Reject(id, error),
         })
         .collect();
-    let queries: Vec<Query> = dispositions
-        .iter()
-        .filter_map(|d| match d {
-            Disposition::Run(request) => Some(request.query.clone()),
-            _ => None,
-        })
-        .collect();
-    let answers = engine.try_run_batch(&queries);
-    let mut answers = answers.iter();
+    // Builds this request's trace (root span + engine children) while
+    // `record` runs, then pushes it into the ring. The trace id is the
+    // client-stamped one when present, else derived deterministically
+    // from the request id — identical at any thread count either way.
+    let trace_request =
+        |request: &Request, record: &mut dyn FnMut(Option<&mut drone_telemetry::Span>)| {
+            let Some(tracing) = tracing else {
+                record(None);
+                return;
+            };
+            let trace_id = request.trace_id.unwrap_or_else(|| {
+                derive_trace_id_bytes(tracing.seed, request.id.render().as_bytes())
+            });
+            let builder = TraceBuilder::new(trace_id, tracing.clock.clone());
+            let mut root = builder.root("serve.request");
+            record(Some(&mut root));
+            drop(root);
+            tracing.ring.push(builder.finish());
+        };
     let mut outcome = BatchOutcome::default();
-    let replies = dispositions
-        .iter()
-        .map(|disposition| {
-            match disposition {
-                Disposition::Run(request) => {
-                    match answers.next().expect("one result per valid request") {
+    let slots = dispositions
+        .into_iter()
+        .map(|disposition| match disposition {
+            Disposition::Run(request, query) => {
+                let mut reply: Option<Json> = None;
+                trace_request(&request, &mut |root| {
+                    let result = engine.try_run_spanned(&query, root.as_deref());
+                    reply = Some(match result {
                         Ok(answer) => {
                             outcome.answered += 1;
-                            outcome.cost_units += cost_units(answer);
-                            ok_reply(&request.id, answer)
+                            outcome.cost_units += cost_units(&answer);
+                            if let Some(root) = root {
+                                root.tag("outcome", "ok");
+                                root.tag("cost_units", cost_units(&answer));
+                            }
+                            ok_reply(&request.id, &answer)
                         }
                         Err(panic) => {
                             outcome.internal_errors += 1;
+                            if let Some(root) = root {
+                                root.tag("outcome", "internal_error");
+                            }
                             let error = RequestError {
                                 kind: ErrorKind::Internal,
                                 message: panic.to_string(),
                             };
                             error_reply(&request.id, &error)
                         }
-                    }
-                }
-                Disposition::Shed(request, error) => {
-                    outcome.deadline_sheds += 1;
-                    error_reply(&request.id, error)
-                }
-                Disposition::Reject(id, error) => {
-                    if error.kind == ErrorKind::InvalidQuery {
-                        outcome.query_errors += 1;
-                    } else {
-                        outcome.protocol_errors += 1;
-                    }
-                    error_reply(id, error)
-                }
+                    });
+                });
+                ReplySlot::Line(reply.expect("record ran").render())
             }
-            .render()
+            Disposition::Shed(request, error) => {
+                outcome.deadline_sheds += 1;
+                trace_request(&request, &mut |root| {
+                    if let Some(root) = root {
+                        root.tag("outcome", "deadline_exceeded");
+                    }
+                });
+                ReplySlot::Line(error_reply(&request.id, &error).render())
+            }
+            Disposition::Admin(id, request) => {
+                outcome.admin_requests += 1;
+                ReplySlot::Admin { id, request }
+            }
+            Disposition::Reject(id, error) => {
+                if error.kind == ErrorKind::InvalidQuery {
+                    outcome.query_errors += 1;
+                } else {
+                    outcome.protocol_errors += 1;
+                }
+                ReplySlot::Line(error_reply(&id, &error).render())
+            }
         })
         .collect();
-    (replies, outcome)
+    (slots, outcome)
 }
 
 #[cfg(test)]
@@ -616,10 +883,12 @@ mod tests {
     fn minimal_request_parses_with_defaults() {
         let req = parse_request(&minimal_line(), &QueryLimits::default()).unwrap();
         assert_eq!(req.id, Json::Num(7.0));
-        assert_eq!(req.query.name, "query");
-        assert_eq!(req.query.ranges.compute_power_w.values(), vec![3.0]);
-        assert_eq!(req.query.refine_rounds, 0);
-        assert_eq!(req.query.objective, Objective::MaxFlightTime);
+        assert_eq!(req.trace_id, None);
+        let query = req.query().expect("query request");
+        assert_eq!(query.name, "query");
+        assert_eq!(query.ranges.compute_power_w.values(), vec![3.0]);
+        assert_eq!(query.refine_rounds, 0);
+        assert_eq!(query.objective, Objective::MaxFlightTime);
     }
 
     #[test]
@@ -644,7 +913,159 @@ mod tests {
         let line = request_to_json(42, &query).render();
         let parsed = parse_request(&line, &QueryLimits::default()).unwrap();
         assert_eq!(parsed.id, Json::Num(42.0));
-        assert_eq!(parsed.query, query);
+        assert_eq!(parsed.query(), Some(&query));
+        assert_eq!(parsed.trace_id, None);
+
+        // The tracing renderer round-trips the stamped id too.
+        let trace_id = drone_telemetry::derive_trace_id(7, 42);
+        let line = request_to_json_traced(42, trace_id, &query).render();
+        let parsed = parse_request(&line, &QueryLimits::default()).unwrap();
+        assert_eq!(parsed.trace_id, Some(trace_id));
+        assert_eq!(parsed.query(), Some(&query));
+    }
+
+    #[test]
+    fn introspection_requests_parse_strictly() {
+        let limits = QueryLimits::default();
+        let stats = parse_request(r#"{"id":1,"stats":{}}"#, &limits).unwrap();
+        assert_eq!(stats.body, RequestBody::Stats);
+        let trace = parse_request(r#"{"id":2,"trace":{}}"#, &limits).unwrap();
+        assert_eq!(trace.body, RequestBody::Trace(TraceQuery::default()));
+        let trace = parse_request(r#"{"id":2,"trace":{"last":5}}"#, &limits).unwrap();
+        assert_eq!(
+            trace.body,
+            RequestBody::Trace(TraceQuery {
+                last: 5,
+                trace_id: None
+            })
+        );
+        let by_id = parse_request(
+            r#"{"id":3,"trace":{"trace_id":"00000000deadbeef"}}"#,
+            &limits,
+        )
+        .unwrap();
+        assert_eq!(
+            by_id.body,
+            RequestBody::Trace(TraceQuery {
+                last: 1,
+                trace_id: Some(0xdead_beef)
+            })
+        );
+
+        let rejected = [
+            r#"{"id":1,"stats":{"verbose":true}}"#, // stats takes no params
+            r#"{"id":1,"stats":{},"trace":{}}"#,    // exactly one kind
+            r#"{"id":1}"#,                          // at least one kind
+            r#"{"id":1,"trace":{"last":0}}"#,       // last out of range
+            r#"{"id":1,"trace":{"last":99}}"#,      // over the fetch cap
+            r#"{"id":1,"trace":{"nope":1}}"#,       // unknown key
+            r#"{"id":1,"trace":{"trace_id":"xyz"}}"#, // malformed hex
+            r#"{"id":1,"trace_id":12,"stats":{}}"#, // trace_id must be hex string
+            r#"{"id":1,"trace_id":"DEADBEEF","stats":{}}"#, // wrong length/case
+        ];
+        for line in rejected {
+            let err = parse_request(line, &limits).unwrap_err();
+            assert_eq!(err.kind, ErrorKind::BadRequest, "{line}");
+        }
+    }
+
+    #[test]
+    fn pure_batch_rejects_introspection_with_a_typed_error() {
+        let lines = [r#"{"id":9,"stats":{}}"#, r#"{"id":10,"trace":{}}"#];
+        let (replies, outcome) = handle_batch(&engine(), &lines, &QueryLimits::default());
+        assert_eq!(replies.len(), 2);
+        for reply in &replies {
+            let doc = Json::parse(reply).unwrap();
+            assert_eq!(doc.get("ok"), Some(&Json::Bool(false)));
+            assert_eq!(
+                doc.get("error").and_then(|e| e.get("kind")),
+                Some(&Json::Str("bad_request".into()))
+            );
+        }
+        assert_eq!(outcome.protocol_errors, 2);
+        assert_eq!(outcome.admin_requests, 0);
+    }
+
+    #[test]
+    fn traced_batches_push_span_trees_and_surface_admin_slots() {
+        use drone_telemetry::{derive_trace_id, id_hex, TraceRing};
+        let ring = TraceRing::new(8);
+        let tracing = BatchTracing {
+            ring: &ring,
+            clock: Clock::wall(),
+            seed: 7,
+        };
+        let query_line = minimal_line();
+        let trace_id = derive_trace_id(7, 7);
+        let stamped = format!(
+            r#"{{"id":7,"trace_id":"{}","query":{}}}"#,
+            id_hex(trace_id),
+            Json::parse(&query_line)
+                .unwrap()
+                .get("query")
+                .unwrap()
+                .render(),
+        );
+        let lines = [stamped.as_str(), r#"{"id":8,"stats":{}}"#];
+        let (slots, outcome) = handle_batch_traced(
+            &engine(),
+            &lines,
+            &QueryLimits::default(),
+            BatchPolicy::default(),
+            &tracing,
+        );
+        assert_eq!(outcome.answered, 1);
+        assert_eq!(outcome.admin_requests, 1);
+        assert!(matches!(&slots[0], ReplySlot::Line(l) if l.contains("\"ok\":true")));
+        assert!(
+            matches!(
+                &slots[1],
+                ReplySlot::Admin {
+                    request: AdminRequest::Stats,
+                    ..
+                }
+            ),
+            "stats slot for the server"
+        );
+        // The evaluated request's trace landed in the ring under the
+        // client-stamped id, with engine spans beneath the root.
+        let trace = ring.find(trace_id).expect("trace retained");
+        assert_eq!(trace.count_named("serve.request"), 1);
+        assert_eq!(trace.count_named("explore.round"), 1);
+        assert_eq!(trace.count_named("point"), 15);
+        assert_eq!(trace.open_at_finish, 0);
+        assert_eq!(trace.root_tag("outcome").and_then(Json::as_str), Some("ok"));
+    }
+
+    #[test]
+    fn traced_sheds_record_single_span_traces() {
+        use drone_telemetry::TraceRing;
+        let ring = TraceRing::new(8);
+        let tracing = BatchTracing {
+            ring: &ring,
+            clock: Clock::wall(),
+            seed: 7,
+        };
+        let line = minimal_line();
+        let policy = BatchPolicy {
+            cost_deadline: Some(10),
+        };
+        let (slots, outcome) = handle_batch_traced(
+            &engine(),
+            &[line.as_str()],
+            &QueryLimits::default(),
+            policy,
+            &tracing,
+        );
+        assert_eq!(outcome.deadline_sheds, 1);
+        assert!(matches!(&slots[0], ReplySlot::Line(l) if l.contains("deadline_exceeded")));
+        assert_eq!(ring.completed(), 1);
+        let trace = &ring.last(1)[0];
+        assert_eq!(trace.span_count(), 1, "shed before evaluation: root only");
+        assert_eq!(
+            trace.root_tag("outcome").and_then(Json::as_str),
+            Some("deadline_exceeded")
+        );
     }
 
     #[test]

@@ -13,9 +13,11 @@
 //! reports the join count so tests (and CI) can pin "no thread leaked"
 //! as an invariant rather than a hope.
 
-use crate::protocol::{self, BatchPolicy, ErrorKind, RequestError};
+use crate::protocol::{
+    self, AdminRequest, BatchPolicy, BatchTracing, ErrorKind, ReplySlot, RequestError,
+};
 use drone_explorer::{Explorer, QueryLimits};
-use drone_telemetry::{Clock, Counter, Gauge, Json, Registry, SharedHistogram};
+use drone_telemetry::{Clock, Counter, Gauge, Json, Registry, SharedHistogram, TraceRing};
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -48,6 +50,12 @@ pub struct ServerConfig {
     pub cost_deadline: Option<u64>,
     /// Query validation limits applied to every request.
     pub limits: QueryLimits,
+    /// Completed span trees retained for the `trace` introspection
+    /// request; older traces are evicted oldest-first.
+    pub trace_capacity: usize,
+    /// Seed for server-derived trace ids, used only for requests that
+    /// arrive without a client-stamped `trace_id`.
+    pub trace_seed: u64,
 }
 
 impl Default for ServerConfig {
@@ -60,6 +68,8 @@ impl Default for ServerConfig {
             idle_timeout: None,
             cost_deadline: None,
             limits: QueryLimits::default(),
+            trace_capacity: 64,
+            trace_seed: 0,
         }
     }
 }
@@ -84,6 +94,7 @@ struct Metrics {
     panics_caught: Arc<Counter>,
     deadline_sheds: Arc<Counter>,
     idle_timeouts: Arc<Counter>,
+    admin_requests: Arc<Counter>,
     queue_depth: Arc<Gauge>,
     batch_size: Arc<SharedHistogram>,
     cost_units: Arc<SharedHistogram>,
@@ -101,6 +112,7 @@ impl Metrics {
             panics_caught: registry.counter("serve.panics_caught"),
             deadline_sheds: registry.counter("serve.deadline_sheds"),
             idle_timeouts: registry.counter("serve.idle_timeouts"),
+            admin_requests: registry.counter("serve.admin_requests"),
             queue_depth: registry.gauge("serve.queue.depth"),
             batch_size: registry.histogram("serve.batch.size"),
             cost_units: registry.histogram("serve.request.cost_units"),
@@ -122,6 +134,11 @@ struct Shared {
     wakeup: Condvar,
     clock: Clock,
     metrics: Metrics,
+    /// A clone of the caller's registry (clones share metrics), so the
+    /// `stats` introspection request can snapshot live server state.
+    registry: Registry,
+    /// Completed span trees, bounded; the `trace` request reads here.
+    traces: TraceRing,
     draining: AtomicBool,
 }
 
@@ -167,6 +184,45 @@ impl Shared {
                 .unwrap_or_else(PoisonError::into_inner);
         }
     }
+
+    /// Resolves one introspection slot against live server state. The
+    /// caller has already done its metric accounting for the batch the
+    /// slot rode in on, so a `stats` reply observes that batch too.
+    fn admin_reply(&self, id: &Json, request: &AdminRequest) -> Json {
+        match request {
+            AdminRequest::Stats => {
+                let queue_depth = self.lock_queue().connections.len();
+                let stats = Json::obj()
+                    .with("registry", self.registry.snapshot())
+                    .with("queue_depth", queue_depth as f64)
+                    .with(
+                        "traces",
+                        Json::obj()
+                            .with("completed", self.traces.completed() as f64)
+                            .with("retained", self.traces.len() as f64)
+                            .with("dropped_spans", self.traces.dropped_spans() as f64),
+                    );
+                Json::obj()
+                    .with("id", id.clone())
+                    .with("ok", true)
+                    .with("stats", stats)
+            }
+            AdminRequest::Trace(fetch) => {
+                let traces = match fetch.trace_id {
+                    Some(trace_id) => self.traces.find(trace_id).into_iter().collect(),
+                    None => self.traces.last(fetch.last),
+                };
+                let mut arr = Json::arr();
+                for trace in &traces {
+                    arr.push(trace.to_json());
+                }
+                Json::obj()
+                    .with("id", id.clone())
+                    .with("ok", true)
+                    .with("traces", arr)
+            }
+        }
+    }
 }
 
 /// A running server plus the handles needed to stop it.
@@ -203,6 +259,8 @@ impl Server {
             wakeup: Condvar::new(),
             clock: registry.clock().clone(),
             metrics: Metrics::new(registry),
+            registry: registry.clone(),
+            traces: TraceRing::new(config.trace_capacity),
             draining: AtomicBool::new(false),
         });
         let acceptor = {
@@ -444,29 +502,43 @@ fn process_complete_lines(buffer: &mut Vec<u8>, stream: &mut TcpStream, shared: 
     };
     for batch in lines.chunks(shared.config.max_batch.max(1)) {
         let started = shared.clock.now();
-        // handle_batch_with already converts evaluation panics into
+        // handle_batch_traced already converts evaluation panics into
         // per-request internal_error replies; this second layer covers
         // the protocol code itself, answering the whole batch with
         // typed errors rather than dropping the connection.
-        let (replies, outcome) = catch_unwind(AssertUnwindSafe(|| {
-            protocol::handle_batch_with(&shared.engine, batch, &shared.config.limits, policy)
+        let (slots, outcome) = catch_unwind(AssertUnwindSafe(|| {
+            let tracing = BatchTracing {
+                ring: &shared.traces,
+                clock: shared.clock.clone(),
+                seed: shared.config.trace_seed,
+            };
+            protocol::handle_batch_traced(
+                &shared.engine,
+                batch,
+                &shared.config.limits,
+                policy,
+                &tracing,
+            )
         }))
         .unwrap_or_else(|_| {
             let error = RequestError {
                 kind: ErrorKind::Internal,
                 message: "batch processing panicked".into(),
             };
-            let replies = batch
+            let slots = batch
                 .iter()
-                .map(|_| protocol::error_reply(&Json::Null, &error).render())
+                .map(|_| ReplySlot::Line(protocol::error_reply(&Json::Null, &error).render()))
                 .collect();
             let outcome = protocol::BatchOutcome {
                 internal_errors: batch.len(),
                 ..protocol::BatchOutcome::default()
             };
-            (replies, outcome)
+            (slots, outcome)
         });
         let elapsed = shared.clock.now() - started;
+        // Account the whole batch *before* resolving introspection
+        // slots: a `stats` reply must observe the batch it rode in on,
+        // and equal a post-drain snapshot when it is the last traffic.
         let m = &shared.metrics;
         m.batches.inc();
         m.requests.add(batch.len() as u64);
@@ -474,14 +546,20 @@ fn process_complete_lines(buffer: &mut Vec<u8>, stream: &mut TcpStream, shared: 
         m.query_errors.add(outcome.query_errors as u64);
         m.panics_caught.add(outcome.internal_errors as u64);
         m.deadline_sheds.add(outcome.deadline_sheds as u64);
+        m.admin_requests.add(outcome.admin_requests as u64);
         m.batch_size.record(batch.len() as f64);
         m.cost_units.record(outcome.cost_units as f64);
         if !batch.is_empty() {
             m.latency_s.record(elapsed / batch.len() as f64);
         }
         let mut out = String::new();
-        for reply in &replies {
-            out.push_str(reply);
+        for slot in &slots {
+            match slot {
+                ReplySlot::Line(line) => out.push_str(line),
+                ReplySlot::Admin { id, request } => {
+                    out.push_str(&shared.admin_reply(id, request).render());
+                }
+            }
             out.push('\n');
         }
         if stream.write_all(out.as_bytes()).is_err() {
@@ -775,6 +853,94 @@ mod tests {
             Some(&Json::Str("deadline_exceeded".into()))
         );
         assert_eq!(registry.counter("serve.deadline_sheds").get(), 1);
+        assert!(server.drain().clean);
+    }
+
+    #[test]
+    fn a_live_server_answers_stats_and_trace_requests_mid_workload() {
+        let (server, registry) = start(ServerConfig::default());
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        // Two real queries bracketing a stats probe, then a trace fetch
+        // for the span trees those queries produced — all pipelined on
+        // one connection, answered in input order.
+        let payload = format!(
+            "{}\n{}\n{}\n{}\n",
+            request_line(1),
+            r#"{"id":2,"stats":{}}"#,
+            request_line(3),
+            r#"{"id":4,"trace":{"last":2}}"#,
+        );
+        stream.write_all(payload.as_bytes()).unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let reader = BufReader::new(stream);
+        let replies: Vec<Json> = reader
+            .lines()
+            .map(|l| Json::parse(&l.unwrap()).unwrap())
+            .collect();
+        assert_eq!(replies.len(), 4);
+        for (reply, id) in replies.iter().zip([1.0, 2.0, 3.0, 4.0]) {
+            assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply:?}");
+            assert_eq!(reply.get("id"), Some(&Json::Num(id)));
+        }
+
+        // The stats reply observed the batch it rode in on: all four
+        // requests (two queries, two introspections) were already
+        // accounted when the snapshot was taken.
+        let stats = replies[1].get("stats").expect("stats body");
+        let counters = stats
+            .get("registry")
+            .and_then(|r| r.get("counters"))
+            .expect("registry counters");
+        assert_eq!(counters.get("serve.requests"), Some(&Json::Num(4.0)));
+        assert_eq!(counters.get("serve.admin_requests"), Some(&Json::Num(2.0)));
+        let traces_meta = stats.get("traces").expect("trace bookkeeping");
+        assert_eq!(traces_meta.get("dropped_spans"), Some(&Json::Num(0.0)));
+
+        // The trace fetch returned both span trees, each rooted at
+        // serve.request with a derived (nonzero) trace id.
+        let traces = replies[3].get("traces").and_then(Json::as_arr).unwrap();
+        assert_eq!(traces.len(), 2);
+        for trace in traces {
+            let tree = trace.get("tree").and_then(Json::as_arr).unwrap();
+            assert_eq!(tree.len(), 1);
+            assert_eq!(
+                tree[0].get("name"),
+                Some(&Json::Str("serve.request".into()))
+            );
+            let hex = trace.get("trace_id").and_then(Json::as_str).unwrap();
+            assert!(drone_telemetry::parse_id_hex(hex).is_some(), "{hex}");
+            assert!(
+                trace.get("spans").and_then(Json::as_f64).unwrap() > 1.0,
+                "engine children recorded"
+            );
+        }
+
+        assert_eq!(registry.counter("serve.admin_requests").get(), 2);
+        assert!(server.drain().clean);
+    }
+
+    #[test]
+    fn trace_fetch_by_id_returns_the_stamped_trace() {
+        let (server, _registry) = start(ServerConfig::default());
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        let stamped = r#"{"id":1,"trace_id":"00000000deadbeef","query":{"ranges":{"wheelbase_mm":250,"cells":["3S"],"capacity_mah":2000},"objective":"max_flight_time"}}"#;
+        let fetch = r#"{"id":2,"trace":{"trace_id":"00000000deadbeef"}}"#;
+        stream
+            .write_all(format!("{stamped}\n{fetch}\n").as_bytes())
+            .unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let reader = BufReader::new(stream);
+        let replies: Vec<Json> = reader
+            .lines()
+            .map(|l| Json::parse(&l.unwrap()).unwrap())
+            .collect();
+        assert_eq!(replies.len(), 2);
+        let traces = replies[1].get("traces").and_then(Json::as_arr).unwrap();
+        assert_eq!(traces.len(), 1);
+        assert_eq!(
+            traces[0].get("trace_id"),
+            Some(&Json::Str("00000000deadbeef".into()))
+        );
         assert!(server.drain().clean);
     }
 }

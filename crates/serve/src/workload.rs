@@ -6,10 +6,11 @@
 //! request streams run after run, and the benchmark artifact can be
 //! byte-stable across thread counts.
 
-use crate::protocol::request_to_json;
+use crate::protocol::request_to_json_traced;
 use drone_components::battery::CellCount;
 use drone_explorer::{Constraints, GridRange, Objective, Query, QueryRanges};
 use drone_math::rng::Pcg32;
+use drone_telemetry::derive_trace_id;
 
 /// A deterministic stream of valid, modestly sized queries.
 ///
@@ -19,6 +20,7 @@ use drone_math::rng::Pcg32;
 /// shared memoization cache sees real hits.
 pub struct Workload {
     rng: Pcg32,
+    seed: u64,
     client: u64,
     sent: u64,
 }
@@ -30,9 +32,17 @@ impl Workload {
     pub fn new(seed: u64, client: u64) -> Workload {
         Workload {
             rng: Pcg32::new(seed, client.wrapping_mul(2).wrapping_add(1)),
+            seed,
             client,
             sent: 0,
         }
+    }
+
+    /// The causal trace id this workload stamps on request `id` —
+    /// [`derive_trace_id`] over the workload seed, so artifacts can
+    /// re-derive it without parsing request lines.
+    pub fn trace_id_for(&self, id: u64) -> u64 {
+        derive_trace_id(self.seed, id)
     }
 
     /// The next query in this client's stream.
@@ -79,13 +89,13 @@ impl Workload {
         .with_refinement(refine, 3)
     }
 
-    /// The next request, rendered as a wire line (newline included).
-    /// Request ids are globally unique across clients: `client * 10^6 +
-    /// sequence`.
+    /// The next request, rendered as a wire line (newline included)
+    /// with a stamped causal `trace_id`. Request ids are globally
+    /// unique across clients: `client * 10^6 + sequence`.
     pub fn next_request_line(&mut self) -> String {
         let id = self.client * 1_000_000 + self.sent;
         let query = self.next_query();
-        let mut line = request_to_json(id, &query).render();
+        let mut line = request_to_json_traced(id, self.trace_id_for(id), &query).render();
         line.push('\n');
         line
     }
@@ -119,9 +129,10 @@ mod tests {
             let query = workload.next_query();
             query.validate(&limits).expect("workload query in limits");
             assert!(query.ranges.point_count() <= 60);
-            let line = request_to_json(1, &query).render();
+            let line = request_to_json_traced(1, workload.trace_id_for(1), &query).render();
             let parsed = parse_request(&line, &limits).expect("round trip");
-            assert_eq!(parsed.query, query);
+            assert_eq!(parsed.query(), Some(&query));
+            assert_eq!(parsed.trace_id, Some(workload.trace_id_for(1)));
         }
     }
 }

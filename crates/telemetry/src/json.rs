@@ -420,10 +420,16 @@ impl Parser<'_> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Advance one full UTF-8 character.
+                    // Advance one full UTF-8 character. `peek` only proves a
+                    // byte is present; the decode can still fail on hostile
+                    // input, so both steps return typed errors rather than
+                    // panicking.
                     let rest = &self.bytes[self.pos..];
                     let s = std::str::from_utf8(rest).map_err(|_| self.error("invalid UTF-8"))?;
-                    let c = s.chars().next().expect("non-empty by peek");
+                    let c = s
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.error("empty UTF-8 run in string"))?;
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -442,7 +448,10 @@ impl Parser<'_> {
         ) {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII by scan");
+        // The scan above only admits ASCII bytes, but a typed error is
+        // strictly safer than an `expect` if that invariant ever slips.
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("non-ASCII byte in number"))?;
         text.parse::<f64>()
             .map(Json::Num)
             .map_err(|_| self.error("malformed number"))

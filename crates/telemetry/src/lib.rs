@@ -19,6 +19,10 @@
 //!   per-tick channel samples (attitude, motor commands, battery, EKF
 //!   health…) dumped as JSONL when a failsafe fires or a crash is
 //!   detected.
+//! * [`trace`] — causal span-tree tracing with deterministic ids: the
+//!   per-request attribution layer behind the serving stack's `trace`
+//!   introspection plane ([`TraceBuilder`], RAII [`Span`]s, the
+//!   bounded [`TraceRing`] of completed traces).
 //! * [`json`] — the minimal JSON document model behind every export
 //!   (the vendored `serde` is a no-op marker, so artifacts need a real
 //!   encoder; this is it).
@@ -53,9 +57,14 @@ pub mod json;
 pub mod metrics;
 pub mod recorder;
 pub mod registry;
+pub mod trace;
 
 pub use clock::Clock;
 pub use json::Json;
 pub use metrics::{Counter, Gauge, Histogram, SharedHistogram};
 pub use recorder::{ChannelId, DumpReason, FlightRecorder};
 pub use registry::{global, Registry, SpanGuard};
+pub use trace::{
+    derive_trace_id, derive_trace_id_bytes, id_hex, parse_id_hex, Span, SpanRecord, Trace,
+    TraceBuilder, TraceRing,
+};

@@ -19,8 +19,17 @@ struct Metrics {
     histograms: BTreeMap<String, Arc<SharedHistogram>>,
 }
 
+struct RegistryInner {
+    clock: Clock,
+    metrics: Mutex<Metrics>,
+}
+
 /// A named collection of counters, gauges and histograms sharing one
 /// [`Clock`].
+///
+/// Cloning a `Registry` is cheap and yields a handle onto the *same*
+/// metrics — what lets a server hold its registry for live `stats`
+/// snapshots while the caller keeps updating it.
 ///
 /// # Example
 ///
@@ -36,17 +45,19 @@ struct Metrics {
 /// let snapshot = registry.snapshot();
 /// assert!(snapshot.render().contains("sim.steps"));
 /// ```
+#[derive(Clone)]
 pub struct Registry {
-    clock: Clock,
-    metrics: Mutex<Metrics>,
+    inner: Arc<RegistryInner>,
 }
 
 impl Registry {
     /// A registry over the given clock.
     pub fn new(clock: Clock) -> Registry {
         Registry {
-            clock,
-            metrics: Mutex::new(Metrics::default()),
+            inner: Arc::new(RegistryInner {
+                clock,
+                metrics: Mutex::new(Metrics::default()),
+            }),
         }
     }
 
@@ -62,12 +73,12 @@ impl Registry {
 
     /// The registry's time source.
     pub fn clock(&self) -> &Clock {
-        &self.clock
+        &self.inner.clock
     }
 
     /// The counter with this name, created on first use.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
-        let mut metrics = self.metrics.lock().expect("registry lock");
+        let mut metrics = self.inner.metrics.lock().expect("registry lock");
         match metrics.counters.get(name) {
             Some(handle) => Arc::clone(handle),
             None => {
@@ -82,7 +93,7 @@ impl Registry {
 
     /// The gauge with this name, created on first use.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
-        let mut metrics = self.metrics.lock().expect("registry lock");
+        let mut metrics = self.inner.metrics.lock().expect("registry lock");
         match metrics.gauges.get(name) {
             Some(handle) => Arc::clone(handle),
             None => {
@@ -96,7 +107,7 @@ impl Registry {
     /// The histogram with this name, created on first use. Hot paths
     /// should call this once and keep the handle.
     pub fn histogram(&self, name: &str) -> Arc<SharedHistogram> {
-        let mut metrics = self.metrics.lock().expect("registry lock");
+        let mut metrics = self.inner.metrics.lock().expect("registry lock");
         match metrics.histograms.get(name) {
             Some(handle) => Arc::clone(handle),
             None => {
@@ -111,20 +122,20 @@ impl Registry {
 
     /// Starts a timing span recording into the named histogram on drop.
     pub fn span(&self, name: &str) -> SpanGuard {
-        SpanGuard::enter(self.histogram(name), self.clock.clone())
+        SpanGuard::enter(self.histogram(name), self.inner.clock.clone())
     }
 
     /// Starts a timing span on an already-resolved histogram handle —
     /// the zero-lookup form for cached hot-path handles.
     pub fn span_on(&self, histogram: &Arc<SharedHistogram>) -> SpanGuard {
-        SpanGuard::enter(Arc::clone(histogram), self.clock.clone())
+        SpanGuard::enter(Arc::clone(histogram), self.inner.clock.clone())
     }
 
     /// One stable JSON object for everything:
     /// `{counters: {...}, gauges: {...}, histograms: {...}}`, keys
     /// sorted by metric name.
     pub fn snapshot(&self) -> Json {
-        let metrics = self.metrics.lock().expect("registry lock");
+        let metrics = self.inner.metrics.lock().expect("registry lock");
         let mut counters = Json::obj();
         for (name, counter) in &metrics.counters {
             counters.insert(name, counter.get());
@@ -146,7 +157,7 @@ impl Registry {
     /// Zeroes every metric but keeps registrations (and outstanding
     /// handles) alive — what `repro` does between experiments.
     pub fn reset(&self) {
-        let metrics = self.metrics.lock().expect("registry lock");
+        let metrics = self.inner.metrics.lock().expect("registry lock");
         for counter in metrics.counters.values() {
             counter.reset();
         }

@@ -1,8 +1,11 @@
 //! Property-based tests for the telemetry primitives: histogram
 //! quantile laws, flight-recorder ring-buffer eviction and dump
-//! integrity, and span nesting under the sim clock.
+//! integrity, span nesting under the sim clock, JSON scanner
+//! robustness under hostile bytes, and causal-trace well-formedness.
 
-use drone_telemetry::{DumpReason, FlightRecorder, Histogram, Json, Registry};
+use drone_telemetry::{
+    derive_trace_id, Clock, DumpReason, FlightRecorder, Histogram, Json, Registry, TraceBuilder,
+};
 use proptest::prelude::*;
 
 /// Positive magnitudes spanning the histogram's useful range.
@@ -95,6 +98,115 @@ proptest! {
         let text = hist.to_json().render();
         let back = Histogram::from_json(&Json::parse(&text).unwrap()).unwrap();
         prop_assert_eq!(back, hist);
+    }
+
+    /// The hand-rolled scanner must never panic: arbitrary bytes
+    /// (including invalid UTF-8 and truncated multi-byte runs) either
+    /// parse or come back as a typed `ParseError`.
+    #[test]
+    fn hostile_bytes_never_panic_the_parser(raw in prop::collection::vec(any::<u8>(), 0..256)) {
+        let text = String::from_utf8_lossy(&raw).into_owned();
+        let _ = Json::parse(&text);
+        // The same bytes wrapped into string/number positions, where the
+        // two hardened decode paths live.
+        let quoted = format!("{{\"k\":\"{text}\"}}");
+        let _ = Json::parse(&quoted);
+        let numeric = format!("[1, {text}]");
+        let _ = Json::parse(&numeric);
+    }
+
+    /// Non-ASCII strings survive a full render → parse round trip.
+    #[test]
+    fn non_ascii_strings_round_trip(
+        chars in prop::collection::vec(
+            prop_oneof![
+                Just('é'), Just('ß'), Just('λ'), Just('中'), Just('🚁'),
+                Just('\u{7f}'), Just('"'), Just('\\'), Just('\n'), Just('a'),
+            ],
+            0..40,
+        ),
+    ) {
+        let s: String = chars.into_iter().collect();
+        let doc = Json::obj().with("s", s.as_str());
+        let back = Json::parse(&doc.render()).expect("rendered JSON must parse");
+        prop_assert_eq!(back.get("s").unwrap().as_str(), Some(s.as_str()));
+    }
+
+    /// Trace well-formedness: every opened span is recorded exactly
+    /// once, children's intervals nest inside their parent's lifetime
+    /// (on the sim clock), and ids depend only on structure — not on
+    /// how many spans ran or in what order they closed.
+    #[test]
+    fn traces_are_well_formed(
+        seed in 0u64..1000,
+        request in 0u64..1000,
+        fanout in prop::collection::vec(0usize..6, 1..5),
+    ) {
+        let clock = Clock::sim();
+        let builder = TraceBuilder::new(derive_trace_id(seed, request), clock.clone());
+        let mut opened = 1usize;
+        {
+            let root = builder.root("serve.request");
+            for (round, &points) in fanout.iter().enumerate() {
+                let round_span = root.child("explore.round", round as u64);
+                clock.advance(0.25);
+                for point in 0..points {
+                    let mut leaf = round_span.child("point", point as u64);
+                    leaf.tag("cache", if point % 2 == 0 { "miss" } else { "hit" });
+                    clock.advance(0.125);
+                    opened += 1;
+                }
+                opened += 1;
+            }
+        }
+        prop_assert_eq!(builder.open_spans(), 0, "every span closed");
+        let trace = builder.finish();
+        prop_assert_eq!(trace.span_count(), opened, "each span recorded exactly once");
+        prop_assert_eq!(trace.open_at_finish, 0);
+        prop_assert_eq!(trace.dropped_spans, 0);
+        // Unique ids — "exactly once" also means no duplicate records.
+        let mut ids: Vec<u64> = trace.spans.iter().map(|s| s.span_id).collect();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), trace.span_count());
+        // Children open and close within the parent's lifetime.
+        for span in &trace.spans {
+            prop_assert!(span.end_s >= span.start_s);
+            if span.parent_id != 0 {
+                let parent = trace
+                    .spans
+                    .iter()
+                    .find(|p| p.span_id == span.parent_id)
+                    .expect("parent recorded");
+                prop_assert!(span.start_s >= parent.start_s, "child opens after parent");
+                prop_assert!(span.end_s <= parent.end_s, "child closes before parent");
+            }
+        }
+    }
+
+    /// The deterministic rendering is a pure function of structure:
+    /// rebuilding the same trace (even with children closed in reverse)
+    /// yields byte-identical JSON.
+    #[test]
+    fn deterministic_json_is_reproducible(seed in 0u64..1000, points in 1usize..8) {
+        let build = |reverse: bool| {
+            let builder = TraceBuilder::new(derive_trace_id(seed, 1), Clock::sim());
+            let root = builder.root("serve.request");
+            let mut children: Vec<_> = (0..points)
+                .map(|i| {
+                    let mut s = root.child("point", i as u64);
+                    s.set_worker(if reverse { 3 } else { 0 });
+                    s.tag("cache", "miss");
+                    s
+                })
+                .collect();
+            if reverse {
+                children.reverse();
+            }
+            drop(children);
+            drop(root);
+            builder.finish().deterministic_json().render()
+        };
+        prop_assert_eq!(build(false), build(true));
     }
 
     #[test]

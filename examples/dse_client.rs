@@ -5,6 +5,7 @@
 //! cargo run --release --example dse_client
 //! cargo run --release --example dse_client -- --clients 4 --requests 8
 //! cargo run --release --example dse_client -- --retries 3 --backoff-ms 10 --deadline 200
+//! cargo run --release --example dse_client -- --trace
 //! ```
 //!
 //! The example starts a [`drone_serve::Server`] in-process and drives
@@ -16,10 +17,15 @@
 //! rejections instead of answers. A deliberately malformed line shows
 //! the structured error path, and the run finishes with a graceful
 //! drain that joins every server thread.
+//!
+//! `--trace` asks the live server for the causal span tree of client
+//! 0's first request (by its deterministic trace id) and pretty-prints
+//! it — one line per span, indented by depth, annotated with cache
+//! outcomes and worker ids.
 
 use drone_explorer::Explorer;
 use drone_serve::{CallError, Client, ClientConfig, Server, ServerConfig, Workload};
-use drone_telemetry::{Json, Registry};
+use drone_telemetry::{derive_trace_id, id_hex, Json, Registry};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::process::ExitCode;
@@ -31,6 +37,7 @@ struct Args {
     retries: u32,
     backoff_ms: u64,
     deadline: Option<u64>,
+    trace: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -41,6 +48,7 @@ fn parse_args() -> Result<Args, String> {
         retries: 2,
         backoff_ms: 25,
         deadline: None,
+        trace: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -57,10 +65,45 @@ fn parse_args() -> Result<Args, String> {
             "--retries" => args.retries = value("--retries")? as u32,
             "--backoff-ms" => args.backoff_ms = value("--backoff-ms")?.max(1),
             "--deadline" => args.deadline = Some(value("--deadline")?),
+            "--trace" => args.trace = true,
             other => return Err(format!("unknown argument {other}")),
         }
     }
     Ok(args)
+}
+
+/// Pretty-prints one span node of a server-returned trace tree:
+/// indented by depth, annotated with its cache outcome and the worker
+/// it ran on when present.
+fn print_span(node: &Json, depth: usize) {
+    let name = node.get("name").and_then(Json::as_str).unwrap_or("?");
+    let mut notes: Vec<String> = Vec::new();
+    if let Some(tags) = node.get("tags").and_then(Json::as_obj) {
+        for (key, value) in tags {
+            let rendered = match value {
+                Json::Str(s) => s.clone(),
+                other => other.render(),
+            };
+            notes.push(format!("{key}={rendered}"));
+        }
+    }
+    if let Some(worker) = node.get("worker").and_then(Json::as_f64) {
+        notes.push(format!("worker={worker}"));
+    }
+    if let Some(elapsed) = node.get("elapsed_s").and_then(Json::as_f64) {
+        notes.push(format!("{:.1}us", elapsed * 1e6));
+    }
+    let annotation = if notes.is_empty() {
+        String::new()
+    } else {
+        format!("  [{}]", notes.join(" "))
+    };
+    println!("  {}{name}{annotation}", "  ".repeat(depth));
+    if let Some(children) = node.get("children").and_then(Json::as_arr) {
+        for child in children {
+            print_span(child, depth + 1);
+        }
+    }
 }
 
 /// What one client thread saw: per-call outcomes plus the first ok
@@ -80,6 +123,9 @@ fn run_client(addr: std::net::SocketAddr, args: &Args, client_index: u64) -> Cli
         backoff_initial_ms: args.backoff_ms,
         backoff_max_ms: args.backoff_ms.saturating_mul(16),
         jitter_seed: args.seed ^ client_index,
+        // Distinct per-client trace seeds keep span trees attributable:
+        // client c's request n is trace derive_trace_id(seed ^ c, n).
+        trace_seed: args.seed ^ client_index,
         ..ClientConfig::default()
     };
     let mut client = Client::new(addr, config, &registry);
@@ -128,7 +174,7 @@ fn main() -> ExitCode {
             eprintln!("{message}");
             eprintln!(
                 "usage: dse_client [--clients N] [--requests N] [--seed N] \
-                 [--retries N] [--backoff-ms MS] [--deadline COST_UNITS]"
+                 [--retries N] [--backoff-ms MS] [--deadline COST_UNITS] [--trace]"
             );
             return ExitCode::FAILURE;
         }
@@ -212,6 +258,43 @@ fn main() -> ExitCode {
         .to_owned();
     println!("malformed line answered with a structured '{kind}' error");
 
+    // --trace: ask the live server for client 0's first span tree by
+    // its deterministic trace id and pretty-print it.
+    let mut trace_ok = true;
+    if args.trace {
+        let mut probe = Client::new(server.addr(), ClientConfig::default(), &registry);
+        let wanted = derive_trace_id(args.seed, 1);
+        match probe.fetch_trace(wanted) {
+            Ok(success) => {
+                let traces = success
+                    .reply
+                    .get("traces")
+                    .and_then(Json::as_arr)
+                    .unwrap_or(&[]);
+                match traces.first() {
+                    Some(trace) => {
+                        println!(
+                            "span tree for trace {} ({} spans):",
+                            id_hex(wanted),
+                            trace.get("spans").and_then(Json::as_f64).unwrap_or(0.0)
+                        );
+                        for root in trace.get("tree").and_then(Json::as_arr).unwrap_or(&[]) {
+                            print_span(root, 0);
+                        }
+                    }
+                    None => {
+                        println!("trace {} not retained by the server", id_hex(wanted));
+                        trace_ok = false;
+                    }
+                }
+            }
+            Err(error) => {
+                println!("trace fetch failed: {error}");
+                trace_ok = false;
+            }
+        }
+    }
+
     let stats = server.drain();
     let total = args.clients as usize * args.requests;
     println!(
@@ -220,7 +303,7 @@ fn main() -> ExitCode {
         stats.threads_joined, stats.clean
     );
     let all_accounted = answered + deadline_sheds == total && failed == 0;
-    if all_accounted && stats.clean && kind == "parse" {
+    if all_accounted && stats.clean && kind == "parse" && trace_ok {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

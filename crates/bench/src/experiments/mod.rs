@@ -7,6 +7,7 @@ mod control_figs;
 mod explore_figs;
 mod extension_figs;
 pub mod fault_figs;
+mod optimize_figs;
 mod serve_figs;
 mod slam_figs;
 mod space_figs;
@@ -21,6 +22,7 @@ pub use control_figs::{
 pub use explore_figs::explore;
 pub use extension_figs::{fixed_point, lidar_payload, twr_sweep};
 pub use fault_figs::faults;
+pub use optimize_figs::optimize;
 pub use serve_figs::serve;
 pub use slam_figs::{figure17, profile_sequence, table5};
 pub use space_figs::{claims, figure10_footprint, figure10_power, figure11, figure14};
@@ -191,6 +193,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             "serve",
             "batched DSE query server: throughput, shed drill, graceful drain",
             serve,
+        ),
+        e(
+            "optimize",
+            "seeded sampling + multi-fidelity search vs the exhaustive grid",
+            optimize,
         ),
         e(
             "chaos",

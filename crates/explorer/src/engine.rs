@@ -41,6 +41,9 @@ pub struct Explorer {
     executor: ParallelExecutor,
     cache: EvalCache,
     telemetry: Option<QueryTelemetry>,
+    /// Optimizer metrics, populated by [`Explorer::attach_telemetry`]
+    /// and consumed by [`crate::optimize::Optimizer`].
+    pub(crate) opt_telemetry: Option<crate::optimize::optimizer::OptimizerTelemetry>,
     eval_hook: Option<EvalHook>,
 }
 
@@ -51,6 +54,7 @@ impl Explorer {
             executor: ParallelExecutor::new(threads),
             cache: EvalCache::with_defaults(),
             telemetry: None,
+            opt_telemetry: None,
             eval_hook: None,
         }
     }
@@ -77,7 +81,8 @@ impl Explorer {
     }
 
     /// Registers the engine's metrics: `explorer.cache.*` counters plus
-    /// `explorer.query.latency_s` / `explorer.query.points` histograms.
+    /// `explorer.query.latency_s` / `explorer.query.points` histograms,
+    /// and the per-strategy `optimizer.*` family.
     pub fn attach_telemetry(&mut self, registry: &Registry) {
         self.cache.attach_telemetry(registry);
         self.telemetry = Some(QueryTelemetry {
@@ -85,6 +90,9 @@ impl Explorer {
             points: registry.histogram("explorer.query.points"),
             clock: registry.clock().clone(),
         });
+        self.opt_telemetry = Some(crate::optimize::optimizer::OptimizerTelemetry::register(
+            registry,
+        ));
     }
 
     /// The memoization cache (counters, occupancy).

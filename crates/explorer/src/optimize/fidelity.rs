@@ -1,0 +1,234 @@
+//! Constraint pre-filtering and coarse-proxy ranking.
+//!
+//! The pre-filter rejects candidates *before any kernel call* using
+//! sound lower bounds: the kernel's own parameter envelope (a design
+//! outside it always returns `InvalidParameter`) and a take-off-weight
+//! lower bound — frame + compute + sensors + payload + battery is the
+//! sizing fixed point's starting weight, which motors, ESCs, props and
+//! wiring only ever add to. A candidate whose *floor* already breaks
+//! `max_weight_g` can never be feasible, so evaluating it would waste
+//! a kernel call on a foregone conclusion.
+//!
+//! The ranking comparator orders halving-round candidates by their
+//! coarse proxy outcome: admitted proxies first (best objective
+//! value first), then sized-but-constraint-violating, then failed or
+//! unevaluated — with `total_cmp` and stable sorting keeping the order
+//! deterministic at any thread count.
+
+use crate::query::{Constraints, Objective};
+use drone_dse::eval::{DesignEval, DesignQuery};
+use drone_math::Sense;
+use std::cmp::Ordering;
+
+/// The kernel's modelled parameter envelope (`DesignSpec::size`
+/// rejects outside it). Pinned by a test against `evaluate` so the
+/// two can never drift apart silently.
+const TWR_RANGE: (f64, f64) = (1.05, 10.0);
+const WHEELBASE_RANGE: (f64, f64) = (30.0, 1500.0);
+
+/// Why the pre-filter rejected a candidate without evaluating it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrefilterReject {
+    /// Outside the kernel's modelled parameter range: `evaluate`
+    /// would deterministically return `InvalidParameter`.
+    Parameter,
+    /// The take-off-weight lower bound already exceeds the query's
+    /// `max_weight_g`: no sizing outcome can be feasible.
+    WeightBound,
+}
+
+/// Checks a candidate against the pre-filter. `None` means "evaluate
+/// it". Sound by construction: a rejected candidate can never produce
+/// a constraint-admissible [`DesignEval`].
+pub fn prefilter(query: &DesignQuery, constraints: &Constraints) -> Option<PrefilterReject> {
+    if !(TWR_RANGE.0..=TWR_RANGE.1).contains(&query.twr)
+        || !(WHEELBASE_RANGE.0..=WHEELBASE_RANGE.1).contains(&query.wheelbase_mm)
+    {
+        return Some(PrefilterReject::Parameter);
+    }
+    if let Some(bound) = constraints.max_weight_g {
+        if weight_floor(query) > bound {
+            return Some(PrefilterReject::WeightBound);
+        }
+    }
+    None
+}
+
+/// A lower bound on the sized take-off weight: every component of the
+/// fixed-point's starting weight (`fixed = basic + battery`), none of
+/// the weight the iteration adds. Uses the battery weight *fit*
+/// directly (not `Battery::new`, whose positivity asserts could panic
+/// on degenerate capacities the kernel itself guards).
+pub fn weight_floor(query: &DesignQuery) -> f64 {
+    let battery = drone_components::paper::battery_weight_fit(query.cells)
+        .predict(query.capacity_mah)
+        .max(0.0);
+    query.to_spec().basic_weight().0 + battery
+}
+
+/// A halving candidate's proxy outcome class, best (0) to worst (2).
+fn class(proxy: Option<&Result<DesignEval, drone_dse::design::DesignError>>, admitted: bool) -> u8 {
+    match proxy {
+        Some(Ok(_)) if admitted => 0,
+        Some(Ok(_)) => 1,
+        _ => 2,
+    }
+}
+
+/// Compares two candidates by proxy outcome for a halving round:
+/// admitted before inadmissible before failed/missing, and within the
+/// admitted class by objective value in the objective's sense. Equal
+/// outcomes compare `Equal`, so a *stable* sort preserves candidate
+/// order — the deterministic tie-break.
+pub fn compare_proxies(
+    objective: Objective,
+    a: (
+        Option<&Result<DesignEval, drone_dse::design::DesignError>>,
+        bool,
+    ),
+    b: (
+        Option<&Result<DesignEval, drone_dse::design::DesignError>>,
+        bool,
+    ),
+) -> Ordering {
+    let (class_a, class_b) = (class(a.0, a.1), class(b.0, b.1));
+    if class_a != class_b {
+        return class_a.cmp(&class_b);
+    }
+    let score = |proxy: Option<&Result<DesignEval, drone_dse::design::DesignError>>| {
+        proxy
+            .and_then(|r| r.as_ref().ok())
+            .map(|e| objective.value(e))
+    };
+    match (score(a.0), score(b.0)) {
+        (Some(va), Some(vb)) => match objective.sense() {
+            Sense::Maximize => vb.total_cmp(&va),
+            Sense::Minimize => va.total_cmp(&vb),
+        },
+        _ => Ordering::Equal,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drone_components::battery::CellCount;
+    use drone_dse::eval::evaluate;
+
+    #[test]
+    fn parameter_prefilter_agrees_with_the_kernel_envelope() {
+        // Just inside: kernel evaluates (feasibly or not, but no
+        // InvalidParameter); just outside: prefilter fires and the
+        // kernel confirms with InvalidParameter.
+        let base = DesignQuery::new(450.0, CellCount::S3, 4000.0);
+        for (twr, wheelbase, rejected) in [
+            (1.05, 450.0, false),
+            (10.0, 450.0, false),
+            (1.04, 450.0, true),
+            (10.01, 450.0, true),
+            (2.0, 29.9, true),
+            (2.0, 1500.1, true),
+        ] {
+            let q = DesignQuery {
+                twr,
+                wheelbase_mm: wheelbase,
+                ..base.clone()
+            };
+            let pre = prefilter(&q, &Constraints::default());
+            assert_eq!(pre.is_some(), rejected, "twr {twr} wheelbase {wheelbase}");
+            if rejected {
+                assert!(matches!(
+                    evaluate(&q),
+                    Err(drone_dse::design::DesignError::InvalidParameter(_))
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn weight_floor_never_exceeds_the_sized_weight() {
+        for wheelbase in [150.0, 450.0, 800.0] {
+            for capacity in [1000.0, 4000.0, 8000.0] {
+                let q = DesignQuery::new(wheelbase, CellCount::S3, capacity);
+                if let Ok(eval) = evaluate(&q) {
+                    assert!(
+                        weight_floor(&q) <= eval.weight_g,
+                        "{wheelbase} mm / {capacity} mAh: floor above actual"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weight_prefilter_rejects_only_impossible_candidates() {
+        let q = DesignQuery::new(450.0, CellCount::S3, 4000.0);
+        let floor = weight_floor(&q);
+        let reject = Constraints {
+            max_weight_g: Some(floor - 1.0),
+            ..Constraints::default()
+        };
+        assert_eq!(prefilter(&q, &reject), Some(PrefilterReject::WeightBound));
+        let admit = Constraints {
+            max_weight_g: Some(floor + 10_000.0),
+            ..Constraints::default()
+        };
+        assert_eq!(prefilter(&q, &admit), None);
+    }
+
+    #[test]
+    fn proxy_comparison_orders_admitted_best_then_by_objective() {
+        let good = evaluate(&DesignQuery::new(450.0, CellCount::S3, 4000.0)).unwrap();
+        let heavier = evaluate(&DesignQuery::new(650.0, CellCount::S3, 8000.0)).unwrap();
+        let ok_good = Ok(good.clone());
+        let ok_heavy = Ok(heavier.clone());
+        let failed: Result<DesignEval, _> = Err(drone_dse::design::DesignError::SizingDiverged);
+        // Admitted beats inadmissible beats failed.
+        assert_eq!(
+            compare_proxies(
+                Objective::MinWeight,
+                (Some(&ok_good), true),
+                (Some(&ok_heavy), false)
+            ),
+            Ordering::Less
+        );
+        assert_eq!(
+            compare_proxies(
+                Objective::MinWeight,
+                (Some(&ok_heavy), false),
+                (Some(&failed), false)
+            ),
+            Ordering::Less
+        );
+        // Within the admitted class, the objective decides in sense.
+        assert_eq!(
+            compare_proxies(
+                Objective::MinWeight,
+                (Some(&ok_good), true),
+                (Some(&ok_heavy), true)
+            ),
+            Ordering::Less
+        );
+        assert_eq!(
+            compare_proxies(
+                Objective::MaxFlightTime,
+                (Some(&ok_good), true),
+                (Some(&ok_heavy), true)
+            ),
+            if good.flight_time_min >= heavier.flight_time_min {
+                Ordering::Less
+            } else {
+                Ordering::Greater
+            }
+        );
+        // Identical outcomes are Equal: stable sort keeps input order.
+        assert_eq!(
+            compare_proxies(
+                Objective::MinWeight,
+                (Some(&ok_good), true),
+                (Some(&ok_good), true)
+            ),
+            Ordering::Equal
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! Seeded sampling + multi-fidelity search over the DSE engine.
+//!
+//! The exhaustive grid answers "what does the whole region look like";
+//! this module answers "where is the optimum (and the frontier)"
+//! without paying for the whole region. Four deterministic strategies
+//! — seeded Monte Carlo, Latin Hypercube, Sobol, and multi-fidelity
+//! successive halving — draw candidates from the *same lattice* the
+//! grid sweeps, pre-filter them against sound constraint bounds before
+//! any kernel call, dispatch survivors through the engine's parallel
+//! executor + memo cache, and finish with Pareto local search around
+//! the recovered frontier. Answers are byte-identical at any thread
+//! count and across cache-warm re-runs.
+//!
+//! Layout: [`sobol`] and [`lhs`] are the low-level point streams,
+//! [`sampler`] snaps streams onto the query lattice, [`fidelity`]
+//! holds the pre-filter and coarse-proxy ranking, and [`optimizer`]
+//! runs the strategies and hangs the public API off
+//! [`crate::Explorer`].
+
+pub mod fidelity;
+pub mod lhs;
+pub mod optimizer;
+pub mod sampler;
+pub mod sobol;
+
+pub use fidelity::{prefilter, weight_floor, PrefilterReject};
+pub use optimizer::{OptimizeAnswer, OptimizeRequest, Optimizer};
+pub use sampler::{sample, Lattice, LatticePoint, Strategy, AXES};
+pub use sobol::SobolSequence;

@@ -1,0 +1,160 @@
+//! A seeded Sobol low-discrepancy sequence.
+//!
+//! Gray-code construction over Joe–Kuo direction numbers for up to
+//! [`MAX_DIMS`] dimensions. The raw sequence is fully deterministic;
+//! the seed applies a per-dimension *digital shift* (an XOR with a
+//! seeded 32-bit mask, the cheap end of Owen scrambling) so distinct
+//! seeds draw distinct — but equally well-spread — point sets. Every
+//! coordinate lands in `[0, 1)` by construction.
+
+use drone_math::rng::Pcg32;
+
+/// Most dimensions the direction-number table covers.
+pub const MAX_DIMS: usize = 8;
+
+const BITS: usize = 32;
+
+/// Primitive polynomial degree `s`, coefficient word `a`, and initial
+/// direction numbers `m` for dimensions 2..=8 (dimension 1 is the van
+/// der Corput sequence in base 2). Values from the Joe–Kuo tables.
+const POLYS: [(usize, u32, [u32; 5]); 7] = [
+    (1, 0, [1, 0, 0, 0, 0]),
+    (2, 1, [1, 3, 0, 0, 0]),
+    (3, 1, [1, 3, 1, 0, 0]),
+    (3, 2, [1, 1, 1, 0, 0]),
+    (4, 1, [1, 1, 3, 3, 0]),
+    (4, 4, [1, 3, 5, 13, 0]),
+    (5, 2, [1, 1, 5, 5, 17]),
+];
+
+/// The direction numbers `v[k] = m[k]/2^(k+1)` scaled into the top
+/// bits of a `u32`, extended by the polynomial recurrence.
+fn direction_numbers(dim: usize) -> [u32; BITS] {
+    let mut v = [0u32; BITS];
+    if dim == 0 {
+        for (k, slot) in v.iter_mut().enumerate() {
+            *slot = 1 << (31 - k);
+        }
+        return v;
+    }
+    let (s, a, m) = POLYS[dim - 1];
+    for k in 0..s {
+        v[k] = m[k] << (31 - k);
+    }
+    for k in s..BITS {
+        let mut value = v[k - s] ^ (v[k - s] >> s);
+        for i in 1..s {
+            if (a >> (s - 1 - i)) & 1 == 1 {
+                value ^= v[k - i];
+            }
+        }
+        v[k] = value;
+    }
+    v
+}
+
+/// A seeded Sobol point stream over the unit hypercube `[0, 1)^dims`.
+pub struct SobolSequence {
+    v: Vec<[u32; BITS]>,
+    state: Vec<u32>,
+    shift: Vec<u32>,
+    index: u32,
+}
+
+impl SobolSequence {
+    /// A sequence over `dims` dimensions, digitally shifted by `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dims` is zero or exceeds [`MAX_DIMS`].
+    pub fn new(dims: usize, seed: u64) -> SobolSequence {
+        assert!(
+            (1..=MAX_DIMS).contains(&dims),
+            "sobol supports 1..={MAX_DIMS} dimensions"
+        );
+        let mut rng = Pcg32::new(seed, 0x50B0);
+        SobolSequence {
+            v: (0..dims).map(direction_numbers).collect(),
+            state: vec![0; dims],
+            shift: (0..dims).map(|_| rng.next_u32()).collect(),
+            index: 0,
+        }
+    }
+
+    /// The next point, one coordinate per dimension, each in `[0, 1)`.
+    pub fn next_point(&mut self) -> Vec<f64> {
+        // Gray-code update: point k flips point k-1 along direction
+        // `trailing_ones(k - 1)`. Point 0 is the shift itself.
+        if self.index > 0 {
+            let c = (self.index - 1).trailing_ones() as usize;
+            for (state, v) in self.state.iter_mut().zip(&self.v) {
+                *state ^= v[c.min(BITS - 1)];
+            }
+        }
+        self.index = self.index.wrapping_add(1);
+        self.state
+            .iter()
+            .zip(&self.shift)
+            .map(|(&x, &shift)| f64::from(x ^ shift) / (1u64 << BITS) as f64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unshifted_sequence_matches_the_textbook_prefix() {
+        // Seed streams only shift; check the raw lattice through a
+        // zero shift by cancelling it out.
+        let mut seq = SobolSequence::new(2, 1);
+        let shift: Vec<u32> = seq.shift.clone();
+        let mut raw = Vec::new();
+        for _ in 0..4 {
+            let p = seq.next_point();
+            raw.push(
+                p.iter()
+                    .zip(&shift)
+                    .map(|(&x, &s)| {
+                        let bits = (x * (1u64 << BITS) as f64) as u32 ^ s;
+                        f64::from(bits) / (1u64 << BITS) as f64
+                    })
+                    .collect::<Vec<f64>>(),
+            );
+        }
+        // Van der Corput x Sobol dim 2: 0, 1/2, 1/4|3/4 pattern.
+        assert_eq!(raw[0], vec![0.0, 0.0]);
+        assert_eq!(raw[1], vec![0.5, 0.5]);
+        assert_eq!(raw[2], vec![0.75, 0.25]);
+        assert_eq!(raw[3], vec![0.25, 0.75]);
+    }
+
+    #[test]
+    fn points_stay_in_the_unit_cube_and_spread() {
+        let mut seq = SobolSequence::new(MAX_DIMS, 7);
+        let mut low = [false; MAX_DIMS];
+        let mut high = [false; MAX_DIMS];
+        for _ in 0..256 {
+            let p = seq.next_point();
+            assert_eq!(p.len(), MAX_DIMS);
+            for (d, &x) in p.iter().enumerate() {
+                assert!((0.0..1.0).contains(&x), "dim {d}: {x}");
+                low[d] |= x < 0.5;
+                high[d] |= x >= 0.5;
+            }
+        }
+        // Low-discrepancy: every dimension visits both halves.
+        assert!(low.iter().all(|&b| b) && high.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn seeds_are_deterministic_and_distinct() {
+        let draw = |seed: u64| {
+            let mut seq = SobolSequence::new(3, seed);
+            (0..16).map(|_| seq.next_point()).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8));
+    }
+}

@@ -43,14 +43,24 @@ impl GridRange {
         GridRange::new(value, value, 1)
     }
 
+    /// The `i`-th sampled value, computed as `min + i·step` — one
+    /// multiply per value, no running accumulation to drift — with the
+    /// endpoints pinned exactly: index 0 is `min` and index `steps - 1`
+    /// is `max`, whatever rounding `min + (steps-1)·step` would have
+    /// produced. Indices past the end clamp to `max`.
+    pub fn value_at(&self, i: usize) -> f64 {
+        if self.steps <= 1 {
+            self.min
+        } else if i >= self.steps - 1 {
+            self.max
+        } else {
+            self.min + i as f64 * self.step_size()
+        }
+    }
+
     /// The sampled values, low to high.
     pub fn values(&self) -> Vec<f64> {
-        if self.steps == 1 {
-            return vec![self.min];
-        }
-        (0..self.steps)
-            .map(|i| self.min + (self.max - self.min) * i as f64 / (self.steps - 1) as f64)
-            .collect()
+        (0..self.steps).map(|i| self.value_at(i)).collect()
     }
 
     /// Spacing between adjacent samples (0 for a pinned coordinate).
@@ -131,6 +141,9 @@ pub struct QueryLimits {
     pub max_refine_steps: usize,
     /// Longest accepted query name, bytes.
     pub max_name_bytes: usize,
+    /// Largest kernel-evaluation budget an optimize request may ask
+    /// for (see [`crate::optimize::OptimizeRequest`]).
+    pub max_optimize_budget: usize,
 }
 
 impl Default for QueryLimits {
@@ -142,6 +155,7 @@ impl Default for QueryLimits {
             max_refine_rounds: 4,
             max_refine_steps: 9,
             max_name_bytes: 200,
+            max_optimize_budget: 4096,
         }
     }
 }
@@ -209,6 +223,14 @@ pub enum QueryError {
         /// The configured `max_name_bytes`.
         max: usize,
     },
+    /// An optimize request's kernel-evaluation budget is zero or past
+    /// the configured cap.
+    BadBudget {
+        /// Budget requested.
+        budget: usize,
+        /// The configured `max_optimize_budget`.
+        max: usize,
+    },
 }
 
 impl fmt::Display for QueryError {
@@ -237,6 +259,9 @@ impl fmt::Display for QueryError {
             }
             QueryError::NameTooLong { len, max } => {
                 write!(f, "query name of {len} bytes exceeds {max}")
+            }
+            QueryError::BadBudget { budget, max } => {
+                write!(f, "optimize budget {budget} outside 1..={max}")
             }
         }
     }

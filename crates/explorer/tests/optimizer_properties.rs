@@ -1,0 +1,194 @@
+//! Property-based tests for the seeded search subsystem's guarantees:
+//! sampling is deterministic in the seed and invariant to the engine's
+//! thread count, Latin Hypercube stratification is exact, Sobol points
+//! never leave the query's range bounds, and successive halving never
+//! crowns a constraint-infeasible winner.
+
+use drone_components::battery::CellCount;
+use drone_explorer::optimize::{lhs::latin_hypercube, sample, SobolSequence, AXES};
+// `SearchStrategy` keeps the engine's `Strategy` enum from shadowing
+// the proptest `Strategy` trait the prelude brings in.
+use drone_explorer::{
+    Constraints, Explorer, GridRange, Lattice, Objective, OptimizeRequest, QueryRanges,
+    Strategy as SearchStrategy,
+};
+use proptest::prelude::*;
+
+/// A small random swept region — a few dozen lattice points, so the
+/// engine-backed properties stay fast while still varying grid shape,
+/// cell palette, and pinned coordinates case to case.
+fn region() -> impl Strategy<Value = QueryRanges> {
+    (
+        (150.0f64..400.0, 100.0f64..300.0, 2usize..5),
+        (1000.0f64..3000.0, 1000.0f64..4000.0, 2usize..6),
+        0usize..3,
+        (5.0f64..20.0, 1.5f64..3.0, 0.0f64..100.0),
+    )
+        .prop_map(|(wheelbase, capacity, cells, (compute, twr, payload))| {
+            let palette = match cells {
+                0 => vec![CellCount::S3],
+                1 => vec![CellCount::S4],
+                _ => vec![CellCount::S3, CellCount::S6],
+            };
+            QueryRanges {
+                wheelbase_mm: GridRange::new(wheelbase.0, wheelbase.0 + wheelbase.1, wheelbase.2),
+                cells: palette,
+                capacity_mah: GridRange::new(capacity.0, capacity.0 + capacity.1, capacity.2),
+                compute_power_w: GridRange::fixed(compute),
+                twr: GridRange::fixed(twr),
+                payload_g: GridRange::fixed(payload),
+            }
+        })
+}
+
+fn objective() -> impl Strategy<Value = Objective> {
+    (0usize..3).prop_map(|i| {
+        [
+            Objective::MaxFlightTime,
+            Objective::MinWeight,
+            Objective::MinComputeShare,
+        ][i]
+    })
+}
+
+fn strategy() -> impl Strategy<Value = SearchStrategy> {
+    (0usize..4).prop_map(|i| SearchStrategy::ALL[i])
+}
+
+fn constraints() -> impl Strategy<Value = Constraints> {
+    (0usize..4, 800.0f64..2500.0, 2.0f64..10.0).prop_map(|(shape, weight, flight)| Constraints {
+        max_weight_g: (shape & 1 != 0).then_some(weight),
+        min_flight_time_min: (shape & 2 != 0).then_some(flight),
+        ..Constraints::default()
+    })
+}
+
+proptest! {
+    #[test]
+    fn samplers_are_seed_deterministic_and_in_bounds(
+        ranges in region(),
+        strategy in strategy(),
+        seed in 0u64..1_000_000,
+        n in 1usize..80,
+    ) {
+        let lattice = Lattice::new(&ranges);
+        let a = sample(strategy, &lattice, seed, n);
+        let b = sample(strategy, &lattice, seed, n);
+        prop_assert_eq!(&a, &b, "strategy {} not seed-deterministic", strategy);
+        prop_assert_eq!(a.len(), n);
+        for p in &a {
+            for axis in 0..AXES {
+                prop_assert!(p.idx[axis] < lattice.dims()[axis]);
+            }
+        }
+    }
+
+    #[test]
+    fn lhs_covers_every_stratum_exactly_once_per_axis(
+        seed in 0u64..1_000_000,
+        n in 1usize..60,
+        dims in 1usize..8,
+    ) {
+        let points = latin_hypercube(seed, n, dims);
+        prop_assert_eq!(points.len(), n);
+        for dim in 0..dims {
+            let mut hit = vec![false; n];
+            for p in &points {
+                prop_assert!((0.0..1.0).contains(&p[dim]), "axis {} out of unit range", dim);
+                let stratum = ((p[dim] * n as f64) as usize).min(n - 1);
+                prop_assert!(!hit[stratum], "axis {} stratum {} hit twice", dim, stratum);
+                hit[stratum] = true;
+            }
+            prop_assert!(hit.iter().all(|&h| h), "axis {} missed a stratum", dim);
+        }
+    }
+
+    #[test]
+    fn sobol_points_stay_inside_range_bounds(
+        ranges in region(),
+        seed in 0u64..1_000_000,
+        n in 1usize..120,
+    ) {
+        // Unit-cube coordinates first…
+        let mut seq = SobolSequence::new(AXES, seed);
+        for _ in 0..n {
+            for (d, x) in seq.next_point().into_iter().enumerate() {
+                prop_assert!((0.0..1.0).contains(&x), "dim {} left the unit cube: {}", d, x);
+            }
+        }
+        // …then the lattice-snapped design points they map to: every
+        // coordinate must sit inside its query range, cells included.
+        let lattice = Lattice::new(&ranges);
+        for point in sample(SearchStrategy::Sobol, &lattice, seed, n) {
+            let q = lattice.query(&point);
+            let within = |r: &GridRange, v: f64| r.min <= v && v <= r.max;
+            prop_assert!(within(&ranges.wheelbase_mm, q.wheelbase_mm));
+            prop_assert!(within(&ranges.capacity_mah, q.capacity_mah));
+            prop_assert!(within(&ranges.compute_power_w, q.compute_power_w));
+            prop_assert!(within(&ranges.twr, q.twr));
+            prop_assert!(within(&ranges.payload_g, q.payload_g));
+            prop_assert!(ranges.cells.contains(&q.cells));
+        }
+    }
+}
+
+// Engine-backed properties run real design evaluations per case, so a
+// smaller case count keeps the suite quick; each case still randomizes
+// region, objective, constraints, seed and budget.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn optimize_answers_are_thread_count_invariant(
+        ranges in region(),
+        strategy in strategy(),
+        objective in objective(),
+        constraints in constraints(),
+        seed in 0u64..1_000_000,
+        budget in 1usize..30,
+    ) {
+        let req = OptimizeRequest::new("prop", ranges, objective, strategy, budget)
+            .with_constraints(constraints)
+            .with_seed(seed);
+        let serial = Explorer::new(1).optimize(&req);
+        let parallel = Explorer::new(4).optimize(&req);
+        prop_assert_eq!(&serial, &parallel, "threads 1 vs 4 diverged");
+        let replay = Explorer::new(4).optimize(&req);
+        prop_assert_eq!(&parallel, &replay, "same seed replay diverged");
+        prop_assert!(serial.evaluated <= budget, "budget overrun");
+    }
+
+    #[test]
+    fn halving_never_returns_a_constraint_infeasible_winner(
+        ranges in region(),
+        objective in objective(),
+        constraints in constraints(),
+        seed in 0u64..1_000_000,
+        budget in 4usize..40,
+    ) {
+        let req = OptimizeRequest::new(
+            "prop_halving",
+            ranges,
+            objective,
+            SearchStrategy::Halving,
+            budget,
+        )
+        .with_constraints(constraints)
+        .with_seed(seed);
+        let answer = Explorer::new(2).optimize(&req);
+        if let Some(best) = &answer.best {
+            prop_assert!(
+                constraints.admits(best),
+                "winner violates constraints: {:?}",
+                best
+            );
+        }
+        for member in &answer.frontier {
+            prop_assert!(
+                constraints.admits(member),
+                "frontier member violates constraints: {:?}",
+                member
+            );
+        }
+    }
+}

@@ -3,7 +3,7 @@
 //! extracted frontier is exactly the maximal set, and the parallel
 //! executor is a drop-in for serial iteration at any thread count.
 
-use drone_explorer::{extract_frontier, ParallelExecutor, ParetoFrontier};
+use drone_explorer::{extract_frontier, GridRange, ParallelExecutor, ParetoFrontier};
 use drone_math::{dominates, Sense};
 use proptest::prelude::*;
 
@@ -95,6 +95,33 @@ proptest! {
         let mut batch = extract_frontier(&points, &senses);
         batch.sort_unstable();
         prop_assert_eq!(ids, batch);
+    }
+
+    #[test]
+    fn grid_values_are_strictly_monotone_with_exact_endpoints(
+        min in 0.001f64..10_000.0,
+        span in 0.001f64..10_000.0,
+        steps in 2usize..100,
+    ) {
+        // Values are computed as `min + i·step`, never by running
+        // accumulation — so endpoints are exact and ordering strict.
+        let range = GridRange::new(min, min + span, steps);
+        let values = range.values();
+        prop_assert_eq!(values.len(), steps);
+        prop_assert_eq!(values[0], min, "first value must be exactly min");
+        prop_assert_eq!(
+            values[steps - 1],
+            min + span,
+            "last value must be exactly max"
+        );
+        for pair in values.windows(2) {
+            prop_assert!(
+                pair[0] < pair[1],
+                "values not strictly increasing: {} >= {}",
+                pair[0],
+                pair[1]
+            );
+        }
     }
 
     #[test]

@@ -28,7 +28,7 @@
 //!   proves the server is alive and speaking the protocol.
 
 use crate::protocol::{self, ErrorKind, RequestError, TraceQuery};
-use drone_explorer::Query;
+use drone_explorer::{OptimizeRequest, Query};
 use drone_math::rng::Pcg32;
 use drone_telemetry::{derive_trace_id, Counter, Json, Registry};
 use std::io::{BufRead, BufReader, Write};
@@ -200,6 +200,20 @@ impl Client {
         let id = self.fresh_id();
         let trace_id = derive_trace_id(self.config.trace_seed, id);
         let line = protocol::request_to_json_traced(id, trace_id, query).render();
+        self.call_line(&line, id, Some(trace_id))
+    }
+
+    /// Sends one optimize request and returns the correlated reply,
+    /// with the same retry, breaker and tracing treatment as
+    /// [`Client::call`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::call`].
+    pub fn optimize(&mut self, req: &OptimizeRequest) -> Result<CallSuccess, CallError> {
+        let id = self.fresh_id();
+        let trace_id = derive_trace_id(self.config.trace_seed, id);
+        let line = protocol::optimize_request_to_json_traced(id, trace_id, req).render();
         self.call_line(&line, id, Some(trace_id))
     }
 

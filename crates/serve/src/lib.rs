@@ -47,9 +47,11 @@ pub use chaos::{ChaosProxy, Fault, FaultSchedule, ProxyStats};
 pub use client::{CallError, CallSuccess, Client, ClientConfig};
 pub use protocol::{
     answer_to_json, cost_units, error_reply, handle_batch, handle_batch_traced, handle_batch_with,
-    ok_reply, parse_request, request_to_json, request_to_json_traced, stats_request_json,
-    trace_request_json, AdminRequest, BatchOutcome, BatchPolicy, BatchTracing, ErrorKind,
-    ReplySlot, Request, RequestBody, RequestError, TraceQuery, MAX_TRACE_FETCH,
+    ok_optimize_reply, ok_reply, optimize_answer_to_json, optimize_cost_units,
+    optimize_request_to_json, optimize_request_to_json_traced, parse_request, request_to_json,
+    request_to_json_traced, stats_request_json, trace_request_json, AdminRequest, BatchOutcome,
+    BatchPolicy, BatchTracing, ErrorKind, ReplySlot, Request, RequestBody, RequestError,
+    TraceQuery, MAX_TRACE_FETCH,
 };
 pub use server::{DrainStats, Server, ServerConfig};
 pub use workload::Workload;

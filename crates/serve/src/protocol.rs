@@ -19,7 +19,8 @@
 use drone_components::battery::CellCount;
 use drone_dse::eval::DesignEval;
 use drone_explorer::{
-    Constraints, Explorer, GridRange, Objective, Query, QueryAnswer, QueryLimits, QueryRanges,
+    Constraints, Explorer, GridRange, Objective, OptimizeAnswer, OptimizeRequest, Query,
+    QueryAnswer, QueryLimits, QueryRanges, Strategy,
 };
 use drone_telemetry::trace::{
     derive_trace_id_bytes, id_hex, parse_id_hex, TraceBuilder, TraceRing,
@@ -133,6 +134,9 @@ impl Default for TraceQuery {
 pub enum RequestBody {
     /// Evaluate a validated exploration query.
     Query(Query),
+    /// Run a validated optimize request (seeded sampling /
+    /// multi-fidelity search instead of an exhaustive sweep).
+    Optimize(OptimizeRequest),
     /// Return the server's registry snapshot, queue depth and trace
     /// ring bookkeeping.
     Stats,
@@ -159,6 +163,14 @@ impl Request {
     pub fn query(&self) -> Option<&Query> {
         match &self.body {
             RequestBody::Query(query) => Some(query),
+            _ => None,
+        }
+    }
+
+    /// The optimize request, when this is one.
+    pub fn optimize(&self) -> Option<&OptimizeRequest> {
+        match &self.body {
+            RequestBody::Optimize(req) => Some(req),
             _ => None,
         }
     }
@@ -376,10 +388,78 @@ fn trace_id_from_json(doc: &Json, what: &str) -> Result<u64, RequestError> {
         .ok_or_else(|| RequestError::bad(format!("{what} must be 16 lower-case hex characters")))
 }
 
+/// Parses the body of an `optimize` request and validates it against
+/// the service limits.
+fn optimize_from_json(doc: &Json, limits: &QueryLimits) -> Result<OptimizeRequest, RequestError> {
+    expect_keys(
+        doc,
+        &[
+            "name",
+            "ranges",
+            "constraints",
+            "objective",
+            "strategy",
+            "budget",
+            "seed",
+        ],
+        "optimize",
+    )?;
+    let name = match doc.get("name") {
+        Some(n) => n
+            .as_str()
+            .ok_or_else(|| RequestError::bad("name must be a string"))?
+            .to_owned(),
+        None => "optimize".to_owned(),
+    };
+    let ranges_doc = doc
+        .get("ranges")
+        .ok_or_else(|| RequestError::bad("optimize: missing 'ranges'"))?;
+    let constraints = match doc.get("constraints") {
+        Some(c) => constraints_from_json(c)?,
+        None => Constraints::default(),
+    };
+    let objective = objective_from_json(
+        doc.get("objective")
+            .ok_or_else(|| RequestError::bad("optimize: missing 'objective'"))?,
+    )?;
+    let strategy_doc = doc
+        .get("strategy")
+        .ok_or_else(|| RequestError::bad("optimize: missing 'strategy'"))?;
+    let strategy = strategy_doc
+        .as_str()
+        .and_then(Strategy::from_name)
+        .ok_or_else(|| {
+            RequestError::bad("strategy must be one of 'monte_carlo', 'lhs', 'sobol' or 'halving'")
+        })?;
+    let budget = steps(
+        doc.get("budget")
+            .ok_or_else(|| RequestError::bad("optimize: missing 'budget'"))?,
+        "optimize.budget",
+    )?;
+    let seed = match doc.get("seed") {
+        Some(v) => steps(v, "optimize.seed")? as u64,
+        None => 0,
+    };
+    let req = OptimizeRequest {
+        name,
+        ranges: ranges_from_json(ranges_doc)?,
+        constraints,
+        objective,
+        strategy,
+        budget,
+        seed,
+    };
+    req.validate(limits).map_err(|e| RequestError {
+        kind: ErrorKind::InvalidQuery,
+        message: e.to_string(),
+    })?;
+    Ok(req)
+}
+
 fn request_from_doc(doc: &Json, limits: &QueryLimits) -> Result<Request, RequestError> {
     expect_keys(
         doc,
-        &["id", "trace_id", "query", "stats", "trace"],
+        &["id", "trace_id", "query", "optimize", "stats", "trace"],
         "request",
     )?;
     let id = doc.get("id").cloned().unwrap_or(Json::Null);
@@ -387,11 +467,23 @@ fn request_from_doc(doc: &Json, limits: &QueryLimits) -> Result<Request, Request
         .get("trace_id")
         .map(|v| trace_id_from_json(v, "trace_id"))
         .transpose()?;
-    let kinds = [doc.get("query"), doc.get("stats"), doc.get("trace")];
+    let kinds = [
+        doc.get("query"),
+        doc.get("optimize"),
+        doc.get("stats"),
+        doc.get("trace"),
+    ];
     if kinds.iter().filter(|k| k.is_some()).count() != 1 {
         return Err(RequestError::bad(
-            "request: needs exactly one of 'query', 'stats' or 'trace'",
+            "request: needs exactly one of 'query', 'optimize', 'stats' or 'trace'",
         ));
+    }
+    if let Some(optimize_doc) = doc.get("optimize") {
+        return Ok(Request {
+            id,
+            trace_id,
+            body: RequestBody::Optimize(optimize_from_json(optimize_doc, limits)?),
+        });
     }
     if let Some(stats_doc) = doc.get("stats") {
         // Strict like everything else: `stats` takes no parameters.
@@ -465,9 +557,7 @@ fn request_from_doc(doc: &Json, limits: &QueryLimits) -> Result<Request, Request
     })
 }
 
-/// Renders a query as a request line body (the client-side inverse of
-/// [`parse_request`]).
-pub fn request_to_json(id: u64, query: &Query) -> Json {
+fn ranges_to_json(ranges: &QueryRanges) -> Json {
     let range = |r: &GridRange| {
         Json::obj()
             .with("min", r.min)
@@ -475,38 +565,65 @@ pub fn request_to_json(id: u64, query: &Query) -> Json {
             .with("steps", r.steps)
     };
     let mut cells = Json::arr();
-    for c in &query.ranges.cells {
+    for c in &ranges.cells {
         cells.push(c.to_string());
     }
-    let ranges = Json::obj()
-        .with("wheelbase_mm", range(&query.ranges.wheelbase_mm))
+    Json::obj()
+        .with("wheelbase_mm", range(&ranges.wheelbase_mm))
         .with("cells", cells)
-        .with("capacity_mah", range(&query.ranges.capacity_mah))
-        .with("compute_power_w", range(&query.ranges.compute_power_w))
-        .with("twr", range(&query.ranges.twr))
-        .with("payload_g", range(&query.ranges.payload_g));
+        .with("capacity_mah", range(&ranges.capacity_mah))
+        .with("compute_power_w", range(&ranges.compute_power_w))
+        .with("twr", range(&ranges.twr))
+        .with("payload_g", range(&ranges.payload_g))
+}
+
+fn constraints_to_json(bounds: &Constraints) -> Json {
     let mut constraints = Json::obj();
     for (key, bound) in [
-        ("max_weight_g", query.constraints.max_weight_g),
-        ("min_flight_time_min", query.constraints.min_flight_time_min),
-        (
-            "max_compute_share_hover",
-            query.constraints.max_compute_share_hover,
-        ),
-        ("max_hover_power_w", query.constraints.max_hover_power_w),
+        ("max_weight_g", bounds.max_weight_g),
+        ("min_flight_time_min", bounds.min_flight_time_min),
+        ("max_compute_share_hover", bounds.max_compute_share_hover),
+        ("max_hover_power_w", bounds.max_hover_power_w),
     ] {
         if let Some(b) = bound {
             constraints.insert(key, b);
         }
     }
+    constraints
+}
+
+/// Renders a query as a request line body (the client-side inverse of
+/// [`parse_request`]).
+pub fn request_to_json(id: u64, query: &Query) -> Json {
     let query_json = Json::obj()
         .with("name", query.name.as_str())
-        .with("ranges", ranges)
-        .with("constraints", constraints)
+        .with("ranges", ranges_to_json(&query.ranges))
+        .with("constraints", constraints_to_json(&query.constraints))
         .with("objective", objective_to_str(query.objective))
         .with("refine_rounds", query.refine_rounds)
         .with("refine_steps", query.refine_steps);
     Json::obj().with("id", id).with("query", query_json)
+}
+
+/// Renders an optimize request line body (the client-side inverse of
+/// the `optimize` branch of [`parse_request`]).
+pub fn optimize_request_to_json(id: u64, req: &OptimizeRequest) -> Json {
+    let body = Json::obj()
+        .with("name", req.name.as_str())
+        .with("ranges", ranges_to_json(&req.ranges))
+        .with("constraints", constraints_to_json(&req.constraints))
+        .with("objective", objective_to_str(req.objective))
+        .with("strategy", req.strategy.as_str())
+        .with("budget", req.budget)
+        .with("seed", req.seed as f64);
+    Json::obj().with("id", id).with("optimize", body)
+}
+
+/// [`optimize_request_to_json`] with a client-stamped causal trace id.
+pub fn optimize_request_to_json_traced(id: u64, trace_id: u64, req: &OptimizeRequest) -> Json {
+    let mut doc = optimize_request_to_json(id, req);
+    doc.insert("trace_id", id_hex(trace_id));
+    doc
 }
 
 /// [`request_to_json`] with a client-stamped causal trace id — what a
@@ -588,6 +705,61 @@ pub fn ok_reply(id: &Json, answer: &QueryAnswer) -> Json {
         .with("answer", answer_to_json(answer))
 }
 
+/// Deterministic work units an optimize run spent: unique points
+/// dispatched to the engine — the same currency as [`cost_units`], so
+/// grid and optimize traffic share one deadline policy.
+pub fn optimize_cost_units(answer: &OptimizeAnswer) -> u64 {
+    answer.evaluated as u64
+}
+
+/// Renders an optimize answer. Frontier members sort by (flight time
+/// desc, weight asc) like [`answer_to_json`]; every number is
+/// scheduling-independent, so reply bytes are stable at any thread
+/// count.
+pub fn optimize_answer_to_json(answer: &OptimizeAnswer) -> Json {
+    let mut members: Vec<&DesignEval> = answer.frontier.iter().collect();
+    members.sort_by(|a, b| {
+        b.flight_time_min
+            .total_cmp(&a.flight_time_min)
+            .then(a.weight_g.total_cmp(&b.weight_g))
+    });
+    let mut frontier = Json::arr();
+    for m in members {
+        frontier.push(eval_to_json(m));
+    }
+    let mut pool_sizes = Json::arr();
+    for p in &answer.pool_sizes {
+        pool_sizes.push(*p);
+    }
+    Json::obj()
+        .with("name", answer.name.as_str())
+        .with("strategy", answer.strategy.as_str())
+        .with("sampled", answer.sampled)
+        .with("evaluated", answer.evaluated)
+        .with("coarse_evals", answer.coarse_evals)
+        .with("prefiltered", answer.prefiltered)
+        .with("feasible", answer.feasible)
+        .with("infeasible", answer.infeasible)
+        .with("rounds", answer.rounds)
+        .with("refine_waves", answer.refine_waves)
+        .with("pool_sizes", pool_sizes)
+        .with("budget", answer.budget)
+        .with("cost_units", optimize_cost_units(answer))
+        .with(
+            "best",
+            answer.best.as_ref().map_or(Json::Null, eval_to_json),
+        )
+        .with("frontier", frontier)
+}
+
+/// A success reply line body for an optimize request.
+pub fn ok_optimize_reply(id: &Json, answer: &OptimizeAnswer) -> Json {
+    Json::obj()
+        .with("id", id.clone())
+        .with("ok", true)
+        .with("answer", optimize_answer_to_json(answer))
+}
+
 /// An error reply line body.
 pub fn error_reply(id: &Json, error: &RequestError) -> Json {
     Json::obj().with("id", id.clone()).with("ok", false).with(
@@ -616,6 +788,9 @@ pub struct BatchOutcome {
     /// Introspection (`stats`/`trace`) requests. Answered live by the
     /// server; rejected with `bad_request` on the pure batch path.
     pub admin_requests: usize,
+    /// Of `answered`, requests that ran the optimizer rather than an
+    /// exhaustive sweep.
+    pub optimize_requests: usize,
     /// Deterministic work units across the answered requests.
     pub cost_units: u64,
 }
@@ -678,11 +853,28 @@ pub enum ReplySlot {
     },
 }
 
+/// Evaluated work a valid request carries: an exhaustive sweep or an
+/// optimizer run.
+#[allow(clippy::large_enum_variant)] // at most max_batch of these live at once
+enum Work {
+    Query(Query),
+    Optimize(OptimizeRequest),
+}
+
+impl Work {
+    fn estimated_cost_units(&self) -> u64 {
+        match self {
+            Work::Query(query) => query.estimated_cost_units(),
+            Work::Optimize(req) => req.estimated_cost_units(),
+        }
+    }
+}
+
 /// How one parsed line will be handled, decided before the engine runs.
 #[allow(clippy::large_enum_variant)] // at most max_batch of these live at once
 enum Disposition {
     /// Valid and within deadline: evaluated by the engine.
-    Run(Request, Query),
+    Run(Request, Work),
     /// Valid but over the cost deadline: shed with a typed reply.
     Shed(Request, RequestError),
     /// A live-introspection request for the server to resolve.
@@ -749,6 +941,23 @@ pub fn handle_batch_traced(
     handle_batch_core(engine, lines, limits, policy, Some(tracing))
 }
 
+/// Applies the cost-deadline policy to one piece of valid work.
+fn disposition_for(request: Request, work: Work, policy: BatchPolicy) -> Disposition {
+    let estimated = work.estimated_cost_units();
+    match policy.cost_deadline {
+        Some(deadline) if estimated > deadline => {
+            let error = RequestError {
+                kind: ErrorKind::DeadlineExceeded,
+                message: format!(
+                    "estimated {estimated} cost units exceeds the {deadline}-unit deadline"
+                ),
+            };
+            Disposition::Shed(request, error)
+        }
+        _ => Disposition::Run(request, work),
+    }
+}
+
 fn handle_batch_core(
     engine: &Explorer,
     lines: &[&str],
@@ -770,21 +979,8 @@ fn handle_batch_core(
                     request.id,
                     RequestError::bad("introspection requires a live server"),
                 ),
-                RequestBody::Query(query) => {
-                    let estimated = query.estimated_cost_units();
-                    match policy.cost_deadline {
-                        Some(deadline) if estimated > deadline => {
-                            let error = RequestError {
-                                kind: ErrorKind::DeadlineExceeded,
-                                message: format!(
-                                    "estimated {estimated} cost units exceeds the {deadline}-unit deadline"
-                                ),
-                            };
-                            Disposition::Shed(request, error)
-                        }
-                        _ => Disposition::Run(request, query),
-                    }
-                }
+                RequestBody::Query(query) => disposition_for(request, Work::Query(query), policy),
+                RequestBody::Optimize(req) => disposition_for(request, Work::Optimize(req), policy),
             },
             Err((id, error)) => Disposition::Reject(id, error),
         })
@@ -812,19 +1008,37 @@ fn handle_batch_core(
     let slots = dispositions
         .into_iter()
         .map(|disposition| match disposition {
-            Disposition::Run(request, query) => {
+            Disposition::Run(request, work) => {
                 let mut reply: Option<Json> = None;
-                trace_request(&request, &mut |root| {
-                    let result = engine.try_run_spanned(&query, root.as_deref());
+                trace_request(&request, &mut |mut root| {
+                    let result = match &work {
+                        Work::Query(query) => engine
+                            .try_run_spanned(query, root.as_deref())
+                            .map(|answer| (cost_units(&answer), ok_reply(&request.id, &answer))),
+                        Work::Optimize(req) => engine
+                            .try_optimize_spanned(req, root.as_deref())
+                            .map(|answer| {
+                                (
+                                    optimize_cost_units(&answer),
+                                    ok_optimize_reply(&request.id, &answer),
+                                )
+                            }),
+                    };
                     reply = Some(match result {
-                        Ok(answer) => {
+                        Ok((cost, ok)) => {
                             outcome.answered += 1;
-                            outcome.cost_units += cost_units(&answer);
+                            outcome.cost_units += cost;
+                            if let Work::Optimize(req) = &work {
+                                outcome.optimize_requests += 1;
+                                if let Some(root) = root.as_mut() {
+                                    root.tag("strategy", req.strategy.as_str());
+                                }
+                            }
                             if let Some(root) = root {
                                 root.tag("outcome", "ok");
-                                root.tag("cost_units", cost_units(&answer));
+                                root.tag("cost_units", cost);
                             }
-                            ok_reply(&request.id, &answer)
+                            ok
                         }
                         Err(panic) => {
                             outcome.internal_errors += 1;
@@ -1197,6 +1411,129 @@ mod tests {
         assert_eq!(outcome.answered, 2);
         assert_eq!(outcome.internal_errors, 1);
         assert_eq!(outcome.rejected(), 1);
+    }
+
+    fn minimal_optimize_line() -> String {
+        r#"{"id":11,"optimize":{"ranges":{"wheelbase_mm":{"min":250,"max":450,"steps":5},"cells":["3S"],"capacity_mah":{"min":2000,"max":6000,"steps":9}},"objective":"max_flight_time","strategy":"sobol","budget":12}}"#
+            .to_owned()
+    }
+
+    #[test]
+    fn optimize_requests_parse_and_round_trip() {
+        let limits = QueryLimits::default();
+        let req = parse_request(&minimal_optimize_line(), &limits).unwrap();
+        let parsed = req.optimize().expect("optimize request");
+        assert_eq!(parsed.name, "optimize");
+        assert_eq!(parsed.strategy, Strategy::Sobol);
+        assert_eq!(parsed.budget, 12);
+        assert_eq!(parsed.seed, 0);
+
+        // Client renderer → parser is the identity on the typed value.
+        let full = OptimizeRequest::new(
+            "rt",
+            parsed.ranges.clone(),
+            Objective::MinWeight,
+            Strategy::Halving,
+            64,
+        )
+        .with_constraints(Constraints {
+            max_weight_g: Some(1500.0),
+            ..Constraints::default()
+        })
+        .with_seed(9);
+        let line = optimize_request_to_json(5, &full).render();
+        let round = parse_request(&line, &limits).unwrap();
+        assert_eq!(round.optimize(), Some(&full));
+        assert_eq!(round.id, Json::Num(5.0));
+
+        let trace_id = drone_telemetry::derive_trace_id(3, 5);
+        let line = optimize_request_to_json_traced(5, trace_id, &full).render();
+        let round = parse_request(&line, &limits).unwrap();
+        assert_eq!(round.trace_id, Some(trace_id));
+        assert_eq!(round.optimize(), Some(&full));
+    }
+
+    #[test]
+    fn optimize_parsing_is_strict() {
+        let limits = QueryLimits::default();
+        let cases = [
+            // Unknown strategy.
+            (
+                r#"{"optimize":{"ranges":{"wheelbase_mm":250,"cells":["3S"],"capacity_mah":2000},"objective":"max_flight_time","strategy":"grid","budget":8}}"#,
+                ErrorKind::BadRequest,
+            ),
+            // Missing budget.
+            (
+                r#"{"optimize":{"ranges":{"wheelbase_mm":250,"cells":["3S"],"capacity_mah":2000},"objective":"max_flight_time","strategy":"sobol"}}"#,
+                ErrorKind::BadRequest,
+            ),
+            // Unknown key.
+            (
+                r#"{"optimize":{"ranges":{"wheelbase_mm":250,"cells":["3S"],"capacity_mah":2000},"objective":"max_flight_time","strategy":"sobol","budget":8,"bogus":1}}"#,
+                ErrorKind::BadRequest,
+            ),
+            // Exactly one request kind.
+            (
+                r#"{"optimize":{"ranges":{"wheelbase_mm":250,"cells":["3S"],"capacity_mah":2000},"objective":"max_flight_time","strategy":"sobol","budget":8},"stats":{}}"#,
+                ErrorKind::BadRequest,
+            ),
+            // Budget over the service cap -> invalid_query.
+            (
+                r#"{"optimize":{"ranges":{"wheelbase_mm":250,"cells":["3S"],"capacity_mah":2000},"objective":"max_flight_time","strategy":"sobol","budget":99999}}"#,
+                ErrorKind::InvalidQuery,
+            ),
+            // Budget zero -> invalid_query.
+            (
+                r#"{"optimize":{"ranges":{"wheelbase_mm":250,"cells":["3S"],"capacity_mah":2000},"objective":"max_flight_time","strategy":"sobol","budget":0}}"#,
+                ErrorKind::InvalidQuery,
+            ),
+        ];
+        for (line, kind) in cases {
+            let err = parse_request(line, &limits).unwrap_err();
+            assert_eq!(err.kind, kind, "{line}");
+        }
+    }
+
+    #[test]
+    fn optimize_batches_answer_deterministically_and_count() {
+        let line = minimal_optimize_line();
+        let lines = [line.as_str(), line.as_str()];
+        let (replies, outcome) = handle_batch(&engine(), &lines, &QueryLimits::default());
+        assert_eq!(outcome.answered, 2);
+        assert_eq!(outcome.optimize_requests, 2);
+        assert_eq!(replies[0], replies[1], "same seed, same reply bytes");
+        let doc = Json::parse(&replies[0]).unwrap();
+        assert_eq!(doc.get("ok"), Some(&Json::Bool(true)));
+        let answer = doc.get("answer").unwrap();
+        assert_eq!(
+            answer.get("strategy"),
+            Some(&Json::Str("sobol".into())),
+            "answer echoes the strategy"
+        );
+        let evaluated = answer.get("evaluated").and_then(Json::as_f64).unwrap();
+        assert!(evaluated > 0.0 && evaluated <= 12.0, "budget respected");
+        assert_eq!(outcome.cost_units, 2 * evaluated as u64);
+
+        // The optimizer answers fewer points than the 45-point grid
+        // sweep of the same region would.
+        assert!(evaluated < 45.0);
+    }
+
+    #[test]
+    fn optimize_requests_shed_against_the_same_cost_deadline() {
+        let line = minimal_optimize_line();
+        let policy = BatchPolicy {
+            cost_deadline: Some(8), // budget 12 > 8
+        };
+        let (replies, outcome) =
+            handle_batch_with(&engine(), &[line.as_str()], &QueryLimits::default(), policy);
+        let doc = Json::parse(&replies[0]).unwrap();
+        assert_eq!(
+            doc.get("error").and_then(|e| e.get("kind")),
+            Some(&Json::Str("deadline_exceeded".into()))
+        );
+        assert_eq!(outcome.deadline_sheds, 1);
+        assert_eq!(outcome.optimize_requests, 0);
     }
 
     #[test]

@@ -95,6 +95,7 @@ struct Metrics {
     deadline_sheds: Arc<Counter>,
     idle_timeouts: Arc<Counter>,
     admin_requests: Arc<Counter>,
+    optimize_requests: Arc<Counter>,
     queue_depth: Arc<Gauge>,
     batch_size: Arc<SharedHistogram>,
     cost_units: Arc<SharedHistogram>,
@@ -113,6 +114,7 @@ impl Metrics {
             deadline_sheds: registry.counter("serve.deadline_sheds"),
             idle_timeouts: registry.counter("serve.idle_timeouts"),
             admin_requests: registry.counter("serve.admin_requests"),
+            optimize_requests: registry.counter("serve.optimize_requests"),
             queue_depth: registry.gauge("serve.queue.depth"),
             batch_size: registry.histogram("serve.batch.size"),
             cost_units: registry.histogram("serve.request.cost_units"),
@@ -547,6 +549,7 @@ fn process_complete_lines(buffer: &mut Vec<u8>, stream: &mut TcpStream, shared: 
         m.panics_caught.add(outcome.internal_errors as u64);
         m.deadline_sheds.add(outcome.deadline_sheds as u64);
         m.admin_requests.add(outcome.admin_requests as u64);
+        m.optimize_requests.add(outcome.optimize_requests as u64);
         m.batch_size.record(batch.len() as f64);
         m.cost_units.record(outcome.cost_units as f64);
         if !batch.is_empty() {

@@ -22,8 +22,17 @@
 //! 0's first request (by its deterministic trace id) and pretty-prints
 //! it — one line per span, indented by depth, annotated with cache
 //! outcomes and worker ids.
+//!
+//! `--optimize <monte_carlo|lhs|sobol|halving>` sends one `optimize`
+//! wire request after the workload: a seeded sampling run over a small
+//! reference region, capped at `--budget` engine evaluations. The
+//! reply's winner and points-evaluated accounting are pretty-printed,
+//! demonstrating the search subsystem end to end over TCP.
 
-use drone_explorer::Explorer;
+use drone_components::battery::CellCount;
+use drone_explorer::{
+    Constraints, Explorer, GridRange, Objective, OptimizeRequest, QueryRanges, Strategy,
+};
 use drone_serve::{CallError, Client, ClientConfig, Server, ServerConfig, Workload};
 use drone_telemetry::{derive_trace_id, id_hex, Json, Registry};
 use std::io::{BufRead, BufReader, Write};
@@ -38,6 +47,8 @@ struct Args {
     backoff_ms: u64,
     deadline: Option<u64>,
     trace: bool,
+    optimize: Option<Strategy>,
+    budget: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -49,6 +60,8 @@ fn parse_args() -> Result<Args, String> {
         backoff_ms: 25,
         deadline: None,
         trace: false,
+        optimize: None,
+        budget: 24,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -66,6 +79,17 @@ fn parse_args() -> Result<Args, String> {
             "--backoff-ms" => args.backoff_ms = value("--backoff-ms")?.max(1),
             "--deadline" => args.deadline = Some(value("--deadline")?),
             "--trace" => args.trace = true,
+            "--optimize" => {
+                let name = it
+                    .next()
+                    .ok_or_else(|| "--optimize needs a strategy name".to_owned())?;
+                args.optimize = Some(Strategy::from_name(&name).ok_or_else(|| {
+                    format!(
+                        "--optimize: unknown strategy {name} (monte_carlo, lhs, sobol, halving)"
+                    )
+                })?);
+            }
+            "--budget" => args.budget = value("--budget")?.max(1) as usize,
             other => return Err(format!("unknown argument {other}")),
         }
     }
@@ -174,7 +198,8 @@ fn main() -> ExitCode {
             eprintln!("{message}");
             eprintln!(
                 "usage: dse_client [--clients N] [--requests N] [--seed N] \
-                 [--retries N] [--backoff-ms MS] [--deadline COST_UNITS] [--trace]"
+                 [--retries N] [--backoff-ms MS] [--deadline COST_UNITS] [--trace] \
+                 [--optimize STRATEGY] [--budget N]"
             );
             return ExitCode::FAILURE;
         }
@@ -295,6 +320,82 @@ fn main() -> ExitCode {
         }
     }
 
+    // --optimize: drive the seeded search subsystem over the wire —
+    // one optimize request against a small reference region, answered
+    // by the same engine (and memo cache) that served the workload.
+    let mut optimize_ok = true;
+    if let Some(strategy) = args.optimize {
+        let request = OptimizeRequest::new(
+            "example_opt",
+            QueryRanges {
+                wheelbase_mm: GridRange::new(250.0, 450.0, 5),
+                cells: vec![CellCount::S3],
+                capacity_mah: GridRange::new(2000.0, 6000.0, 9),
+                compute_power_w: GridRange::fixed(10.0),
+                twr: GridRange::fixed(drone_components::paper::PAPER_TWR),
+                payload_g: GridRange::fixed(0.0),
+            },
+            Objective::MaxFlightTime,
+            strategy,
+            args.budget,
+        )
+        .with_constraints(Constraints {
+            min_flight_time_min: Some(5.0),
+            ..Constraints::default()
+        })
+        .with_seed(args.seed);
+        let mut probe = Client::new(server.addr(), ClientConfig::default(), &registry);
+        match probe.optimize(&request) {
+            Ok(success) => {
+                let answer = success.reply.get("answer").expect("ok optimize reply");
+                let get = |key: &str| answer.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+                println!(
+                    "optimize[{strategy}]: evaluated {} of budget {} ({} sampled, {} prefiltered, {} coarse, {} refine wave(s))",
+                    get("evaluated"),
+                    get("budget"),
+                    get("sampled"),
+                    get("prefiltered"),
+                    get("coarse_evals"),
+                    get("refine_waves"),
+                );
+                match answer.get("best") {
+                    Some(best) => {
+                        let field = |key: &str| {
+                            best.get(key)
+                                .and_then(Json::as_f64)
+                                .map_or("-".to_owned(), |v| format!("{v:.1}"))
+                        };
+                        let frontier = answer
+                            .get("frontier")
+                            .and_then(Json::as_arr)
+                            .map_or(0, <[Json]>::len);
+                        println!(
+                            "optimize[{strategy}]: winner flies {} min at {} g ({frontier} member(s) on the frontier)",
+                            field("flight_min"),
+                            field("weight_g"),
+                        );
+                    }
+                    None => {
+                        println!("optimize[{strategy}]: no feasible design under the budget");
+                        optimize_ok = false;
+                    }
+                }
+            }
+            Err(CallError::Rejected { error, .. })
+                if error.kind == drone_serve::protocol::ErrorKind::DeadlineExceeded =>
+            {
+                println!(
+                    "optimize[{strategy}]: shed by the cost deadline (budget {} > deadline)",
+                    args.budget
+                );
+            }
+            Err(error) => {
+                println!("optimize[{strategy}] failed: {error}");
+                optimize_ok = false;
+            }
+        }
+    }
+
     let stats = server.drain();
     let total = args.clients as usize * args.requests;
     println!(
@@ -303,7 +404,7 @@ fn main() -> ExitCode {
         stats.threads_joined, stats.clean
     );
     let all_accounted = answered + deadline_sheds == total && failed == 0;
-    if all_accounted && stats.clean && kind == "parse" && trace_ok {
+    if all_accounted && stats.clean && kind == "parse" && trace_ok && optimize_ok {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -1,14 +1,18 @@
 //! Criterion benchmarks of the design-space exploration engine: the
+//! batched struct-of-arrays kernel against the scalar loop, the
 //! parallel executor against the serial path over a ≥ 10k-point sweep,
 //! and the memoized warm path against a cold cache.
 //!
 //! The acceptance bar for the subsystem — parallel ≥ 2× serial on a
 //! ≥ 4-core runner — is measured by `explore_10k/parallel` vs
-//! `explore_10k/serial`; the cached group shows the memoization win.
+//! `explore_10k/serial`; `explore_10k/batched` vs `explore_10k/serial`
+//! isolates the kernel-level win (the `repro roofline` experiment
+//! explains the remaining gap to the hardware ceiling); the cached
+//! group shows the memoization win.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use drone_components::battery::CellCount;
-use drone_dse::eval::{evaluate, DesignQuery};
+use drone_dse::eval::{evaluate, evaluate_many, DesignQuery};
 use drone_explorer::{Explorer, GridRange, ParallelExecutor, QueryRanges};
 use std::hint::black_box;
 
@@ -39,6 +43,10 @@ fn bench_executor(c: &mut Criterion) {
     g.bench_function("parallel", |b| {
         b.iter(|| parallel.map(black_box(&points), |_, q| evaluate(q)))
     });
+    // The struct-of-arrays kernel over the whole sweep in one call:
+    // bit-identical answers (pinned by the lockstep proptests), the
+    // table hoisting and powf pipelining doing the work.
+    g.bench_function("batched", |b| b.iter(|| evaluate_many(black_box(&points))));
     g.finish();
 }
 

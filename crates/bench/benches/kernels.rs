@@ -34,6 +34,45 @@ fn bench_math(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_eval(c: &mut Criterion) {
+    use drone_components::battery::CellCount;
+    use drone_dse::eval::{evaluate, evaluate_many, DesignQuery, EvalBatch};
+    use drone_dse::power::PowerModel;
+    let mut g = c.benchmark_group("eval");
+    let q = DesignQuery::new(450.0, CellCount::S3, 4000.0);
+    g.bench_function("scalar_single_point", |b| {
+        b.iter(|| evaluate(black_box(&q)))
+    });
+    // A small mixed block — the shape a per-worker engine block takes.
+    let block: Vec<DesignQuery> = (0..256)
+        .map(|i| {
+            DesignQuery::new(
+                100.0 + (i % 16) as f64 * 50.0,
+                CellCount::ALL[i % 6],
+                1000.0 + (i % 8) as f64 * 800.0,
+            )
+        })
+        .collect();
+    g.bench_function("scalar_256_block", |b| {
+        b.iter(|| {
+            block
+                .iter()
+                .map(|q| evaluate(black_box(q)))
+                .collect::<Vec<_>>()
+        })
+    });
+    g.bench_function("batched_256_block", |b| {
+        b.iter(|| evaluate_many(black_box(&block)))
+    });
+    // Table hoisting alone (16 unique wheelbases for 256 points).
+    let model = PowerModel::paper_defaults();
+    g.bench_function("batched_256_tables_prebuilt", |b| {
+        let batch = EvalBatch::new(&block);
+        b.iter(|| black_box(&batch).run(&model))
+    });
+    g.finish();
+}
+
 fn bench_uarch(c: &mut Criterion) {
     use drone_platform::uarch::cache::{Cache, CacheConfig};
     use drone_platform::{CoreConfig, CoreSystem, SyntheticWorkload};
@@ -140,6 +179,7 @@ fn bench_mavlink(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_math,
+    bench_eval,
     bench_uarch,
     bench_slam_kernels,
     bench_control,

@@ -8,6 +8,7 @@ mod explore_figs;
 mod extension_figs;
 pub mod fault_figs;
 mod optimize_figs;
+mod roofline_figs;
 mod serve_figs;
 mod slam_figs;
 mod space_figs;
@@ -23,6 +24,7 @@ pub use explore_figs::explore;
 pub use extension_figs::{fixed_point, lidar_payload, twr_sweep};
 pub use fault_figs::faults;
 pub use optimize_figs::optimize;
+pub use roofline_figs::roofline;
 pub use serve_figs::serve;
 pub use slam_figs::{figure17, profile_sequence, table5};
 pub use space_figs::{claims, figure10_footprint, figure10_power, figure11, figure14};
@@ -208,6 +210,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             "trace",
             "causal span trees + live stats/trace introspection over the serving stack",
             trace,
+        ),
+        e(
+            "roofline",
+            "batched-vs-scalar kernel roofline: arithmetic intensity, GFLOP/s, ceilings",
+            roofline,
         ),
     ]
 }

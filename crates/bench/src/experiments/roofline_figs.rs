@@ -1,0 +1,394 @@
+//! The `roofline` experiment: where does the batched evaluation kernel
+//! sit relative to the machine's ceilings, and what explains the gap?
+//!
+//! Four routes evaluate the same 10k-point Figure 10-style grid:
+//!
+//! * `kernel_serial` — the scalar reference kernel, one
+//!   [`drone_dse::eval::evaluate`] call per point;
+//! * `kernel_batched` — the struct-of-arrays
+//!   [`drone_dse::eval::evaluate_many`] kernel;
+//! * `engine_serial_cold` — the pre-batching engine route: one
+//!   [`EvalCache::get_or_evaluate`] per point against a cold cache;
+//! * `engine_batched_cold` / `engine_batched_threads` — the current
+//!   engine path (cache partition + batched kernel) on a cold cache,
+//!   single-threaded and at the `--threads` worker count.
+//!
+//! The artifact splits into a **deterministic core** and a `measured`
+//! subsection. The core — batch profile counters, the documented
+//! nominal operation model, the derived arithmetic intensity, and an
+//! FNV digest proving the serial and batched routes return bit-identical
+//! results — is a pure function of the grid, byte-identical at
+//! `--threads 1` and `--threads 4` (CI strips `measured` and diffs
+//! exactly that). `measured` carries the wall-clock numbers: ns/point,
+//! achieved GFLOP/s and GB/s per route, speedups, and a `powf`
+//! throughput microprobe that locates the kernel's transcendental
+//! ceiling on the host.
+//!
+//! The operation model is a *nominal* convention, not a hardware
+//! counter: each sizing iteration is billed with the FLOPs visible in
+//! the source (`powf` at a fixed 25-FLOP convention for its exp/log
+//! polynomial core) and each lane touch with its bytes. That is what a
+//! whiteboard roofline needs — consistent units on both axes — and it
+//! keeps the artifact independent of CPU model and compiler version.
+
+use super::serve_figs::fnv_digest;
+use crate::experiments::Report;
+use crate::table::{f, Table};
+use drone_components::battery::CellCount;
+use drone_dse::eval::{evaluate, BatchProfile, DesignQuery, EvalBatch};
+use drone_dse::power::PowerModel;
+use drone_explorer::{EvalCache, Explorer, GridRange, QueryRanges};
+use drone_telemetry::Json;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Nominal FLOPs billed per `powf` call (exp/log polynomial core).
+const POWF_NOMINAL_FLOPS: u64 = 25;
+/// Pass 1 (weight → thrust → shaft → torque): adds, muls, one divide,
+/// one sqrt, `powi(3)` as two muls — counted off the source.
+const PASS1_FLOPS: u64 = 16;
+/// Pass 2 (motor weight): one `powf` plus a mul and a max.
+const PASS2_FLOPS: u64 = POWF_NOMINAL_FLOPS + 2;
+/// Pass 3 (ESC fit, Eq. 1 update, convergence test).
+const PASS3_FLOPS: u64 = 12;
+/// One Eq. 1–2 sizing iteration across all three passes.
+const FLOPS_PER_SIZING_ITER: u64 = PASS1_FLOPS + PASS2_FLOPS + PASS3_FLOPS;
+/// The Eq. 3–7 epilogue per sized lane (power, flight time, shares).
+const FLOPS_PER_DERIVE: u64 = 25;
+/// Lane bytes touched per sizing iteration: pass 1 reads six f64 lanes
+/// and writes two scratch lanes, pass 2 rewrites one, pass 3 reads four
+/// and writes two f64 lanes plus two mask bytes.
+const BYTES_PER_SIZING_ITER: u64 = (6 + 2 + 2 + 4 + 2) * 8 + 2;
+/// Lane bytes to set a point up (13 lanes) and read it back out (~6).
+const BYTES_PER_POINT: u64 = 19 * 8;
+
+/// The same grid `benches/explorer.rs` sweeps: 24 wheelbases x 3 cell
+/// counts x 24 capacities x 3 compute powers x 2 payloads.
+fn sweep_grid() -> Vec<DesignQuery> {
+    QueryRanges {
+        wheelbase_mm: GridRange::new(100.0, 800.0, 24),
+        cells: vec![CellCount::S1, CellCount::S3, CellCount::S6],
+        capacity_mah: GridRange::new(1000.0, 8000.0, 24),
+        compute_power_w: GridRange::new(3.0, 20.0, 3),
+        twr: GridRange::fixed(drone_components::paper::PAPER_TWR),
+        payload_g: GridRange::new(0.0, 200.0, 2),
+    }
+    .grid()
+}
+
+/// Renders one evaluation outcome to an exact, order-independent line
+/// for the lockstep digest (`f64` bits, not decimal formatting).
+fn outcome_line(i: usize, result: &drone_explorer::EvalResult) -> String {
+    match result {
+        Ok(e) => format!(
+            "{i}:{:016x}:{:016x}:{:016x}:{:016x}:{:016x}:{:016x}",
+            e.weight_g.to_bits(),
+            e.hover_power_w.to_bits(),
+            e.maneuver_power_w.to_bits(),
+            e.flight_time_min.to_bits(),
+            e.compute_share_hover.to_bits(),
+            e.compute_share_maneuver.to_bits(),
+        ),
+        Err(err) => format!("{i}:{err}"),
+    }
+}
+
+/// Best-of-`reps` wall time of `run`, in nanoseconds.
+fn best_ns(reps: usize, mut run: impl FnMut()) -> u64 {
+    let mut best = u64::MAX;
+    for _ in 0..reps {
+        let start = Instant::now();
+        run();
+        best = best.min(start.elapsed().as_nanos() as u64);
+    }
+    best
+}
+
+/// The nominal FLOP/byte totals for one pass over the grid.
+fn op_totals(profile: &BatchProfile) -> (u64, u64) {
+    let sized = (profile.points - profile.invalid_parameter) as u64;
+    let flops = profile.sizing_iterations * FLOPS_PER_SIZING_ITER + sized * FLOPS_PER_DERIVE;
+    let bytes = profile.sizing_iterations * BYTES_PER_SIZING_ITER + sized * BYTES_PER_POINT;
+    (flops, bytes)
+}
+
+/// One measured route: wall time plus the achieved-rate coordinates.
+fn mode_json(ns: u64, points: usize, flops: u64, bytes: u64, serial_ns: u64) -> Json {
+    let secs = ns as f64 * 1e-9;
+    Json::obj()
+        .with("ns", ns)
+        .with("ns_per_point", ns as f64 / points as f64)
+        .with("gflops", flops as f64 * 1e-9 / secs)
+        .with("gb_per_s", bytes as f64 * 1e-9 / secs)
+        .with("speedup_vs_kernel_serial", serial_ns as f64 / ns as f64)
+}
+
+/// Runs the roofline study. See the module docs for the artifact shape.
+pub fn roofline() -> Report {
+    let grid = sweep_grid();
+    let points = grid.len();
+    let model = PowerModel::paper_defaults();
+
+    // Deterministic core: profile counters + lockstep digest.
+    let batch = EvalBatch::new(&grid);
+    let (batched_results, profile) = batch.run_profiled(&model);
+    let serial_results: Vec<drone_explorer::EvalResult> = grid.iter().map(evaluate).collect();
+    let mut serial_lines: Vec<String> = serial_results
+        .iter()
+        .enumerate()
+        .map(|(i, r)| outcome_line(i, r))
+        .collect();
+    let mut batched_lines: Vec<String> = batched_results
+        .iter()
+        .enumerate()
+        .map(|(i, r)| outcome_line(i, r))
+        .collect();
+    let serial_digest = fnv_digest(&mut serial_lines);
+    let batched_digest = fnv_digest(&mut batched_lines);
+    let (flops, bytes) = op_totals(&profile);
+    let iters_per_point = profile.sizing_iterations as f64 / profile.points as f64;
+    let intensity = flops as f64 / bytes as f64;
+
+    // Measured routes (wall clock; `measured` is stripped before CI's
+    // thread-count byte comparison).
+    let serial_ns = best_ns(5, || {
+        black_box(grid.iter().map(evaluate).collect::<Vec<_>>());
+    });
+    let batched_ns = best_ns(5, || {
+        black_box(EvalBatch::new(black_box(&grid)).run(&model));
+    });
+    let engine_serial_ns = best_ns(3, || {
+        let cache = EvalCache::with_defaults();
+        black_box(
+            grid.iter()
+                .map(|q| cache.get_or_evaluate(q))
+                .collect::<Vec<_>>(),
+        );
+    });
+    let engine_batched_ns = best_ns(3, || {
+        black_box(Explorer::new(1).evaluate_points(black_box(&grid)));
+    });
+    let threads = drone_explorer::default_threads();
+    let engine_threads_ns = best_ns(3, || {
+        black_box(Explorer::with_default_threads().evaluate_points(black_box(&grid)));
+    });
+
+    // `powf` throughput microprobe: independent calls at batch-like
+    // argument magnitudes, so the floor reflects pipelined throughput
+    // (the batched kernel's pass 2), not the scalar kernel's
+    // loop-carried latency chain.
+    let torques: Vec<f64> = (0..profile.sizing_iterations)
+        .map(|i| 1e-4 + (i % 1000) as f64 * 1e-5)
+        .collect();
+    let powf_ns = best_ns(5, || {
+        let mut acc = 0.0f64;
+        for &t in &torques {
+            acc += t.powf(0.407);
+        }
+        black_box(acc);
+    });
+    let powf_per_call = powf_ns as f64 / profile.sizing_iterations as f64;
+    let powf_floor_per_point = powf_ns as f64 / points as f64;
+
+    let metrics = Json::obj()
+        .with(
+            "grid",
+            Json::obj()
+                .with("points", points)
+                .with("unique_wheelbases", batch.tables().unique_wheelbases()),
+        )
+        .with(
+            "profile",
+            Json::obj()
+                .with("feasible", profile.feasible)
+                .with("invalid_parameter", profile.invalid_parameter)
+                .with("diverged", profile.diverged)
+                .with("discharge_limited", profile.discharge_limited)
+                .with("sizing_iterations", profile.sizing_iterations)
+                .with("fixed_point_rounds", profile.fixed_point_rounds)
+                .with("iters_per_point", iters_per_point),
+        )
+        .with(
+            "op_model",
+            Json::obj()
+                .with("flops_per_sizing_iter", FLOPS_PER_SIZING_ITER)
+                .with("powf_nominal_flops", POWF_NOMINAL_FLOPS)
+                .with("flops_per_derive", FLOPS_PER_DERIVE)
+                .with("bytes_per_sizing_iter", BYTES_PER_SIZING_ITER)
+                .with("bytes_per_point", BYTES_PER_POINT)
+                .with("total_flops", flops)
+                .with("total_bytes", bytes)
+                .with("arithmetic_intensity_flops_per_byte", intensity),
+        )
+        .with(
+            "lockstep",
+            Json::obj()
+                .with("serial_digest", serial_digest.clone())
+                .with("batched_digest", batched_digest.clone())
+                .with("identical", serial_digest == batched_digest),
+        )
+        .with(
+            "measured",
+            Json::obj()
+                .with("threads", threads)
+                .with(
+                    "modes",
+                    Json::obj()
+                        .with(
+                            "kernel_serial",
+                            mode_json(serial_ns, points, flops, bytes, serial_ns),
+                        )
+                        .with(
+                            "kernel_batched",
+                            mode_json(batched_ns, points, flops, bytes, serial_ns),
+                        )
+                        .with(
+                            "engine_serial_cold",
+                            mode_json(engine_serial_ns, points, flops, bytes, serial_ns),
+                        )
+                        .with(
+                            "engine_batched_cold",
+                            mode_json(engine_batched_ns, points, flops, bytes, serial_ns),
+                        )
+                        .with(
+                            "engine_batched_threads",
+                            mode_json(engine_threads_ns, points, flops, bytes, serial_ns),
+                        ),
+                )
+                .with(
+                    "powf_ceiling",
+                    Json::obj()
+                        .with("ns_per_call", powf_per_call)
+                        .with("floor_ns_per_point", powf_floor_per_point),
+                ),
+        );
+
+    let mut text = format!(
+        "evaluation-kernel roofline — {points} grid points, {:.2} sizing iterations/point\n\
+         nominal work: {:.1} MFLOP / {:.1} MB -> arithmetic intensity {:.2} FLOP/byte\n\
+         lockstep: serial and batched digests {} ({serial_digest})\n\n",
+        iters_per_point,
+        flops as f64 * 1e-6,
+        bytes as f64 * 1e-6,
+        intensity,
+        if serial_digest == batched_digest {
+            "match"
+        } else {
+            "DIFFER"
+        },
+    );
+    let mut table = Table::new(vec![
+        "route",
+        "ns/point",
+        "GFLOP/s",
+        "GB/s",
+        "speedup vs kernel_serial",
+    ]);
+    for (name, ns) in [
+        ("kernel_serial", serial_ns),
+        ("kernel_batched", batched_ns),
+        ("engine_serial_cold", engine_serial_ns),
+        ("engine_batched_cold", engine_batched_ns),
+        (
+            match threads {
+                1 => "engine_batched_threads (1)",
+                _ => "engine_batched_threads",
+            },
+            engine_threads_ns,
+        ),
+    ] {
+        let secs = ns as f64 * 1e-9;
+        table.row(vec![
+            name.into(),
+            f(ns as f64 / points as f64, 0),
+            f(flops as f64 * 1e-9 / secs, 2),
+            f(bytes as f64 * 1e-9 / secs, 2),
+            f(serial_ns as f64 / ns as f64, 2),
+        ]);
+    }
+    text.push_str(&table.render());
+    text.push_str(&format!(
+        "\npowf ceiling: {:.0} ns/call at throughput -> {:.0} ns/point floor \
+         ({:.2} iterations x one powf each).\n\
+         The batched kernel sits {:.1}x above that floor; the remainder is the\n\
+         polynomial passes, lane setup and the result gather. The scalar kernel\n\
+         cannot approach the floor at all: its fixed point feeds each powf's\n\
+         result into the next iteration, so the calls serialize at latency\n\
+         instead of pipelining at throughput.\n",
+        powf_per_call,
+        powf_floor_per_point,
+        iters_per_point,
+        batched_ns as f64 / points as f64 / powf_floor_per_point,
+    ));
+    Report::new(text, metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The deterministic core (everything but `measured`) must be a
+    /// pure function of the grid — identical at any thread count.
+    #[test]
+    fn roofline_core_is_thread_count_invariant() {
+        let core = |report: &Report| {
+            let m = &report.metrics;
+            ["grid", "profile", "op_model", "lockstep"]
+                .map(|key| m.get(key).expect(key).render())
+                .join("\n")
+        };
+        drone_explorer::set_default_threads(1);
+        let serial = roofline();
+        drone_explorer::set_default_threads(3);
+        let parallel = roofline();
+        drone_explorer::set_default_threads(0);
+        assert_eq!(
+            core(&serial),
+            core(&parallel),
+            "deterministic core must not depend on thread count"
+        );
+    }
+
+    #[test]
+    fn roofline_proves_lockstep_and_meaningful_rates() {
+        let report = roofline();
+        let m = &report.metrics;
+        assert_eq!(
+            m.get("lockstep").unwrap().get("identical"),
+            Some(&Json::Bool(true)),
+            "batched kernel drifted from the scalar reference"
+        );
+        let intensity = m
+            .get("op_model")
+            .unwrap()
+            .get("arithmetic_intensity_flops_per_byte")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert!(intensity > 0.1 && intensity < 10.0, "{intensity}");
+        let modes = m.get("measured").unwrap().get("modes").unwrap();
+        let ns = |mode: &str| {
+            modes
+                .get(mode)
+                .unwrap()
+                .get("ns")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+        };
+        assert!(
+            ns("kernel_batched") <= ns("kernel_serial"),
+            "batched kernel slower than scalar: {} vs {}",
+            ns("kernel_batched"),
+            ns("kernel_serial"),
+        );
+        let gflops = modes
+            .get("kernel_batched")
+            .unwrap()
+            .get("gflops")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert!(gflops > 0.0, "degenerate GFLOP/s");
+    }
+}

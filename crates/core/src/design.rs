@@ -17,10 +17,10 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Wiring/harness weight as a fraction of the electromechanical weight.
-const WIRING_FRACTION: f64 = 0.04;
+pub(crate) const WIRING_FRACTION: f64 = 0.04;
 
 /// Input specification for a design point.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct DesignSpec {
     /// Frame wheelbase, mm.
     pub wheelbase_mm: f64,
@@ -111,13 +111,10 @@ impl DesignSpec {
     /// invalid.
     pub fn size(&self) -> Result<SizedDrone, DesignError> {
         if !(1.05..=10.0).contains(&self.twr) {
-            return Err(DesignError::InvalidParameter(format!("TWR {}", self.twr)));
+            return Err(DesignError::InvalidTwr(self.twr));
         }
         if self.wheelbase_mm < 30.0 || self.wheelbase_mm > 1500.0 {
-            return Err(DesignError::InvalidParameter(format!(
-                "wheelbase {} mm",
-                self.wheelbase_mm
-            )));
+            return Err(DesignError::InvalidWheelbase(self.wheelbase_mm));
         }
         let frame = Frame::from_model(Millimeters(self.wheelbase_mm));
         let propeller = Propeller::standard(frame.max_propeller_inches());
@@ -164,7 +161,7 @@ impl DesignSpec {
         }
 
         Ok(SizedDrone {
-            spec: self.clone(),
+            spec: *self,
             frame,
             propeller,
             motor,
@@ -177,10 +174,18 @@ impl DesignSpec {
 }
 
 /// Why a design cannot be realized.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Carries only plain numbers so constructing one on the hot path never
+/// allocates — a capacity sweep rejects thousands of corners, and the
+/// old `InvalidParameter(String)` variant formatted a fresh `String`
+/// for every one of them. The human-readable text renders lazily (and
+/// identically to the old wire format) in `Display`.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum DesignError {
-    /// A parameter is outside the modelled range.
-    InvalidParameter(String),
+    /// The thrust-to-weight target is outside the modelled 1.05–10 range.
+    InvalidTwr(f64),
+    /// The wheelbase is outside the modelled 30–1500 mm range.
+    InvalidWheelbase(f64),
     /// The weight/thrust fixed point diverged (motors can't lift
     /// themselves at this TWR).
     SizingDiverged,
@@ -196,7 +201,10 @@ pub enum DesignError {
 impl fmt::Display for DesignError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DesignError::InvalidParameter(p) => write!(f, "invalid design parameter: {p}"),
+            DesignError::InvalidTwr(twr) => write!(f, "invalid design parameter: TWR {twr}"),
+            DesignError::InvalidWheelbase(wheelbase) => {
+                write!(f, "invalid design parameter: wheelbase {wheelbase} mm")
+            }
             DesignError::SizingDiverged => f.write_str("sizing fixed point diverged"),
             DesignError::BatteryDischargeLimit {
                 required,
@@ -211,7 +219,7 @@ impl fmt::Display for DesignError {
 impl std::error::Error for DesignError {}
 
 /// A fully sized drone: every component selected, weights resolved.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SizedDrone {
     /// The input specification.
     pub spec: DesignSpec,
@@ -393,11 +401,32 @@ mod tests {
     fn invalid_parameters_rejected() {
         assert!(matches!(
             spec_450().with_twr(0.5).size().unwrap_err(),
-            DesignError::InvalidParameter(_)
+            DesignError::InvalidTwr(_)
         ));
-        assert!(DesignSpec::new(10.0, CellCount::S1, MilliampHours(500.0))
-            .size()
-            .is_err());
+        assert!(matches!(
+            DesignSpec::new(10.0, CellCount::S1, MilliampHours(500.0))
+                .size()
+                .unwrap_err(),
+            DesignError::InvalidWheelbase(_)
+        ));
+    }
+
+    #[test]
+    fn error_text_matches_the_legacy_wire_format() {
+        // The typed variants must render byte-identically to the old
+        // `InvalidParameter(String)` texts: serving-layer replies and
+        // logs key off these strings.
+        assert_eq!(
+            spec_450().with_twr(0.5).size().unwrap_err().to_string(),
+            "invalid design parameter: TWR 0.5"
+        );
+        assert_eq!(
+            DesignSpec::new(10.0, CellCount::S1, MilliampHours(500.0))
+                .size()
+                .unwrap_err()
+                .to_string(),
+            "invalid design parameter: wheelbase 10 mm"
+        );
     }
 
     #[test]

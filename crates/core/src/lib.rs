@@ -54,7 +54,8 @@ pub mod sweep;
 
 pub use design::{DesignSpec, SizedDrone};
 pub use eval::{
-    evaluate, evaluate_traced, evaluate_with, evaluate_with_traced, DesignEval, DesignQuery,
+    evaluate, evaluate_many, evaluate_many_with, evaluate_traced, evaluate_with,
+    evaluate_with_traced, BatchProfile, DesignEval, DesignQuery, EvalBatch, ModelTables,
     OBJECTIVE_SENSES,
 };
 pub use power::{FlyingLoad, PowerBreakdown, PowerModel};

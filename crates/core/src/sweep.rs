@@ -5,7 +5,7 @@
 //! power vs take-off weight (Figures 10a–c) and the computation power
 //! share for 3 W and 20 W chips at hover and maneuver (Figures 10d–f).
 
-use crate::eval::{evaluate, DesignQuery};
+use crate::eval::{evaluate_many, DesignQuery};
 use drone_components::battery::CellCount;
 use drone_components::units::Minutes;
 use serde::{Deserialize, Serialize};
@@ -63,36 +63,45 @@ impl WheelbaseSweep {
     /// Panics if `steps < 2`.
     pub fn run(wheelbase_mm: f64, cells: &[CellCount], steps: usize) -> WheelbaseSweep {
         assert!(steps >= 2, "need at least two sweep steps");
-        let mut points = Vec::new();
-        let mut footprint = Vec::new();
+        // One batched kernel call for the whole sweep: both chip
+        // variants of every corner, interleaved (3 W at 2j, 20 W at
+        // 2j+1). The single-wheelbase batch hoists the frame/propeller
+        // geometry once for all `cells × steps × 2` points.
+        let mut corners: Vec<(CellCount, f64)> = Vec::with_capacity(cells.len() * steps);
+        let mut queries: Vec<DesignQuery> = Vec::with_capacity(cells.len() * steps * 2);
         for &cell in cells {
             for i in 0..steps {
                 let capacity = 1000.0 + (8000.0 - 1000.0) * i as f64 / (steps - 1) as f64;
-                // Both chips must be evaluated before either vector
-                // grows: a corner where only one sizes would otherwise
-                // desynchronize `points` and `footprint`.
                 let query = DesignQuery::new(wheelbase_mm, cell, capacity);
-                let Ok(basic) = evaluate(&query.clone().with_compute_power(3.0)) else {
-                    continue;
-                };
-                let Ok(advanced) = evaluate(&query.with_compute_power(20.0)) else {
-                    continue;
-                };
-                points.push(SweepPoint {
-                    cells: cell,
-                    capacity_mah: capacity,
-                    weight_g: basic.weight_g,
-                    hover_power_w: basic.hover_power_w,
-                    flight_time_min: basic.flight_time_min,
-                });
-                footprint.push(FootprintPoint {
-                    weight_g: basic.weight_g,
-                    basic_hover: basic.compute_share_hover,
-                    basic_maneuver: basic.compute_share_maneuver,
-                    advanced_hover: advanced.compute_share_hover,
-                    advanced_maneuver: advanced.compute_share_maneuver,
-                });
+                corners.push((cell, capacity));
+                queries.push(query.with_compute_power(3.0));
+                queries.push(query.with_compute_power(20.0));
             }
+        }
+        let results = evaluate_many(&queries);
+        let mut points = Vec::new();
+        let mut footprint = Vec::new();
+        for (j, &(cell, capacity)) in corners.iter().enumerate() {
+            // Both chips must size before either vector grows: a corner
+            // where only one sizes would otherwise desynchronize
+            // `points` and `footprint`.
+            let (Ok(basic), Ok(advanced)) = (&results[2 * j], &results[2 * j + 1]) else {
+                continue;
+            };
+            points.push(SweepPoint {
+                cells: cell,
+                capacity_mah: capacity,
+                weight_g: basic.weight_g,
+                hover_power_w: basic.hover_power_w,
+                flight_time_min: basic.flight_time_min,
+            });
+            footprint.push(FootprintPoint {
+                weight_g: basic.weight_g,
+                basic_hover: basic.compute_share_hover,
+                basic_maneuver: basic.compute_share_maneuver,
+                advanced_hover: advanced.compute_share_hover,
+                advanced_maneuver: advanced.compute_share_maneuver,
+            });
         }
         points.sort_by(|a, b| a.weight_g.total_cmp(&b.weight_g));
         footprint.sort_by(|a, b| a.weight_g.total_cmp(&b.weight_g));
@@ -129,6 +138,7 @@ impl WheelbaseSweep {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::eval::evaluate;
 
     #[test]
     fn sweep_produces_points() {

@@ -1,0 +1,122 @@
+//! Pins the kernel's allocation behaviour with a counting global
+//! allocator: the scalar `evaluate` performs **zero** heap allocations
+//! on every outcome class (the old string-carrying `DesignError` and
+//! the redundant `DesignSpec` clone are gone), and the batched
+//! `evaluate_many` allocates O(lanes + unique wheelbases), not
+//! O(points) — the struct-of-arrays buffers amortize across the batch.
+
+use drone_components::battery::CellCount;
+use drone_dse::eval::{evaluate, evaluate_many, DesignQuery};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn allocations_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    f();
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+/// One point per outcome class the kernel can produce.
+fn class_representatives() -> [(&'static str, DesignQuery); 5] {
+    [
+        ("feasible", DesignQuery::new(450.0, CellCount::S3, 4000.0)),
+        (
+            "invalid twr",
+            DesignQuery::new(450.0, CellCount::S3, 4000.0).with_twr(0.5),
+        ),
+        (
+            "invalid wheelbase",
+            DesignQuery::new(10.0, CellCount::S3, 4000.0),
+        ),
+        (
+            "diverged",
+            DesignQuery::new(1500.0, CellCount::S1, 8000.0)
+                .with_twr(10.0)
+                .with_payload(100_000.0),
+        ),
+        (
+            "discharge limited",
+            DesignQuery::new(450.0, CellCount::S3, 150.0).with_payload(800.0),
+        ),
+    ]
+}
+
+// A single test body: the counter is process-global and the test
+// harness runs sibling tests on concurrent threads, so splitting these
+// cases into separate `#[test]`s would race the deltas.
+#[test]
+fn kernel_allocation_budget() {
+    let reps = class_representatives();
+
+    // Warm up once: lazy runtime one-time costs (TLS, panic machinery)
+    // must not be billed to the kernel.
+    for (_, q) in &reps {
+        let _ = evaluate(q);
+    }
+    let warm_batch: Vec<DesignQuery> = (0..64)
+        .map(|i| DesignQuery::new(100.0 + i as f64, CellCount::S3, 4000.0))
+        .collect();
+    let _ = evaluate_many(&warm_batch);
+
+    // Scalar evaluate: zero heap traffic on every outcome class.
+    for (class, q) in &reps {
+        let delta = allocations_during(|| {
+            for _ in 0..100 {
+                let _ = std::hint::black_box(evaluate(std::hint::black_box(q)));
+            }
+        });
+        assert_eq!(
+            delta, 0,
+            "{class}: scalar evaluate allocated {delta} times in 100 calls"
+        );
+    }
+
+    // Batched evaluate_many: the SoA lanes and the wheelbase table are
+    // the only buffers, so a 512-point batch over 8 unique wheelbases
+    // must allocate far fewer than once per point.
+    let batch: Vec<DesignQuery> = (0..512)
+        .map(|i| {
+            DesignQuery::new(
+                100.0 + (i % 8) as f64 * 100.0,
+                CellCount::ALL[i % 6],
+                1000.0 + (i % 16) as f64 * 400.0,
+            )
+        })
+        .collect();
+    let delta = allocations_during(|| {
+        let _ = std::hint::black_box(evaluate_many(std::hint::black_box(&batch)));
+    });
+    assert!(
+        delta < batch.len() as u64,
+        "batched path allocated {delta} times for {} points — lanes are \
+         supposed to amortize, not allocate per point",
+        batch.len()
+    );
+    assert!(
+        delta > 0,
+        "counter wired up (the batch buffers do allocate)"
+    );
+}

@@ -1,0 +1,122 @@
+//! Property tests pinning the batched kernel's one non-negotiable
+//! contract: `evaluate_many` is *bit-exactly* the per-point `evaluate`
+//! loop — same `Ok` outputs down to the last mantissa bit, same typed
+//! errors, over batches that mix every outcome class the kernel can
+//! produce (feasible, invalid-TWR, invalid-wheelbase, diverging,
+//! discharge-limited).
+
+use drone_components::battery::CellCount;
+use drone_dse::eval::{evaluate, evaluate_many, DesignQuery};
+use proptest::prelude::*;
+
+/// A random cell configuration across the full modelled range.
+fn cells() -> impl Strategy<Value = CellCount> {
+    (0usize..6).prop_map(|i| CellCount::ALL[i])
+}
+
+/// A random query whose parameters straddle the kernel's envelope:
+/// wheelbases and TWRs both inside and outside the valid range, tiny
+/// batteries that trip the discharge limit, heavy payloads and hungry
+/// compute boards that push the sizing fixed point toward divergence.
+fn query() -> impl Strategy<Value = DesignQuery> {
+    (
+        20.0f64..1600.0, // spills past the 30–1500 mm envelope
+        cells(),
+        200.0f64..9000.0, // small capacities hit the discharge gate
+        0.5f64..60.0,     // compute board, W
+        0.5f64..11.0,     // spills past the 1.05–10 TWR envelope
+        0.0f64..1500.0,   // payload, g — large values diverge sizing
+    )
+        .prop_map(
+            |(wheelbase_mm, cells, capacity_mah, compute, twr, payload)| {
+                DesignQuery::new(wheelbase_mm, cells, capacity_mah)
+                    .with_compute_power(compute)
+                    .with_twr(twr)
+                    .with_payload(payload)
+            },
+        )
+}
+
+fn batches() -> impl Strategy<Value = Vec<DesignQuery>> {
+    prop::collection::vec(query(), 0..48)
+}
+
+/// Exact comparison: `Ok` fields by `to_bits`, errors by value.
+fn assert_bit_identical(
+    scalar: &Result<drone_dse::eval::DesignEval, drone_dse::design::DesignError>,
+    batched: &Result<drone_dse::eval::DesignEval, drone_dse::design::DesignError>,
+    i: usize,
+) -> Result<(), proptest::test_runner::CaseError> {
+    match (scalar, batched) {
+        (Ok(s), Ok(b)) => {
+            for (name, sv, bv) in [
+                ("weight_g", s.weight_g, b.weight_g),
+                ("hover_power_w", s.hover_power_w, b.hover_power_w),
+                ("maneuver_power_w", s.maneuver_power_w, b.maneuver_power_w),
+                ("flight_time_min", s.flight_time_min, b.flight_time_min),
+                (
+                    "compute_share_hover",
+                    s.compute_share_hover,
+                    b.compute_share_hover,
+                ),
+                (
+                    "compute_share_maneuver",
+                    s.compute_share_maneuver,
+                    b.compute_share_maneuver,
+                ),
+            ] {
+                prop_assert_eq!(
+                    sv.to_bits(),
+                    bv.to_bits(),
+                    "point {}: {} differs — scalar {:?} vs batched {:?}",
+                    i,
+                    name,
+                    sv,
+                    bv
+                );
+            }
+        }
+        (s, b) => prop_assert_eq!(s, b, "point {}: outcome class differs", i),
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn batched_kernel_is_bit_identical_to_the_scalar_loop(batch in batches()) {
+        let batched = evaluate_many(&batch);
+        prop_assert_eq!(batched.len(), batch.len());
+        for (i, q) in batch.iter().enumerate() {
+            assert_bit_identical(&evaluate(q), &batched[i], i)?;
+        }
+    }
+
+    #[test]
+    fn batch_results_do_not_depend_on_batchmates(batch in batches()) {
+        // Splitting a batch anywhere — including singleton batches —
+        // must not change a single bit: lanes are independent, and the
+        // hoisted tables only cache what each point would compute.
+        let whole = evaluate_many(&batch);
+        let mid = batch.len() / 2;
+        let mut split = evaluate_many(&batch[..mid]);
+        split.extend(evaluate_many(&batch[mid..]));
+        for (i, (w, s)) in whole.iter().zip(&split).enumerate() {
+            assert_bit_identical(w, s, i)?;
+        }
+        for (i, q) in batch.iter().enumerate() {
+            let singleton = evaluate_many(std::slice::from_ref(q));
+            assert_bit_identical(&whole[i], &singleton[0], i)?;
+        }
+    }
+
+    #[test]
+    fn duplicate_points_get_duplicate_answers(q in query(), copies in 2usize..6) {
+        // The wheelbase-keyed table must serve repeated points the same
+        // answer it serves the first occurrence.
+        let batch = vec![q; copies];
+        let results = evaluate_many(&batch);
+        for i in 1..copies {
+            assert_bit_identical(&results[0], &results[i], i)?;
+        }
+    }
+}

@@ -16,6 +16,7 @@
 
 use drone_dse::design::DesignError;
 use drone_dse::eval::{DesignEval, DesignQuery};
+use drone_math::hash::{fnv1a_fold, BuildFnv, FNV_OFFSET};
 use drone_telemetry::{Counter, Registry};
 use std::collections::HashMap;
 use std::collections::VecDeque;
@@ -58,29 +59,26 @@ impl CacheKey {
         }
     }
 
-    /// FNV-1a over the lattice coordinates: a process-independent hash,
-    /// so shard placement (and therefore eviction behaviour) is
-    /// reproducible run to run — `std`'s SipHash seeds are not.
+    /// Word-wise FNV-1a over the lattice coordinates: a
+    /// process-independent hash, so shard placement (and therefore
+    /// eviction behaviour) is reproducible run to run — `std`'s
+    /// SipHash seeds are not. One xor+multiply per coordinate keeps
+    /// the cold path's two hashings (lookup + insert) off the profile.
     fn fnv(&self) -> u64 {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        let mut eat = |v: i64| {
-            for byte in v.to_le_bytes() {
-                h ^= byte as u64;
-                h = h.wrapping_mul(0x0000_0100_0000_01b3);
-            }
-        };
-        eat(self.wheelbase_dmm);
-        eat(self.cells as i64);
-        eat(self.capacity_mah);
-        eat(self.compute_cw);
-        eat(self.twr_milli);
-        eat(self.payload_dg);
-        h
+        let mut h = fnv1a_fold(FNV_OFFSET, self.wheelbase_dmm as u64);
+        h = fnv1a_fold(h, self.cells as u64);
+        h = fnv1a_fold(h, self.capacity_mah as u64);
+        h = fnv1a_fold(h, self.compute_cw as u64);
+        h = fnv1a_fold(h, self.twr_milli as u64);
+        fnv1a_fold(h, self.payload_dg as u64)
     }
 }
 
 struct Shard {
-    map: HashMap<CacheKey, CachedEval>,
+    // FNV-hashed: every cold point pays a lookup *and* an insert, so
+    // the per-operation hash must be a handful of multiplies, not
+    // SipHash over the 41-byte key.
+    map: HashMap<CacheKey, CachedEval, BuildFnv>,
     // FIFO insertion order backing eviction.
     order: VecDeque<CacheKey>,
 }
@@ -103,7 +101,7 @@ impl EvalCache {
             shards: (0..shards)
                 .map(|_| {
                     Mutex::new(Shard {
-                        map: HashMap::new(),
+                        map: HashMap::default(),
                         order: VecDeque::new(),
                     })
                 })
@@ -145,7 +143,7 @@ impl EvalCache {
         match shard.map.get(key) {
             Some(value) => {
                 self.hits.inc();
-                Some(value.clone())
+                Some(*value)
             }
             None => {
                 self.misses.inc();
@@ -182,7 +180,7 @@ impl EvalCache {
             return cached;
         }
         let fresh = drone_dse::eval::evaluate(query);
-        self.insert(key, fresh.clone());
+        self.insert(key, fresh);
         fresh
     }
 

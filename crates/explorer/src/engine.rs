@@ -10,12 +10,12 @@
 //! changes between rounds, on the coordinating thread, in point order.
 
 use crate::cache::{CacheKey, EvalCache};
-use crate::executor::{ParallelExecutor, TaskPanic};
+use crate::executor::{panic_message, ParallelExecutor, TaskPanic};
 use crate::pareto::ParetoFrontier;
 use crate::query::{Query, QueryAnswer};
-use drone_dse::eval::{evaluate_traced, DesignEval, DesignQuery, OBJECTIVE_SENSES};
+use drone_dse::eval::{evaluate_many, evaluate_traced, DesignEval, DesignQuery, OBJECTIVE_SENSES};
 use drone_math::stats::{argmax, argmin};
-use drone_math::Sense;
+use drone_math::{BuildFnv, Sense};
 use drone_telemetry::trace::Span;
 use drone_telemetry::{Clock, Registry, SharedHistogram};
 use std::collections::{HashMap, HashSet};
@@ -153,7 +153,9 @@ impl Explorer {
         let keys: Vec<CacheKey> = points.iter().map(CacheKey::quantize).collect();
         let mut resolved: Vec<Option<EvalResult>> = vec![None; points.len()];
         // Unique uncached keys → the index of their first occurrence.
-        let mut pending: HashMap<CacheKey, usize> = HashMap::new();
+        // FNV-hashed: every cold point probes this map twice (dedup +
+        // duplicate resolution) on top of the cache's own lookups.
+        let mut pending: HashMap<CacheKey, usize, BuildFnv> = HashMap::default();
         let mut work: Vec<usize> = Vec::new();
         for (i, key) in keys.iter().enumerate() {
             if pending.contains_key(key) {
@@ -180,35 +182,25 @@ impl Explorer {
             }
         }
 
-        let queries: Vec<&DesignQuery> = work.iter().map(|&i| &points[i]).collect();
+        // Fresh points dispatch in per-worker *blocks*: each block
+        // funnels through one batched `evaluate_many` call instead of
+        // point-at-a-time scalar evaluation. The batched kernel's lanes
+        // never interact, so how points group into blocks (which varies
+        // with the thread count) cannot change any output bit; results
+        // scatter back by input index as before.
+        let queries: Vec<DesignQuery> = work.iter().map(|&i| points[i]).collect();
         let hook = self.eval_hook.as_deref();
         let work_ref = &work;
-        let fresh = self.executor.try_map_located(&queries, |worker, j, q| {
-            // The span order is the point's *input* index, not the
-            // dispatch index: identical across thread counts. It is
-            // created before the hook runs so a panicking evaluation
-            // still records its span (tagged as far as it got) during
-            // unwind.
-            let mut span = parent.map(|p| {
-                let mut span = p.child("point", work_ref[j] as u64);
-                span.set_worker(worker);
-                span.tag("cache", "miss");
-                span
+        let fresh = self
+            .executor
+            .try_map_blocked(&queries, |worker, start, block| {
+                evaluate_block(worker, start, block, work_ref, parent, hook)
             });
-            if let Some(hook) = hook {
-                hook(q);
-            }
-            let result = evaluate_traced(q, span.as_ref());
-            if let Some(span) = span.as_mut() {
-                span.tag("feasible", result.is_ok());
-            }
-            result
-        });
         let mut first_panic: Option<TaskPanic> = None;
         for (&i, result) in work.iter().zip(fresh) {
             match result {
                 Ok(result) => {
-                    self.cache.insert(keys[i], result.clone());
+                    self.cache.insert(keys[i], result);
                     resolved[i] = Some(result);
                 }
                 Err(caught) => {
@@ -227,7 +219,7 @@ impl Explorer {
         for i in 0..resolved.len() {
             if resolved[i].is_none() {
                 let first = pending[&keys[i]];
-                let value = resolved[first].clone().expect("first occurrence evaluated");
+                let value = resolved[first].expect("first occurrence evaluated");
                 resolved[i] = Some(value);
             }
         }
@@ -280,7 +272,7 @@ impl Explorer {
         // Refinement rounds revisit the incumbent's neighbourhood; each
         // unique design enters the feasible pool (and so the frontier)
         // once, however many rounds touch it.
-        let mut seen: HashSet<CacheKey> = HashSet::new();
+        let mut seen: HashSet<CacheKey, BuildFnv> = HashSet::default();
 
         for round in 0..=query.refine_rounds {
             if round > 0 {
@@ -316,11 +308,7 @@ impl Explorer {
         for (i, eval) in feasible.iter().enumerate() {
             frontier.insert(i, &eval.objectives());
         }
-        let frontier: Vec<DesignEval> = frontier
-            .members()
-            .iter()
-            .map(|m| feasible[m.id].clone())
-            .collect();
+        let frontier: Vec<DesignEval> = frontier.members().iter().map(|m| feasible[m.id]).collect();
 
         if let (Some(t), Some(start)) = (self.telemetry.as_ref(), started) {
             t.latency.record(t.clock.now() - start);
@@ -362,7 +350,7 @@ impl Explorer {
             Sense::Maximize => argmax(&scores),
             Sense::Minimize => argmin(&scores),
         }?;
-        Some(feasible[idx].clone())
+        Some(feasible[idx])
     }
 }
 
@@ -370,6 +358,98 @@ impl Default for Explorer {
     fn default() -> Self {
         Explorer::with_default_threads()
     }
+}
+
+/// Evaluates one executor block of fresh points through the batched
+/// kernel, preserving the per-point contracts of the old scalar
+/// dispatch:
+///
+/// * every point opens its `point` span (order = input index, so span
+///   ids stay thread-count independent) *before* the hook runs, and the
+///   span records however far the point got;
+/// * a panicking [`EvalHook`] fails only its own point — healthy
+///   block-mates still evaluate (and later enter the cache);
+/// * the `eval.size`/`eval.power` leaf spans and `feasible` tags appear
+///   exactly as `evaluate_traced` would have recorded them;
+/// * if a degenerate point would panic the kernel itself, the block
+///   degrades to per-point scalar evaluation so the panic stays in its
+///   own slot with its own message.
+fn evaluate_block(
+    worker: usize,
+    start: usize,
+    block: &[DesignQuery],
+    input_index: &[usize],
+    parent: Option<&Span>,
+    hook: Option<&(dyn Fn(&DesignQuery) + Send + Sync)>,
+) -> Vec<Result<EvalResult, TaskPanic>> {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    let mut spans: Vec<Option<Span>> = (0..block.len())
+        .map(|k| {
+            parent.map(|p| {
+                let mut span = p.child("point", input_index[start + k] as u64);
+                span.set_worker(worker);
+                span.tag("cache", "miss");
+                span
+            })
+        })
+        .collect();
+    let mut out: Vec<Option<Result<EvalResult, TaskPanic>>> = vec![None; block.len()];
+    let mut live: Vec<usize> = Vec::with_capacity(block.len());
+    if let Some(hook) = hook {
+        for (k, q) in block.iter().enumerate() {
+            match catch_unwind(AssertUnwindSafe(|| hook(q))) {
+                Ok(()) => live.push(k),
+                Err(payload) => {
+                    out[k] = Some(Err(TaskPanic {
+                        message: panic_message(payload.as_ref()),
+                    }));
+                }
+            }
+        }
+    } else {
+        live.extend(0..block.len());
+    }
+
+    let live_queries: Vec<DesignQuery> = live.iter().map(|&k| block[k]).collect();
+    match catch_unwind(AssertUnwindSafe(|| evaluate_many(&live_queries))) {
+        Ok(results) => {
+            for (&k, result) in live.iter().zip(results) {
+                if let Some(span) = spans[k].as_mut() {
+                    // The leaf spans `evaluate_traced` would have
+                    // recorded: `eval.size` closes before `eval.power`
+                    // opens, and the power stage only runs on success.
+                    {
+                        let mut size_span = span.child("eval.size", 0);
+                        size_span.tag("feasible", result.is_ok());
+                    }
+                    if result.is_ok() {
+                        let _power_span = span.child("eval.power", 1);
+                    }
+                    span.tag("feasible", result.is_ok());
+                }
+                out[k] = Some(Ok(result));
+            }
+        }
+        Err(_) => {
+            for &k in &live {
+                let q = &block[k];
+                let span = &mut spans[k];
+                let outcome = catch_unwind(AssertUnwindSafe(move || {
+                    let result = evaluate_traced(q, span.as_ref());
+                    if let Some(span) = span.as_mut() {
+                        span.tag("feasible", result.is_ok());
+                    }
+                    result
+                }));
+                out[k] = Some(outcome.map_err(|payload| TaskPanic {
+                    message: panic_message(payload.as_ref()),
+                }));
+            }
+        }
+    }
+    out.into_iter()
+        .map(|slot| slot.expect("every block slot resolved"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -486,7 +566,7 @@ mod tests {
     fn duplicate_points_coalesce_within_a_batch() {
         let explorer = Explorer::new(4);
         let q = DesignQuery::new(450.0, CellCount::S3, 3000.0);
-        let points = vec![q.clone(), q.clone(), q.clone(), q];
+        let points = vec![q, q, q, q];
         let results = explorer.evaluate_points(&points);
         assert!(results.iter().all(|r| r == &results[0]));
         assert_eq!(explorer.cache().miss_count(), 1);

@@ -68,7 +68,7 @@ impl std::fmt::Display for TaskPanic {
 impl std::error::Error for TaskPanic {}
 
 /// Renders a caught panic payload as text.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_owned()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -246,6 +246,124 @@ impl ParallelExecutor {
             })
             .collect()
     }
+
+    /// Block-batched dispatch: instead of one call per item, `f` is
+    /// invoked once per contiguous *block* `(worker, start, &items
+    /// [start..start+len])` and must return exactly one `Result` per
+    /// block item, in block order. This is the seam batched kernels
+    /// plug into: a block becomes one `evaluate_many` call instead of
+    /// `len` scalar calls.
+    ///
+    /// Blocks are the same contiguous ranges [`ParallelExecutor::
+    /// try_map`] schedules (a few per worker, work-stealing between
+    /// them); the serial path hands the whole slice over as one block.
+    /// Results are scattered back by input index, so the output — like
+    /// `try_map`'s — is in input order at any thread count. How items
+    /// are *grouped into blocks* does depend on the thread count;
+    /// callers needing byte-identical output must use a per-item-
+    /// independent `f` (a batched kernel whose lanes never interact
+    /// qualifies).
+    ///
+    /// A panic inside `f` fails only that block: every slot of the
+    /// block gets an `Err(TaskPanic)` with the payload text. Callers
+    /// wanting finer isolation catch per item inside `f` and report
+    /// through the per-slot `Result`s.
+    pub fn try_map_blocked<T, R, F>(&self, items: &[T], f: F) -> Vec<Result<R, TaskPanic>>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, usize, &[T]) -> Vec<Result<R, TaskPanic>> + Sync,
+    {
+        let run_block = |worker: usize, range: Range<usize>| -> Vec<Result<R, TaskPanic>> {
+            let block = &items[range.clone()];
+            match catch_unwind(AssertUnwindSafe(|| f(worker, range.start, block))) {
+                Ok(results) => {
+                    assert_eq!(
+                        results.len(),
+                        block.len(),
+                        "block callback must return one result per item"
+                    );
+                    results
+                }
+                Err(payload) => {
+                    let message = panic_message(payload.as_ref());
+                    block
+                        .iter()
+                        .map(|_| {
+                            Err(TaskPanic {
+                                message: message.clone(),
+                            })
+                        })
+                        .collect()
+                }
+            }
+        };
+        if self.threads == 1 || items.len() <= 1 {
+            return run_block(0, 0..items.len());
+        }
+
+        let block = items.len().div_ceil(self.threads * 4).max(1);
+        let deques: Vec<Mutex<VecDeque<Range<usize>>>> = (0..self.threads)
+            .map(|_| Mutex::new(VecDeque::new()))
+            .collect();
+        for (b, start) in (0..items.len()).step_by(block).enumerate() {
+            let end = (start + block).min(items.len());
+            lock_deque(&deques[b % self.threads]).push_back(start..end);
+        }
+
+        let mut slots: Vec<Option<Result<R, TaskPanic>>> =
+            std::iter::repeat_with(|| None).take(items.len()).collect();
+        let locals = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.threads)
+                .map(|worker| {
+                    let deques = &deques;
+                    let run_block = &run_block;
+                    scope.spawn(move || {
+                        let mut local: Vec<(usize, Vec<Result<R, TaskPanic>>)> = Vec::new();
+                        loop {
+                            let next = {
+                                let own = lock_deque(&deques[worker]).pop_front();
+                                own.or_else(|| {
+                                    (1..deques.len()).find_map(|offset| {
+                                        let victim = (worker + offset) % deques.len();
+                                        lock_deque(&deques[victim]).pop_back()
+                                    })
+                                })
+                            };
+                            let Some(range) = next else { break };
+                            let start = range.start;
+                            local.push((start, run_block(worker, range)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_default())
+                .collect::<Vec<_>>()
+        });
+        for local in locals {
+            for (start, results) in local {
+                for (offset, r) in results.into_iter().enumerate() {
+                    let i = start + offset;
+                    debug_assert!(slots[i].is_none(), "index {i} evaluated twice");
+                    slots[i] = Some(r);
+                }
+            }
+        }
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                slot.unwrap_or_else(|| {
+                    Err(TaskPanic {
+                        message: format!("index {i} was never evaluated (worker died)"),
+                    })
+                })
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -376,6 +494,82 @@ mod tests {
             let values: Vec<u64> = out.into_iter().map(|r| r.unwrap().1).collect();
             assert_eq!(values, (0..300).map(|x| x * 2).collect::<Vec<u64>>());
         }
+    }
+
+    #[test]
+    fn blocked_map_matches_per_item_map_at_any_thread_count() {
+        let items: Vec<u64> = (0..1003).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for threads in [1, 2, 3, 8] {
+            let out = ParallelExecutor::new(threads).try_map_blocked(&items, |_, start, block| {
+                block
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &x)| {
+                        assert_eq!(items[start + k], x, "block offsets line up");
+                        Ok(x * 3 + 1)
+                    })
+                    .collect()
+            });
+            let values: Vec<u64> = out.into_iter().map(|r| r.unwrap()).collect();
+            assert_eq!(values, expected, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn blocked_map_serial_path_hands_over_one_block() {
+        let items: Vec<u32> = (0..40).collect();
+        let calls = AtomicU64::new(0);
+        let out = ParallelExecutor::new(1).try_map_blocked(&items, |worker, start, block| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            assert_eq!(worker, 0);
+            assert_eq!(start, 0);
+            assert_eq!(block.len(), 40);
+            block.iter().map(|&x| Ok(x)).collect()
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        assert_eq!(out.len(), 40);
+    }
+
+    #[test]
+    fn a_panicking_block_fails_only_its_own_slots() {
+        let items: Vec<u64> = (0..200).collect();
+        for threads in [1, 4] {
+            let out = ParallelExecutor::new(threads).try_map_blocked(&items, |_, start, block| {
+                if (start..start + block.len()).contains(&7) {
+                    panic!("poisoned block at {start}");
+                }
+                block.iter().map(|&x| Ok(x * 2)).collect()
+            });
+            assert_eq!(out.len(), 200);
+            let failed: Vec<usize> = out
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.is_err())
+                .map(|(i, _)| i)
+                .collect();
+            // Exactly the block containing index 7 failed; everything
+            // else evaluated (at 1 thread the whole slice is one block).
+            assert!(failed.contains(&7), "{threads} threads: {failed:?}");
+            if threads == 1 {
+                assert_eq!(failed.len(), 200);
+            } else {
+                assert!(failed.len() < 200, "{threads} threads");
+                for (i, r) in out.iter().enumerate() {
+                    if !failed.contains(&i) {
+                        assert_eq!(r.as_ref().unwrap(), &(i as u64 * 2));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_map_empty_input() {
+        let none: Vec<u32> = vec![];
+        assert!(ParallelExecutor::new(4)
+            .try_map_blocked(&none, |_, _, block| block.iter().map(|&x| Ok(x)).collect())
+            .is_empty());
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //!
 //! The pre-filter rejects candidates *before any kernel call* using
 //! sound lower bounds: the kernel's own parameter envelope (a design
-//! outside it always returns `InvalidParameter`) and a take-off-weight
+//! outside it always returns `InvalidTwr`/`InvalidWheelbase`) and a
+//! take-off-weight
 //! lower bound — frame + compute + sensors + payload + battery is the
 //! sizing fixed point's starting weight, which motors, ESCs, props and
 //! wiring only ever add to. A candidate whose *floor* already breaks
@@ -30,7 +31,7 @@ const WHEELBASE_RANGE: (f64, f64) = (30.0, 1500.0);
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PrefilterReject {
     /// Outside the kernel's modelled parameter range: `evaluate`
-    /// would deterministically return `InvalidParameter`.
+    /// would deterministically return a parameter error.
     Parameter,
     /// The take-off-weight lower bound already exceeds the query's
     /// `max_weight_g`: no sizing outcome can be feasible.
@@ -118,8 +119,8 @@ mod tests {
     #[test]
     fn parameter_prefilter_agrees_with_the_kernel_envelope() {
         // Just inside: kernel evaluates (feasibly or not, but no
-        // InvalidParameter); just outside: prefilter fires and the
-        // kernel confirms with InvalidParameter.
+        // parameter error); just outside: prefilter fires and the
+        // kernel confirms with a typed parameter error.
         let base = DesignQuery::new(450.0, CellCount::S3, 4000.0);
         for (twr, wheelbase, rejected) in [
             (1.05, 450.0, false),
@@ -132,14 +133,15 @@ mod tests {
             let q = DesignQuery {
                 twr,
                 wheelbase_mm: wheelbase,
-                ..base.clone()
+                ..base
             };
             let pre = prefilter(&q, &Constraints::default());
             assert_eq!(pre.is_some(), rejected, "twr {twr} wheelbase {wheelbase}");
             if rejected {
                 assert!(matches!(
                     evaluate(&q),
-                    Err(drone_dse::design::DesignError::InvalidParameter(_))
+                    Err(drone_dse::design::DesignError::InvalidTwr(_)
+                        | drone_dse::design::DesignError::InvalidWheelbase(_))
                 ));
             }
         }
@@ -180,8 +182,8 @@ mod tests {
     fn proxy_comparison_orders_admitted_best_then_by_objective() {
         let good = evaluate(&DesignQuery::new(450.0, CellCount::S3, 4000.0)).unwrap();
         let heavier = evaluate(&DesignQuery::new(650.0, CellCount::S3, 8000.0)).unwrap();
-        let ok_good = Ok(good.clone());
-        let ok_heavy = Ok(heavier.clone());
+        let ok_good = Ok(good);
+        let ok_heavy = Ok(heavier);
         let failed: Result<DesignEval, _> = Err(drone_dse::design::DesignError::SizingDiverged);
         // Admitted beats inadmissible beats failed.
         assert_eq!(

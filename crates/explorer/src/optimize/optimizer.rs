@@ -269,7 +269,7 @@ impl<'a> Optimizer<'a> {
             .frontier
             .members()
             .iter()
-            .map(|m| self.feasible[m.id].1.clone())
+            .map(|m| self.feasible[m.id].1)
             .collect();
         let rounds = if self.pool_sizes.is_empty() {
             1
@@ -356,7 +356,7 @@ impl<'a> Optimizer<'a> {
             span
         });
         self.child_order += 1;
-        let queries: Vec<DesignQuery> = batch.iter().map(|(_, q, _)| q.clone()).collect();
+        let queries: Vec<DesignQuery> = batch.iter().map(|(_, q, _)| *q).collect();
         self.evaluated += queries.len();
         if coarse {
             self.coarse_evals += queries.len();
@@ -366,10 +366,10 @@ impl<'a> Optimizer<'a> {
             .try_evaluate_points_spanned(&queries, span.as_ref())?;
         for ((point, _, key), result) in batch.into_iter().zip(results) {
             self.seen.insert(key);
-            self.outcomes.insert(key, Some(result.clone()));
+            self.outcomes.insert(key, Some(result));
             match result {
                 Ok(eval) if self.req.constraints.admits(&eval) => {
-                    self.feasible.push((point, eval.clone()));
+                    self.feasible.push((point, eval));
                     self.frontier
                         .insert(self.feasible.len() - 1, &eval.objectives());
                 }
@@ -466,7 +466,7 @@ impl<'a> Optimizer<'a> {
             Sense::Maximize => argmax(&scores),
             Sense::Minimize => argmin(&scores),
         }?;
-        Some(self.feasible[idx].1.clone())
+        Some(self.feasible[idx].1)
     }
 }
 

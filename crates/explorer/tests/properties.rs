@@ -3,7 +3,9 @@
 //! extracted frontier is exactly the maximal set, and the parallel
 //! executor is a drop-in for serial iteration at any thread count.
 
-use drone_explorer::{extract_frontier, GridRange, ParallelExecutor, ParetoFrontier};
+use drone_components::battery::CellCount;
+use drone_dse::eval::DesignQuery;
+use drone_explorer::{extract_frontier, Explorer, GridRange, ParallelExecutor, ParetoFrontier};
 use drone_math::{dominates, Sense};
 use proptest::prelude::*;
 
@@ -135,6 +137,74 @@ proptest! {
         for threads in [2usize, 8] {
             let parallel = ParallelExecutor::new(threads).map(&items, f);
             prop_assert_eq!(&parallel, &serial, "{} threads diverged", threads);
+        }
+    }
+
+    #[test]
+    fn blocked_map_matches_serial_at_every_thread_count(
+        items in prop::collection::vec(-1.0e3f64..1.0e3, 0..120),
+    ) {
+        // The block callback sees (worker, start, block) — fold all
+        // three into the output so that any wrong block boundary, any
+        // misplaced scatter offset, or any dropped item changes a slot.
+        // Worker id must NOT leak into results (it varies run to run),
+        // so it is deliberately excluded.
+        let f = |_worker: usize, start: usize, block: &[f64]| {
+            block
+                .iter()
+                .enumerate()
+                .map(|(k, x)| Ok((start + k, x * x + (start + k) as f64)))
+                .collect::<Vec<Result<_, drone_explorer::TaskPanic>>>()
+        };
+        let serial = ParallelExecutor::new(1).try_map_blocked(&items, f);
+        for threads in [2usize, 3, 8] {
+            let parallel = ParallelExecutor::new(threads).try_map_blocked(&items, f);
+            prop_assert_eq!(&parallel, &serial, "{} threads diverged", threads);
+        }
+    }
+
+    #[test]
+    fn engine_answers_are_bit_identical_at_every_thread_count(
+        corners in prop::collection::vec(
+            (60.0f64..1200.0, 0usize..6, 400.0f64..8000.0, 1.2f64..8.0),
+            1..24,
+        ),
+    ) {
+        // The full engine path: cache partitioning, block batching,
+        // batched kernel, scatter — none of it may let thread count
+        // reach the answer bits.
+        let points: Vec<DesignQuery> = corners
+            .into_iter()
+            .map(|(wb, cell, cap, twr)| {
+                DesignQuery::new(wb, CellCount::ALL[cell], cap).with_twr(twr)
+            })
+            .collect();
+        let serial = Explorer::new(1).evaluate_points(&points);
+        for threads in [2usize, 5] {
+            let parallel = Explorer::new(threads).evaluate_points(&points);
+            prop_assert_eq!(parallel.len(), serial.len());
+            for (i, (p, s)) in parallel.iter().zip(&serial).enumerate() {
+                match (p, s) {
+                    (Ok(pe), Ok(se)) => {
+                        prop_assert_eq!(
+                            pe.weight_g.to_bits(), se.weight_g.to_bits(),
+                            "{} threads: point {} weight bits differ", threads, i
+                        );
+                        prop_assert_eq!(
+                            pe.flight_time_min.to_bits(), se.flight_time_min.to_bits(),
+                            "{} threads: point {} flight-time bits differ", threads, i
+                        );
+                        prop_assert_eq!(
+                            pe.hover_power_w.to_bits(), se.hover_power_w.to_bits(),
+                            "{} threads: point {} hover-power bits differ", threads, i
+                        );
+                    }
+                    (p, s) => prop_assert_eq!(
+                        p, s,
+                        "{} threads: point {} outcome class differs", threads, i
+                    ),
+                }
+            }
         }
     }
 }

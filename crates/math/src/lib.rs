@@ -18,6 +18,7 @@
 
 pub mod angles;
 pub mod fixed;
+pub mod hash;
 pub mod matrix;
 pub mod optimize;
 pub mod pareto;
@@ -27,6 +28,7 @@ pub mod rng;
 pub mod stats;
 pub mod vec3;
 
+pub use hash::{BuildFnv, Fnv64};
 pub use matrix::Matrix;
 pub use optimize::{LevenbergMarquardt, LmOutcome, LmReport};
 pub use pareto::{dominates, Sense};

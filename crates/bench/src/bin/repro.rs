@@ -14,6 +14,10 @@
 //! with insertion-ordered keys, so the artifacts are byte-stable.
 //! `--threads N` pins the `drone-explorer` worker count; the artifacts
 //! are byte-identical at any value (CI diffs `--threads 1` vs `4`).
+//! `--shards N` pins the `serve_scale` router sweep to one shard count;
+//! the artifact's deterministic sections are byte-identical at any
+//! value (CI strips the `measured` and `sharding` keys, then diffs).
+//! Experiment names accept `-` for `_` (`serve-scale` == `serve_scale`).
 
 use drone_bench::all_experiments;
 use std::path::PathBuf;
@@ -44,6 +48,14 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             }
+        } else if arg == "--shards" {
+            match iter.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(shards) if shards >= 1 => drone_bench::set_serve_scale_shards(shards),
+                _ => {
+                    eprintln!("--shards needs a positive integer argument");
+                    return ExitCode::FAILURE;
+                }
+            }
         } else {
             names.push(arg.as_str());
         }
@@ -51,7 +63,7 @@ fn main() -> ExitCode {
 
     if names.is_empty() || names[0] == "list" || names[0] == "--help" {
         println!(
-            "usage: repro <experiment>... | all | list [--json <dir>] [--threads <n>]\n\navailable experiments:"
+            "usage: repro <experiment>... | all | list [--json <dir>] [--threads <n>] [--shards <n>]\n\navailable experiments:"
         );
         let width = experiments.iter().map(|e| e.name.len()).max().unwrap_or(0);
         let mut listing: Vec<_> = experiments.iter().collect();
@@ -75,15 +87,17 @@ fn main() -> ExitCode {
     }
 
     for name in selected {
-        match experiments.iter().find(|e| e.name == name) {
+        // Accept `serve-scale` for `serve_scale` and so on.
+        let canonical = name.replace('-', "_");
+        match experiments.iter().find(|e| e.name == canonical) {
             Some(experiment) => {
                 println!("{:=^78}", format!(" {name} "));
                 let report = (experiment.run)();
                 println!("{}", report.text);
                 if let Some(dir) = &json_dir {
-                    let path = dir.join(format!("BENCH_{name}.json"));
+                    let path = dir.join(format!("BENCH_{canonical}.json"));
                     let doc = drone_telemetry::Json::obj()
-                        .with("experiment", name)
+                        .with("experiment", canonical.as_str())
                         .with("description", experiment.description)
                         .with("metrics", report.metrics);
                     if let Err(e) = std::fs::write(&path, doc.render_pretty()) {

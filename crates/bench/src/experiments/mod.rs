@@ -10,6 +10,7 @@ pub mod fault_figs;
 mod optimize_figs;
 mod roofline_figs;
 mod serve_figs;
+mod serve_scale_figs;
 mod slam_figs;
 mod space_figs;
 mod trace_figs;
@@ -26,6 +27,7 @@ pub use fault_figs::faults;
 pub use optimize_figs::optimize;
 pub use roofline_figs::roofline;
 pub use serve_figs::serve;
+pub use serve_scale_figs::{serve_scale, set_serve_scale_shards};
 pub use slam_figs::{figure17, profile_sequence, table5};
 pub use space_figs::{claims, figure10_footprint, figure10_power, figure11, figure14};
 pub use trace_figs::trace;
@@ -195,6 +197,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             "serve",
             "batched DSE query server: throughput, shed drill, graceful drain",
             serve,
+        ),
+        e(
+            "serve_scale",
+            "epoll reactor + sharded scatter/gather: capacity, shard-invariant replies",
+            serve_scale,
         ),
         e(
             "optimize",

@@ -74,6 +74,16 @@ impl CacheKey {
     }
 }
 
+/// The process-level shard a design point routes to: FNV-1a over the
+/// quantized lattice key, modulo `count`. This is the memo cache's
+/// in-process shard scheme lifted to server level — the router uses it
+/// to partition a query's grid across `count` shard servers, and
+/// because it hashes the *quantized* coordinates, every point a shard
+/// evaluates also lands in that shard's own cache partition.
+pub fn shard_of(query: &DesignQuery, count: u32) -> u32 {
+    (CacheKey::quantize(query).fnv() % u64::from(count.max(1))) as u32
+}
+
 struct Shard {
     // FNV-hashed: every cold point pays a lookup *and* an insert, so
     // the per-operation hash must be a handful of multiplies, not
@@ -220,6 +230,24 @@ mod tests {
 
     fn q(capacity: f64) -> DesignQuery {
         DesignQuery::new(450.0, CellCount::S3, capacity)
+    }
+
+    #[test]
+    fn shard_of_partitions_deterministically() {
+        let points: Vec<DesignQuery> = (0..200).map(|i| q(1000.0 + 25.0 * i as f64)).collect();
+        for count in [1u32, 2, 4, 7] {
+            let mut per_shard = vec![0usize; count as usize];
+            for p in &points {
+                let s = shard_of(p, count);
+                assert!(s < count);
+                assert_eq!(s, shard_of(p, count), "placement must be stable");
+                per_shard[s as usize] += 1;
+            }
+            // Disjoint by construction; together the shards cover the set.
+            assert_eq!(per_shard.iter().sum::<usize>(), points.len());
+        }
+        // A zero count is clamped rather than dividing by zero.
+        assert_eq!(shard_of(&q(1000.0), 0), 0);
     }
 
     #[test]

@@ -282,7 +282,13 @@ impl Explorer {
                 };
                 ranges = query.ranges.refined_around(&best.query, query.refine_steps);
             }
-            let grid = ranges.grid();
+            let mut grid = ranges.grid();
+            if let Some(shard) = query.shard {
+                // Scatter path: keep only this process-level partition.
+                // The filter runs before `evaluated +=`, so per-shard
+                // counts sum exactly to the unsharded grid size.
+                grid.retain(|point| crate::cache::shard_of(point, shard.count) == shard.index);
+            }
             evaluated += grid.len();
             let round_span = parent.map(|p| {
                 let mut span = p.child("explore.round", round as u64);
@@ -487,6 +493,38 @@ mod tests {
         assert_eq!(answer.rounds, 1);
         assert_eq!(answer.evaluated, 15);
         assert_eq!(answer.feasible + answer.infeasible, answer.evaluated);
+    }
+
+    #[test]
+    fn sharded_runs_partition_the_grid_exactly() {
+        let explorer = Explorer::new(1);
+        let full = Query::new("t", small_ranges(), Objective::MaxFlightTime).with_refinement(0, 0);
+        let whole = explorer.run(&full);
+
+        let count = 3u32;
+        let parts: Vec<_> = (0..count)
+            .map(|i| explorer.run(&full.clone().with_shard(i, count)))
+            .collect();
+        // Disjoint cover: per-shard counts sum to the unsharded totals.
+        assert_eq!(
+            parts.iter().map(|a| a.evaluated).sum::<usize>(),
+            whole.evaluated
+        );
+        assert_eq!(
+            parts.iter().map(|a| a.feasible).sum::<usize>(),
+            whole.feasible
+        );
+        assert_eq!(
+            parts.iter().map(|a| a.infeasible).sum::<usize>(),
+            whole.infeasible
+        );
+        // The global optimum lives in exactly one shard, so the best of
+        // the shard bests is the unsharded best.
+        let best_of_shards = parts
+            .iter()
+            .filter_map(|a| a.best.as_ref().map(|b| b.flight_time_min))
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(best_of_shards, whole.best.unwrap().flight_time_min);
     }
 
     #[test]

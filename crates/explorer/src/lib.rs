@@ -48,11 +48,12 @@ pub mod optimize;
 pub mod pareto;
 pub mod query;
 
-pub use cache::{CacheKey, CachedEval, EvalCache};
+pub use cache::{shard_of, CacheKey, CachedEval, EvalCache};
 pub use engine::{EvalHook, EvalResult, Explorer};
 pub use executor::{default_threads, set_default_threads, ParallelExecutor, TaskPanic};
 pub use optimize::{Lattice, LatticePoint, OptimizeAnswer, OptimizeRequest, Strategy};
 pub use pareto::{extract_frontier, extract_frontier_2d, FrontierEntry, ParetoFrontier};
 pub use query::{
     Constraints, GridRange, Objective, Query, QueryAnswer, QueryError, QueryLimits, QueryRanges,
+    ShardSpec,
 };

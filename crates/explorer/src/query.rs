@@ -231,6 +231,14 @@ pub enum QueryError {
         /// The configured `max_optimize_budget`.
         max: usize,
     },
+    /// A shard spec with a zero/oversized count or an out-of-range
+    /// index.
+    BadShard {
+        /// Shard index requested.
+        index: u32,
+        /// Shard count requested.
+        count: u32,
+    },
 }
 
 impl fmt::Display for QueryError {
@@ -262,6 +270,13 @@ impl fmt::Display for QueryError {
             }
             QueryError::BadBudget { budget, max } => {
                 write!(f, "optimize budget {budget} outside 1..={max}")
+            }
+            QueryError::BadShard { index, count } => {
+                write!(
+                    f,
+                    "shard: index {index} / count {count} invalid (need 1 <= count <= {} and index < count)",
+                    ShardSpec::MAX_COUNT
+                )
             }
         }
     }
@@ -381,6 +396,37 @@ impl QueryRanges {
     }
 }
 
+/// A process-level shard assignment: restrict evaluation to the grid
+/// points whose quantized-coordinate FNV hash routes to `index` of
+/// `count` shards — the memo cache's shard scheme lifted to process
+/// level (see [`crate::cache::shard_of`]). Each round's grid is
+/// partitioned exactly: the `count` shard grids are disjoint and their
+/// union is the full grid, so per-shard `evaluated` counts sum to the
+/// unsharded total.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardSpec {
+    /// This shard's position in `0..count`.
+    pub index: u32,
+    /// Total shard count (≥ 1, ≤ [`ShardSpec::MAX_COUNT`]).
+    pub count: u32,
+}
+
+impl ShardSpec {
+    /// Most shards a query may name; bounds untrusted input.
+    pub const MAX_COUNT: u32 = 4096;
+
+    /// Checks `1 <= count <= MAX_COUNT` and `index < count`.
+    pub fn validate(&self) -> Result<(), QueryError> {
+        if self.count == 0 || self.count > ShardSpec::MAX_COUNT || self.index >= self.count {
+            return Err(QueryError::BadShard {
+                index: self.index,
+                count: self.count,
+            });
+        }
+        Ok(())
+    }
+}
+
 /// Output-side feasibility constraints.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct Constraints {
@@ -455,6 +501,10 @@ pub struct Query {
     pub refine_rounds: usize,
     /// Samples per swept coordinate in each refinement round.
     pub refine_steps: usize,
+    /// When set, evaluate only this process-level partition of each
+    /// round's grid (the router's scatter path); `None` — the default
+    /// everywhere outside the router — evaluates the full grid.
+    pub shard: Option<ShardSpec>,
 }
 
 impl Query {
@@ -467,7 +517,14 @@ impl Query {
             objective,
             refine_rounds: 2,
             refine_steps: 5,
+            shard: None,
         }
+    }
+
+    /// Restricts evaluation to one process-level shard of the grid.
+    pub fn with_shard(mut self, index: u32, count: u32) -> Query {
+        self.shard = Some(ShardSpec { index, count });
+        self
     }
 
     /// Sets the constraints.
@@ -505,6 +562,9 @@ impl Query {
                 rounds: self.refine_rounds,
                 steps: self.refine_steps,
             });
+        }
+        if let Some(shard) = self.shard {
+            shard.validate()?;
         }
         let points = self.estimated_cost_units();
         if points as usize > limits.max_points {
@@ -756,6 +816,19 @@ mod tests {
             Err(QueryError::TooManyPoints { points: 65, .. })
         ));
         assert_eq!(q.validate(&QueryLimits::default()), Ok(()));
+    }
+
+    #[test]
+    fn shard_specs_validate_index_and_count() {
+        let limits = QueryLimits::default();
+        assert_eq!(valid_query().with_shard(0, 1).validate(&limits), Ok(()));
+        assert_eq!(valid_query().with_shard(3, 4).validate(&limits), Ok(()));
+        for (index, count) in [(0, 0), (4, 4), (0, ShardSpec::MAX_COUNT + 1)] {
+            assert!(matches!(
+                valid_query().with_shard(index, count).validate(&limits),
+                Err(QueryError::BadShard { .. })
+            ));
+        }
     }
 
     #[test]

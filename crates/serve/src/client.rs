@@ -359,11 +359,14 @@ impl Client {
 
     /// Delay before retry number `retry` (1-based): bounded
     /// exponential, scaled by a seeded jitter factor in [0.5, 1.0].
+    /// `retry == 0` is tolerated and treated like the first retry —
+    /// `retry - 1` used to underflow (a debug-build panic, and a
+    /// 2^20-scaled delay in release) if a caller ever passed 0.
     fn backoff_delay(&mut self, retry: u32) -> Duration {
         let doubled = self
             .config
             .backoff_initial_ms
-            .saturating_mul(1u64 << (retry - 1).min(20));
+            .saturating_mul(1u64 << retry.saturating_sub(1).min(20));
         let base = doubled.min(self.config.backoff_max_ms);
         Duration::from_millis((base as f64 * self.jitter.uniform(0.5, 1.0)).round() as u64)
     }
@@ -634,5 +637,40 @@ mod tests {
             .expect("registry counters");
         assert_eq!(counters.get("serve.admin_requests"), Some(&Json::Num(2.0)));
         assert!(server.drain().clean);
+    }
+
+    #[test]
+    fn backoff_delays_are_pinned_for_retry_zero_one_and_past_the_cap() {
+        let registry = Registry::with_wall_clock();
+        let addr: SocketAddr = "127.0.0.1:9".parse().unwrap();
+        let mut client = Client::new(addr, ClientConfig::default(), &registry);
+        // Replicate the client's jitter stream so every delay pins
+        // exactly, not just within bounds.
+        let mut jitter = Pcg32::new(ClientConfig::default().jitter_seed, 0xC11E);
+        let mut expect = |base_ms: f64| {
+            let factor = jitter.uniform(0.5, 1.0);
+            assert!((0.5..=1.0).contains(&factor), "jitter factor {factor}");
+            Duration::from_millis((base_ms * factor).round() as u64)
+        };
+
+        // Regression: retry 0 used to compute `(0 - 1).min(20)` — a
+        // debug-build panic and a 2^20-scaled delay in release. It now
+        // saturates to the first-retry delay.
+        let zero = client.backoff_delay(0);
+        assert_eq!(zero, expect(25.0));
+        assert!(
+            zero <= Duration::from_millis(25),
+            "retry 0 must not blow up"
+        );
+
+        let one = client.backoff_delay(1);
+        assert_eq!(one, expect(25.0));
+        assert!((13..=25).contains(&(one.as_millis() as u64)));
+
+        // Past the shift cap the 400 ms ceiling bounds the base; the
+        // jitter keeps the delay in [200, 400].
+        let far = client.backoff_delay(21);
+        assert_eq!(far, expect(400.0));
+        assert!((200..=400).contains(&(far.as_millis() as u64)));
     }
 }

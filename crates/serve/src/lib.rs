@@ -9,7 +9,7 @@
 //! interesting systems problems move to admission control, batching
 //! and tail latency.
 //!
-//! The crate is three layers, each usable on its own:
+//! The crate is layered, each layer usable on its own:
 //!
 //! - [`protocol`] — pure request/reply code: strict parsing into
 //!   validated [`drone_explorer::Query`] values, typed
@@ -17,13 +17,27 @@
 //!   [`protocol::handle_batch`], which coalesces a batch of request
 //!   lines into **one** [`drone_explorer::Explorer::run_batch`] call
 //!   so pipelined queries share the memoization cache.
+//! - [`framer`] — incremental newline framing shared by both
+//!   front-ends: linear-time watermark scanning, one copy per line,
+//!   `too_large` resynchronization, and the `has_partial` ground
+//!   truth the progress deadlines are armed on.
 //! - [`server`] — the threaded front-end: a single acceptor feeding a
 //!   bounded connection queue drained by a worker pool, structured
 //!   `overloaded` sheds once the queue fills, and a graceful
 //!   [`server::Server::drain`] that joins every thread.
+//! - [`reactor`] — the epoll front-end: per-core reactor threads over
+//!   raw readiness syscalls (no libc, no runtime crate), each owning
+//!   a slab of nonblocking connections, with no idle busy-polling —
+//!   an idle server makes zero `epoll_wait` returns. Same framer,
+//!   same batch core, same `serve.*` metrics as [`server`].
+//! - [`router`] — process-level sharding: the memo cache's
+//!   quantized-FNV scheme lifted to N engine shards behind a thin
+//!   scatter/gather front whose input-ordered merge makes replies
+//!   byte-identical at every shard count (DESIGN §14).
 //! - [`workload`] — deterministic seeded client workloads, so the
-//!   `repro serve` benchmark replays the same byte stream every run
-//!   and its artifact stays byte-stable across thread counts.
+//!   `repro serve` / `repro serve_scale` benchmarks replay the same
+//!   byte stream every run and their artifacts stay byte-stable
+//!   across thread counts.
 //!
 //! Nothing in the request path may panic on untrusted input;
 //! `tests/properties.rs` feeds arbitrary bytes and adversarial grids
@@ -39,12 +53,17 @@
 
 pub mod chaos;
 pub mod client;
+pub mod framer;
 pub mod protocol;
+pub mod reactor;
+pub mod router;
 pub mod server;
+pub(crate) mod sys;
 pub mod workload;
 
 pub use chaos::{ChaosProxy, Fault, FaultSchedule, ProxyStats};
 pub use client::{CallError, CallSuccess, Client, ClientConfig};
+pub use framer::{FrameEvent, LineFramer};
 pub use protocol::{
     answer_to_json, cost_units, error_reply, handle_batch, handle_batch_traced, handle_batch_with,
     ok_optimize_reply, ok_reply, optimize_answer_to_json, optimize_cost_units,
@@ -53,5 +72,7 @@ pub use protocol::{
     BatchPolicy, BatchTracing, ErrorKind, ReplySlot, Request, RequestBody, RequestError,
     TraceQuery, MAX_TRACE_FETCH,
 };
+pub use reactor::{EngineService, LineHandler, ReactorConfig, ReactorServer};
+pub use router::{Router, RouterConfig, RouterStats};
 pub use server::{DrainStats, Server, ServerConfig};
 pub use workload::Workload;

@@ -20,7 +20,7 @@ use drone_components::battery::CellCount;
 use drone_dse::eval::DesignEval;
 use drone_explorer::{
     Constraints, Explorer, GridRange, Objective, OptimizeAnswer, OptimizeRequest, Query,
-    QueryAnswer, QueryLimits, QueryRanges, Strategy,
+    QueryAnswer, QueryLimits, QueryRanges, ShardSpec, Strategy,
 };
 use drone_telemetry::trace::{
     derive_trace_id_bytes, id_hex, parse_id_hex, TraceBuilder, TraceRing,
@@ -226,7 +226,7 @@ fn grid_range(doc: &Json, what: &str) -> Result<GridRange, RequestError> {
 }
 
 /// Cells parse from `"3S"` strings or bare cell counts (`3`).
-fn cell(doc: &Json) -> Result<CellCount, RequestError> {
+pub(crate) fn cell(doc: &Json) -> Result<CellCount, RequestError> {
     let count = match doc {
         Json::Num(n) if n.fract() == 0.0 && (0.0..=255.0).contains(n) => *n as u8,
         Json::Str(s) => {
@@ -342,7 +342,7 @@ pub fn parse_request(line: &str, limits: &QueryLimits) -> Result<Request, Reques
 /// [`parse_request`], but failures carry the client's `id` whenever
 /// the line parsed far enough to have one — so error replies can echo
 /// it and a correlating client can attribute the rejection.
-fn parse_request_with_id(
+pub(crate) fn parse_request_with_id(
     line: &str,
     limits: &QueryLimits,
 ) -> Result<Request, (Json, RequestError)> {
@@ -456,6 +456,22 @@ fn optimize_from_json(doc: &Json, limits: &QueryLimits) -> Result<OptimizeReques
     Ok(req)
 }
 
+fn shard_from_json(doc: &Json) -> Result<ShardSpec, RequestError> {
+    expect_keys(doc, &["index", "count"], "shard")?;
+    let field = |key: &str| -> Result<u32, RequestError> {
+        let value = doc
+            .get(key)
+            .ok_or_else(|| RequestError::bad("shard: missing 'index' or 'count'"))?;
+        // `steps` caps at 1e9, well inside u32.
+        Ok(steps(value, "shard")? as u32)
+    };
+    // Range sanity (count >= 1, index < count) runs in Query::validate.
+    Ok(ShardSpec {
+        index: field("index")?,
+        count: field("count")?,
+    })
+}
+
 fn request_from_doc(doc: &Json, limits: &QueryLimits) -> Result<Request, RequestError> {
     expect_keys(
         doc,
@@ -513,6 +529,7 @@ fn request_from_doc(doc: &Json, limits: &QueryLimits) -> Result<Request, Request
             "objective",
             "refine_rounds",
             "refine_steps",
+            "shard",
         ],
         "query",
     )?;
@@ -545,6 +562,7 @@ fn request_from_doc(doc: &Json, limits: &QueryLimits) -> Result<Request, Request
         objective,
         refine_rounds: fetch_steps("refine_rounds")?,
         refine_steps: fetch_steps("refine_steps")?,
+        shard: query_doc.get("shard").map(shard_from_json).transpose()?,
     };
     query.validate(limits).map_err(|e| RequestError {
         kind: ErrorKind::InvalidQuery,
@@ -595,13 +613,22 @@ fn constraints_to_json(bounds: &Constraints) -> Json {
 /// Renders a query as a request line body (the client-side inverse of
 /// [`parse_request`]).
 pub fn request_to_json(id: u64, query: &Query) -> Json {
-    let query_json = Json::obj()
+    let mut query_json = Json::obj()
         .with("name", query.name.as_str())
         .with("ranges", ranges_to_json(&query.ranges))
         .with("constraints", constraints_to_json(&query.constraints))
         .with("objective", objective_to_str(query.objective))
         .with("refine_rounds", query.refine_rounds)
         .with("refine_steps", query.refine_steps);
+    if let Some(shard) = query.shard {
+        // Opt-in: an unsharded query renders exactly as before.
+        query_json.insert(
+            "shard",
+            Json::obj()
+                .with("index", shard.index as usize)
+                .with("count", shard.count as usize),
+        );
+    }
     Json::obj().with("id", id).with("query", query_json)
 }
 
@@ -1136,6 +1163,29 @@ mod tests {
         let parsed = parse_request(&line, &QueryLimits::default()).unwrap();
         assert_eq!(parsed.trace_id, Some(trace_id));
         assert_eq!(parsed.query(), Some(&query));
+    }
+
+    #[test]
+    fn sharded_requests_round_trip_and_validate() {
+        let minimal = parse_request(&minimal_line(), &QueryLimits::default()).unwrap();
+        let query = minimal.query().unwrap().clone().with_shard(1, 4);
+        let line = request_to_json(9, &query).render();
+        let parsed = parse_request(&line, &QueryLimits::default()).unwrap();
+        assert_eq!(parsed.query(), Some(&query));
+
+        // An out-of-range shard index is a typed invalid_query refusal.
+        let bad = request_to_json(9, &minimal.query().unwrap().clone().with_shard(4, 4)).render();
+        let err = parse_request(&bad, &QueryLimits::default()).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::InvalidQuery);
+        assert!(err.message.contains("shard"));
+
+        // Strict key checking still applies inside the shard object.
+        let err = parse_request(
+            r#"{"id":1,"query":{"ranges":{"wheelbase_mm":250,"cells":["3S"],"capacity_mah":2000},"objective":"max_flight_time","shard":{"index":0,"count":2,"extra":1}}}"#,
+            &QueryLimits::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err.kind, ErrorKind::BadRequest);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! reports the join count so tests (and CI) can pin "no thread leaked"
 //! as an invariant rather than a hope.
 
+use crate::framer::{FrameEvent, LineFramer};
 use crate::protocol::{
     self, AdminRequest, BatchPolicy, BatchTracing, ErrorKind, ReplySlot, RequestError,
 };
@@ -40,9 +41,11 @@ pub struct ServerConfig {
     /// Per-line byte cap; a longer line gets a `too_large` reply and
     /// the parser resynchronizes at the next newline.
     pub max_line_bytes: usize,
-    /// Slow-loris defense: a connection that sends no bytes for this
-    /// long gets a typed `deadline_exceeded` reply and closes. `None`
-    /// (the default) waits forever, as before.
+    /// Slow-loris defense, progress-based: a connection that goes this
+    /// long without completing a request line gets a typed
+    /// `deadline_exceeded` reply and closes. Raw byte arrival is *not*
+    /// progress — a client dripping one byte at a time burns its budget
+    /// just like a silent one. `None` (the default) waits forever.
     pub idle_timeout: Option<Duration>,
     /// Per-request cost-unit deadline: a request whose worst-case
     /// budget exceeds this is shed with a typed `deadline_exceeded`
@@ -85,25 +88,28 @@ pub struct DrainStats {
     pub clean: bool,
 }
 
-struct Metrics {
-    requests: Arc<Counter>,
-    batches: Arc<Counter>,
-    sheds: Arc<Counter>,
-    protocol_errors: Arc<Counter>,
-    query_errors: Arc<Counter>,
-    panics_caught: Arc<Counter>,
-    deadline_sheds: Arc<Counter>,
-    idle_timeouts: Arc<Counter>,
-    admin_requests: Arc<Counter>,
-    optimize_requests: Arc<Counter>,
-    queue_depth: Arc<Gauge>,
-    batch_size: Arc<SharedHistogram>,
-    cost_units: Arc<SharedHistogram>,
-    latency_s: Arc<SharedHistogram>,
+/// The `serve.*` metric family, shared verbatim by the threaded and
+/// reactor front-ends (both register against the same names, so a
+/// process running both — the router does — reports aggregates).
+pub(crate) struct Metrics {
+    pub(crate) requests: Arc<Counter>,
+    pub(crate) batches: Arc<Counter>,
+    pub(crate) sheds: Arc<Counter>,
+    pub(crate) protocol_errors: Arc<Counter>,
+    pub(crate) query_errors: Arc<Counter>,
+    pub(crate) panics_caught: Arc<Counter>,
+    pub(crate) deadline_sheds: Arc<Counter>,
+    pub(crate) idle_timeouts: Arc<Counter>,
+    pub(crate) admin_requests: Arc<Counter>,
+    pub(crate) optimize_requests: Arc<Counter>,
+    pub(crate) queue_depth: Arc<Gauge>,
+    pub(crate) batch_size: Arc<SharedHistogram>,
+    pub(crate) cost_units: Arc<SharedHistogram>,
+    pub(crate) latency_s: Arc<SharedHistogram>,
 }
 
 impl Metrics {
-    fn new(registry: &Registry) -> Metrics {
+    pub(crate) fn new(registry: &Registry) -> Metrics {
         Metrics {
             requests: registry.counter("serve.requests"),
             batches: registry.counter("serve.batches"),
@@ -121,79 +127,134 @@ impl Metrics {
             latency_s: registry.histogram("serve.request.latency_s"),
         }
     }
-}
 
-struct QueueState {
-    connections: VecDeque<TcpStream>,
-    shutdown: bool,
-    paused: bool,
-}
-
-struct Shared {
-    engine: Explorer,
-    config: ServerConfig,
-    queue: Mutex<QueueState>,
-    wakeup: Condvar,
-    clock: Clock,
-    metrics: Metrics,
-    /// A clone of the caller's registry (clones share metrics), so the
-    /// `stats` introspection request can snapshot live server state.
-    registry: Registry,
-    /// Completed span trees, bounded; the `trace` request reads here.
-    traces: TraceRing,
-    draining: AtomicBool,
-}
-
-impl Shared {
-    /// Locks the connection queue, shrugging off poison: the state is
-    /// a plain deque plus two flags, valid whatever a panicking holder
-    /// was doing, so one caught panic must not cascade into aborts
-    /// across acceptor, workers and drain.
-    fn lock_queue(&self) -> MutexGuard<'_, QueueState> {
-        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
-    }
-
-    /// Admits a connection, or hands it back when the queue is full;
-    /// never blocks.
-    fn try_admit(&self, stream: TcpStream) -> Result<(), TcpStream> {
-        let mut queue = self.lock_queue();
-        if queue.shutdown || queue.connections.len() >= self.config.queue_capacity {
-            return Err(stream);
+    /// Accounts one completed batch. Runs *before* introspection slots
+    /// resolve, so a `stats` reply observes the batch it rode in on.
+    pub(crate) fn account(&self, batch_len: usize, outcome: &protocol::BatchOutcome, elapsed: f64) {
+        self.batches.inc();
+        self.requests.add(batch_len as u64);
+        self.protocol_errors.add(outcome.protocol_errors as u64);
+        self.query_errors.add(outcome.query_errors as u64);
+        self.panics_caught.add(outcome.internal_errors as u64);
+        self.deadline_sheds.add(outcome.deadline_sheds as u64);
+        self.admin_requests.add(outcome.admin_requests as u64);
+        self.optimize_requests.add(outcome.optimize_requests as u64);
+        self.batch_size.record(batch_len as f64);
+        self.cost_units.record(outcome.cost_units as f64);
+        if batch_len > 0 {
+            self.latency_s.record(elapsed / batch_len as f64);
         }
-        queue.connections.push_back(stream);
-        self.metrics.queue_depth.set(queue.connections.len() as f64);
-        drop(queue);
-        self.wakeup.notify_one();
-        Ok(())
+    }
+}
+
+/// Everything needed to answer a batch of complete request lines:
+/// engine, limits, tracing, and metric accounting. Both front-ends
+/// (threaded [`Server`] and the epoll [`crate::ReactorServer`]) drive
+/// their framers into this one code path, so protocol behaviour —
+/// batching, panic isolation, introspection, accounting — cannot
+/// drift between them.
+pub(crate) struct BatchCore {
+    pub(crate) engine: Explorer,
+    pub(crate) limits: QueryLimits,
+    pub(crate) max_batch: usize,
+    pub(crate) cost_deadline: Option<u64>,
+    pub(crate) trace_seed: u64,
+    pub(crate) clock: Clock,
+    pub(crate) metrics: Metrics,
+    pub(crate) registry: Registry,
+    pub(crate) traces: TraceRing,
+}
+
+impl BatchCore {
+    pub(crate) fn new(
+        engine: Explorer,
+        registry: &Registry,
+        limits: QueryLimits,
+        max_batch: usize,
+        cost_deadline: Option<u64>,
+        trace_capacity: usize,
+        trace_seed: u64,
+    ) -> BatchCore {
+        BatchCore {
+            engine,
+            limits,
+            max_batch,
+            cost_deadline,
+            trace_seed,
+            clock: registry.clock().clone(),
+            metrics: Metrics::new(registry),
+            registry: registry.clone(),
+            traces: TraceRing::new(trace_capacity),
+        }
     }
 
-    /// Blocks until a connection is available or shutdown is flagged.
-    fn next_connection(&self) -> Option<TcpStream> {
-        let mut queue = self.lock_queue();
-        loop {
-            if queue.shutdown {
-                return None;
-            }
-            if !queue.paused {
-                if let Some(stream) = queue.connections.pop_front() {
-                    self.metrics.queue_depth.set(queue.connections.len() as f64);
-                    return Some(stream);
+    /// Answers `lines` in input order, appending one newline-terminated
+    /// reply per line to `out`. `queue_depth` supplies the live value a
+    /// `stats` reply should report (connection-queue length for the
+    /// threaded server, open-connection count for the reactor).
+    pub(crate) fn run_lines(
+        &self,
+        lines: &[String],
+        queue_depth: &dyn Fn() -> usize,
+        out: &mut String,
+    ) {
+        let policy = BatchPolicy {
+            cost_deadline: self.cost_deadline,
+        };
+        for chunk in lines.chunks(self.max_batch.max(1)) {
+            let batch: Vec<&str> = chunk.iter().map(String::as_str).collect();
+            let started = self.clock.now();
+            // handle_batch_traced already converts evaluation panics
+            // into per-request internal_error replies; this second
+            // layer covers the protocol code itself, answering the
+            // whole batch with typed errors rather than dropping the
+            // connection.
+            let (slots, outcome) = catch_unwind(AssertUnwindSafe(|| {
+                let tracing = BatchTracing {
+                    ring: &self.traces,
+                    clock: self.clock.clone(),
+                    seed: self.trace_seed,
+                };
+                protocol::handle_batch_traced(&self.engine, &batch, &self.limits, policy, &tracing)
+            }))
+            .unwrap_or_else(|_| {
+                let error = RequestError {
+                    kind: ErrorKind::Internal,
+                    message: "batch processing panicked".into(),
+                };
+                let slots = batch
+                    .iter()
+                    .map(|_| ReplySlot::Line(protocol::error_reply(&Json::Null, &error).render()))
+                    .collect();
+                let outcome = protocol::BatchOutcome {
+                    internal_errors: batch.len(),
+                    ..protocol::BatchOutcome::default()
+                };
+                (slots, outcome)
+            });
+            let elapsed = self.clock.now() - started;
+            self.metrics.account(batch.len(), &outcome, elapsed);
+            for slot in &slots {
+                match slot {
+                    ReplySlot::Line(line) => out.push_str(line),
+                    ReplySlot::Admin { id, request } => {
+                        out.push_str(&self.admin_reply(queue_depth(), id, request).render());
+                    }
                 }
+                out.push('\n');
             }
-            queue = self
-                .wakeup
-                .wait(queue)
-                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
-    /// Resolves one introspection slot against live server state. The
-    /// caller has already done its metric accounting for the batch the
-    /// slot rode in on, so a `stats` reply observes that batch too.
-    fn admin_reply(&self, id: &Json, request: &AdminRequest) -> Json {
+    /// Resolves one introspection slot against live server state.
+    pub(crate) fn admin_reply(
+        &self,
+        queue_depth: usize,
+        id: &Json,
+        request: &AdminRequest,
+    ) -> Json {
         match request {
             AdminRequest::Stats => {
-                let queue_depth = self.lock_queue().connections.len();
                 let stats = Json::obj()
                     .with("registry", self.registry.snapshot())
                     .with("queue_depth", queue_depth as f64)
@@ -225,6 +286,103 @@ impl Shared {
             }
         }
     }
+
+    /// One refusal line for a connection-level fault (oversized line,
+    /// progress deadline), charged to the matching counter.
+    pub(crate) fn refusal_line(&self, kind: ErrorKind, message: &str) -> String {
+        let counter = match kind {
+            ErrorKind::DeadlineExceeded => &self.metrics.idle_timeouts,
+            _ => &self.metrics.protocol_errors,
+        };
+        counter.inc();
+        protocol::error_reply(
+            &Json::Null,
+            &RequestError {
+                kind,
+                message: message.into(),
+            },
+        )
+        .render()
+    }
+
+    /// One structured overload line for a connection shed at the door.
+    pub(crate) fn overload_line(&self) -> String {
+        self.metrics.sheds.inc();
+        protocol::error_reply(
+            &Json::Null,
+            &RequestError {
+                kind: ErrorKind::Overloaded,
+                message: "queue full; retry later".into(),
+            },
+        )
+        .render()
+    }
+}
+
+struct QueueState {
+    connections: VecDeque<TcpStream>,
+    shutdown: bool,
+    paused: bool,
+}
+
+struct Shared {
+    /// Engine, limits, tracing, metrics — the protocol brain shared
+    /// with the reactor front-end.
+    core: BatchCore,
+    config: ServerConfig,
+    queue: Mutex<QueueState>,
+    wakeup: Condvar,
+    draining: AtomicBool,
+}
+
+impl Shared {
+    /// Locks the connection queue, shrugging off poison: the state is
+    /// a plain deque plus two flags, valid whatever a panicking holder
+    /// was doing, so one caught panic must not cascade into aborts
+    /// across acceptor, workers and drain.
+    fn lock_queue(&self) -> MutexGuard<'_, QueueState> {
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Admits a connection, or hands it back when the queue is full;
+    /// never blocks.
+    fn try_admit(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut queue = self.lock_queue();
+        if queue.shutdown || queue.connections.len() >= self.config.queue_capacity {
+            return Err(stream);
+        }
+        queue.connections.push_back(stream);
+        self.core
+            .metrics
+            .queue_depth
+            .set(queue.connections.len() as f64);
+        drop(queue);
+        self.wakeup.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a connection is available or shutdown is flagged.
+    fn next_connection(&self) -> Option<TcpStream> {
+        let mut queue = self.lock_queue();
+        loop {
+            if queue.shutdown {
+                return None;
+            }
+            if !queue.paused {
+                if let Some(stream) = queue.connections.pop_front() {
+                    self.core
+                        .metrics
+                        .queue_depth
+                        .set(queue.connections.len() as f64);
+                    return Some(stream);
+                }
+            }
+            queue = self
+                .wakeup
+                .wait(queue)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
 }
 
 /// A running server plus the handles needed to stop it.
@@ -251,7 +409,15 @@ impl Server {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
-            engine,
+            core: BatchCore::new(
+                engine,
+                registry,
+                config.limits,
+                config.max_batch,
+                config.cost_deadline,
+                config.trace_capacity,
+                config.trace_seed,
+            ),
             config,
             queue: Mutex::new(QueueState {
                 connections: VecDeque::new(),
@@ -259,10 +425,6 @@ impl Server {
                 paused: false,
             }),
             wakeup: Condvar::new(),
-            clock: registry.clock().clone(),
-            metrics: Metrics::new(registry),
-            registry: registry.clone(),
-            traces: TraceRing::new(config.trace_capacity),
             draining: AtomicBool::new(false),
         });
         let acceptor = {
@@ -315,7 +477,7 @@ impl Server {
             queue.paused = false;
             let abandoned = queue.connections.len();
             queue.connections.clear();
-            self.shared.metrics.queue_depth.set(0.0);
+            self.shared.core.metrics.queue_depth.set(0.0);
             abandoned
         };
         self.shared.wakeup.notify_all();
@@ -370,15 +532,7 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
 
 /// Writes the structured shed reply and closes the connection.
 fn shed(mut stream: TcpStream, shared: &Shared) {
-    shared.metrics.sheds.inc();
-    let reply = protocol::error_reply(
-        &Json::Null,
-        &RequestError {
-            kind: ErrorKind::Overloaded,
-            message: "queue full; retry later".into(),
-        },
-    );
-    let _ = writeln!(stream, "{}", reply.render());
+    let _ = writeln!(stream, "{}", shared.core.overload_line());
     let _ = stream.flush();
 }
 
@@ -387,28 +541,16 @@ fn worker_loop(shared: &Shared) {
         // Panic isolation, outermost layer: whatever a connection does
         // to this worker, the pool keeps draining the queue.
         if catch_unwind(AssertUnwindSafe(|| serve_connection(stream, shared))).is_err() {
-            shared.metrics.panics_caught.inc();
+            shared.core.metrics.panics_caught.inc();
         }
     }
 }
 
 /// One reply line, used when the connection itself misbehaves (a line
-/// over the byte cap, an idle read deadline), charged to the given
-/// counter.
+/// over the byte cap, a blown progress deadline), charged to the
+/// matching counter.
 fn refuse(stream: &mut TcpStream, shared: &Shared, kind: ErrorKind, message: &str) {
-    let counter = match kind {
-        ErrorKind::DeadlineExceeded => &shared.metrics.idle_timeouts,
-        _ => &shared.metrics.protocol_errors,
-    };
-    counter.inc();
-    let reply = protocol::error_reply(
-        &Json::Null,
-        &RequestError {
-            kind,
-            message: message.into(),
-        },
-    );
-    let _ = writeln!(stream, "{}", reply.render());
+    let _ = writeln!(stream, "{}", shared.core.refusal_line(kind, message));
     let _ = stream.flush();
 }
 
@@ -418,46 +560,35 @@ fn refuse(stream: &mut TcpStream, shared: &Shared, kind: ErrorKind, message: &st
 fn serve_connection(mut stream: TcpStream, shared: &Shared) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
     let _ = stream.set_nodelay(true);
-    let mut buffer: Vec<u8> = Vec::new();
+    let mut framer = LineFramer::new(shared.config.max_line_bytes);
     let mut chunk = [0u8; 4096];
-    // After a too_large refusal the parser discards bytes until the
-    // next newline, then picks the conversation back up — an oversized
-    // request costs one error reply, not the connection.
-    let mut resyncing = false;
-    let mut last_activity = Instant::now();
+    let mut events: Vec<FrameEvent> = Vec::new();
+    // The slow-loris clock: reset only when the connection completes a
+    // line (or owes us nothing), never on raw byte arrival — a client
+    // dripping one byte per 40 ms used to reset `last_activity` on
+    // every read and hold this worker forever.
+    let mut last_progress = Instant::now();
     loop {
         match stream.read(&mut chunk) {
             Ok(0) => {
                 // EOF: a trailing unterminated line still gets served.
-                if !buffer.is_empty() && !resyncing {
-                    buffer.push(b'\n');
-                    process_complete_lines(&mut buffer, &mut stream, shared);
-                }
+                framer.finish(&mut events);
+                dispatch_events(&mut events, &mut stream, shared);
                 return;
             }
             Ok(n) => {
-                last_activity = Instant::now();
-                let mut data = &chunk[..n];
-                if resyncing {
-                    match data.iter().position(|&b| b == b'\n') {
-                        Some(newline) => {
-                            data = &data[newline + 1..];
-                            resyncing = false;
-                        }
-                        None => continue,
-                    }
+                framer.push(&chunk[..n], &mut events);
+                let progressed = !events.is_empty();
+                if !dispatch_events(&mut events, &mut stream, shared) {
+                    return;
                 }
-                buffer.extend_from_slice(data);
-                process_complete_lines(&mut buffer, &mut stream, shared);
-                if buffer.len() > shared.config.max_line_bytes {
-                    refuse(
-                        &mut stream,
-                        shared,
-                        ErrorKind::TooLarge,
-                        "request line exceeds size cap",
-                    );
-                    buffer.clear();
-                    resyncing = true;
+                if progressed || !framer.has_partial() {
+                    last_progress = Instant::now();
+                } else if progress_expired(shared, last_progress) {
+                    // The drip path: reads keep succeeding, so the
+                    // WouldBlock arm below never runs.
+                    refuse_no_progress(&mut stream, shared);
+                    return;
                 }
             }
             Err(e)
@@ -467,16 +598,9 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
                 if shared.draining.load(Ordering::SeqCst) {
                     return;
                 }
-                if let Some(limit) = shared.config.idle_timeout {
-                    if last_activity.elapsed() >= limit {
-                        refuse(
-                            &mut stream,
-                            shared,
-                            ErrorKind::DeadlineExceeded,
-                            "connection idle past the read deadline",
-                        );
-                        return;
-                    }
+                if progress_expired(shared, last_progress) {
+                    refuse_no_progress(&mut stream, shared);
+                    return;
                 }
             }
             Err(_) => return,
@@ -484,92 +608,61 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
     }
 }
 
-/// Splits off every complete line in `buffer` and answers them in
-/// batches of at most `max_batch`.
-fn process_complete_lines(buffer: &mut Vec<u8>, stream: &mut TcpStream, shared: &Shared) {
-    let Some(last_newline) = buffer.iter().rposition(|&b| b == b'\n') else {
-        return;
-    };
-    let complete: Vec<u8> = buffer.drain(..=last_newline).collect();
-    // Lossy decoding keeps invalid UTF-8 on the structured-error path
-    // (the parser rejects it) instead of killing the connection.
-    let text = String::from_utf8_lossy(&complete);
-    let lines: Vec<&str> = text
-        .split('\n')
-        .map(|l| l.strip_suffix('\r').unwrap_or(l))
-        .filter(|l| !l.trim().is_empty())
-        .collect();
-    let policy = BatchPolicy {
-        cost_deadline: shared.config.cost_deadline,
-    };
-    for batch in lines.chunks(shared.config.max_batch.max(1)) {
-        let started = shared.clock.now();
-        // handle_batch_traced already converts evaluation panics into
-        // per-request internal_error replies; this second layer covers
-        // the protocol code itself, answering the whole batch with
-        // typed errors rather than dropping the connection.
-        let (slots, outcome) = catch_unwind(AssertUnwindSafe(|| {
-            let tracing = BatchTracing {
-                ring: &shared.traces,
-                clock: shared.clock.clone(),
-                seed: shared.config.trace_seed,
-            };
-            protocol::handle_batch_traced(
-                &shared.engine,
-                batch,
-                &shared.config.limits,
-                policy,
-                &tracing,
-            )
-        }))
-        .unwrap_or_else(|_| {
-            let error = RequestError {
-                kind: ErrorKind::Internal,
-                message: "batch processing panicked".into(),
-            };
-            let slots = batch
-                .iter()
-                .map(|_| ReplySlot::Line(protocol::error_reply(&Json::Null, &error).render()))
-                .collect();
-            let outcome = protocol::BatchOutcome {
-                internal_errors: batch.len(),
-                ..protocol::BatchOutcome::default()
-            };
-            (slots, outcome)
-        });
-        let elapsed = shared.clock.now() - started;
-        // Account the whole batch *before* resolving introspection
-        // slots: a `stats` reply must observe the batch it rode in on,
-        // and equal a post-drain snapshot when it is the last traffic.
-        let m = &shared.metrics;
-        m.batches.inc();
-        m.requests.add(batch.len() as u64);
-        m.protocol_errors.add(outcome.protocol_errors as u64);
-        m.query_errors.add(outcome.query_errors as u64);
-        m.panics_caught.add(outcome.internal_errors as u64);
-        m.deadline_sheds.add(outcome.deadline_sheds as u64);
-        m.admin_requests.add(outcome.admin_requests as u64);
-        m.optimize_requests.add(outcome.optimize_requests as u64);
-        m.batch_size.record(batch.len() as f64);
-        m.cost_units.record(outcome.cost_units as f64);
-        if !batch.is_empty() {
-            m.latency_s.record(elapsed / batch.len() as f64);
-        }
-        let mut out = String::new();
-        for slot in &slots {
-            match slot {
-                ReplySlot::Line(line) => out.push_str(line),
-                ReplySlot::Admin { id, request } => {
-                    out.push_str(&shared.admin_reply(id, request).render());
-                }
+fn progress_expired(shared: &Shared, last_progress: Instant) -> bool {
+    shared
+        .config
+        .idle_timeout
+        .is_some_and(|limit| last_progress.elapsed() >= limit)
+}
+
+fn refuse_no_progress(stream: &mut TcpStream, shared: &Shared) {
+    refuse(
+        stream,
+        shared,
+        ErrorKind::DeadlineExceeded,
+        "no complete request line within the progress deadline",
+    );
+}
+
+/// Plays framer events in input order: runs of complete lines become
+/// engine batches, an oversized line becomes one `too_large` refusal.
+/// Returns false once the client stops accepting replies.
+fn dispatch_events(events: &mut Vec<FrameEvent>, stream: &mut TcpStream, shared: &Shared) -> bool {
+    let mut lines: Vec<String> = Vec::new();
+    let mut alive = true;
+    for event in events.drain(..) {
+        match event {
+            FrameEvent::Line(line) => lines.push(line),
+            FrameEvent::TooLarge => {
+                alive &= flush_lines(&lines, stream, shared);
+                lines.clear();
+                refuse(
+                    stream,
+                    shared,
+                    ErrorKind::TooLarge,
+                    "request line exceeds size cap",
+                );
             }
-            out.push('\n');
         }
-        if stream.write_all(out.as_bytes()).is_err() {
-            return;
-        }
-        let _ = stream.flush();
     }
+    let flushed = flush_lines(&lines, stream, shared);
+    alive && flushed
+}
+
+/// Answers a run of complete lines through the shared [`BatchCore`].
+fn flush_lines(lines: &[String], stream: &mut TcpStream, shared: &Shared) -> bool {
+    if lines.is_empty() {
+        return true;
+    }
+    let mut out = String::new();
+    shared
+        .core
+        .run_lines(lines, &|| shared.lock_queue().connections.len(), &mut out);
+    if stream.write_all(out.as_bytes()).is_err() {
+        return false;
+    }
+    let _ = stream.flush();
+    true
 }
 
 #[cfg(test)]
@@ -831,6 +924,58 @@ mod tests {
             Some(&Json::Str("deadline_exceeded".into()))
         );
         assert_eq!(registry.counter("serve.idle_timeouts").get(), 1);
+        assert!(server.drain().clean);
+    }
+
+    #[test]
+    fn drip_fed_bytes_do_not_reset_the_progress_deadline() {
+        // Regression for the slow-loris hole: the old loop reset
+        // `last_activity` on *any* received byte, so a client dripping
+        // one byte per read-timeout window held its worker forever.
+        // Progress now means completing a request line.
+        let config = ServerConfig {
+            idle_timeout: Some(Duration::from_millis(150)),
+            ..ServerConfig::default()
+        };
+        let (server, registry) = start(config);
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        let started = Instant::now();
+        // The drip runs aside while this thread blocks in read_line,
+        // consuming the refusal the moment it lands.
+        let mut writer = stream.try_clone().unwrap();
+        let drip = std::thread::spawn(move || {
+            for _ in 0..150 {
+                if writer.write_all(b"x").is_err() {
+                    break;
+                }
+                let _ = writer.flush();
+                std::thread::sleep(Duration::from_millis(30));
+            }
+        });
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut line = String::new();
+        BufReader::new(&stream)
+            .read_line(&mut line)
+            .expect("server must refuse with a reply line, not a silent close");
+        assert!(!line.is_empty(), "connection closed without a refusal");
+        let doc = Json::parse(line.trim()).unwrap();
+        assert_eq!(doc.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(
+            doc.get("error").and_then(|e| e.get("kind")),
+            Some(&Json::Str("deadline_exceeded".into()))
+        );
+        assert!(
+            started.elapsed() >= Duration::from_millis(150),
+            "refused before the budget elapsed"
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(4),
+            "the drip held its worker far past the progress budget"
+        );
+        assert_eq!(registry.counter("serve.idle_timeouts").get(), 1);
+        drip.join().unwrap();
         assert!(server.drain().clean);
     }
 

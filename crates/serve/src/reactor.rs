@@ -54,6 +54,13 @@ pub struct ReactorConfig {
     pub max_batch: usize,
     /// Per-line byte cap (see [`crate::ServerConfig::max_line_bytes`]).
     pub max_line_bytes: usize,
+    /// Reply-backlog cap per connection: while more than this many
+    /// unflushed reply bytes are buffered, the reactor drops the
+    /// connection's read interest (the threaded path gets the same
+    /// backpressure for free from blocking writes). Without it a client
+    /// that pipelines requests but never reads its socket grows server
+    /// memory without bound.
+    pub max_outbuf_bytes: usize,
     /// Progress-based slow-loris budget: a connection owing a newline
     /// for this long gets a typed `deadline_exceeded` reply and closes.
     /// `None` (the default) waits forever.
@@ -76,6 +83,7 @@ impl Default for ReactorConfig {
             max_connections: 1024,
             max_batch: 32,
             max_line_bytes: 64 * 1024,
+            max_outbuf_bytes: 256 * 1024,
             line_deadline: None,
             cost_deadline: None,
             limits: QueryLimits::default(),
@@ -143,6 +151,9 @@ struct Inbox {
     /// no-busy-polling invariant is "this does not move while the
     /// server is idle".
     wakeups: AtomicU64,
+    /// Times this reactor paused reading a connection because its
+    /// reply backlog crossed [`ReactorConfig::max_outbuf_bytes`].
+    throttles: AtomicU64,
 }
 
 /// One registered connection.
@@ -154,6 +165,9 @@ struct Conn {
     /// Armed iff the peer owes a newline; the earliest one bounds the
     /// reactor's `epoll_wait` timeout.
     deadline: Option<Instant>,
+    /// EPOLLIN currently registered (dropped while the reply backlog
+    /// exceeds the outbuf cap — read backpressure).
+    registered_in: bool,
     /// EPOLLOUT currently registered (only while `out` has a backlog).
     registered_out: bool,
     /// Close once the outbuf flushes (EOF seen or refusal written).
@@ -220,6 +234,7 @@ impl ReactorServer {
                 queue: Mutex::new(Vec::new()),
                 wake: EventFd::new()?,
                 wakeups: AtomicU64::new(0),
+                throttles: AtomicU64::new(0),
             }));
         }
         let mut reactors = Vec::with_capacity(reactor_count);
@@ -267,6 +282,15 @@ impl ReactorServer {
         self.inboxes
             .iter()
             .map(|i| i.wakeups.load(Ordering::SeqCst))
+            .sum()
+    }
+
+    /// Times any reactor paused reading a connection because its reply
+    /// backlog crossed [`ReactorConfig::max_outbuf_bytes`].
+    pub fn throttles(&self) -> u64 {
+        self.inboxes
+            .iter()
+            .map(|i| i.throttles.load(Ordering::SeqCst))
             .sum()
     }
 
@@ -380,11 +404,19 @@ fn reactor_run(
                 let slot = (token - 1) as usize;
                 let readiness = event.readiness();
                 service_conn(
-                    slot, readiness, handler, config, &epoll, &mut slab, &mut free, live,
+                    slot,
+                    readiness,
+                    handler,
+                    config,
+                    &epoll,
+                    &mut slab,
+                    &mut free,
+                    live,
+                    &inbox.throttles,
                 );
             }
         }
-        sweep_deadlines(handler, &epoll, &mut slab, &mut free, live);
+        sweep_deadlines(handler, config, &epoll, &mut slab, &mut free, live);
     }
     // Shutdown: everything still registered closes unserved.
     let abandoned = slab.iter().filter(|c| c.is_some()).count();
@@ -434,6 +466,7 @@ fn admit_pending(
             out: Vec::new(),
             out_pos: 0,
             deadline: None,
+            registered_in: true,
             registered_out: false,
             closing: false,
         });
@@ -448,13 +481,17 @@ fn earliest_deadline_ms(slab: &[Option<Conn>]) -> i32 {
     let earliest = slab.iter().flatten().filter_map(|c| c.deadline).min();
     match earliest {
         None => -1,
-        Some(deadline) => {
-            let now = Instant::now();
-            let remaining = deadline.saturating_duration_since(now);
-            remaining.as_millis().min(i32::MAX as u128) as i32
-                + i32::from(remaining.subsec_micros() % 1000 != 0)
-        }
+        Some(deadline) => timeout_ms(deadline.saturating_duration_since(Instant::now())),
     }
+}
+
+/// Ceiling of `remaining` in whole milliseconds, saturating at
+/// `i32::MAX`. The saturating round-up matters: `min(i32::MAX) + 1`
+/// would overflow for a deadline ~24.8 days out, turning the epoll
+/// timeout negative (= sleep forever) in release builds.
+fn timeout_ms(remaining: Duration) -> i32 {
+    let whole = remaining.as_millis().min(i32::MAX as u128) as i32;
+    whole.saturating_add(i32::from(!remaining.subsec_micros().is_multiple_of(1000)))
 }
 
 /// Handles one readiness event for one connection slot.
@@ -468,6 +505,7 @@ fn service_conn(
     slab: &mut [Option<Conn>],
     free: &mut Vec<usize>,
     live: &AtomicUsize,
+    throttles: &AtomicU64,
 ) {
     let Some(conn) = slab.get_mut(slot).and_then(Option::as_mut) else {
         return; // already closed this wakeup batch
@@ -478,9 +516,11 @@ fn service_conn(
     }
     // EPOLLERR/EPOLLHUP are unsolicited; folding them into the read
     // path lets read() surface the actual error (or EOF) instead of
-    // this level-triggered event spinning forever.
+    // this level-triggered event spinning forever. (A read-throttled
+    // connection skips the read, but the unconditional flush below
+    // still surfaces the broken pipe and closes the slot.)
     if !dead && readiness & (EPOLLIN | EPOLLRDHUP | EPOLLERR | EPOLLHUP) != 0 && !conn.closing {
-        dead |= !drain_readable(conn, handler, config);
+        dead |= !drain_readable(conn, handler, config, throttles);
     }
     if !dead {
         dead |= !flush_out(conn);
@@ -488,7 +528,7 @@ fn service_conn(
     let token = (slot + 1) as u64;
     if dead || (conn.closing && conn.out_pos >= conn.out.len()) {
         close_slot(slot, epoll, slab, free, live);
-    } else if let Err(e) = update_interest(conn, epoll, token) {
+    } else if let Err(e) = update_interest(conn, epoll, token, config.max_outbuf_bytes) {
         let _ = e;
         close_slot(slot, epoll, slab, free, live);
     }
@@ -497,25 +537,46 @@ fn service_conn(
 /// Reads until `WouldBlock`/EOF, frames, answers complete lines into
 /// the outbuf, and re-arms the progress deadline. Returns false when
 /// the connection errored and must close immediately.
-fn drain_readable(conn: &mut Conn, handler: &dyn LineHandler, config: &ReactorConfig) -> bool {
+fn drain_readable(
+    conn: &mut Conn,
+    handler: &dyn LineHandler,
+    config: &ReactorConfig,
+    throttles: &AtomicU64,
+) -> bool {
     let mut chunk = [0u8; 4096];
     let mut events: Vec<FrameEvent> = Vec::new();
+    let mut progressed = false;
     loop {
+        // Backpressure: once the reply backlog crosses the cap, leave
+        // further input in the kernel buffer. If the flush that follows
+        // cannot clear the backlog, `update_interest` also drops
+        // EPOLLIN until the peer drains its replies, so `out` stays
+        // bounded however fast the peer pipelines. Replies are
+        // dispatched per chunk so this check sees the bytes each chunk
+        // generated.
+        if conn.out.len() - conn.out_pos > config.max_outbuf_bytes {
+            throttles.fetch_add(1, Ordering::SeqCst);
+            break;
+        }
         match conn.stream.read(&mut chunk) {
             Ok(0) => {
                 // EOF: a trailing unterminated line still gets served.
                 conn.framer.finish(&mut events);
                 conn.closing = true;
+                progressed |= !events.is_empty();
+                dispatch_events(&mut events, conn, handler);
                 break;
             }
-            Ok(n) => conn.framer.push(&chunk[..n], &mut events),
+            Ok(n) => {
+                conn.framer.push(&chunk[..n], &mut events);
+                progressed |= !events.is_empty();
+                dispatch_events(&mut events, conn, handler);
+            }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
             Err(_) => return false,
         }
     }
-    let progressed = !events.is_empty();
-    dispatch_events(&mut events, conn, handler);
     // The slow-loris rule, shared with the threaded path: completing a
     // line (or owing nothing) resets the budget; raw bytes do not.
     if progressed || !conn.framer.has_partial() {
@@ -574,24 +635,39 @@ fn flush_out(conn: &mut Conn) -> bool {
     true
 }
 
-/// Arms EPOLLOUT exactly while the outbuf has a backlog.
-fn update_interest(conn: &mut Conn, epoll: &Epoll, token: u64) -> std::io::Result<()> {
-    let want_out = conn.out_pos < conn.out.len();
-    if want_out != conn.registered_out {
-        let interest = if want_out {
-            EPOLLIN | EPOLLRDHUP | EPOLLOUT
-        } else {
-            EPOLLIN | EPOLLRDHUP
-        };
-        epoll.modify(conn.stream.as_raw_fd(), interest, token)?;
-        conn.registered_out = want_out;
+/// Arms EPOLLOUT exactly while the outbuf has a backlog, and drops
+/// EPOLLIN while that backlog exceeds the outbuf cap (or the
+/// connection is closing): a peer that pipelines requests but never
+/// reads its replies is throttled instead of buffered without bound.
+fn update_interest(
+    conn: &mut Conn,
+    epoll: &Epoll,
+    token: u64,
+    max_outbuf_bytes: usize,
+) -> std::io::Result<()> {
+    let backlog = conn.out.len() - conn.out_pos;
+    let want_out = backlog > 0;
+    let want_in = !conn.closing && backlog <= max_outbuf_bytes;
+    if want_out == conn.registered_out && want_in == conn.registered_in {
+        return Ok(());
     }
+    let mut interest = 0;
+    if want_in {
+        interest |= EPOLLIN | EPOLLRDHUP;
+    }
+    if want_out {
+        interest |= EPOLLOUT;
+    }
+    epoll.modify(conn.stream.as_raw_fd(), interest, token)?;
+    conn.registered_in = want_in;
+    conn.registered_out = want_out;
     Ok(())
 }
 
 /// Refuses every connection whose progress deadline has passed.
 fn sweep_deadlines(
     handler: &dyn LineHandler,
+    config: &ReactorConfig,
     epoll: &Epoll,
     slab: &mut [Option<Conn>],
     free: &mut Vec<usize>,
@@ -619,7 +695,7 @@ fn sweep_deadlines(
             let token = (slot + 1) as u64;
             let registered = {
                 let conn = slab[slot].as_mut().expect("just checked");
-                update_interest(conn, epoll, token).is_ok()
+                update_interest(conn, epoll, token, config.max_outbuf_bytes).is_ok()
             };
             if !registered {
                 close_slot(slot, epoll, slab, free, live);
@@ -791,6 +867,61 @@ mod tests {
         assert_eq!(registry.counter("serve.idle_timeouts").get(), 1);
         drip.join().unwrap();
         server.drain();
+    }
+
+    #[test]
+    fn timeout_ms_rounds_up_and_saturates_instead_of_overflowing() {
+        assert_eq!(timeout_ms(Duration::ZERO), 0);
+        assert_eq!(timeout_ms(Duration::from_millis(5)), 5);
+        // Fractional milliseconds round up so a deadline never fires
+        // before `epoll_wait` returns.
+        assert_eq!(timeout_ms(Duration::from_micros(5500)), 6);
+        // A deadline past ~24.8 days used to overflow the +1 round-up
+        // into a negative (= infinite) epoll timeout.
+        assert_eq!(timeout_ms(Duration::from_millis(i32::MAX as u64)), i32::MAX);
+        assert_eq!(timeout_ms(Duration::from_secs(365 * 24 * 3600)), i32::MAX);
+        assert_eq!(timeout_ms(Duration::MAX), i32::MAX);
+    }
+
+    #[test]
+    fn a_client_that_never_reads_is_throttled_not_buffered_without_bound() {
+        let config = ReactorConfig {
+            reactors: 1,
+            max_outbuf_bytes: 1024,
+            ..ReactorConfig::default()
+        };
+        let (server, _registry) = start(config);
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        const REQUESTS: usize = 200;
+        let mut payload = String::new();
+        for id in 0..REQUESTS {
+            payload.push_str(&request_line(id as u64));
+            payload.push('\n');
+        }
+        stream.write_all(payload.as_bytes()).unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        // Nothing is reading the replies yet: they overflow the 1 KiB
+        // outbuf cap, so the reactor must drop read interest rather
+        // than keep swallowing input and buffering replies.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.throttles() == 0 {
+            assert!(
+                Instant::now() < deadline,
+                "reply backlog over the cap never throttled reads"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Draining the replies un-throttles reads; every request is
+        // still answered exactly once, in order.
+        let reader = BufReader::new(stream);
+        let replies: Vec<String> = reader.lines().map(|l| l.unwrap()).collect();
+        assert_eq!(replies.len(), REQUESTS);
+        for (id, line) in replies.iter().enumerate() {
+            let doc = Json::parse(line).unwrap();
+            assert_eq!(doc.get("ok"), Some(&Json::Bool(true)), "{line}");
+            assert_eq!(doc.get("id"), Some(&Json::Num(id as f64)));
+        }
+        assert!(server.drain().clean);
     }
 
     #[test]

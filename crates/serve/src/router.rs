@@ -13,7 +13,9 @@
 //! byte-deterministic in the shard count:
 //!
 //! * shard replies are read in shard-index order, and the first error
-//!   (in that order) is the one propagated;
+//!   (in that order) is the one propagated — after the whole round is
+//!   drained, so a pooled connection never carries an unread reply
+//!   into the next query that checks the set out;
 //! * `evaluated`/`feasible`/`infeasible` are *sums* over shards, and
 //!   the shard grids partition the full grid exactly, so the sums are
 //!   shard-count invariant;
@@ -57,6 +59,12 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::AtomicUsize;
 use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+/// Read timeout on pooled shard streams: a wedged shard must not pin
+/// the front reactor thread (and every connection it owns) forever.
+/// The timeout surfaces as an IO error, which retires the set.
+const SHARD_READ_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Tuning knobs for [`Router::start`].
 #[derive(Debug, Clone, Copy)]
@@ -222,6 +230,7 @@ impl ShardPool {
             .map(|addr| {
                 let stream = TcpStream::connect(addr)?;
                 stream.set_nodelay(true)?;
+                stream.set_read_timeout(Some(SHARD_READ_TIMEOUT))?;
                 Ok(BufReader::new(stream))
             })
             .collect()
@@ -328,6 +337,9 @@ impl RouterService {
                     .with("answer", answer)
             }
             Err(GatherError::Shard(error)) => {
+                // The failing round was drained in full before the
+                // error propagated, so the set holds no unread replies
+                // and is safe to reuse.
                 self.pool.checkin(conns);
                 protocol::error_reply(&id, &error)
             }
@@ -465,14 +477,30 @@ fn scatter_gather(query: &Query, conns: &mut [BufReader<TcpStream>]) -> Result<J
         }
         // Gather in shard-index order: replies stay attributable and
         // the merge order (hence the reply bytes) is deterministic.
-        for conn in conns.iter_mut() {
+        // Every scattered sub-query gets its reply read *even after a
+        // shard-level error* — returning early would strand unread
+        // replies on the pooled connections, to be misread as answers
+        // to whichever query checks the set out next.
+        let mut round_error: Option<RequestError> = None;
+        for (index, conn) in conns.iter_mut().enumerate() {
             let mut line = String::new();
             if conn.read_line(&mut line)? == 0 {
                 return Err(GatherError::Io);
             }
             let doc = Json::parse(line.trim_end()).map_err(|_| GatherError::Io)?;
+            // The scattered id was the shard index; anything else means
+            // the stream is desynchronized and the set must be retired.
+            if doc.get("id") != Some(&Json::Num(index as f64)) {
+                return Err(GatherError::Io);
+            }
             if doc.get("ok") != Some(&Json::Bool(true)) {
-                return Err(GatherError::Shard(shard_error(&doc)));
+                if round_error.is_none() {
+                    round_error = Some(shard_error(&doc));
+                }
+                continue;
+            }
+            if round_error.is_some() {
+                continue; // drain-only: the round already failed
             }
             let answer = doc
                 .get("answer")
@@ -500,6 +528,9 @@ fn scatter_gather(query: &Query, conns: &mut [BufReader<TcpStream>]) -> Result<J
                     });
                 }
             }
+        }
+        if let Some(error) = round_error {
+            return Err(GatherError::Shard(error));
         }
         rounds += 1;
     }
@@ -704,6 +735,47 @@ mod tests {
         );
         assert_eq!(registry.counter("router.errors").get(), 1);
         router.drain();
+    }
+
+    #[test]
+    fn a_shard_error_leaves_the_pooled_connections_reusable() {
+        let registry = Registry::with_wall_clock();
+        let config = RouterConfig {
+            shards: 2,
+            reactor: ReactorConfig {
+                cost_deadline: Some(10),
+                ..ReactorConfig::default()
+            },
+        };
+        let router = Router::start(|| Explorer::new(2), config, &registry).expect("start router");
+        // 30-point sweep: over the 10-unit cost deadline, so every
+        // shard sheds with a structured error. Before the round was
+        // drained, shard 1's reply stayed buffered on the pooled set.
+        let mut big = Query::new("big", ranges(), Objective::MaxFlightTime);
+        big.refine_rounds = 0;
+        let reply = ask(router.addr(), &protocol::request_to_json(1, &big).render());
+        let doc = Json::parse(&reply).unwrap();
+        assert_eq!(doc.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(doc.get("id"), Some(&Json::Num(1.0)));
+        assert_eq!(
+            doc.get("error").unwrap().get("kind"),
+            Some(&Json::Str("deadline_exceeded".into()))
+        );
+        // A small query reusing the same connection set must get *its*
+        // answer, not a stale buffered reply from the shed round.
+        let mut small_ranges = ranges();
+        small_ranges.wheelbase_mm = GridRange::fixed(300.0);
+        small_ranges.capacity_mah = GridRange::fixed(4000.0);
+        let mut small = Query::new("small", small_ranges, Objective::MaxFlightTime);
+        small.refine_rounds = 0;
+        let reply = ask(
+            router.addr(),
+            &protocol::request_to_json(2, &small).render(),
+        );
+        let doc = Json::parse(&reply).unwrap();
+        assert_eq!(doc.get("ok"), Some(&Json::Bool(true)), "{reply}");
+        assert_eq!(doc.get("id"), Some(&Json::Num(2.0)));
+        assert!(router.drain().clean);
     }
 
     #[test]
